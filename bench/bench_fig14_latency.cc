@@ -1,0 +1,77 @@
+// Figure 14: mean E2E latency, TTFT, and TPOT vs request rate for the Llama 3.2 11B Vision
+// model (mllama) under Poisson arrivals, vLLM vs Jenga. Expected shape: parity at low rates,
+// then vLLM's latency explodes (queueing behind wasted memory) while Jenga degrades slowly;
+// Jenga's TPOT is slightly higher because it batches more requests per step (§7.2).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/engine/engine.h"
+#include "src/model/model_zoo.h"
+#include "src/workload/datasets.h"
+
+namespace jenga {
+namespace {
+
+struct LatencyResult {
+  double e2el = 0.0;
+  double ttft = 0.0;
+  double tpot = 0.0;
+  int64_t completed = 0;
+};
+
+LatencyResult RunOne(bool jenga, double rate, int count) {
+  const ModelConfig model = Llama32_11B_Vision();
+  EngineConfig config = jenga ? JengaProfile(model, H100()) : VllmProfile(model, H100());
+  config.memory_sample_every = 0;
+  Engine engine(config);
+  MmmuProDataset dataset(model.vision.tokens_per_image);
+  Rng rng(0xF14 + static_cast<uint64_t>(rate * 100));
+  for (Request& r : GeneratePoisson(dataset, count, rate, rng)) {
+    engine.Submit(std::move(r));
+  }
+  engine.RunToCompletion();
+  LatencyResult result;
+  result.e2el = engine.metrics().MeanE2eLatency();
+  result.ttft = engine.metrics().MeanTtft();
+  result.tpot = engine.metrics().MeanTpot();
+  result.completed = engine.metrics().CompletedRequests();
+  return result;
+}
+
+void Run() {
+  PrintHeader("Figure 14: Latency vs request rate — Llama 3.2 11B Vision (mllama), H100");
+  PrintRow({{10, "req/s"},
+            {14, "vLLM E2EL"},
+            {14, "Jenga E2EL"},
+            {14, "vLLM TTFT"},
+            {14, "Jenga TTFT"},
+            {14, "vLLM TPOT"},
+            {14, "Jenga TPOT"}});
+  PrintRule();
+  const int kCount = 120;
+  for (const double rate : {0.4, 0.8, 1.2, 1.6, 2.0, 2.4}) {
+    const LatencyResult vllm = RunOne(false, rate, kCount);
+    const LatencyResult jng = RunOne(true, rate, kCount);
+    PrintRow({{10, Fmt("%.1f", rate)},
+              {14, Fmt("%.2fs", vllm.e2el)},
+              {14, Fmt("%.2fs", jng.e2el)},
+              {14, Fmt("%.2fs", vllm.ttft)},
+              {14, Fmt("%.2fs", jng.ttft)},
+              {14, Fmt("%.1fms", vllm.tpot * 1e3)},
+              {14, Fmt("%.1fms", jng.tpot * 1e3)}});
+  }
+  std::printf(
+      "\nShape checks vs paper: near-parity at low rate; at high rate Jenga's E2EL and TTFT\n"
+      "stay flat while vLLM's grow (up to 2.24x E2EL / 29x TTFT in the paper); Jenga's TPOT\n"
+      "is slightly higher because each step batches more requests.\n");
+}
+
+}  // namespace
+}  // namespace jenga
+
+int main() {
+  jenga::Run();
+  return 0;
+}

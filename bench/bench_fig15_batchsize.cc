@@ -1,0 +1,73 @@
+// Figure 15: decode batch-size timeline for the Ministral 8B model under the paper's
+// simulated long-document workload (20 requests at once, inputs 55k–110k tokens, outputs
+// 50–100), across vLLM, SGLang, TGI (homogeneous profiles), and Jenga. Paper numbers: average
+// batch 5.39 for Jenga vs 2.63/2.74/2.50, finishing in ~300 steps vs ~600 (TGI ends early —
+// no --ignore-eos).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/engine/engine.h"
+#include "src/model/model_zoo.h"
+#include "src/workload/datasets.h"
+
+namespace jenga {
+namespace {
+
+void RunProfile(const char* name, EngineConfig config) {
+  config.enable_prefix_caching = false;  // The workload has no shared prefixes.
+  config.memory_sample_every = 0;
+  Engine engine(std::move(config));
+  LongDocDataset dataset;
+  Rng rng(0xF15);
+  for (Request& r : GenerateBatch(dataset, 20, rng)) {
+    engine.Submit(std::move(r));
+  }
+  engine.RunToCompletion();
+  const std::vector<double> timeline = engine.metrics().decode_batch_series().Resample(60);
+  // Mean decode batch over decode-active steps only (matching the paper's metric).
+  double batch_sum = 0.0;
+  int64_t batch_steps = 0;
+  for (const auto& point : engine.metrics().decode_batch_series().points()) {
+    if (point.value > 0) {
+      batch_sum += point.value;
+      ++batch_steps;
+    }
+  }
+  const double mean_batch = batch_steps > 0 ? batch_sum / static_cast<double>(batch_steps) : 0.0;
+  PrintRow({{10, name},
+            {14, Fmt("%.2f", mean_batch)},
+            {10, FmtI(engine.metrics().total_steps())},
+            {12, FmtI(engine.metrics().TotalOutputTokens())},
+            {12, Fmt("%.1fs", engine.now())}});
+  std::printf("  batch timeline: %s\n", Sparkline(timeline).c_str());
+}
+
+void Run() {
+  PrintHeader(
+      "Figure 15: Decode batch size — Ministral 8B, 20 long-doc requests at once (H100)");
+  PrintRow({{10, "Engine"},
+            {14, "avg batch"},
+            {10, "steps"},
+            {12, "out tokens"},
+            {12, "wall"}});
+  PrintRule();
+  const ModelConfig model = Ministral8B();
+  RunProfile("vLLM", VllmProfile(model, H100()));
+  RunProfile("SGLang", SglangProfile(model, H100()));
+  RunProfile("TGI", TgiProfile(model, H100()));
+  RunProfile("Jenga", JengaProfile(model, H100()));
+  std::printf(
+      "\nShape checks vs paper: Jenga sustains ~2x the decode batch of the homogeneous\n"
+      "engines and finishes in roughly half the steps; TGI emits fewer tokens (stops at\n"
+      "its simulated EOS) and so ends earlier despite a small batch.\n");
+}
+
+}  // namespace
+}  // namespace jenga
+
+int main() {
+  jenga::Run();
+  return 0;
+}

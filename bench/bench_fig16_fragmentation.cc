@@ -1,0 +1,94 @@
+// Figure 16: memory-usage timeline for the Ministral 8B model on a static and a dynamic
+// long-context trace, vLLM vs Jenga. The paper reports vLLM wasting 38.2 % of KV memory on
+// average (sliding-window KV it cannot free) while Jenga wastes 0.04 %; in the dynamic trace
+// Jenga's self-attention share of allocated KV shifts with the workload (27.8 %–54.5 %).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/engine/engine.h"
+#include "src/model/model_zoo.h"
+#include "src/workload/datasets.h"
+
+namespace jenga {
+namespace {
+
+struct FragResult {
+  double waste_fraction = 0.0;    // wasted / (used + wasted), averaged over samples.
+  double mean_used_gb = 0.0;
+  double mean_wasted_gb = 0.0;
+  std::vector<double> used_series;
+  std::vector<double> wasted_series;
+};
+
+FragResult RunOne(bool jenga, const std::vector<Request>& trace) {
+  const ModelConfig model = Ministral8B();
+  EngineConfig config = jenga ? JengaProfile(model, H100()) : VllmProfile(model, H100());
+  config.enable_prefix_caching = false;
+  config.memory_sample_every = 4;
+  Engine engine(std::move(config));
+  for (const Request& r : trace) {
+    engine.Submit(r);
+  }
+  engine.RunToCompletion();
+
+  FragResult result;
+  TimeSeries used;
+  TimeSeries wasted;
+  double waste_sum = 0.0;
+  int64_t samples = 0;
+  for (const MemorySample& sample : engine.metrics().memory_timeline()) {
+    used.Add(sample.time, static_cast<double>(sample.used_bytes));
+    wasted.Add(sample.time, static_cast<double>(sample.wasted_bytes));
+    const int64_t kv = sample.used_bytes + sample.wasted_bytes;
+    if (kv > 0) {
+      waste_sum += static_cast<double>(sample.wasted_bytes) / static_cast<double>(kv);
+      ++samples;
+    }
+  }
+  result.waste_fraction = samples > 0 ? waste_sum / static_cast<double>(samples) : 0.0;
+  result.mean_used_gb = used.MeanValue() / 1e9;
+  result.mean_wasted_gb = wasted.MeanValue() / 1e9;
+  result.used_series = used.Resample(48);
+  result.wasted_series = wasted.Resample(48);
+  return result;
+}
+
+void RunTrace(const char* trace_name, const std::vector<Request>& trace) {
+  std::printf("\n[%s trace: %zu requests]\n", trace_name, trace.size());
+  PrintRow({{10, "Engine"},
+            {16, "KV waste (avg)"},
+            {16, "used (avg)"},
+            {16, "wasted (avg)"}});
+  PrintRule();
+  for (const bool jenga : {false, true}) {
+    const FragResult result = RunOne(jenga, trace);
+    PrintRow({{10, jenga ? "Jenga" : "vLLM"},
+              {16, Pct(result.waste_fraction)},
+              {16, Fmt("%.2f GB", result.mean_used_gb)},
+              {16, Fmt("%.2f GB", result.mean_wasted_gb)}});
+    std::printf("  used:   %s\n", Sparkline(result.used_series).c_str());
+    std::printf("  wasted: %s\n", Sparkline(result.wasted_series).c_str());
+  }
+}
+
+void Run() {
+  PrintHeader("Figure 16: Memory breakdown timeline — Ministral 8B (H100)");
+  Rng rng_static(0xF16);
+  Rng rng_dynamic(0xF17);
+  RunTrace("static", StaticLongTrace(/*count=*/40, /*rate=*/0.05, rng_static));
+  RunTrace("dynamic", DynamicLongTrace(/*count=*/40, /*rate=*/0.05, rng_dynamic));
+  std::printf(
+      "\nShape checks vs paper: vLLM wastes ~38%% of its KV memory (out-of-window sliding\n"
+      "KV it cannot free) while Jenga's waste stays near zero (unused small pages inside\n"
+      "large pages plus the partially-filled trailing block).\n");
+}
+
+}  // namespace
+}  // namespace jenga
+
+int main() {
+  jenga::Run();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 17: prefix caching with a varying number of arXiv articles — Gemma-2 27B, several
+// questions per article, questions for the same article maximally spaced (round-robin) so the
+// cache must actually hold the articles. With few articles both systems cache everything;
+// past the capacity knee Jenga's sliding-window-aware eviction rule keeps more articles
+// hittable (paper: up to 1.60x hit rate → 1.77x throughput).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/engine/engine.h"
+#include "src/model/model_zoo.h"
+#include "src/workload/datasets.h"
+
+namespace jenga {
+namespace {
+
+struct CacheResult {
+  double hit_rate = 0.0;
+  double throughput = 0.0;
+};
+
+CacheResult RunOne(bool jenga, int num_articles, int questions_per_article) {
+  const ModelConfig model = Gemma2_27B();
+  EngineConfig config = jenga ? JengaProfile(model, H100()) : VllmProfile(model, H100());
+  config.memory_sample_every = 0;
+  // Closed-loop serial serving: one request at a time, so measured throughput is a pure
+  // function of how much prefill the prefix cache saves (the Fig. 17 mechanism), not of
+  // arrival pacing. The pool is scaled so the capacity knee falls at a few articles, as in
+  // the paper's setup (parity for <=3 articles).
+  config.max_num_seqs_override = 1;
+  config.memory_fraction = 0.55;
+  Engine engine(std::move(config));
+
+  ArxivQaDataset dataset(num_articles, 7200, 7800, /*seed=*/0xF17 + num_articles,
+                         /*output_lo=*/16, /*output_hi=*/48);
+  Rng rng(0x17AA + num_articles);
+  int64_t total_prompt_tokens = 0;
+  RequestId id = 0;
+  // Users ask questions about a uniformly random article; the cache's *effective capacity*
+  // (how many articles the eviction policy keeps hittable) decides the hit rate.
+  const int total_requests = num_articles * questions_per_article;
+  for (int q = 0; q < total_requests; ++q) {
+    const int article = static_cast<int>(rng.UniformInt(0, num_articles - 1));
+    WorkloadItem item = dataset.SampleForArticle(article, rng);
+    total_prompt_tokens += item.prompt.size();
+    engine.Submit(MakeRequest(id++, std::move(item.prompt), item.output_len,
+                              /*arrival_time=*/0.0));
+  }
+  engine.RunToCompletion();
+  CacheResult result;
+  result.hit_rate = static_cast<double>(engine.metrics().cache_hit_tokens) /
+                    static_cast<double>(total_prompt_tokens);
+  result.throughput = engine.metrics().RequestThroughput();
+  return result;
+}
+
+void Run() {
+  PrintHeader("Figure 17: Prefix caching vs number of arXiv articles — Gemma-2 27B (H100)");
+  PrintRow({{10, "articles"},
+            {14, "vLLM hit"},
+            {14, "Jenga hit"},
+            {12, "hit ratio"},
+            {14, "vLLM req/s"},
+            {14, "Jenga req/s"},
+            {12, "speedup"}});
+  PrintRule();
+  const int kQuestions = 12;
+  for (const int articles : {1, 2, 3, 4, 5, 6, 8, 10, 12}) {
+    const CacheResult vllm = RunOne(false, articles, kQuestions);
+    const CacheResult jng = RunOne(true, articles, kQuestions);
+    PrintRow({{10, FmtI(articles)},
+              {14, Pct(vllm.hit_rate)},
+              {14, Pct(jng.hit_rate)},
+              {12, Fmt("%.2fx", vllm.hit_rate > 0 ? jng.hit_rate / vllm.hit_rate : 0.0)},
+              {14, Fmt("%.3f", vllm.throughput)},
+              {14, Fmt("%.3f", jng.throughput)},
+              {12, Fmt("%.2fx", vllm.throughput > 0 ? jng.throughput / vllm.throughput : 0.0)}});
+  }
+  std::printf(
+      "\nShape checks vs paper: parity while all articles fit (small counts; Jenga pays a\n"
+      "tiny two-allocation overhead), then a widening hit-rate and throughput gap once the\n"
+      "article set exceeds what full-prefix caching can hold.\n");
+}
+
+}  // namespace
+}  // namespace jenga
+
+int main() {
+  jenga::Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 18: the vision-embedding cache case study — four VLMs on MMMU-pro with chunked
+// prefill size 1024. Engines without the cache (vLLM/SGLang) re-run the vision encoder on
+// every chunked-prefill step that consumes image tokens; Jenga encodes once per request
+// (paper: 1.88x throughput and 1.60x latency improvement on average).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/engine/engine.h"
+#include "src/model/model_zoo.h"
+#include "src/workload/datasets.h"
+
+namespace jenga {
+namespace {
+
+struct VisionResult {
+  double throughput = 0.0;
+  double latency = 0.0;
+  double encoder_runs_per_request = 0.0;
+};
+
+VisionResult RunOne(const ModelConfig& model, bool jenga, int count) {
+  EngineConfig config = jenga ? JengaProfile(model, H100()) : VllmProfile(model, H100());
+  config.max_batched_tokens_override = 1024;  // The paper's chunked-prefill size.
+  config.memory_sample_every = 0;
+  Engine engine(std::move(config));
+  MmmuProDataset dataset(model.vision.tokens_per_image);
+  Rng rng(0xF18);
+  for (Request& r : GenerateBatch(dataset, count, rng)) {
+    engine.Submit(std::move(r));
+  }
+  engine.RunToCompletion();
+  VisionResult result;
+  result.throughput = engine.metrics().RequestThroughput();
+  result.latency = engine.metrics().MeanE2eLatency();
+  result.encoder_runs_per_request = static_cast<double>(engine.metrics().vision_encoder_runs) /
+                                    static_cast<double>(engine.metrics().CompletedRequests());
+  return result;
+}
+
+void Run() {
+  PrintHeader("Figure 18: Vision-embedding cache — MMMU-pro, chunked prefill 1024 (H100)");
+  PrintRow({{22, "Model"},
+            {13, "vLLM req/s"},
+            {13, "Jenga req/s"},
+            {9, "tput x"},
+            {12, "vLLM E2EL"},
+            {12, "Jenga E2EL"},
+            {9, "lat x"},
+            {14, "enc runs v/j"}});
+  PrintRule();
+  const std::vector<ModelConfig> models = {LlavaOneVision7B(), InternVl2_8B(), Phi3Vision4B(),
+                                           Paligemma2_10B()};
+  const int kCount = 48;
+  for (const ModelConfig& model : models) {
+    const VisionResult vllm = RunOne(model, false, kCount);
+    const VisionResult jng = RunOne(model, true, kCount);
+    PrintRow({{22, model.name},
+              {13, Fmt("%.3f", vllm.throughput)},
+              {13, Fmt("%.3f", jng.throughput)},
+              {9, Fmt("%.2fx", jng.throughput / vllm.throughput)},
+              {12, Fmt("%.2fs", vllm.latency)},
+              {12, Fmt("%.2fs", jng.latency)},
+              {9, Fmt("%.2fx", vllm.latency / jng.latency)},
+              {14, Fmt("%.1f", vllm.encoder_runs_per_request) + "/" +
+                       Fmt("%.1f", jng.encoder_runs_per_request)}});
+  }
+  std::printf(
+      "\nShape checks vs paper: without the cache the encoder re-runs once per image-bearing\n"
+      "chunk (~#image-tokens/1024 times); with it exactly once per request — throughput and\n"
+      "latency improve accordingly, most for models with many tokens per image.\n");
+}
+
+}  // namespace
+}  // namespace jenga
+
+int main() {
+  jenga::Run();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 19: speculative decoding with three memory strategies — vLLM-max (uniform pages
+// sized for the large model), vLLM-manual (SmartSpec's static pool split), and Jenga.
+// Expected shape: Jenga == vLLM-manual on the standard Llama (automatic management reaches
+// the hand-tuned optimum) and beats both on heterogeneous models (paper: 1.58x average over
+// vLLM-manual); vLLM-max is always worst.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/engine/spec_decode.h"
+#include "src/model/model_zoo.h"
+#include "src/workload/datasets.h"
+
+namespace jenga {
+namespace {
+
+double RunOne(const ModelConfig& target, const ModelConfig& draft, SpecStrategy strategy,
+              Dataset& dataset, int count) {
+  SpecDecodeConfig config;
+  config.target = target;
+  config.draft = draft;
+  config.gpu = H100();
+  config.strategy = strategy;
+  config.seed = 0xF19;
+  SpecDecodeEngine engine(std::move(config));
+  Rng rng(0x19AA);
+  for (Request& r : GenerateBatch(dataset, count, rng)) {
+    engine.Submit(std::move(r));
+  }
+  engine.RunToCompletion();
+  return engine.metrics().RequestThroughput();
+}
+
+void Run() {
+  PrintHeader("Figure 19: Speculative decoding — vLLM-max / vLLM-manual / Jenga (H100)");
+  PrintRow({{24, "Target + draft"},
+            {12, "vLLM-max"},
+            {14, "vLLM-manual"},
+            {12, "Jenga"},
+            {12, "vs manual"},
+            {12, "vs max"}});
+  PrintRule();
+  struct Pair {
+    const char* label;
+    ModelConfig target;
+    ModelConfig draft;
+    // Dataset per Table 1: long-context arXiv for the windowed models, MMLU-pro otherwise.
+    bool long_context;
+    int count;
+  };
+  const std::vector<Pair> pairs = {
+      {"llama-70b-fp8 + 1b (std)", Llama3_70B_Fp8(), Llama32_1B(), false, 192},
+      {"gemma2-27b + 2b", Gemma2_27B(), Gemma2_2B(), true, 48},
+      {"ministral-8b + 1b", Ministral8B(), Ministral1BDraft(), true, 48},
+      {"characterai-70b-fp8 + 1b", CharacterAi70B_Fp8(), Llama32_1B(), false, 192},
+      {"pyramidkv-70b-fp8 + 1b", PyramidKv70B_Fp8(), Llama32_1B(), false, 192},
+      {"jamba-52b-fp8 + 1b", Jamba52B_Fp8(), Llama32_1B(), false, 192},
+  };
+  for (const Pair& pair : pairs) {
+    const int kCount = pair.count;
+    std::unique_ptr<Dataset> dataset;
+    if (pair.long_context) {
+      // Distinct long documents (caching is off in this experiment anyway).
+      const int64_t max_len = std::min<int64_t>(pair.target.max_context_len - 1200, 24000);
+      dataset = std::make_unique<ArxivQaDataset>(kCount, max_len - 2000, max_len, 0x19BB,
+                                                 /*output_lo=*/256, /*output_hi=*/512);
+    } else {
+      dataset = std::make_unique<MmluProDataset>(/*output_lo=*/256, /*output_hi=*/1024);
+    }
+    const double max_tput =
+        RunOne(pair.target, pair.draft, SpecStrategy::kVllmMax, *dataset, kCount);
+    const double manual_tput =
+        RunOne(pair.target, pair.draft, SpecStrategy::kVllmManual, *dataset, kCount);
+    const double jenga_tput =
+        RunOne(pair.target, pair.draft, SpecStrategy::kJenga, *dataset, kCount);
+    PrintRow({{24, pair.label},
+              {12, Fmt("%.3f", max_tput)},
+              {14, Fmt("%.3f", manual_tput)},
+              {12, Fmt("%.3f", jenga_tput)},
+              {12, Fmt("%.2fx", jenga_tput / manual_tput)},
+              {12, Fmt("%.2fx", jenga_tput / max_tput)}});
+  }
+  std::printf(
+      "\nShape checks vs paper: Jenga matches vLLM-manual on the standard Llama pair and\n"
+      "wins on heterogeneous targets, without any per-model memory planning; vLLM-max pays\n"
+      "for draft KV at the target page size and trails everywhere memory binds.\n");
+}
+
+}  // namespace
+}  // namespace jenga
+
+int main() {
+  jenga::Run();
+  return 0;
+}

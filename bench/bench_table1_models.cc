@@ -1,0 +1,73 @@
+// Table 1: the model/dataset/GPU inventory of the evaluation, plus the derived KV-group
+// decomposition (what Jenga's allocator actually consumes) for every model.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/model/kv_spec.h"
+#include "src/model/model_zoo.h"
+
+namespace jenga {
+namespace {
+
+struct Table1Row {
+  const char* model;
+  const char* dataset;
+  const char* h100;
+  const char* l4;
+};
+
+void Run() {
+  PrintHeader("Table 1: Model and dataset (* = FP8 quantization)");
+  PrintRow({{26, "Model"}, {12, "Dataset"}, {10, "H100"}, {10, "L4"}});
+  PrintRule();
+  const Table1Row rows[] = {
+      {"Llama 3.2 Vision (mllama)", "MMMU-pro", "11B", "11B*"},
+      {"Gemma-2", "arXiv-QA", "27B", "9B"},
+      {"Ministral", "arXiv-QA", "8B", "8B*"},
+      {"Jamba", "MMLU-pro", "52B*", "OOM"},
+      {"Llama (standard)", "MMLU-pro", "70B*", "8B"},
+      {"Character.ai style", "MMLU-pro", "70B*", "8B"},
+      {"PyramidKV", "MMLU-pro", "70B*", "8B"},
+  };
+  for (const Table1Row& row : rows) {
+    PrintRow({{26, row.model}, {12, row.dataset}, {10, row.h100}, {10, row.l4}});
+  }
+
+  PrintHeader("Derived KV-group decomposition (tokens_per_page = 16)");
+  PrintRow({{24, "Model"},
+            {22, "Group"},
+            {8, "Layers"},
+            {14, "Page bytes"},
+            {14, "LCM page"},
+            {10, "LCM/min"}});
+  PrintRule();
+  for (const ModelConfig& model : AllZooModels()) {
+    const KvSpec spec = BuildKvSpec(model, KvSpecOptions{});
+    int64_t min_page = spec.groups[0].page_bytes;
+    for (const KvGroupSpec& group : spec.groups) {
+      min_page = std::min(min_page, group.page_bytes);
+    }
+    bool first = true;
+    for (const KvGroupSpec& group : spec.groups) {
+      PrintRow({{24, first ? model.name : ""},
+                {22, group.name},
+                {8, FmtI(group.num_layers)},
+                {14, FmtI(group.page_bytes)},
+                {14, first ? FmtI(spec.LcmPageBytes()) : ""},
+                {10, first ? Fmt("%.0fx", static_cast<double>(spec.LcmPageBytes()) /
+                                              static_cast<double>(min_page))
+                           : ""}});
+      first = false;
+    }
+  }
+  std::printf("\nNote: Jamba's 84x ratio is the paper's reported worst case across vLLM models.\n");
+}
+
+}  // namespace
+}  // namespace jenga
+
+int main() {
+  jenga::Run();
+  return 0;
+}

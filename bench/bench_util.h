@@ -1,0 +1,51 @@
+// Shared helpers for the paper-reproduction bench binaries: fixed-width table printing and
+// common run drivers. Every bench prints the rows/series of one paper table or figure.
+
+#ifndef JENGA_BENCH_BENCH_UTIL_H_
+#define JENGA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace jenga {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("--------------------------------------------------------------------------------\n");
+}
+
+// Fixed-width row printing: columns are (width, text) pairs rendered left-aligned.
+inline void PrintRow(const std::vector<std::pair<int, std::string>>& cells) {
+  for (const auto& [width, text] : cells) {
+    std::printf("%-*s", width, text.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(const char* format, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), format, value);
+  return buffer;
+}
+
+inline std::string FmtI(int64_t value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(value));
+  return buffer;
+}
+
+inline std::string Gb(int64_t bytes) {
+  return Fmt("%.2f GB", static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+}
+
+inline std::string Pct(double fraction) { return Fmt("%.1f%%", fraction * 100.0); }
+
+}  // namespace jenga
+
+#endif  // JENGA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,45 @@
+// Hybrid-attention serving: Ministral-style sliding-window + full attention under memory
+// pressure, comparing Jenga against a PagedAttention-style homogeneous baseline on the same
+// long-document workload (the scenario behind Figs. 15 and 16).
+
+#include <cstdio>
+
+#include "src/engine/engine.h"
+#include "src/model/model_zoo.h"
+#include "src/workload/datasets.h"
+
+using namespace jenga;
+
+namespace {
+
+void Serve(const char* label, bool jenga) {
+  const ModelConfig model = Ministral8B();
+  EngineConfig config = jenga ? JengaProfile(model, H100()) : VllmProfile(model, H100());
+  config.enable_prefix_caching = false;
+  Engine engine(std::move(config));
+
+  LongDocDataset dataset;  // 55k–110k-token inputs, 50–100-token outputs.
+  Rng rng(7);
+  for (Request& r : GenerateBatch(dataset, 12, rng)) {
+    engine.Submit(std::move(r));
+  }
+  engine.RunToCompletion();
+
+  const KvManager::MemoryStats stats = engine.kv().GetMemoryStats();
+  std::printf("%-8s  wall=%6.1fs  mean decode batch=%.2f  steps=%lld\n", label, engine.now(),
+              engine.metrics().MeanDecodeBatch(),
+              static_cast<long long>(engine.metrics().total_steps()));
+  (void)stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ministral 8B, 12 long-document requests at once (H100):\n\n");
+  Serve("vLLM", /*jenga=*/false);
+  Serve("Jenga", /*jenga=*/true);
+  std::printf(
+      "\nJenga frees each sliding-window layer's out-of-window KV while the request runs,\n"
+      "so more requests decode together and the batch finishes sooner.\n");
+  return 0;
+}

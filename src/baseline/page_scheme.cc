@@ -1,0 +1,94 @@
+#include "src/baseline/page_scheme.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/math_util.h"
+
+namespace jenga {
+
+namespace {
+
+// Internal fragmentation of a request of `tokens` tokens in a group whose allocation
+// granularity is `tokens_per_unit` tokens: the unused tail of the last unit.
+double TailFragFraction(int64_t tokens, int64_t tokens_per_unit) {
+  if (tokens <= 0 || tokens_per_unit <= 1) {
+    return 0.0;
+  }
+  const int64_t allocated = RoundUp(tokens, tokens_per_unit);
+  return static_cast<double>(allocated - tokens) / static_cast<double>(allocated);
+}
+
+}  // namespace
+
+std::vector<PageSchemeAnalysis> AnalyzePageSchemes(const KvSpec& spec,
+                                                   int64_t avg_request_tokens) {
+  JENGA_CHECK_GT(avg_request_tokens, 0);
+  std::vector<PageSchemeAnalysis> out;
+
+  // GCD: no internal fragmentation, but pages smaller than a layer's natural unit force
+  // fallback kernels.
+  {
+    PageSchemeAnalysis a;
+    a.scheme = "GCD";
+    a.compatible_page_bytes = spec.GcdPageBytes();
+    const bool needs_partition = a.compatible_page_bytes < spec.MaxPageBytes();
+    a.kernel_efficiency = needs_partition ? kGcdKernelEfficiency : 1.0;
+    a.worst_tokens_per_page = 0;
+    a.internal_frag_fraction = 0.0;
+    out.push_back(a);
+  }
+
+  // MAX: every group's page is padded to the largest page; groups with small per-token sizes
+  // must pack many tokens per page to fill it, fragmenting short requests (§4.4: Jamba needs
+  // 1344 tokens per self-attention page).
+  {
+    PageSchemeAnalysis a;
+    a.scheme = "MAX";
+    a.compatible_page_bytes = spec.MaxPageBytes();
+    a.kernel_efficiency = 1.0;
+    double worst_frag = 0.0;
+    int64_t worst_tokens = 0;
+    for (const KvGroupSpec& group : spec.groups) {
+      if (group.BytesPerToken() <= 0) {
+        continue;  // Per-sequence groups have no per-token granularity.
+      }
+      const int64_t tokens_per_page =
+          std::max<int64_t>(1, a.compatible_page_bytes / group.BytesPerToken());
+      worst_tokens = std::max(worst_tokens, tokens_per_page);
+      worst_frag = std::max(worst_frag, TailFragFraction(avg_request_tokens, tokens_per_page));
+    }
+    a.worst_tokens_per_page = worst_tokens;
+    a.internal_frag_fraction = worst_frag;
+    out.push_back(a);
+  }
+
+  // LCM (Jenga): native kernels and native tokens-per-page; internal fragmentation is the
+  // unused small pages inside large pages, bounded by one large page per (request, group) and
+  // driven to near zero by request-aware allocation (measured in bench_sec43).
+  {
+    PageSchemeAnalysis a;
+    a.scheme = "LCM";
+    a.compatible_page_bytes = spec.LcmPageBytes();
+    a.kernel_efficiency = 1.0;
+    int64_t worst_tokens = 0;
+    double worst_frag = 0.0;
+    for (const KvGroupSpec& group : spec.groups) {
+      if (group.BytesPerToken() <= 0 || group.tokens_per_page <= 0) {
+        continue;
+      }
+      worst_tokens = std::max<int64_t>(worst_tokens, group.tokens_per_page);
+      // Upper bound: the request's last large page in this group is half unused on average.
+      const int64_t pages_per_large = a.compatible_page_bytes / group.page_bytes;
+      const int64_t tokens_per_large = pages_per_large * group.tokens_per_page;
+      worst_frag = std::max(worst_frag, TailFragFraction(avg_request_tokens, tokens_per_large));
+    }
+    a.worst_tokens_per_page = worst_tokens;
+    a.internal_frag_fraction = worst_frag;
+    out.push_back(a);
+  }
+
+  return out;
+}
+
+}  // namespace jenga

@@ -1,0 +1,40 @@
+// Analytic comparison of compatible-page-size choices (§4.4): GCD, MAX, and LCM. The numbers
+// here back the bench_sec44_page_size ablation; the LCM scheme's *measured* fragmentation
+// comes from running the real allocator, while GCD/MAX pathologies are closed-form.
+
+#ifndef JENGA_SRC_BASELINE_PAGE_SCHEME_H_
+#define JENGA_SRC_BASELINE_PAGE_SCHEME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/model/kv_spec.h"
+
+namespace jenga {
+
+// Modeled throughput retention of GCD-partitioned KV layouts: tensors lose contiguity along
+// the dimensions efficient kernels require, so attention runs on fallback kernels (§4.4's
+// MuxServe discussion). A documented constant, not a measurement.
+inline constexpr double kGcdKernelEfficiency = 0.75;
+
+struct PageSchemeAnalysis {
+  std::string scheme;
+  int64_t compatible_page_bytes = 0;
+  // Relative attention-kernel efficiency (1.0 = native paged kernels).
+  double kernel_efficiency = 1.0;
+  // Worst per-group tokens-per-page needed to fill one compatible page without internal
+  // fragmentation (the Jamba 1344-token pathology for MAX).
+  int64_t worst_tokens_per_page = 0;
+  // Expected internal fragmentation for a request of `avg_request_tokens`, as a fraction of
+  // its KV footprint.
+  double internal_frag_fraction = 0.0;
+};
+
+// Analyzes all three schemes for one model spec and an average request length.
+[[nodiscard]] std::vector<PageSchemeAnalysis> AnalyzePageSchemes(const KvSpec& spec,
+                                                                 int64_t avg_request_tokens);
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_BASELINE_PAGE_SCHEME_H_

@@ -1,0 +1,20 @@
+#include "src/baseline/smartspec.h"
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+PoolSplit SmartSpecSplit(const ModelConfig& target, const ModelConfig& draft,
+                         int64_t pool_bytes) {
+  const int64_t target_per_token = target.KvBytesPerTokenAllLayers();
+  const int64_t draft_per_token = draft.KvBytesPerTokenAllLayers();
+  JENGA_CHECK_GT(target_per_token, 0);
+  JENGA_CHECK_GT(draft_per_token, 0);
+  PoolSplit split;
+  split.target_bytes =
+      pool_bytes * target_per_token / (target_per_token + draft_per_token);
+  split.draft_bytes = pool_bytes - split.target_bytes;
+  return split;
+}
+
+}  // namespace jenga

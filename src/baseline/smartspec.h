@@ -1,0 +1,26 @@
+// Manual memory planning for speculative decoding, after SmartSpec (Fig. 19's vLLM-manual
+// baseline): statically split the KV pool between target and draft models in proportion to
+// their per-token KV sizes. Fragmentation-free when both models are pure self-attention;
+// suboptimal for heterogeneous models because the split cannot exploit per-layer freeing.
+
+#ifndef JENGA_SRC_BASELINE_SMARTSPEC_H_
+#define JENGA_SRC_BASELINE_SMARTSPEC_H_
+
+#include <cstdint>
+
+#include "src/model/model_config.h"
+
+namespace jenga {
+
+struct PoolSplit {
+  int64_t target_bytes = 0;
+  int64_t draft_bytes = 0;
+};
+
+// Splits `pool_bytes` so both models can hold KV for the same number of tokens.
+[[nodiscard]] PoolSplit SmartSpecSplit(const ModelConfig& target, const ModelConfig& draft,
+                                       int64_t pool_bytes);
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_BASELINE_SMARTSPEC_H_

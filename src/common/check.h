@@ -1,0 +1,81 @@
+// Invariant-checking macros for the Jenga library.
+//
+// JENGA_CHECK aborts (in all build modes) when a library invariant is violated; it is used for
+// conditions that indicate a bug in this library or a contract violation by the caller, never
+// for recoverable runtime conditions. JENGA_DCHECK compiles away in NDEBUG builds and guards
+// hot-path invariants.
+
+#ifndef JENGA_SRC_COMMON_CHECK_H_
+#define JENGA_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace jenga {
+
+// Terminates the process after printing a formatted check-failure message. Marked noreturn so
+// that JENGA_CHECK can be used in functions with non-void returns without a dummy return.
+[[noreturn]] inline void CheckFailure(const char* condition, const char* file, int line,
+                                      const std::string& message) {
+  std::fprintf(stderr, "JENGA_CHECK failed: %s at %s:%d%s%s\n", condition, file, line,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+}  // namespace jenga
+
+// Aborts with a diagnostic when `cond` is false. Usage:
+//   JENGA_CHECK(page_id < num_pages_) << "page out of range: " << page_id;
+#define JENGA_CHECK(cond)                                                       \
+  if (cond) {                                                                   \
+  } else                                                                        \
+    ::jenga::CheckStream(#cond, __FILE__, __LINE__)
+
+// Equality/comparison helpers that include both operand values in the failure message.
+#define JENGA_CHECK_EQ(a, b) JENGA_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define JENGA_CHECK_NE(a, b) JENGA_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define JENGA_CHECK_LT(a, b) JENGA_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define JENGA_CHECK_LE(a, b) JENGA_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define JENGA_CHECK_GT(a, b) JENGA_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define JENGA_CHECK_GE(a, b) JENGA_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define JENGA_DCHECK(cond) \
+  if (true) {              \
+  } else                   \
+    ::jenga::CheckStream(#cond, __FILE__, __LINE__)
+#else
+#define JENGA_DCHECK(cond) JENGA_CHECK(cond)
+#endif
+
+namespace jenga {
+
+// Stream-collecting helper behind JENGA_CHECK; aborts in the destructor so that all streamed
+// context is included in the failure message.
+class CheckStream {
+ public:
+  CheckStream(const char* condition, const char* file, int line)
+      : condition_(condition), file_(file), line_(line) {}
+  CheckStream(const CheckStream&) = delete;
+  CheckStream& operator=(const CheckStream&) = delete;
+
+  [[noreturn]] ~CheckStream() { CheckFailure(condition_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  CheckStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* condition_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_COMMON_CHECK_H_

@@ -1,0 +1,59 @@
+// Small integer-math helpers used throughout the allocator (gcd/lcm for compatible page sizes,
+// ceiling division for block counts).
+
+#ifndef JENGA_SRC_COMMON_MATH_UTIL_H_
+#define JENGA_SRC_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+// Ceiling division for non-negative integers: CeilDiv(7, 3) == 3, CeilDiv(0, 3) == 0.
+[[nodiscard]] constexpr int64_t CeilDiv(int64_t numerator, int64_t denominator) {
+  return (numerator + denominator - 1) / denominator;
+}
+
+// Rounds `value` up to the next multiple of `multiple` (which must be positive).
+[[nodiscard]] constexpr int64_t RoundUp(int64_t value, int64_t multiple) {
+  return CeilDiv(value, multiple) * multiple;
+}
+
+// Rounds `value` down to the previous multiple of `multiple` (which must be positive).
+[[nodiscard]] constexpr int64_t RoundDown(int64_t value, int64_t multiple) {
+  return (value / multiple) * multiple;
+}
+
+// Greatest common divisor over a non-empty span of positive sizes.
+[[nodiscard]] inline int64_t GcdAll(std::span<const int64_t> sizes) {
+  JENGA_CHECK(!sizes.empty()) << "GcdAll requires at least one size";
+  int64_t result = 0;
+  for (int64_t size : sizes) {
+    JENGA_CHECK_GT(size, 0) << "sizes must be positive";
+    result = std::gcd(result, size);
+  }
+  return result;
+}
+
+// Least common multiple over a non-empty span of positive sizes. This is the compatible
+// large-page size used by the LCM allocator (§4.1 of the paper). Overflow is checked because
+// pathological layer-size combinations could produce huge LCMs (§4.4 notes Jamba's LCM is 84×
+// its smallest page, the practical worst case).
+[[nodiscard]] inline int64_t LcmAll(std::span<const int64_t> sizes) {
+  JENGA_CHECK(!sizes.empty()) << "LcmAll requires at least one size";
+  int64_t result = 1;
+  for (int64_t size : sizes) {
+    JENGA_CHECK_GT(size, 0) << "sizes must be positive";
+    const int64_t g = std::gcd(result, size);
+    JENGA_CHECK_LE(result / g, INT64_MAX / size) << "LCM overflow";
+    result = (result / g) * size;
+  }
+  return result;
+}
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_COMMON_MATH_UTIL_H_

@@ -1,0 +1,20 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+namespace jenga {
+
+double Rng::Exponential(double rate) {
+  JENGA_CHECK_GT(rate, 0.0);
+  // 1 - U is in (0, 1], avoiding log(0).
+  return -std::log(1.0 - UniformDouble()) / rate;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  const double u1 = 1.0 - UniformDouble();
+  const double u2 = UniformDouble();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+}  // namespace jenga

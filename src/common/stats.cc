@@ -1,0 +1,127 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+void Summary::Add(double value) { samples_.push_back(value); }
+
+double Summary::Sum() const { return std::accumulate(samples_.begin(), samples_.end(), 0.0); }
+
+double Summary::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return Sum() / static_cast<double>(samples_.size());
+}
+
+double Summary::Min() const {
+  JENGA_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::Max() const {
+  JENGA_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::Stddev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double s : samples_) {
+    acc += (s - mean) * (s - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::Percentile(double p) const {
+  JENGA_CHECK(!samples_.empty());
+  JENGA_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void TimeSeries::Add(double time, double value) { points_.push_back({time, value}); }
+
+double TimeSeries::MeanValue() const {
+  if (points_.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (const Point& p : points_) {
+    acc += p.value;
+  }
+  return acc / static_cast<double>(points_.size());
+}
+
+double TimeSeries::MaxValue() const {
+  double best = 0.0;
+  for (const Point& p : points_) {
+    best = std::max(best, p.value);
+  }
+  return best;
+}
+
+std::vector<double> TimeSeries::Resample(int buckets) const {
+  JENGA_CHECK_GT(buckets, 0);
+  std::vector<double> out(static_cast<size_t>(buckets), 0.0);
+  if (points_.empty()) {
+    return out;
+  }
+  double max_time = 0.0;
+  for (const Point& p : points_) {
+    max_time = std::max(max_time, p.time);
+  }
+  if (max_time <= 0.0) {
+    max_time = 1.0;
+  }
+  std::vector<double> sums(static_cast<size_t>(buckets), 0.0);
+  std::vector<int> counts(static_cast<size_t>(buckets), 0);
+  for (const Point& p : points_) {
+    int idx = static_cast<int>(p.time / max_time * buckets);
+    idx = std::clamp(idx, 0, buckets - 1);
+    sums[static_cast<size_t>(idx)] += p.value;
+    counts[static_cast<size_t>(idx)] += 1;
+  }
+  double last = 0.0;
+  for (int i = 0; i < buckets; ++i) {
+    const size_t u = static_cast<size_t>(i);
+    if (counts[u] > 0) {
+      last = sums[u] / counts[u];
+    }
+    out[u] = last;
+  }
+  return out;
+}
+
+std::string Sparkline(const std::vector<double>& series) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (series.empty()) {
+    return "";
+  }
+  const double max_value = *std::max_element(series.begin(), series.end());
+  std::string out;
+  for (double v : series) {
+    int level = 0;
+    if (max_value > 0.0) {
+      level = static_cast<int>(v / max_value * 7.0 + 0.5);
+      level = std::clamp(level, 0, 7);
+    }
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace jenga

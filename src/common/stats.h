@@ -1,0 +1,65 @@
+// Lightweight descriptive statistics used by the metrics layer and the benchmark harnesses
+// (means, percentiles, simple time-series accumulation).
+
+#ifndef JENGA_SRC_COMMON_STATS_H_
+#define JENGA_SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jenga {
+
+// Accumulates scalar samples and answers summary queries. Percentile queries sort a copy of
+// the samples; callers on hot paths should batch queries after accumulation.
+class Summary {
+ public:
+  void Add(double value);
+
+  [[nodiscard]] int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double Sum() const;
+  [[nodiscard]] double Mean() const;
+  [[nodiscard]] double Min() const;
+  [[nodiscard]] double Max() const;
+  [[nodiscard]] double Stddev() const;
+  // Linear-interpolated percentile; `p` in [0, 100].
+  [[nodiscard]] double Percentile(double p) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// A (time, value) series, e.g. decode batch size per step or bytes used per step. Supports
+// resampling onto a fixed number of buckets for compact textual plots.
+class TimeSeries {
+ public:
+  void Add(double time, double value);
+
+  [[nodiscard]] size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] double MeanValue() const;
+  [[nodiscard]] double MaxValue() const;
+
+  struct Point {
+    double time = 0.0;
+    double value = 0.0;
+  };
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+  // Averages the series into `buckets` equal-width time bins over [0, max_time]; empty bins
+  // carry the previous bin's value (step-function semantics).
+  [[nodiscard]] std::vector<double> Resample(int buckets) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+// Renders `series` as a one-line unicode sparkline (for bench output readability).
+[[nodiscard]] std::string Sparkline(const std::vector<double>& series);
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_COMMON_STATS_H_

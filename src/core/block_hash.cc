@@ -1,0 +1,70 @@
+#include "src/core/block_hash.h"
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+namespace {
+
+// FNV-1a style absorption with a 64-bit avalanche finish; cheap and collision-resistant
+// enough for cache keys over token ids.
+uint64_t Absorb(uint64_t h, uint64_t value) {
+  h ^= value;
+  h *= 0x100000001B3ull;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace
+
+BlockHash InitBlockChain(uint64_t salt) { return Absorb(0x51A3C0DE5EEDull, salt); }
+
+BlockHash ExtendBlockHash(BlockHash previous, std::span<const int32_t> block_tokens) {
+  uint64_t h = Absorb(previous, 0x9E3779B97F4A7C15ull);
+  for (int32_t token : block_tokens) {
+    h = Absorb(h, static_cast<uint64_t>(static_cast<uint32_t>(token)) + 1);
+  }
+  return h;
+}
+
+std::vector<BlockHash> ChainBlockHashes(std::span<const int32_t> tokens, int block_size,
+                                        uint64_t salt) {
+  JENGA_CHECK_GT(block_size, 0);
+  const int64_t num_blocks = static_cast<int64_t>(tokens.size()) / block_size;
+  std::vector<BlockHash> hashes;
+  hashes.reserve(static_cast<size_t>(num_blocks));
+  BlockHash chain = InitBlockChain(salt);
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    chain = ExtendBlockHash(
+        chain, tokens.subspan(static_cast<size_t>(b) * block_size, static_cast<size_t>(block_size)));
+    hashes.push_back(chain);
+  }
+  return hashes;
+}
+
+int64_t LongestCommonValidPrefix(std::span<const std::vector<bool>> valids) {
+  if (valids.empty()) {
+    return 0;
+  }
+  const size_t size = valids.front().size();
+  for (const std::vector<bool>& v : valids) {
+    JENGA_CHECK_EQ(v.size(), size) << "all groups must report the same boundary count";
+  }
+  for (int64_t boundary = static_cast<int64_t>(size) - 1; boundary > 0; --boundary) {
+    bool all = true;
+    for (const std::vector<bool>& v : valids) {
+      if (!v[static_cast<size_t>(boundary)]) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      return boundary;
+    }
+  }
+  return 0;
+}
+
+}  // namespace jenga

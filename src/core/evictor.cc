@@ -1,0 +1,70 @@
+#include "src/core/evictor.h"
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+void Evictor::Insert(SmallPageId page, Tick last_access, int64_t prefix_length) {
+  const Key key{last_access, -prefix_length, page};
+  const auto [it, inserted] = keys_.emplace(page, key);
+  JENGA_CHECK(inserted) << "page " << page << " already in evictor";
+  queue_.insert(key);
+}
+
+void Evictor::Remove(SmallPageId page) {
+  const auto it = keys_.find(page);
+  if (it == keys_.end()) {
+    return;
+  }
+  queue_.erase(it->second);
+  keys_.erase(it);
+}
+
+void Evictor::Rekey(SmallPageId page, Key new_key) {
+  const auto it = keys_.find(page);
+  if (it == keys_.end()) {
+    return;
+  }
+  queue_.erase(it->second);
+  it->second = new_key;
+  queue_.insert(new_key);
+}
+
+void Evictor::UpdateLastAccess(SmallPageId page, Tick last_access) {
+  const auto it = keys_.find(page);
+  if (it == keys_.end()) {
+    return;
+  }
+  Key key = it->second;
+  key.last_access = last_access;
+  Rekey(page, key);
+}
+
+void Evictor::SetPrefixLength(SmallPageId page, int64_t prefix_length) {
+  const auto it = keys_.find(page);
+  if (it == keys_.end()) {
+    return;
+  }
+  Key key = it->second;
+  key.neg_prefix_length = -prefix_length;
+  Rekey(page, key);
+}
+
+std::optional<SmallPageId> Evictor::PopVictim() {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  const Key key = *queue_.begin();
+  queue_.erase(queue_.begin());
+  keys_.erase(key.page);
+  return key.page;
+}
+
+std::optional<Tick> Evictor::PeekOldestAccess() const {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  return queue_.begin()->last_access;
+}
+
+}  // namespace jenga

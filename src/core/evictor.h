@@ -1,0 +1,58 @@
+// Per-group eviction queue. Orders evictable small pages by (last_access ascending,
+// prefix_length descending): LRU for balance across requests (§5.1), with the paper's
+// prefix-length tie-break so that, among pages last touched at the same time, the deepest
+// token is evicted first — keeping evicted sets aligned across layer types.
+
+#ifndef JENGA_SRC_CORE_EVICTOR_H_
+#define JENGA_SRC_CORE_EVICTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "src/core/types.h"
+
+namespace jenga {
+
+class Evictor {
+ public:
+  // Adds `page` to the queue with the given priority; the page must not already be present.
+  void Insert(SmallPageId page, Tick last_access, int64_t prefix_length);
+
+  // Removes `page` (it became used or empty). No-op if absent.
+  void Remove(SmallPageId page);
+
+  // Re-keys `page` in place if present; no-op otherwise (metadata for used pages is kept by
+  // the small-page allocator and applied on insertion).
+  void UpdateLastAccess(SmallPageId page, Tick last_access);
+  void SetPrefixLength(SmallPageId page, int64_t prefix_length);
+
+  // Pops the eviction victim: earliest last_access, then longest prefix_length, then lowest
+  // page id (for determinism).
+  [[nodiscard]] std::optional<SmallPageId> PopVictim();
+
+  [[nodiscard]] bool Contains(SmallPageId page) const { return keys_.contains(page); }
+  [[nodiscard]] size_t size() const { return keys_.size(); }
+  [[nodiscard]] bool empty() const { return keys_.empty(); }
+
+  // Priority of the page that PopVictim would return, without popping.
+  [[nodiscard]] std::optional<Tick> PeekOldestAccess() const;
+
+ private:
+  struct Key {
+    Tick last_access;
+    int64_t neg_prefix_length;  // negated so larger prefixes sort first.
+    SmallPageId page;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  void Rekey(SmallPageId page, Key new_key);
+
+  std::set<Key> queue_;
+  std::unordered_map<SmallPageId, Key> keys_;
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_CORE_EVICTOR_H_

@@ -1,0 +1,94 @@
+#include "src/core/jenga_allocator.h"
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+JengaAllocator::JengaAllocator(KvSpec spec, int64_t pool_bytes, int64_t large_page_bytes_override)
+    : spec_(std::move(spec)),
+      lcm_(pool_bytes,
+           large_page_bytes_override > 0 ? large_page_bytes_override : spec_.LcmPageBytes()) {
+  groups_.reserve(spec_.groups.size());
+  for (size_t i = 0; i < spec_.groups.size(); ++i) {
+    groups_.push_back(std::make_unique<SmallPageAllocator>(static_cast<int>(i), spec_.groups[i],
+                                                           &lcm_, this));
+  }
+}
+
+std::optional<LargePageId> JengaAllocator::AcquireLargePage(int group_index) {
+  if (const auto page = lcm_.Allocate(group_index)) {
+    return page;
+  }
+  // Step 3 of §5.4: evict the evictable large page with the earliest (max-of-slots)
+  // last-access time, across all groups. The heap is lazy: entries are revalidated against
+  // the owning group and re-pushed when their timestamp moved forward.
+  while (!reclaim_heap_.empty()) {
+    const ReclaimEntry top = reclaim_heap_.top();
+    reclaim_heap_.pop();
+    SmallPageAllocator& owner = *groups_[static_cast<size_t>(top.group)];
+    if (!owner.IsReclaimCandidate(top.large)) {
+      continue;  // Became used, was reclaimed, or was returned already.
+    }
+    const Tick current = owner.ReclaimTimestamp(top.large);
+    if (current != top.timestamp) {
+      reclaim_heap_.push({current, top.group, top.large});
+      continue;
+    }
+    owner.ReclaimLargePage(top.large);
+    return lcm_.Allocate(group_index);
+  }
+  return std::nullopt;
+}
+
+void JengaAllocator::OnReclaimCandidate(int group_index, LargePageId large, Tick timestamp) {
+  reclaim_heap_.push({timestamp, group_index, large});
+}
+
+int64_t JengaAllocator::FreeSmallPages(int group_index) const {
+  const SmallPageAllocator& group = *groups_[static_cast<size_t>(group_index)];
+  return static_cast<int64_t>(lcm_.num_free()) * group.pages_per_large() +
+         group.GetStats().empty_pages;
+}
+
+int64_t JengaAllocator::AvailableSmallPages(int group_index) const {
+  // Evictable capacity: this group's evictable smalls are directly reusable (step 5), and
+  // whole evictable large pages of *other* groups can be reclaimed (step 3). A conservative
+  // estimate counts every group's evictable pages scaled into this group's page size.
+  const SmallPageAllocator& target = *groups_[static_cast<size_t>(group_index)];
+  int64_t evictable_bytes = 0;
+  for (const auto& group : groups_) {
+    evictable_bytes += group->GetStats().evictable_bytes;
+  }
+  return FreeSmallPages(group_index) + evictable_bytes / target.page_bytes();
+}
+
+JengaAllocator::MemoryBreakdown JengaAllocator::GetBreakdown() const {
+  MemoryBreakdown breakdown;
+  breakdown.pool_bytes =
+      static_cast<int64_t>(lcm_.num_pages()) * lcm_.large_page_bytes() + lcm_.slack_bytes();
+  breakdown.allocated_bytes =
+      static_cast<int64_t>(lcm_.num_allocated()) * lcm_.large_page_bytes();
+  for (const auto& group : groups_) {
+    const SmallPageAllocator::Stats stats = group->GetStats();
+    breakdown.used_bytes += stats.used_bytes;
+    breakdown.evictable_bytes += stats.evictable_bytes;
+    breakdown.empty_bytes += stats.empty_bytes;
+  }
+  breakdown.unallocated_bytes =
+      static_cast<int64_t>(lcm_.num_free()) * lcm_.large_page_bytes() + lcm_.slack_bytes();
+  return breakdown;
+}
+
+void JengaAllocator::CheckConsistency() const {
+  int64_t held = 0;
+  for (const auto& group : groups_) {
+    group->CheckConsistency();
+    held += group->GetStats().large_pages_held;
+  }
+  JENGA_CHECK_EQ(held, lcm_.num_allocated());
+  const MemoryBreakdown breakdown = GetBreakdown();
+  JENGA_CHECK_EQ(breakdown.allocated_bytes,
+                 breakdown.used_bytes + breakdown.evictable_bytes + breakdown.empty_bytes);
+}
+
+}  // namespace jenga

@@ -1,0 +1,81 @@
+// The two-level memory manager facade (Figure 5): an LCM allocator at the bottom, one
+// customized small-page allocator per KV group on top, and the global coordination between
+// them — in particular step 3 of §5.4, evicting the globally least-recently-used *evictable
+// large page* (from any group) when the free list runs dry, which is what lets memory flow
+// between layer types under shifting workloads.
+
+#ifndef JENGA_SRC_CORE_JENGA_ALLOCATOR_H_
+#define JENGA_SRC_CORE_JENGA_ALLOCATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/core/lcm_allocator.h"
+#include "src/core/small_page_allocator.h"
+#include "src/model/kv_spec.h"
+
+namespace jenga {
+
+class JengaAllocator final : public LargePageProvider {
+ public:
+  // Creates the two-level allocator over a `pool_bytes` KV pool; the large-page size is the
+  // LCM of the group page sizes (overridable for ablations, must be a common multiple).
+  JengaAllocator(KvSpec spec, int64_t pool_bytes, int64_t large_page_bytes_override = 0);
+
+  JengaAllocator(const JengaAllocator&) = delete;
+  JengaAllocator& operator=(const JengaAllocator&) = delete;
+
+  [[nodiscard]] int num_groups() const { return static_cast<int>(groups_.size()); }
+  [[nodiscard]] SmallPageAllocator& group(int index) { return *groups_[static_cast<size_t>(index)]; }
+  [[nodiscard]] const SmallPageAllocator& group(int index) const {
+    return *groups_[static_cast<size_t>(index)];
+  }
+  [[nodiscard]] const KvSpec& spec() const { return spec_; }
+  [[nodiscard]] const LcmAllocator& lcm() const { return lcm_; }
+
+  // LargePageProvider: serves group allocators. Tries the free list, then evicts the
+  // globally-LRU evictable large page.
+  [[nodiscard]] std::optional<LargePageId> AcquireLargePage(int group_index) override;
+  void OnReclaimCandidate(int group_index, LargePageId large, Tick timestamp) override;
+
+  // Total small pages (across groups) that could still be produced without evicting anything
+  // cached: free large pages × pages-per-large for `group_index`, plus its empty smalls.
+  [[nodiscard]] int64_t FreeSmallPages(int group_index) const;
+  // As above but also counting evictable capacity (what allocation can obtain at the cost of
+  // cache evictions).
+  [[nodiscard]] int64_t AvailableSmallPages(int group_index) const;
+
+  struct MemoryBreakdown {
+    int64_t pool_bytes = 0;
+    int64_t allocated_bytes = 0;    // Large pages held by any group.
+    int64_t used_bytes = 0;         // Small pages referenced by running requests.
+    int64_t evictable_bytes = 0;    // Cached, reclaimable.
+    int64_t empty_bytes = 0;        // Internal fragmentation inside held large pages.
+    int64_t unallocated_bytes = 0;  // Free large pages + trailing pool slack.
+  };
+  [[nodiscard]] MemoryBreakdown GetBreakdown() const;
+
+  void CheckConsistency() const;
+
+ private:
+  struct ReclaimEntry {
+    Tick timestamp = 0;
+    int group = 0;
+    LargePageId large = kNoLargePage;
+    // Max-heap by default; invert so the earliest timestamp pops first.
+    [[nodiscard]] bool operator<(const ReclaimEntry& other) const {
+      return timestamp > other.timestamp;
+    }
+  };
+
+  KvSpec spec_;
+  LcmAllocator lcm_;
+  std::vector<std::unique_ptr<SmallPageAllocator>> groups_;
+  std::priority_queue<ReclaimEntry> reclaim_heap_;
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_CORE_JENGA_ALLOCATOR_H_

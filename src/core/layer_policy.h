@@ -1,0 +1,165 @@
+// Customizable per-layer-type prefix caching (§5, Figure 9). Each KV group owns a LayerPolicy
+// that expresses its token-dependency pattern through three hooks:
+//
+//   UpdateLastAccess — which pages a computation step actually touches (balanced eviction),
+//   SetPrefixLength  — aligned per-token eviction priorities within a timestamp,
+//   GetPossiblePrefix — which cached prefixes constitute a valid hit.
+//
+// Most policies are fully determined by their *needed-token* rule ("which prefix tokens does
+// generation depend on"), so the base class derives the three hooks from NeededTokenRanges();
+// Mamba and the image caches override the hooks directly.
+
+#ifndef JENGA_SRC_CORE_LAYER_POLICY_H_
+#define JENGA_SRC_CORE_LAYER_POLICY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace jenga {
+
+// Mutation interface the policies use to talk to their group's allocator (the `self.evictor`
+// of Figure 9b). Implemented by SmallPageAllocator.
+class GroupCacheOps {
+ public:
+  virtual ~GroupCacheOps() = default;
+  virtual void UpdateLastAccess(SmallPageId page, Tick now) = 0;
+  virtual void SetPrefixLength(SmallPageId page, int64_t prefix_length) = 0;
+};
+
+// A request's footprint in one group: the group-local block page table plus enough context to
+// interpret it. `num_tokens` counts tokens in the group's own coordinate space (all tokens for
+// self-attention, image tokens for image groups, checkpoint count × interval for Mamba).
+struct RequestPages {
+  RequestId request = kNoRequest;
+  std::span<const SmallPageId> pages;
+  int64_t num_tokens = 0;
+  int tokens_per_page = 1;
+};
+
+// Half-open token range [begin, end).
+struct TokenRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+  [[nodiscard]] bool empty() const { return begin >= end; }
+  bool operator==(const TokenRange&) const = default;
+};
+
+class LayerPolicy {
+ public:
+  virtual ~LayerPolicy() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  // The prefix-subset dependency: which tokens of a `num_tokens`-long prefix are needed to
+  // generate the next token. Ranges are disjoint and ascending. Full attention returns
+  // [0, num_tokens); sliding window returns the trailing window; PyramidKV returns
+  // sinks + trailing budget.
+  [[nodiscard]] virtual std::vector<TokenRange> NeededTokenRanges(int64_t num_tokens) const = 0;
+
+  // §5.1 (balanced eviction): refresh last-access time of the pages touched this step.
+  // Default: every page intersecting a needed range.
+  virtual void UpdateLastAccess(const RequestPages& request, Tick now, GroupCacheOps& ops) const;
+
+  // §5.1 (aligned eviction): assign per-page prefix lengths. Default: page i covers tokens up
+  // to (i+1)·tokens_per_page, so deeper tokens evict first on timestamp ties.
+  virtual void SetPrefixLength(const RequestPages& request, GroupCacheOps& ops) const;
+
+  // §5.2 (customized hit rule): given per-block cached flags, returns valid[p] for
+  // p = 0..is_hit.size(), where valid[p] means "a prefix of p blocks is a usable cache hit".
+  // Default: prefix of p blocks is valid iff every *needed* block of that prefix is cached.
+  [[nodiscard]] virtual std::vector<bool> GetPossiblePrefix(const std::vector<bool>& is_hit,
+                                                            int tokens_per_page) const;
+
+  // True when pages that fall outside the needed ranges may be dropped (freed or deprioritized)
+  // while the request is still running. Sliding-window and pyramid layers return true; full
+  // attention must keep everything.
+  [[nodiscard]] virtual bool CanDropUnneededPages() const { return false; }
+};
+
+// Standard full-prefix self-attention (and cross-attention over image tokens, which needs all
+// image KV every step).
+class FullPrefixPolicy : public LayerPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "full_prefix"; }
+  [[nodiscard]] std::vector<TokenRange> NeededTokenRanges(int64_t num_tokens) const override {
+    if (num_tokens == 0) {
+      return {};
+    }
+    return {{0, num_tokens}};
+  }
+};
+
+// Sliding-window attention: only the trailing `window` tokens are needed (§5.3, Figure 9b).
+class SlidingWindowPolicy : public LayerPolicy {
+ public:
+  explicit SlidingWindowPolicy(int window);
+  [[nodiscard]] const char* name() const override { return "sliding_window"; }
+  [[nodiscard]] std::vector<TokenRange> NeededTokenRanges(int64_t num_tokens) const override;
+  [[nodiscard]] bool CanDropUnneededPages() const override { return true; }
+  [[nodiscard]] int window() const { return window_; }
+
+ private:
+  int window_;
+};
+
+// PyramidKV-style sparse attention: keeps `num_sinks` attention-sink tokens plus the most
+// recent tokens up to `token_budget` total.
+class PyramidPolicy : public LayerPolicy {
+ public:
+  PyramidPolicy(int token_budget, int num_sinks);
+  [[nodiscard]] const char* name() const override { return "pyramid"; }
+  [[nodiscard]] std::vector<TokenRange> NeededTokenRanges(int64_t num_tokens) const override;
+  [[nodiscard]] bool CanDropUnneededPages() const override { return true; }
+
+ private:
+  int token_budget_;
+  int num_sinks_;
+};
+
+// Mamba / state-space layers (§5.3): one running state per sequence plus a checkpoint of the
+// state every `checkpoint_interval` tokens. Group-local "blocks" are checkpoints: block i
+// caches the state after (i+1)·interval tokens. A hit restores from any single cached
+// checkpoint, so valid prefixes are exactly the cached checkpoints. Only the most recent page
+// has its access time refreshed, and prefix lengths reflect checkpoint depth.
+class MambaPolicy : public LayerPolicy {
+ public:
+  explicit MambaPolicy(int checkpoint_interval);
+  [[nodiscard]] const char* name() const override { return "mamba"; }
+  [[nodiscard]] std::vector<TokenRange> NeededTokenRanges(int64_t num_tokens) const override;
+  void UpdateLastAccess(const RequestPages& request, Tick now, GroupCacheOps& ops) const override;
+  void SetPrefixLength(const RequestPages& request, GroupCacheOps& ops) const override;
+  [[nodiscard]] std::vector<bool> GetPossiblePrefix(const std::vector<bool>& is_hit,
+                                                    int tokens_per_page) const override;
+  [[nodiscard]] int checkpoint_interval() const { return checkpoint_interval_; }
+
+ private:
+  int checkpoint_interval_;
+};
+
+// Image caches — the vision-embedding cache and the cross-attention KV cache (§5.3): evicting
+// one token of an image forces re-encoding the whole image, so all pages of the same image get
+// one shared randomized prefix length; the image with the highest value evicts first, keeping
+// whole images together. The randomization is a deterministic hash of (request, image ordinal)
+// so the vision and cross-attention groups assign identical priorities to the same image.
+class ImageCachePolicy : public LayerPolicy {
+ public:
+  explicit ImageCachePolicy(int tokens_per_image);
+  [[nodiscard]] const char* name() const override { return "image_cache"; }
+  [[nodiscard]] std::vector<TokenRange> NeededTokenRanges(int64_t num_tokens) const override {
+    if (num_tokens == 0) {
+      return {};
+    }
+    return {{0, num_tokens}};
+  }
+  void SetPrefixLength(const RequestPages& request, GroupCacheOps& ops) const override;
+
+ private:
+  int tokens_per_image_;
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_CORE_LAYER_POLICY_H_

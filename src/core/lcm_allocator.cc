@@ -1,0 +1,46 @@
+#include "src/core/lcm_allocator.h"
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+LcmAllocator::LcmAllocator(int64_t pool_bytes, int64_t large_page_bytes)
+    : large_page_bytes_(large_page_bytes) {
+  JENGA_CHECK_GT(large_page_bytes, 0);
+  JENGA_CHECK_GE(pool_bytes, 0);
+  num_pages_ = static_cast<int32_t>(pool_bytes / large_page_bytes);
+  slack_bytes_ = pool_bytes - static_cast<int64_t>(num_pages_) * large_page_bytes;
+  owner_.assign(static_cast<size_t>(num_pages_), -1);
+  free_list_.reserve(static_cast<size_t>(num_pages_));
+  // Push in reverse so pages are handed out in ascending order.
+  for (LargePageId page = num_pages_ - 1; page >= 0; --page) {
+    free_list_.push_back(page);
+  }
+}
+
+std::optional<LargePageId> LcmAllocator::Allocate(int owner_group) {
+  JENGA_CHECK_GE(owner_group, 0);
+  if (free_list_.empty()) {
+    return std::nullopt;
+  }
+  const LargePageId page = free_list_.back();
+  free_list_.pop_back();
+  owner_[static_cast<size_t>(page)] = owner_group;
+  return page;
+}
+
+void LcmAllocator::Free(LargePageId page) {
+  JENGA_CHECK_GE(page, 0);
+  JENGA_CHECK_LT(page, num_pages_);
+  JENGA_CHECK_GE(owner_[static_cast<size_t>(page)], 0) << "double free of large page " << page;
+  owner_[static_cast<size_t>(page)] = -1;
+  free_list_.push_back(page);
+}
+
+int LcmAllocator::owner(LargePageId page) const {
+  JENGA_CHECK_GE(page, 0);
+  JENGA_CHECK_LT(page, num_pages_);
+  return owner_[static_cast<size_t>(page)];
+}
+
+}  // namespace jenga

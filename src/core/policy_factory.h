@@ -1,0 +1,25 @@
+// Maps a KV group's kind to its layer policy (§5.3's customizations).
+
+#ifndef JENGA_SRC_CORE_POLICY_FACTORY_H_
+#define JENGA_SRC_CORE_POLICY_FACTORY_H_
+
+#include <memory>
+
+#include "src/core/layer_policy.h"
+#include "src/model/kv_spec.h"
+
+namespace jenga {
+
+// Checkpoint spacing for Mamba-state prefix caching (§5.3).
+inline constexpr int kMambaCheckpointInterval = 512;
+// Attention-sink count for the PyramidKV policy's retained set.
+inline constexpr int kPyramidNumSinks = 4;
+
+// Creates the policy matching `spec.kind`. `tokens_per_image` is required for image groups
+// (cross-attention KV and the vision-embedding cache) and ignored otherwise.
+[[nodiscard]] std::unique_ptr<LayerPolicy> MakeLayerPolicy(const KvGroupSpec& spec,
+                                                           int tokens_per_image = 0);
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_CORE_POLICY_FACTORY_H_

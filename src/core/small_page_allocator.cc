@@ -1,0 +1,406 @@
+#include "src/core/small_page_allocator.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+SmallPageAllocator::SmallPageAllocator(int group_index, KvGroupSpec spec, LcmAllocator* lcm,
+                                       LargePageProvider* provider)
+    : group_index_(group_index), spec_(std::move(spec)), lcm_(lcm), provider_(provider) {
+  JENGA_CHECK(lcm_ != nullptr);
+  JENGA_CHECK(provider_ != nullptr);
+  JENGA_CHECK_GT(spec_.page_bytes, 0);
+  JENGA_CHECK_EQ(lcm_->large_page_bytes() % spec_.page_bytes, 0)
+      << "group page size must divide the LCM page size";
+  pages_per_large_ = static_cast<int>(lcm_->large_page_bytes() / spec_.page_bytes);
+}
+
+SmallPageAllocator::SlotMeta& SmallPageAllocator::Meta(SmallPageId page) {
+  const auto it = larges_.find(LargeOf(page));
+  JENGA_CHECK(it != larges_.end()) << "page " << page << " not resident in group " << group_index_;
+  return it->second.slots[static_cast<size_t>(SlotOf(page))];
+}
+
+const SmallPageAllocator::SlotMeta& SmallPageAllocator::Meta(SmallPageId page) const {
+  const auto it = larges_.find(LargeOf(page));
+  JENGA_CHECK(it != larges_.end()) << "page " << page << " not resident in group " << group_index_;
+  return it->second.slots[static_cast<size_t>(SlotOf(page))];
+}
+
+SmallPageAllocator::LargeEntry& SmallPageAllocator::Entry(LargePageId large) {
+  const auto it = larges_.find(large);
+  JENGA_CHECK(it != larges_.end())
+      << "large page " << large << " not resident in group " << group_index_;
+  return it->second;
+}
+
+bool SmallPageAllocator::IsValidEmpty(const FreeRef& ref) const {
+  const auto it = larges_.find(LargeOf(ref.page));
+  if (it == larges_.end()) {
+    return false;
+  }
+  const SlotMeta& meta = it->second.slots[static_cast<size_t>(SlotOf(ref.page))];
+  return meta.state == PageState::kEmpty && meta.epoch == ref.epoch;
+}
+
+std::optional<SmallPageId> SmallPageAllocator::PopRequestFree(RequestId request) {
+  const auto it = empty_by_request_.find(request);
+  if (it == empty_by_request_.end()) {
+    return std::nullopt;
+  }
+  std::vector<FreeRef>& refs = it->second;
+  while (!refs.empty()) {
+    const FreeRef ref = refs.back();
+    refs.pop_back();
+    if (IsValidEmpty(ref)) {
+      return ref.page;
+    }
+  }
+  empty_by_request_.erase(it);
+  return std::nullopt;
+}
+
+std::optional<SmallPageId> SmallPageAllocator::PopAnyFree() {
+  while (!empty_any_.empty()) {
+    const FreeRef ref = empty_any_.back();
+    empty_any_.pop_back();
+    if (IsValidEmpty(ref)) {
+      return ref.page;
+    }
+  }
+  return std::nullopt;
+}
+
+void SmallPageAllocator::ClaimEmpty(SmallPageId page, RequestId request, Tick now) {
+  const LargePageId large = LargeOf(page);
+  LargeEntry& entry = Entry(large);
+  SlotMeta& meta = entry.slots[static_cast<size_t>(SlotOf(page))];
+  JENGA_CHECK(meta.state == PageState::kEmpty);
+  JENGA_CHECK(!meta.has_hash);
+  meta.state = PageState::kUsed;
+  meta.assoc = request;
+  meta.ref_count = 1;
+  meta.last_access = now;
+  meta.prefix_length = 0;
+  meta.epoch = next_epoch_++;
+  entry.used_count += 1;
+  empty_count_ -= 1;
+  used_count_ += 1;
+}
+
+std::optional<SmallPageId> SmallPageAllocator::Allocate(RequestId request, Tick now) {
+  // Step 1: an empty page already associated with this request (§4.3).
+  if (const auto page = PopRequestFree(request)) {
+    ClaimEmpty(*page, request, now);
+    return page;
+  }
+
+  // Steps 2–3: a fresh large page; the provider evicts an evictable large page if the free
+  // list is exhausted. All its small pages become associated with this request.
+  if (const auto large = provider_->AcquireLargePage(group_index_)) {
+    LargeEntry entry;
+    entry.slots.resize(static_cast<size_t>(pages_per_large_));
+    for (SlotMeta& slot : entry.slots) {
+      slot.assoc = request;
+      slot.epoch = next_epoch_++;
+    }
+    const auto [it, inserted] = larges_.emplace(*large, std::move(entry));
+    JENGA_CHECK(inserted) << "large page " << *large << " already held";
+    empty_count_ += pages_per_large_;
+    const SmallPageId base = static_cast<SmallPageId>(*large) * pages_per_large_;
+    for (int slot = 1; slot < pages_per_large_; ++slot) {
+      const FreeRef ref{base + slot, it->second.slots[static_cast<size_t>(slot)].epoch};
+      empty_by_request_[request].push_back(ref);
+      empty_any_.push_back(ref);
+    }
+    ClaimEmpty(base, request, now);
+    return base;
+  }
+
+  // Step 4: any empty page, regardless of association.
+  if (const auto page = PopAnyFree()) {
+    ClaimEmpty(*page, request, now);
+    return page;
+  }
+
+  // Step 5: evict this group's LRU evictable page and reuse it in place.
+  if (const auto victim = evictor_.PopVictim()) {
+    const LargePageId large = LargeOf(*victim);
+    LargeEntry& entry = Entry(large);
+    SlotMeta& meta = entry.slots[static_cast<size_t>(SlotOf(*victim))];
+    JENGA_CHECK(meta.state == PageState::kEvictable);
+    UnregisterHash(*victim, meta);
+    meta.state = PageState::kUsed;
+    meta.assoc = request;
+    meta.ref_count = 1;
+    meta.last_access = now;
+    meta.prefix_length = 0;
+    meta.epoch = next_epoch_++;
+    entry.evictable_count -= 1;
+    entry.used_count += 1;
+    evictable_count_ -= 1;
+    used_count_ += 1;
+    return victim;
+  }
+
+  return std::nullopt;
+}
+
+void SmallPageAllocator::AddRef(SmallPageId page) {
+  const LargePageId large = LargeOf(page);
+  LargeEntry& entry = Entry(large);
+  SlotMeta& meta = entry.slots[static_cast<size_t>(SlotOf(page))];
+  switch (meta.state) {
+    case PageState::kUsed:
+      meta.ref_count += 1;
+      break;
+    case PageState::kEvictable:
+      evictor_.Remove(page);
+      meta.state = PageState::kUsed;
+      meta.ref_count = 1;
+      meta.epoch = next_epoch_++;
+      entry.evictable_count -= 1;
+      entry.used_count += 1;
+      evictable_count_ -= 1;
+      used_count_ += 1;
+      break;
+    case PageState::kEmpty:
+      JENGA_CHECK(false) << "AddRef on empty page " << page;
+  }
+}
+
+void SmallPageAllocator::UnregisterHash(SmallPageId page, SlotMeta& meta) {
+  if (meta.has_hash) {
+    const auto it = cache_index_.find(meta.hash);
+    if (it != cache_index_.end() && it->second == page) {
+      cache_index_.erase(it);
+    }
+    meta.has_hash = false;
+    meta.hash = 0;
+  }
+}
+
+void SmallPageAllocator::TransitionToEmpty(SmallPageId page) {
+  const LargePageId large = LargeOf(page);
+  LargeEntry& entry = Entry(large);
+  SlotMeta& meta = entry.slots[static_cast<size_t>(SlotOf(page))];
+  JENGA_CHECK(meta.state != PageState::kEmpty);
+  UnregisterHash(page, meta);
+  if (meta.state == PageState::kUsed) {
+    entry.used_count -= 1;
+    used_count_ -= 1;
+  } else {
+    evictor_.Remove(page);
+    entry.evictable_count -= 1;
+    evictable_count_ -= 1;
+  }
+  meta.state = PageState::kEmpty;
+  meta.ref_count = 0;
+  meta.epoch = next_epoch_++;
+  empty_count_ += 1;
+
+  if (entry.used_count == 0 && entry.evictable_count == 0) {
+    // The whole large page is empty: return it to the LCM allocator (§4.1). Stale FreeRefs to
+    // its slots are filtered lazily by epoch/residency checks.
+    empty_count_ -= pages_per_large_;
+    larges_.erase(large);
+    lcm_->Free(large);
+    return;
+  }
+
+  const FreeRef ref{page, Meta(page).epoch};
+  empty_by_request_[meta.assoc].push_back(ref);
+  empty_any_.push_back(ref);
+  NotifyCandidateIfEligible(large);
+}
+
+void SmallPageAllocator::Release(SmallPageId page, bool keep_cached) {
+  const LargePageId large = LargeOf(page);
+  LargeEntry& entry = Entry(large);
+  SlotMeta& meta = entry.slots[static_cast<size_t>(SlotOf(page))];
+  JENGA_CHECK(meta.state == PageState::kUsed) << "Release on non-used page " << page;
+  JENGA_CHECK_GT(meta.ref_count, 0);
+  meta.ref_count -= 1;
+  if (meta.ref_count > 0) {
+    return;
+  }
+
+  bool cacheable = keep_cached && meta.has_hash;
+  if (cacheable) {
+    // Index the content if no other resident page holds it; duplicates are not worth keeping.
+    const auto [it, inserted] = cache_index_.emplace(meta.hash, page);
+    if (!inserted && it->second != page) {
+      cacheable = false;
+    }
+  }
+
+  if (!cacheable) {
+    TransitionToEmpty(page);
+    return;
+  }
+
+  meta.state = PageState::kEvictable;
+  meta.epoch = next_epoch_++;
+  entry.used_count -= 1;
+  entry.evictable_count += 1;
+  used_count_ -= 1;
+  evictable_count_ += 1;
+  evictor_.Insert(page, meta.last_access, meta.prefix_length);
+  NotifyCandidateIfEligible(large);
+}
+
+void SmallPageAllocator::SetContentHash(SmallPageId page, BlockHash hash) {
+  SlotMeta& meta = Meta(page);
+  JENGA_CHECK(meta.state == PageState::kUsed) << "SetContentHash on non-used page";
+  if (meta.has_hash) {
+    // Recomputed block (e.g. preempted request resumed with different content boundary).
+    UnregisterHash(page, meta);
+  }
+  meta.has_hash = true;
+  meta.hash = hash;
+  cache_index_.emplace(hash, page);  // Keeps an existing mapping if one is resident.
+}
+
+std::optional<SmallPageId> SmallPageAllocator::LookupCached(BlockHash hash) const {
+  const auto it = cache_index_.find(hash);
+  if (it == cache_index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void SmallPageAllocator::UpdateLastAccess(SmallPageId page, Tick now) {
+  SlotMeta& meta = Meta(page);
+  meta.last_access = std::max(meta.last_access, now);
+  evictor_.UpdateLastAccess(page, meta.last_access);
+}
+
+void SmallPageAllocator::SetPrefixLength(SmallPageId page, int64_t prefix_length) {
+  SlotMeta& meta = Meta(page);
+  meta.prefix_length = prefix_length;
+  evictor_.SetPrefixLength(page, prefix_length);
+}
+
+void SmallPageAllocator::NotifyCandidateIfEligible(LargePageId large) {
+  const LargeEntry& entry = Entry(large);
+  if (entry.used_count == 0 && entry.evictable_count > 0) {
+    provider_->OnReclaimCandidate(group_index_, large, ReclaimTimestamp(large));
+  }
+}
+
+bool SmallPageAllocator::IsReclaimCandidate(LargePageId large) const {
+  const auto it = larges_.find(large);
+  if (it == larges_.end()) {
+    return false;
+  }
+  return it->second.used_count == 0 && it->second.evictable_count > 0;
+}
+
+Tick SmallPageAllocator::ReclaimTimestamp(LargePageId large) const {
+  const auto it = larges_.find(large);
+  JENGA_CHECK(it != larges_.end());
+  Tick timestamp = 0;
+  for (const SlotMeta& slot : it->second.slots) {
+    if (slot.state == PageState::kEvictable) {
+      timestamp = std::max(timestamp, slot.last_access);
+    }
+  }
+  return timestamp;
+}
+
+void SmallPageAllocator::ReclaimLargePage(LargePageId large) {
+  const auto it = larges_.find(large);
+  JENGA_CHECK(it != larges_.end());
+  LargeEntry& entry = it->second;
+  JENGA_CHECK_EQ(entry.used_count, 0) << "reclaiming large page with used slots";
+  const SmallPageId base = static_cast<SmallPageId>(large) * pages_per_large_;
+  for (int slot = 0; slot < pages_per_large_; ++slot) {
+    SlotMeta& meta = entry.slots[static_cast<size_t>(slot)];
+    const SmallPageId page = base + slot;
+    if (meta.state == PageState::kEvictable) {
+      evictor_.Remove(page);
+      UnregisterHash(page, meta);
+      evictable_count_ -= 1;
+    } else {
+      empty_count_ -= 1;
+    }
+  }
+  larges_.erase(it);
+  lcm_->Free(large);
+}
+
+PageState SmallPageAllocator::state(SmallPageId page) const { return Meta(page).state; }
+RequestId SmallPageAllocator::assoc(SmallPageId page) const { return Meta(page).assoc; }
+Tick SmallPageAllocator::last_access(SmallPageId page) const { return Meta(page).last_access; }
+int64_t SmallPageAllocator::prefix_length(SmallPageId page) const {
+  return Meta(page).prefix_length;
+}
+int SmallPageAllocator::ref_count(SmallPageId page) const { return Meta(page).ref_count; }
+
+SmallPageAllocator::Stats SmallPageAllocator::GetStats() const {
+  Stats stats;
+  stats.large_pages_held = static_cast<int64_t>(larges_.size());
+  stats.used_pages = used_count_;
+  stats.evictable_pages = evictable_count_;
+  stats.empty_pages = empty_count_;
+  stats.used_bytes = used_count_ * spec_.page_bytes;
+  stats.evictable_bytes = evictable_count_ * spec_.page_bytes;
+  stats.empty_bytes = empty_count_ * spec_.page_bytes;
+  return stats;
+}
+
+void SmallPageAllocator::CheckConsistency() const {
+  int64_t used = 0;
+  int64_t evictable = 0;
+  int64_t empty = 0;
+  for (const auto& [large, entry] : larges_) {
+    JENGA_CHECK_EQ(lcm_->owner(large), group_index_);
+    int32_t entry_used = 0;
+    int32_t entry_evictable = 0;
+    const SmallPageId base = static_cast<SmallPageId>(large) * pages_per_large_;
+    for (int slot = 0; slot < pages_per_large_; ++slot) {
+      const SlotMeta& meta = entry.slots[static_cast<size_t>(slot)];
+      const SmallPageId page = base + slot;
+      switch (meta.state) {
+        case PageState::kUsed:
+          JENGA_CHECK_GT(meta.ref_count, 0);
+          JENGA_CHECK(!evictor_.Contains(page));
+          ++entry_used;
+          break;
+        case PageState::kEvictable:
+          JENGA_CHECK_EQ(meta.ref_count, 0);
+          JENGA_CHECK(evictor_.Contains(page));
+          JENGA_CHECK(meta.has_hash);
+          ++entry_evictable;
+          break;
+        case PageState::kEmpty:
+          JENGA_CHECK_EQ(meta.ref_count, 0);
+          JENGA_CHECK(!meta.has_hash);
+          JENGA_CHECK(!evictor_.Contains(page));
+          break;
+      }
+    }
+    JENGA_CHECK_EQ(entry_used, entry.used_count);
+    JENGA_CHECK_EQ(entry_evictable, entry.evictable_count);
+    JENGA_CHECK(entry_used + entry_evictable > 0) << "fully-empty large page not returned";
+    used += entry_used;
+    evictable += entry_evictable;
+    empty += entry.empty_count();
+  }
+  JENGA_CHECK_EQ(used, used_count_);
+  JENGA_CHECK_EQ(evictable, evictable_count_);
+  JENGA_CHECK_EQ(empty, empty_count_);
+  JENGA_CHECK_EQ(evictable, static_cast<int64_t>(evictor_.size()));
+  for (const auto& [hash, page] : cache_index_) {
+    const auto it = larges_.find(LargeOf(page));
+    JENGA_CHECK(it != larges_.end()) << "cache index points at non-resident page";
+    const SlotMeta& meta = it->second.slots[static_cast<size_t>(SlotOf(page))];
+    JENGA_CHECK(meta.state != PageState::kEmpty);
+    JENGA_CHECK(meta.has_hash);
+    JENGA_CHECK_EQ(meta.hash, hash);
+  }
+}
+
+}  // namespace jenga

@@ -1,0 +1,178 @@
+// Second-level allocator: one per KV group. Carves small pages of the group's page size out
+// of large pages obtained from the LCM allocator, with request-aware placement (§4.3) and the
+// five-step allocation algorithm of §5.4:
+//
+//   1. an empty small page already associated with the requesting request,
+//   2. a fresh large page (the provider may satisfy this by evicting a whole evictable
+//      large page anywhere in the system — step 3),
+//   4. any empty small page, regardless of association,
+//   5. evicting this group's LRU evictable small page.
+//
+// The allocator also maintains the group's prefix-cache index (block hash → resident page)
+// and implements GroupCacheOps so the layer policies can adjust eviction priorities.
+
+#ifndef JENGA_SRC_CORE_SMALL_PAGE_ALLOCATOR_H_
+#define JENGA_SRC_CORE_SMALL_PAGE_ALLOCATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/evictor.h"
+#include "src/core/layer_policy.h"
+#include "src/core/lcm_allocator.h"
+#include "src/core/types.h"
+#include "src/model/kv_spec.h"
+
+namespace jenga {
+
+// How a group allocator obtains large pages. Implemented by JengaAllocator, which first tries
+// the LCM free list and then falls back to evicting the globally-LRU evictable large page.
+class LargePageProvider {
+ public:
+  virtual ~LargePageProvider() = default;
+  [[nodiscard]] virtual std::optional<LargePageId> AcquireLargePage(int group_index) = 0;
+  // Called when `large` (owned by `group_index`) transitions to "whole-page evictable":
+  // no used small pages and at least one evictable one. Lazy — the provider revalidates
+  // candidacy and timestamp at eviction time.
+  virtual void OnReclaimCandidate(int group_index, LargePageId large, Tick timestamp) = 0;
+};
+
+class SmallPageAllocator final : public GroupCacheOps {
+ public:
+  SmallPageAllocator(int group_index, KvGroupSpec spec, LcmAllocator* lcm,
+                     LargePageProvider* provider);
+
+  SmallPageAllocator(const SmallPageAllocator&) = delete;
+  SmallPageAllocator& operator=(const SmallPageAllocator&) = delete;
+
+  // Allocates one small page for `request` via the five-step algorithm; the returned page is
+  // used (ref count 1) with no cached content. nullopt when the group is truly out of memory.
+  [[nodiscard]] std::optional<SmallPageId> Allocate(RequestId request, Tick now);
+
+  // Takes an additional reference on a resident cached page (prefix-cache hit). The page may
+  // currently be evictable (revived) or used (shared with another request).
+  void AddRef(SmallPageId page);
+
+  // Drops one reference. When the count reaches zero the page becomes evictable if
+  // `keep_cached` and it holds indexed-or-indexable content, and empty otherwise. Fully-empty
+  // large pages are returned to the LCM allocator immediately.
+  void Release(SmallPageId page, bool keep_cached);
+
+  // Registers the content hash of a fully-computed block for future prefix-cache hits.
+  void SetContentHash(SmallPageId page, BlockHash hash);
+
+  // Resident page (used or evictable) holding `hash`, if any.
+  [[nodiscard]] std::optional<SmallPageId> LookupCached(BlockHash hash) const;
+
+  // GroupCacheOps (called by layer policies):
+  void UpdateLastAccess(SmallPageId page, Tick now) override;
+  void SetPrefixLength(SmallPageId page, int64_t prefix_length) override;
+
+  // --- Whole-large-page eviction support (§5.4 step 3, driven by the provider) ---
+
+  [[nodiscard]] bool IsReclaimCandidate(LargePageId large) const;
+  // Max last-access among the page's evictable slots; only valid for reclaim candidates.
+  [[nodiscard]] Tick ReclaimTimestamp(LargePageId large) const;
+  // Evicts every cached slot and returns the large page to the LCM allocator.
+  void ReclaimLargePage(LargePageId large);
+
+  // --- Introspection ---
+
+  [[nodiscard]] const KvGroupSpec& spec() const { return spec_; }
+  [[nodiscard]] int group_index() const { return group_index_; }
+  [[nodiscard]] int pages_per_large() const { return pages_per_large_; }
+  [[nodiscard]] int64_t page_bytes() const { return spec_.page_bytes; }
+
+  [[nodiscard]] PageState state(SmallPageId page) const;
+  [[nodiscard]] RequestId assoc(SmallPageId page) const;
+  [[nodiscard]] Tick last_access(SmallPageId page) const;
+  [[nodiscard]] int64_t prefix_length(SmallPageId page) const;
+  [[nodiscard]] int ref_count(SmallPageId page) const;
+
+  struct Stats {
+    int64_t large_pages_held = 0;
+    int64_t used_pages = 0;
+    int64_t evictable_pages = 0;
+    int64_t empty_pages = 0;  // Internal fragmentation inside held large pages.
+    int64_t used_bytes = 0;
+    int64_t evictable_bytes = 0;
+    int64_t empty_bytes = 0;
+  };
+  [[nodiscard]] Stats GetStats() const;
+
+  // Verifies all internal invariants (counts, index consistency, evictor membership);
+  // test-only, O(pages).
+  void CheckConsistency() const;
+
+ private:
+  struct SlotMeta {
+    PageState state = PageState::kEmpty;
+    RequestId assoc = kNoRequest;
+    int32_t ref_count = 0;
+    Tick last_access = 0;
+    int64_t prefix_length = 0;
+    uint64_t epoch = 0;
+    bool has_hash = false;
+    BlockHash hash = 0;
+  };
+
+  struct LargeEntry {
+    std::vector<SlotMeta> slots;
+    int32_t used_count = 0;
+    int32_t evictable_count = 0;
+    [[nodiscard]] int32_t empty_count() const {
+      return static_cast<int32_t>(slots.size()) - used_count - evictable_count;
+    }
+  };
+
+  // An entry in the lazy free lists; valid only while the slot's epoch is unchanged.
+  struct FreeRef {
+    SmallPageId page = kNoSmallPage;
+    uint64_t epoch = 0;
+  };
+
+  [[nodiscard]] LargePageId LargeOf(SmallPageId page) const {
+    return static_cast<LargePageId>(page / pages_per_large_);
+  }
+  [[nodiscard]] int SlotOf(SmallPageId page) const {
+    return static_cast<int>(page % pages_per_large_);
+  }
+  [[nodiscard]] SlotMeta& Meta(SmallPageId page);
+  [[nodiscard]] const SlotMeta& Meta(SmallPageId page) const;
+  [[nodiscard]] LargeEntry& Entry(LargePageId large);
+
+  // Pops a validated empty page associated with `request`, or any empty page.
+  [[nodiscard]] std::optional<SmallPageId> PopRequestFree(RequestId request);
+  [[nodiscard]] std::optional<SmallPageId> PopAnyFree();
+  [[nodiscard]] bool IsValidEmpty(const FreeRef& ref) const;
+
+  // empty → used for `request`.
+  void ClaimEmpty(SmallPageId page, RequestId request, Tick now);
+  // evictable/used(ref 0) → empty; may return the large page to the LCM allocator.
+  void TransitionToEmpty(SmallPageId page);
+  void UnregisterHash(SmallPageId page, SlotMeta& meta);
+  void NotifyCandidateIfEligible(LargePageId large);
+
+  int group_index_;
+  KvGroupSpec spec_;
+  LcmAllocator* lcm_;
+  LargePageProvider* provider_;
+  int pages_per_large_ = 0;
+
+  std::unordered_map<LargePageId, LargeEntry> larges_;
+  std::unordered_map<RequestId, std::vector<FreeRef>> empty_by_request_;
+  std::vector<FreeRef> empty_any_;
+  Evictor evictor_;
+  std::unordered_map<BlockHash, SmallPageId> cache_index_;
+
+  uint64_t next_epoch_ = 1;
+  int64_t used_count_ = 0;
+  int64_t evictable_count_ = 0;
+  int64_t empty_count_ = 0;
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_CORE_SMALL_PAGE_ALLOCATOR_H_

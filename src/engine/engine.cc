@@ -1,0 +1,361 @@
+#include "src/engine/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+namespace {
+
+// Deterministic pseudo-token for generated output (ids live above the prompt vocabulary so
+// that decode blocks of different requests never alias by accident).
+int32_t PseudoToken(RequestId id, int64_t position) {
+  uint64_t x = static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull + static_cast<uint64_t>(position);
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 29;
+  return static_cast<int32_t>(50000 + (x % 1000000));
+}
+
+}  // namespace
+
+EngineConfig VllmProfile(ModelConfig model, GpuSpec gpu) {
+  EngineConfig config;
+  config.model = std::move(model);
+  config.gpu = std::move(gpu);
+  config.jenga = false;
+  config.vision_cache = false;
+  return config;
+}
+
+EngineConfig SglangProfile(ModelConfig model, GpuSpec gpu) {
+  EngineConfig config = VllmProfile(std::move(model), std::move(gpu));
+  config.memory_fraction = 1.04;  // SGLang reserves slightly less for runtime state.
+  return config;
+}
+
+EngineConfig TgiProfile(ModelConfig model, GpuSpec gpu) {
+  EngineConfig config = VllmProfile(std::move(model), std::move(gpu));
+  config.memory_fraction = 0.95;
+  config.output_fraction = 0.6;  // No --ignore-eos: generation stops early (§7.3).
+  return config;
+}
+
+EngineConfig JengaProfile(ModelConfig model, GpuSpec gpu) {
+  EngineConfig config;
+  config.model = std::move(model);
+  config.gpu = std::move(gpu);
+  config.jenga = true;
+  config.vision_cache = true;
+  return config;
+}
+
+Engine::Engine(EngineConfig config)
+    : config_(std::move(config)), gpu_(config_.gpu, config_.model) {
+  max_batched_tokens_ = config_.max_batched_tokens_override > 0
+                            ? config_.max_batched_tokens_override
+                            : config_.gpu.max_batched_tokens;
+  max_num_seqs_ =
+      config_.max_num_seqs_override > 0 ? config_.max_num_seqs_override : config_.gpu.max_num_seqs;
+
+  int64_t pool = config_.pool_bytes_override > 0
+                     ? config_.pool_bytes_override
+                     : static_cast<int64_t>(static_cast<double>(gpu_.KvPoolBytes()) *
+                                            config_.memory_fraction);
+  reserved_bytes_ = config_.gpu.reserved_bytes;
+  if (!config_.jenga && config_.model.HasKind(LayerKind::kMamba)) {
+    // Homogeneous engines reserve Mamba state statically for the full batch capacity.
+    const int64_t reservation = StaticMambaReservationBytes(config_.model, max_num_seqs_);
+    JENGA_CHECK_LT(reservation, pool) << "mamba reservation exceeds the KV pool";
+    pool -= reservation;
+    reserved_bytes_ += reservation;
+  }
+
+  const bool vision = config_.jenga && config_.vision_cache && config_.model.vision.present;
+  KvSpec alloc_spec = config_.jenga
+                          ? MakeJengaSpec(config_.model, config_.tokens_per_page, vision)
+                          : MakeHomogeneousSpec(config_.model, config_.tokens_per_page);
+  KvSpec accounting_spec = MakeJengaSpec(config_.model, config_.tokens_per_page, vision);
+
+  KvManager::Options options;
+  options.tokens_per_page = config_.tokens_per_page;
+  options.enable_prefix_caching = config_.enable_prefix_caching;
+  options.jenga = config_.jenga;
+  options.tokens_per_image = config_.model.vision.tokens_per_image;
+  kv_ = std::make_unique<KvManager>(std::move(alloc_spec), std::move(accounting_spec), pool,
+                                    options);
+}
+
+void Engine::Submit(Request request) {
+  JENGA_CHECK(request.state == RequestState::kWaiting);
+  const RequestId id = request.id;
+  JENGA_CHECK(!requests_.contains(id)) << "duplicate request id " << id;
+  requests_.emplace(id, std::move(request));
+  waiting_.push_back(id);
+}
+
+Request& Engine::Get(RequestId id) {
+  const auto it = requests_.find(id);
+  JENGA_CHECK(it != requests_.end());
+  return it->second;
+}
+
+const Request& Engine::request(RequestId id) const {
+  const auto it = requests_.find(id);
+  JENGA_CHECK(it != requests_.end());
+  return it->second;
+}
+
+int64_t Engine::EffectiveOutputLen(const Request& r) const {
+  if (config_.output_fraction >= 1.0) {
+    return r.output_len;
+  }
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(static_cast<double>(r.output_len) *
+                                           config_.output_fraction)));
+}
+
+void Engine::Preempt(RequestId id) {
+  Request& r = Get(id);
+  kv_->Release(r, tick_);
+  r.state = RequestState::kPreempted;
+  r.preemptions += 1;
+  r.num_computed_tokens = 0;
+  r.vision_encoder_runs_this_admission = 0;
+  const auto it = std::find(running_.begin(), running_.end(), id);
+  JENGA_CHECK(it != running_.end());
+  running_.erase(it);
+  waiting_.push_front(id);
+}
+
+void Engine::FinishRequest(Request& r, bool failed) {
+  r.state = RequestState::kFinished;
+  r.finish_time = now_;
+  RequestRecord record;
+  record.id = r.id;
+  record.prompt_len = r.prompt_len();
+  record.output_len = r.num_generated;
+  record.cached_prefix_tokens = r.cached_prefix_tokens;
+  record.preemptions = r.preemptions;
+  record.arrival_time = r.arrival_time;
+  record.first_scheduled_time = r.first_scheduled_time;
+  record.first_token_time = r.first_token_time;
+  record.finish_time = now_;
+  record.failed = failed;
+  metrics_.RecordFinished(record);
+}
+
+double Engine::MaybeEncodeVision(Request& r, int64_t chunk_begin, int64_t chunk_end) {
+  if (!config_.model.vision.present || r.image_prefix.back() == 0) {
+    return 0.0;
+  }
+  const int64_t total_image_tokens = r.ImageTokensBefore(r.prompt_len());
+  if (config_.jenga && config_.vision_cache) {
+    // Encode once per admission; the embeddings then live in the vision-embedding cache.
+    if (r.vision_encoder_runs_this_admission > 0) {
+      return 0.0;
+    }
+    r.vision_encoder_runs_this_admission += 1;
+    r.vision_encoder_runs += 1;
+    metrics_.vision_encoder_runs += 1;
+    const double t = gpu_.VisionEncodeTime(total_image_tokens);
+    metrics_.vision_encode_time += t;
+    return t;
+  }
+  // No vision cache: the encoder re-runs on every chunk that consumes image tokens (§7.4).
+  const int64_t images_in_chunk =
+      r.ImageTokensBefore(std::min<int64_t>(chunk_end, r.prompt_len())) -
+      r.ImageTokensBefore(std::min<int64_t>(chunk_begin, r.prompt_len()));
+  if (images_in_chunk <= 0) {
+    return 0.0;
+  }
+  r.vision_encoder_runs += 1;
+  metrics_.vision_encoder_runs += 1;
+  const double t = gpu_.VisionEncodeTime(total_image_tokens);
+  metrics_.vision_encode_time += t;
+  return t;
+}
+
+bool Engine::StepOnce() {
+  if (running_.empty() && waiting_.empty()) {
+    return false;
+  }
+  // Fast-forward to the next arrival when idle.
+  if (running_.empty()) {
+    double next_arrival = -1.0;
+    for (const RequestId id : waiting_) {
+      const double t = Get(id).arrival_time;
+      if (next_arrival < 0.0 || t < next_arrival) {
+        next_arrival = t;
+      }
+    }
+    if (next_arrival > now_) {
+      now_ = next_arrival;
+    }
+  }
+
+  ++tick_;
+  int64_t budget = max_batched_tokens_;
+  std::vector<Scheduled> scheduled;
+  double vision_time = 0.0;
+
+  // Phase 1: running requests, FCFS. Decode requests take one token; prefilling requests take
+  // a chunk. Allocation failure preempts from the back of the running list.
+  for (size_t i = 0; i < running_.size();) {
+    const RequestId id = running_[i];
+    Request& r = Get(id);
+    const bool prefill = r.InPrefill();
+    int64_t n = prefill ? std::min<int64_t>(r.prompt_len() - r.num_computed_tokens, budget) : 1;
+    if (budget <= 0 || n <= 0) {
+      ++i;
+      continue;
+    }
+    n = std::min<int64_t>(n, budget);
+    bool self_preempted = false;
+    while (!kv_->AllocateForTokens(r, n, tick_)) {
+      const RequestId victim = running_.back();
+      Preempt(victim);
+      if (victim == id) {
+        self_preempted = true;
+        break;
+      }
+    }
+    if (self_preempted) {
+      continue;  // running_ shrank; i now points at the next element (if any).
+    }
+    vision_time += MaybeEncodeVision(r, r.num_computed_tokens, r.num_computed_tokens + n);
+    budget -= n;
+    scheduled.push_back({id, n, prefill});
+    ++i;
+  }
+
+  // Phase 2: admissions.
+  while (budget > 0 && static_cast<int>(running_.size()) < max_num_seqs_ && !waiting_.empty()) {
+    const RequestId id = waiting_.front();
+    Request& r = Get(id);
+    if (r.arrival_time > now_) {
+      break;
+    }
+    const int64_t chunk_peek = std::min<int64_t>(r.prompt_len(), budget);
+    if (!kv_->CanAllocate(r, chunk_peek)) {
+      // Head-of-line blocking is intentional (FCFS); but if nothing is running the request
+      // can never fit — fail it rather than deadlock (vLLM aborts in this case, §7.2).
+      if (running_.empty() && scheduled.empty()) {
+        waiting_.pop_front();
+        FinishRequest(r, /*failed=*/true);
+        continue;
+      }
+      break;
+    }
+    waiting_.pop_front();
+    kv_->OnAdmit(r, tick_);
+    metrics_.cache_hit_tokens += r.cached_prefix_tokens;
+    const int64_t n = std::min<int64_t>(r.prompt_len() - r.num_computed_tokens, budget);
+    JENGA_CHECK_GT(n, 0);
+    if (!kv_->AllocateForTokens(r, n, tick_)) {
+      kv_->Release(r, tick_);
+      r.num_computed_tokens = 0;
+      if (running_.empty() && scheduled.empty()) {
+        FinishRequest(r, /*failed=*/true);
+        continue;
+      }
+      waiting_.push_front(id);
+      break;
+    }
+    r.state = RequestState::kRunning;
+    if (r.first_scheduled_time < 0.0) {
+      r.first_scheduled_time = now_;
+    }
+    running_.push_back(id);
+    vision_time += MaybeEncodeVision(r, r.num_computed_tokens, r.num_computed_tokens + n);
+    budget -= n;
+    scheduled.push_back({id, n, true});
+  }
+
+  if (scheduled.empty()) {
+    // Nothing runnable now: advance to the next arrival if one exists.
+    double next_arrival = -1.0;
+    for (const RequestId id : waiting_) {
+      const double t = Get(id).arrival_time;
+      if (t > now_ && (next_arrival < 0.0 || t < next_arrival)) {
+        next_arrival = t;
+      }
+    }
+    if (next_arrival > now_) {
+      now_ = next_arrival;
+      return true;
+    }
+    // All waiting requests have arrived but none was schedulable. Either decodes blocked on a
+    // transiently full pool (running non-empty — retry next step) or this step only drained
+    // failed requests and the queues are settling.
+    return true;
+  }
+
+  // Phase 3: execute the step on the simulated GPU.
+  int64_t new_tokens = 0;
+  int64_t kv_read_bytes = 0;
+  int decode_batch = 0;
+  for (const Scheduled& s : scheduled) {
+    new_tokens += s.tokens;
+    const Request& r = Get(s.id);
+    kv_read_bytes += kv_->DecodeKvReadBytes(r);
+    if (!s.was_prefill) {
+      ++decode_batch;
+    }
+  }
+  now_ += gpu_.StepTime(new_tokens, kv_read_bytes) + vision_time;
+
+  // Phase 4: commit progress, emit tokens, finish requests.
+  for (const Scheduled& s : scheduled) {
+    Request& r = Get(s.id);
+    r.num_computed_tokens += s.tokens;
+    if (s.was_prefill) {
+      metrics_.prefill_tokens_computed += s.tokens;
+    }
+    kv_->OnStepComputed(r, tick_);
+    const int64_t effective_output = EffectiveOutputLen(r);
+    while (r.num_generated < effective_output &&
+           r.num_computed_tokens >= r.prompt_len() + r.num_generated) {
+      r.AppendGenerated(PseudoToken(r.id, r.prompt_len() + r.num_generated));
+      if (r.first_token_time < 0.0) {
+        r.first_token_time = now_;
+      }
+    }
+    if (r.num_generated >= effective_output) {
+      kv_->Release(r, tick_);
+      const auto it = std::find(running_.begin(), running_.end(), s.id);
+      JENGA_CHECK(it != running_.end());
+      running_.erase(it);
+      FinishRequest(r, /*failed=*/false);
+    }
+  }
+
+  metrics_.RecordStep(now_, new_tokens, decode_batch, static_cast<int>(running_.size()),
+                      static_cast<int>(waiting_.size()));
+  if (config_.memory_sample_every > 0 &&
+      metrics_.total_steps() % config_.memory_sample_every == 0) {
+    const KvManager::MemoryStats stats = kv_->GetMemoryStats();
+    MemorySample sample;
+    sample.time = now_;
+    sample.weight_bytes = config_.model.WeightBytes();
+    sample.reserved_bytes = reserved_bytes_;
+    sample.used_bytes = stats.needed_bytes;
+    sample.wasted_bytes = stats.wasted_bytes;
+    sample.cached_bytes = stats.cached_bytes;
+    sample.unallocated_bytes = stats.unallocated_bytes;
+    metrics_.RecordMemory(sample);
+  }
+  return true;
+}
+
+void Engine::RunToCompletion(int64_t max_steps) {
+  int64_t steps = 0;
+  while (StepOnce()) {
+    ++steps;
+    JENGA_CHECK_LT(steps, max_steps) << "engine did not converge";
+  }
+}
+
+}  // namespace jenga

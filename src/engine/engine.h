@@ -1,0 +1,106 @@
+// The serving-engine simulator: vLLM-style continuous batching with chunked prefill,
+// admission control, preemption-by-recomputation, prefix caching, and (for multimodal models)
+// vision-encoder scheduling. The engine is deterministic: logical ticks order LRU decisions
+// and the GPU cost model advances simulated wall-clock time.
+
+#ifndef JENGA_SRC_ENGINE_ENGINE_H_
+#define JENGA_SRC_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/engine/gpu.h"
+#include "src/engine/kv_manager.h"
+#include "src/engine/request.h"
+#include "src/metrics/metrics.h"
+#include "src/model/model_config.h"
+
+namespace jenga {
+
+struct EngineConfig {
+  ModelConfig model;
+  GpuSpec gpu;
+  int tokens_per_page = 16;
+  bool enable_prefix_caching = true;
+  // True → Jenga memory management; false → PagedAttention-style homogeneous baseline.
+  bool jenga = true;
+  // Vision-embedding cache (Jenga only). Engines without it re-run the vision encoder on
+  // every chunked-prefill step that consumes image tokens (§7.4).
+  bool vision_cache = true;
+  // Fraction of the requested output an engine actually generates (TGI lacks --ignore-eos
+  // and stops early, Fig. 15).
+  double output_fraction = 1.0;
+  // Scales the KV pool (engine profiles differ slightly in reserved memory).
+  double memory_fraction = 1.0;
+  // Test overrides (0 = use the GPU defaults).
+  int64_t pool_bytes_override = 0;
+  int max_batched_tokens_override = 0;
+  int max_num_seqs_override = 0;
+  // Record a memory sample every N steps (0 disables).
+  int memory_sample_every = 1;
+};
+
+// Named engine profiles used in the Fig. 15 comparison.
+[[nodiscard]] EngineConfig VllmProfile(ModelConfig model, GpuSpec gpu);
+[[nodiscard]] EngineConfig SglangProfile(ModelConfig model, GpuSpec gpu);
+[[nodiscard]] EngineConfig TgiProfile(ModelConfig model, GpuSpec gpu);
+[[nodiscard]] EngineConfig JengaProfile(ModelConfig model, GpuSpec gpu);
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config);
+
+  // Enqueues a request (arrival_time may be in the future).
+  void Submit(Request request);
+
+  // Executes one scheduler step; returns false when no work remains.
+  bool StepOnce();
+
+  // Runs until every submitted request finished (or `max_steps` as a runaway guard).
+  void RunToCompletion(int64_t max_steps = 2000000);
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] const EngineMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] KvManager& kv() { return *kv_; }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+  [[nodiscard]] const Request& request(RequestId id) const;
+  [[nodiscard]] int num_running() const { return static_cast<int>(running_.size()); }
+  [[nodiscard]] int num_waiting() const { return static_cast<int>(waiting_.size()); }
+  [[nodiscard]] int64_t weight_bytes() const { return config_.model.WeightBytes(); }
+  [[nodiscard]] int64_t reserved_bytes() const { return reserved_bytes_; }
+
+ private:
+  struct Scheduled {
+    RequestId id = kNoRequest;
+    int64_t tokens = 0;
+    bool was_prefill = false;
+  };
+
+  [[nodiscard]] Request& Get(RequestId id);
+  [[nodiscard]] int64_t EffectiveOutputLen(const Request& r) const;
+  void Preempt(RequestId id);
+  void FinishRequest(Request& r, bool failed);
+  [[nodiscard]] double MaybeEncodeVision(Request& r, int64_t chunk_begin, int64_t chunk_end);
+
+  EngineConfig config_;
+  GpuSim gpu_;
+  std::unique_ptr<KvManager> kv_;
+  int64_t reserved_bytes_ = 0;
+  int max_batched_tokens_ = 0;
+  int max_num_seqs_ = 0;
+
+  std::unordered_map<RequestId, Request> requests_;
+  std::deque<RequestId> waiting_;
+  std::vector<RequestId> running_;
+
+  double now_ = 0.0;
+  Tick tick_ = 0;
+  EngineMetrics metrics_;
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_ENGINE_ENGINE_H_

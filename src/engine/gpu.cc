@@ -1,0 +1,69 @@
+#include "src/engine/gpu.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+GpuSpec H100() {
+  GpuSpec spec;
+  spec.name = "H100-80GB";
+  spec.memory_bytes = 80LL * 1024 * 1024 * 1024;
+  spec.flops = 4.5e14;  // ~45% of peak bf16 dense.
+  spec.mem_bandwidth = 2.8e12;
+  spec.max_batched_tokens = 8192;
+  spec.max_num_seqs = 256;
+  spec.reserved_bytes = 6LL * 1024 * 1024 * 1024;
+  return spec;
+}
+
+GpuSpec L4() {
+  GpuSpec spec;
+  spec.name = "L4-24GB";
+  spec.memory_bytes = 24LL * 1024 * 1024 * 1024;
+  spec.flops = 5.5e13;
+  spec.mem_bandwidth = 2.8e11;
+  spec.max_batched_tokens = 4096;
+  spec.max_num_seqs = 128;
+  spec.reserved_bytes = 3LL * 1024 * 1024 * 1024;
+  return spec;
+}
+
+GpuSim::GpuSim(GpuSpec spec, const ModelConfig& model)
+    : spec_(std::move(spec)),
+      model_params_(model.params_b * 1e9),
+      vision_params_(model.vision.encoder_params_b * 1e9),
+      weight_bytes_(model.WeightBytes()),
+      weight_dtype_bytes_(model.weight_dtype_bytes) {}
+
+double GpuSim::StepTime(int64_t new_tokens, int64_t kv_bytes_read) const {
+  // Compute: 2 FLOPs per parameter per token. A step must at minimum stream the weights once
+  // (decode is weight-bandwidth-bound at small batch).
+  const double compute = 2.0 * model_params_ * static_cast<double>(new_tokens) / spec_.flops;
+  const double weight_stream = static_cast<double>(weight_bytes_) / spec_.mem_bandwidth;
+  const double kv_read = static_cast<double>(kv_bytes_read) / spec_.mem_bandwidth;
+  const double kernel_overhead = 2e-4;  // Launch + scheduling overhead per step.
+  return kernel_overhead + std::max(compute, weight_stream) + kv_read;
+}
+
+double GpuSim::VisionEncodeTime(int64_t image_tokens) const {
+  if (image_tokens <= 0 || vision_params_ <= 0.0) {
+    return 0.0;
+  }
+  // ViT encoders process several patches per emitted image token (pixel-unshuffle / pooling
+  // compresses 4x or more before the LLM) and run at lower utilization than dense decoder
+  // GEMMs; fold both into a patch-expansion factor.
+  constexpr double kPatchesPerToken = 8.0;
+  const double compute = 2.0 * vision_params_ * kPatchesPerToken *
+                         static_cast<double>(image_tokens) / spec_.flops;
+  return 1e-3 + compute;
+}
+
+int64_t GpuSim::KvPoolBytes() const {
+  const int64_t pool = spec_.memory_bytes - weight_bytes_ - spec_.reserved_bytes;
+  JENGA_CHECK_GT(pool, 0) << "model does not fit on " << spec_.name;
+  return pool;
+}
+
+}  // namespace jenga

@@ -1,0 +1,63 @@
+// Simulated GPU: memory capacity plus an analytic step-time model. This replaces the paper's
+// H100/L4 hardware (see DESIGN.md): absolute times are approximate, but they scale correctly
+// with model size, batched tokens, and KV traffic, which is what the throughput/latency
+// *shapes* depend on.
+
+#ifndef JENGA_SRC_ENGINE_GPU_H_
+#define JENGA_SRC_ENGINE_GPU_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/model/model_config.h"
+
+namespace jenga {
+
+struct GpuSpec {
+  std::string name;
+  int64_t memory_bytes = 0;
+  // Effective sustained compute (FLOP/s) for transformer inference kernels.
+  double flops = 0.0;
+  // Effective memory bandwidth (bytes/s); decode steps are bandwidth-bound.
+  double mem_bandwidth = 0.0;
+  // Scheduler budget: max tokens computed per engine step (chunked prefill limit).
+  int max_batched_tokens = 0;
+  // Max concurrently running sequences.
+  int max_num_seqs = 0;
+  // Memory reserved for activations / CUDA graphs (the "reserved" slice in Fig. 16).
+  int64_t reserved_bytes = 0;
+};
+
+// NVIDIA H100 80GB (the paper's default platform).
+[[nodiscard]] GpuSpec H100();
+// NVIDIA L4 24GB (the paper's small platform).
+[[nodiscard]] GpuSpec L4();
+
+// Analytic per-step cost model.
+class GpuSim {
+ public:
+  GpuSim(GpuSpec spec, const ModelConfig& model);
+
+  // Time to compute one engine step that processes `new_tokens` fresh tokens (prefill chunks
+  // plus one per decode request) while reading `kv_bytes_read` of KV cache.
+  [[nodiscard]] double StepTime(int64_t new_tokens, int64_t kv_bytes_read) const;
+
+  // Time for the vision encoder to embed `image_tokens` image tokens.
+  [[nodiscard]] double VisionEncodeTime(int64_t image_tokens) const;
+
+  // KV pool available after weights and reserved memory; check-fails if the model does not fit.
+  [[nodiscard]] int64_t KvPoolBytes() const;
+
+  [[nodiscard]] const GpuSpec& spec() const { return spec_; }
+
+ private:
+  GpuSpec spec_;
+  double model_params_ = 0.0;
+  double vision_params_ = 0.0;
+  int64_t weight_bytes_ = 0;
+  int weight_dtype_bytes_ = 2;
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_ENGINE_GPU_H_

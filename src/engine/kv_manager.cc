@@ -1,0 +1,584 @@
+#include "src/engine/kv_manager.h"
+
+#include <algorithm>
+#include <span>
+
+#include "src/common/check.h"
+#include "src/common/math_util.h"
+#include "src/core/block_hash.h"
+#include "src/core/policy_factory.h"
+
+namespace jenga {
+
+KvSpec MakeJengaSpec(const ModelConfig& model, int tokens_per_page, bool vision_cache) {
+  KvSpecOptions options;
+  options.tokens_per_page = tokens_per_page;
+  options.include_vision_group = vision_cache;
+  return BuildKvSpec(model, options);
+}
+
+KvSpec MakeHomogeneousSpec(const ModelConfig& model, int tokens_per_page,
+                           int64_t bytes_per_token_override) {
+  int64_t bytes_per_token = model.KvBytesPerTokenAllLayers();
+  if (bytes_per_token_override > 0) {
+    bytes_per_token = bytes_per_token_override;
+  }
+  JENGA_CHECK_GT(bytes_per_token, 0) << "model has no attention layers";
+  KvSpec spec;
+  KvGroupSpec group;
+  group.name = "paged_all_layers";
+  group.kind = GroupKind::kFullAttention;
+  group.scope = GroupScope::kAllTokens;
+  group.num_layers = 1;  // Collapsed: bytes_per_token already sums every layer.
+  group.bytes_per_token_per_layer = bytes_per_token;
+  group.tokens_per_page = tokens_per_page;
+  group.page_bytes = static_cast<int64_t>(tokens_per_page) * bytes_per_token;
+  spec.groups.push_back(std::move(group));
+  return spec;
+}
+
+int64_t StaticMambaReservationBytes(const ModelConfig& model, int max_num_seqs) {
+  return model.MambaStateBytesTotal() * max_num_seqs;
+}
+
+namespace {
+
+// Total tokens across a range list.
+int64_t RangeTokens(const std::vector<TokenRange>& ranges) {
+  int64_t total = 0;
+  for (const TokenRange& range : ranges) {
+    total += range.end - range.begin;
+  }
+  return total;
+}
+
+int64_t GroupTokensFor(const Request& r, const KvGroupSpec& group, int64_t prefix_tokens) {
+  switch (group.scope) {
+    case GroupScope::kAllTokens:
+    case GroupScope::kPerSequence:
+      return prefix_tokens;
+    case GroupScope::kTextTokens:
+      return r.TextTokensBefore(prefix_tokens);
+    case GroupScope::kImageTokens:
+      return r.ImageTokensBefore(prefix_tokens);
+  }
+  JENGA_CHECK(false) << "unhandled scope";
+}
+
+bool IsSubsequenceScope(GroupScope scope) {
+  return scope == GroupScope::kImageTokens || scope == GroupScope::kTextTokens;
+}
+
+}  // namespace
+
+KvManager::KvManager(KvSpec alloc_spec, KvSpec accounting_spec, int64_t pool_bytes,
+                     Options options)
+    : spec_(std::move(alloc_spec)),
+      accounting_spec_(std::move(accounting_spec)),
+      options_(options),
+      allocator_(spec_, pool_bytes) {
+  for (size_t g = 0; g < spec_.groups.size(); ++g) {
+    const KvGroupSpec& group = spec_.groups[g];
+    if (options_.jenga) {
+      policies_.push_back(MakeLayerPolicy(group, options_.tokens_per_image));
+    } else {
+      policies_.push_back(std::make_unique<FullPrefixPolicy>());
+    }
+    if (group.kind == GroupKind::kVisionEmbed) {
+      vision_group_ = static_cast<int>(g);
+    }
+    if (group.scope == GroupScope::kTextTokens) {
+      has_text_scope_ = true;
+    }
+  }
+  for (const KvGroupSpec& group : accounting_spec_.groups) {
+    accounting_policies_.push_back(MakeLayerPolicy(group, std::max(options_.tokens_per_image, 1)));
+  }
+}
+
+KvManager::RequestKv& KvManager::StateOf(const Request& r) {
+  const auto it = requests_.find(r.id);
+  JENGA_CHECK(it != requests_.end()) << "request " << r.id << " not admitted";
+  return it->second;
+}
+
+int64_t KvManager::TargetPages(const Request& r, const KvGroupSpec& group,
+                               int64_t prefix_tokens) const {
+  switch (group.kind) {
+    case GroupKind::kMamba:
+      return 1;  // The running state; checkpoints are transient snapshots.
+    case GroupKind::kVisionEmbed:
+      // All of the request's vision embeddings exist from admission (encoder output).
+      return CeilDiv(r.image_prefix.back(), group.tokens_per_page);
+    default:
+      break;
+  }
+  const int64_t tokens = GroupTokensFor(r, group, prefix_tokens);
+  return CeilDiv(tokens, group.tokens_per_page);
+}
+
+void KvManager::OnAdmit(Request& r, Tick now) {
+  JENGA_CHECK(!requests_.contains(r.id)) << "request " << r.id << " already admitted";
+  RequestKv& state = requests_[r.id];
+  state.groups.resize(spec_.groups.size());
+  for (size_t g = 0; g < spec_.groups.size(); ++g) {
+    const int block =
+        spec_.groups[g].kind == GroupKind::kMamba ? kMambaCheckpointInterval
+                                                  : spec_.groups[g].tokens_per_page;
+    (void)block;
+    state.groups[g].chain = InitBlockChain(GroupSalt(static_cast<int>(g)));
+  }
+  r.num_computed_tokens = 0;
+  r.cached_prefix_tokens = 0;
+  state.computed_tokens = 0;
+
+  if (!options_.enable_prefix_caching) {
+    return;
+  }
+  const int bs = options_.tokens_per_page;
+  const int64_t prompt_len = r.prompt_len();
+  const int64_t num_boundaries = prompt_len / bs;  // Boundary b covers b·bs tokens.
+  if (num_boundaries == 0) {
+    return;
+  }
+
+  // Per-group hashes + hit bitmaps + valid-prefix bitmaps over global boundaries.
+  std::vector<std::vector<BlockHash>> group_hashes(spec_.groups.size());
+  std::vector<std::vector<bool>> valid_global(spec_.groups.size());
+  for (size_t g = 0; g < spec_.groups.size(); ++g) {
+    const KvGroupSpec& group = spec_.groups[g];
+    const SmallPageAllocator& alloc = allocator_.group(static_cast<int>(g));
+    std::vector<bool>& valid = valid_global[g];
+    valid.assign(static_cast<size_t>(num_boundaries) + 1, false);
+    valid[0] = true;
+
+    if (group.kind == GroupKind::kMamba) {
+      group_hashes[g] =
+          ChainBlockHashes(r.prompt.tokens, kMambaCheckpointInterval, GroupSalt(static_cast<int>(g)));
+      std::vector<bool> is_hit(group_hashes[g].size());
+      for (size_t j = 0; j < is_hit.size(); ++j) {
+        is_hit[j] = alloc.LookupCached(group_hashes[g][j]).has_value();
+      }
+      const std::vector<bool> gv =
+          policies_[g]->GetPossiblePrefix(is_hit, kMambaCheckpointInterval);
+      for (int64_t b = 1; b <= num_boundaries; ++b) {
+        const int64_t tokens = b * bs;
+        if (tokens % kMambaCheckpointInterval != 0) {
+          continue;
+        }
+        const size_t k = static_cast<size_t>(tokens / kMambaCheckpointInterval);
+        if (k < gv.size()) {
+          valid[static_cast<size_t>(b)] = gv[k];
+        }
+      }
+      continue;
+    }
+
+    if (IsSubsequenceScope(group.scope)) {
+      const TokenKind wanted =
+          group.scope == GroupScope::kImageTokens ? TokenKind::kImage : TokenKind::kText;
+      std::vector<int32_t> sub_tokens;
+      sub_tokens.reserve(static_cast<size_t>(GroupTokensFor(r, group, prompt_len)));
+      for (int64_t i = 0; i < prompt_len; ++i) {
+        if (r.all_kinds[static_cast<size_t>(i)] == wanted) {
+          sub_tokens.push_back(r.all_tokens[static_cast<size_t>(i)]);
+        }
+      }
+      group_hashes[g] = ChainBlockHashes(sub_tokens, bs, GroupSalt(static_cast<int>(g)));
+      std::vector<bool> is_hit(group_hashes[g].size());
+      for (size_t j = 0; j < is_hit.size(); ++j) {
+        is_hit[j] = alloc.LookupCached(group_hashes[g][j]).has_value();
+      }
+      const std::vector<bool> gv = policies_[g]->GetPossiblePrefix(is_hit, bs);
+      for (int64_t b = 1; b <= num_boundaries; ++b) {
+        const int64_t sub_count = GroupTokensFor(r, group, b * bs);
+        // Conservative: only block-aligned subsequence coverage counts as a hit.
+        if (sub_count % bs != 0) {
+          continue;
+        }
+        const size_t blocks = static_cast<size_t>(sub_count / bs);
+        if (blocks < gv.size()) {
+          valid[static_cast<size_t>(b)] = gv[blocks];
+        }
+      }
+      continue;
+    }
+
+    // All-token groups: boundaries map 1:1 to group blocks.
+    group_hashes[g] = ChainBlockHashes(r.prompt.tokens, bs, GroupSalt(static_cast<int>(g)));
+    std::vector<bool> is_hit(group_hashes[g].size());
+    for (size_t j = 0; j < is_hit.size(); ++j) {
+      is_hit[j] = alloc.LookupCached(group_hashes[g][j]).has_value();
+    }
+    valid = policies_[g]->GetPossiblePrefix(is_hit, bs);
+  }
+
+  int64_t boundary = LongestCommonValidPrefix(valid_global);
+  // Keep at least one prompt token to compute (an engine cannot "hit" the whole prompt).
+  while (boundary > 0 && boundary * bs >= prompt_len) {
+    --boundary;
+  }
+  if (boundary == 0) {
+    return;
+  }
+  const int64_t hit_tokens = boundary * bs;
+
+  // Take references on the covering pages of every group.
+  for (size_t g = 0; g < spec_.groups.size(); ++g) {
+    const KvGroupSpec& group = spec_.groups[g];
+    SmallPageAllocator& alloc = allocator_.group(static_cast<int>(g));
+    GroupState& gs = state.groups[g];
+
+    if (group.kind == GroupKind::kMamba) {
+      const int64_t k = hit_tokens / kMambaCheckpointInterval;
+      JENGA_CHECK_EQ(hit_tokens % kMambaCheckpointInterval, 0);
+      if (k > 0) {
+        const auto page = alloc.LookupCached(group_hashes[g][static_cast<size_t>(k) - 1]);
+        JENGA_CHECK(page.has_value()) << "mamba hit vanished";
+        alloc.UpdateLastAccess(*page, now);  // Restore-from-checkpoint touches the state.
+        gs.chain = group_hashes[g][static_cast<size_t>(k) - 1];
+        gs.chain_tokens = k * kMambaCheckpointInterval;
+        gs.checkpoints_done = k;
+      }
+      continue;
+    }
+
+    const int64_t blocks =
+        IsSubsequenceScope(group.scope) ? GroupTokensFor(r, group, hit_tokens) / bs : boundary;
+    // Only blocks the layer actually depends on are referenced and refreshed (Figure 9b:
+    // update_last_access touches window tokens only). Cached out-of-window blocks stay
+    // evictable with their old timestamps, so they age out first under pressure.
+    const std::vector<TokenRange> needed =
+        policies_[g]->NeededTokenRanges(GroupTokensFor(r, group, hit_tokens));
+    for (int64_t j = 0; j < blocks; ++j) {
+      bool block_needed = false;
+      for (const TokenRange& range : needed) {
+        if (range.begin < (j + 1) * bs && range.end > j * bs) {
+          block_needed = true;
+          break;
+        }
+      }
+      const auto page = block_needed
+                            ? alloc.LookupCached(group_hashes[g][static_cast<size_t>(j)])
+                            : std::nullopt;
+      if (page.has_value()) {
+        alloc.AddRef(*page);
+        alloc.UpdateLastAccess(*page, now);
+        gs.pages.push_back(*page);
+      } else {
+        // A hole the policy tolerates (out-of-window block, or an unneeded one we skip).
+        gs.pages.push_back(kNoSmallPage);
+      }
+    }
+    // Blocks before the first needed one will never be re-referenced; start the drop cursor
+    // past them so DropUnneededPages does not revisit.
+    gs.drop_cursor = 0;
+    gs.hashed_blocks = blocks;
+    if (blocks > 0) {
+      gs.chain = group_hashes[g][static_cast<size_t>(blocks) - 1];
+      gs.chain_tokens = blocks * bs;
+    }
+  }
+
+  // Modality streams consumed so far (for future chain extension).
+  for (int64_t i = 0; i < hit_tokens; ++i) {
+    if (r.all_kinds[static_cast<size_t>(i)] == TokenKind::kImage) {
+      state.image_tokens.push_back(r.all_tokens[static_cast<size_t>(i)]);
+    } else if (has_text_scope_) {
+      state.text_tokens.push_back(r.all_tokens[static_cast<size_t>(i)]);
+    }
+  }
+
+  r.num_computed_tokens = hit_tokens;
+  r.cached_prefix_tokens = hit_tokens;
+  state.computed_tokens = hit_tokens;
+  state.needed_bytes = NeededBytesFor(r);
+  total_cache_hit_tokens_ += hit_tokens;
+}
+
+bool KvManager::AllocateForTokens(Request& r, int64_t n, Tick now) {
+  RequestKv& state = StateOf(r);
+  const int64_t upto = r.num_computed_tokens + n;
+  std::vector<std::pair<int, SmallPageId>> fresh;
+  for (size_t g = 0; g < spec_.groups.size(); ++g) {
+    const KvGroupSpec& group = spec_.groups[g];
+    SmallPageAllocator& alloc = allocator_.group(static_cast<int>(g));
+    GroupState& gs = state.groups[g];
+    const int64_t target = TargetPages(r, group, upto);
+    while (static_cast<int64_t>(gs.pages.size()) < target) {
+      const auto page = alloc.Allocate(r.id, now);
+      if (!page.has_value()) {
+        // Roll back everything this call allocated; the caller will preempt.
+        for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
+          allocator_.group(it->first).Release(it->second, /*keep_cached=*/false);
+          GroupState& owner = state.groups[static_cast<size_t>(it->first)];
+          JENGA_CHECK_EQ(owner.pages.back(), it->second);
+          owner.pages.pop_back();
+        }
+        return false;
+      }
+      gs.pages.push_back(*page);
+      fresh.emplace_back(static_cast<int>(g), *page);
+    }
+  }
+  return true;
+}
+
+void KvManager::RegisterHashes(Request& r, RequestKv& state, Tick now) {
+  const int bs = options_.tokens_per_page;
+  const int64_t c = r.num_computed_tokens;
+  for (size_t g = 0; g < spec_.groups.size(); ++g) {
+    const KvGroupSpec& group = spec_.groups[g];
+    if (group.kind == GroupKind::kMamba) {
+      SnapshotMambaCheckpoints(r, state, static_cast<int>(g), now);
+      continue;
+    }
+    SmallPageAllocator& alloc = allocator_.group(static_cast<int>(g));
+    GroupState& gs = state.groups[g];
+    const std::vector<int32_t>& stream = group.scope == GroupScope::kImageTokens
+                                             ? state.image_tokens
+                                             : (group.scope == GroupScope::kTextTokens
+                                                    ? state.text_tokens
+                                                    : r.all_tokens);
+    const int64_t stream_len = GroupTokensFor(r, group, c);
+    const int64_t num_blocks = stream_len / bs;
+    for (int64_t j = gs.hashed_blocks; j < num_blocks; ++j) {
+      gs.chain = ExtendBlockHash(
+          gs.chain, std::span<const int32_t>(stream).subspan(static_cast<size_t>(j) * bs,
+                                                             static_cast<size_t>(bs)));
+      gs.chain_tokens += bs;
+      if (j < static_cast<int64_t>(gs.pages.size()) &&
+          gs.pages[static_cast<size_t>(j)] != kNoSmallPage) {
+        alloc.SetContentHash(gs.pages[static_cast<size_t>(j)], gs.chain);
+      }
+    }
+    gs.hashed_blocks = num_blocks;
+  }
+}
+
+void KvManager::SnapshotMambaCheckpoints(Request& r, RequestKv& state, int g, Tick now) {
+  // §5.3: cache the Mamba state every kMambaCheckpointInterval tokens. The snapshot page is
+  // allocated, hashed, prioritized by its depth, and immediately released to evictable — the
+  // running request keeps only its live state page. Snapshots are best-effort: under memory
+  // pressure they are skipped rather than failing the step.
+  GroupState& gs = state.groups[static_cast<size_t>(g)];
+  SmallPageAllocator& alloc = allocator_.group(g);
+  const int64_t target = r.num_computed_tokens / kMambaCheckpointInterval;
+  for (int64_t k = gs.checkpoints_done + 1; k <= target; ++k) {
+    gs.chain = ExtendBlockHash(
+        gs.chain,
+        std::span<const int32_t>(r.all_tokens)
+            .subspan(static_cast<size_t>((k - 1) * kMambaCheckpointInterval),
+                     static_cast<size_t>(kMambaCheckpointInterval)));
+    gs.chain_tokens = k * kMambaCheckpointInterval;
+    gs.checkpoints_done = k;
+    if (alloc.LookupCached(gs.chain).has_value()) {
+      continue;  // Snapshot already cached (e.g. shared prefix).
+    }
+    const auto page = alloc.Allocate(r.id, now);
+    if (!page.has_value()) {
+      continue;
+    }
+    alloc.SetContentHash(*page, gs.chain);
+    alloc.SetPrefixLength(*page, k * kMambaCheckpointInterval);
+    alloc.UpdateLastAccess(*page, now);
+    alloc.Release(*page, /*keep_cached=*/true);
+  }
+}
+
+void KvManager::DropUnneededPages(RequestKv& state, int g, Tick now) {
+  GroupState& gs = state.groups[static_cast<size_t>(g)];
+  if (gs.pages.empty()) {
+    return;
+  }
+  SmallPageAllocator& alloc = allocator_.group(g);
+  const KvGroupSpec& group = spec_.groups[static_cast<size_t>(g)];
+  const int bs = group.tokens_per_page;
+  const int64_t tokens = gs.drop_tokens_hint;
+  const std::vector<TokenRange> ranges = policies_[static_cast<size_t>(g)]->NeededTokenRanges(tokens);
+  if (ranges.empty()) {
+    return;
+  }
+  const int64_t limit_block =
+      std::min<int64_t>(ranges.back().begin / bs, static_cast<int64_t>(gs.pages.size()));
+  while (gs.drop_cursor < limit_block) {
+    const int64_t j = gs.drop_cursor;
+    bool keep = false;
+    for (size_t i = 0; i + 1 < ranges.size(); ++i) {
+      if (ranges[i].begin < (j + 1) * bs && ranges[i].end > j * bs) {
+        keep = true;
+        break;
+      }
+    }
+    if (!keep && gs.pages[static_cast<size_t>(j)] != kNoSmallPage) {
+      const SmallPageId page = gs.pages[static_cast<size_t>(j)];
+      alloc.SetPrefixLength(page, (j + 1) * bs);
+      alloc.Release(page, options_.enable_prefix_caching);
+      gs.pages[static_cast<size_t>(j)] = kNoSmallPage;
+    }
+    gs.drop_cursor += 1;
+  }
+  (void)now;
+}
+
+void KvManager::FreeConsumedVisionPages(const Request& r, RequestKv& state, Tick now) {
+  if (vision_group_ < 0) {
+    return;
+  }
+  GroupState& gs = state.groups[static_cast<size_t>(vision_group_)];
+  SmallPageAllocator& alloc = allocator_.group(vision_group_);
+  const int bs = spec_.groups[static_cast<size_t>(vision_group_)].tokens_per_page;
+  const int64_t consumed = r.ImageTokensBefore(r.num_computed_tokens);
+  const int64_t total = r.image_prefix.back();
+  while (gs.drop_cursor < static_cast<int64_t>(gs.pages.size())) {
+    const int64_t j = gs.drop_cursor;
+    const bool fully_consumed = (j + 1) * bs <= consumed || consumed == total;
+    if (!fully_consumed) {
+      break;
+    }
+    if (gs.pages[static_cast<size_t>(j)] != kNoSmallPage) {
+      alloc.UpdateLastAccess(gs.pages[static_cast<size_t>(j)], now);
+      alloc.Release(gs.pages[static_cast<size_t>(j)], options_.enable_prefix_caching);
+      gs.pages[static_cast<size_t>(j)] = kNoSmallPage;
+    }
+    gs.drop_cursor += 1;
+  }
+}
+
+RequestPages KvManager::ViewOf(const Request& r, const RequestKv& state, int g) const {
+  const KvGroupSpec& group = spec_.groups[static_cast<size_t>(g)];
+  RequestPages view;
+  view.request = r.id;
+  view.pages = state.groups[static_cast<size_t>(g)].pages;
+  view.num_tokens = GroupTokensFor(r, group, r.num_computed_tokens);
+  view.tokens_per_page =
+      group.kind == GroupKind::kMamba ? kMambaCheckpointInterval : group.tokens_per_page;
+  return view;
+}
+
+void KvManager::OnStepComputed(Request& r, Tick now) {
+  RequestKv& state = StateOf(r);
+  if (options_.enable_prefix_caching) {
+    // Extend the modality streams with newly computed tokens.
+    for (int64_t i = state.computed_tokens; i < r.num_computed_tokens; ++i) {
+      if (r.all_kinds[static_cast<size_t>(i)] == TokenKind::kImage) {
+        state.image_tokens.push_back(r.all_tokens[static_cast<size_t>(i)]);
+      } else if (has_text_scope_) {
+        state.text_tokens.push_back(r.all_tokens[static_cast<size_t>(i)]);
+      }
+    }
+    RegisterHashes(r, state, now);
+  }
+  if (options_.jenga) {
+    for (size_t g = 0; g < spec_.groups.size(); ++g) {
+      if (static_cast<int>(g) == vision_group_) {
+        continue;  // Vision pages are freed by consumption, not by windowing.
+      }
+      if (policies_[g]->CanDropUnneededPages()) {
+        state.groups[g].drop_tokens_hint =
+            GroupTokensFor(r, spec_.groups[g], r.num_computed_tokens);
+        DropUnneededPages(state, static_cast<int>(g), now);
+      }
+    }
+    FreeConsumedVisionPages(r, state, now);
+  }
+  // Balanced eviction (§5.1): refresh last-access of the pages this step actually touched.
+  for (size_t g = 0; g < spec_.groups.size(); ++g) {
+    policies_[g]->UpdateLastAccess(ViewOf(r, state, static_cast<int>(g)), now,
+                                   allocator_.group(static_cast<int>(g)));
+  }
+  state.computed_tokens = r.num_computed_tokens;
+  state.needed_bytes = NeededBytesFor(r);
+}
+
+void KvManager::Release(Request& r, Tick now) {
+  RequestKv& state = StateOf(r);
+  for (size_t g = 0; g < spec_.groups.size(); ++g) {
+    SmallPageAllocator& alloc = allocator_.group(static_cast<int>(g));
+    if (options_.enable_prefix_caching) {
+      // Aligned eviction (§5.1): assign consistent per-token priorities across groups before
+      // the pages become evictable.
+      policies_[g]->SetPrefixLength(ViewOf(r, state, static_cast<int>(g)), alloc);
+    }
+    for (const SmallPageId page : state.groups[g].pages) {
+      if (page != kNoSmallPage) {
+        alloc.Release(page, options_.enable_prefix_caching);
+      }
+    }
+  }
+  requests_.erase(r.id);
+  (void)now;
+}
+
+bool KvManager::CanAllocate(const Request& r, int64_t tokens) const {
+  // Large-page-granular admission check: a group can consume its own empty small pages, but
+  // everything beyond that must come from free (or fully-evictable) large pages. Counting
+  // other groups' stranded empties would over-admit and cause preemption storms.
+  const auto it = requests_.find(r.id);
+  const int64_t upto = r.num_computed_tokens + tokens;
+  int64_t larges_needed = 0;
+  for (size_t g = 0; g < spec_.groups.size(); ++g) {
+    const int64_t have =
+        it == requests_.end() ? 0 : static_cast<int64_t>(it->second.groups[g].pages.size());
+    const int64_t target = TargetPages(r, spec_.groups[g], upto);
+    const int64_t own_empties = allocator_.group(static_cast<int>(g)).GetStats().empty_pages;
+    const int64_t new_pages = std::max<int64_t>(0, target - have - own_empties);
+    larges_needed +=
+        CeilDiv(new_pages, allocator_.group(static_cast<int>(g)).pages_per_large());
+  }
+  const int64_t evictable_larges =
+      allocator_.GetBreakdown().evictable_bytes / allocator_.lcm().large_page_bytes();
+  const int64_t available = allocator_.lcm().num_free() + evictable_larges;
+  // Watermark: keep ~2% of the pool free as decode-growth headroom (vLLM-style), so steady
+  // decode progress does not degenerate into preemption storms.
+  const int64_t watermark = std::max<int64_t>(1, allocator_.lcm().num_pages() / 50);
+  return larges_needed + watermark <= available;
+}
+
+int64_t KvManager::NeededBytesFor(const Request& r) const {
+  int64_t needed = 0;
+  const int64_t c = r.num_computed_tokens;
+  for (size_t g = 0; g < accounting_spec_.groups.size(); ++g) {
+    const KvGroupSpec& group = accounting_spec_.groups[g];
+    switch (group.kind) {
+      case GroupKind::kMamba:
+        needed += group.page_bytes;
+        break;
+      case GroupKind::kVisionEmbed: {
+        if (vision_group_ >= 0) {
+          const int64_t unconsumed = r.image_prefix.back() - r.ImageTokensBefore(c);
+          needed += unconsumed * group.bytes_per_token_per_layer;
+        }
+        break;
+      }
+      default: {
+        const int64_t tokens = GroupTokensFor(r, group, c);
+        needed +=
+            RangeTokens(accounting_policies_[g]->NeededTokenRanges(tokens)) * group.BytesPerToken();
+        break;
+      }
+    }
+  }
+  return needed;
+}
+
+KvManager::MemoryStats KvManager::GetMemoryStats() const {
+  MemoryStats stats;
+  const JengaAllocator::MemoryBreakdown b = allocator_.GetBreakdown();
+  stats.pool_bytes = b.pool_bytes;
+  stats.used_bytes = b.used_bytes;
+  stats.cached_bytes = b.evictable_bytes;
+  stats.internal_frag_bytes = b.empty_bytes;
+  stats.unallocated_bytes = b.unallocated_bytes;
+  int64_t needed = 0;
+  for (const auto& [id, state] : requests_) {
+    needed += state.needed_bytes;
+  }
+  stats.needed_bytes = needed;
+  stats.wasted_bytes = std::max<int64_t>(0, stats.used_bytes - needed) + b.empty_bytes;
+  return stats;
+}
+
+void KvManager::CheckConsistency() const { allocator_.CheckConsistency(); }
+
+}  // namespace jenga

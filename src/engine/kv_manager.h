@@ -1,0 +1,162 @@
+// KV-cache manager: maps requests onto the two-level allocator. One class serves both the
+// Jenga configuration (per-group allocation, layer-specific policies, out-of-window drops,
+// vision-embedding cache) and the PagedAttention-style baselines (a single degenerate group
+// covering every layer, full-prefix rules only) — exactly the comparison the paper makes,
+// with everything else held equal.
+
+#ifndef JENGA_SRC_ENGINE_KV_MANAGER_H_
+#define JENGA_SRC_ENGINE_KV_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/jenga_allocator.h"
+#include "src/core/layer_policy.h"
+#include "src/engine/request.h"
+#include "src/model/kv_spec.h"
+#include "src/model/model_config.h"
+
+namespace jenga {
+
+// Builds the per-group spec Jenga allocates with (vision-embedding group included when the
+// model has a vision encoder and `vision_cache` is set).
+[[nodiscard]] KvSpec MakeJengaSpec(const ModelConfig& model, int tokens_per_page,
+                                   bool vision_cache);
+
+// Builds the degenerate homogeneous spec of PagedAttention engines: one group whose per-token
+// size is the sum over every attention-like layer, covering text and image tokens alike
+// (the (T+I)·L·E accounting of §3.2). Mamba layers are excluded — baselines reserve their
+// state statically (see StaticMambaReservationBytes). `bytes_per_token_override` lets
+// speculative-decoding baselines charge a model's tokens at a larger page size (vLLM-max).
+[[nodiscard]] KvSpec MakeHomogeneousSpec(const ModelConfig& model, int tokens_per_page,
+                                         int64_t bytes_per_token_override = 0);
+
+// Bytes a homogeneous engine reserves up front for Mamba states (max_num_seqs × state size).
+[[nodiscard]] int64_t StaticMambaReservationBytes(const ModelConfig& model, int max_num_seqs);
+
+class KvManager {
+ public:
+  struct Options {
+    int tokens_per_page = 16;
+    bool enable_prefix_caching = true;
+    // Jenga semantics: layer-specific policies + dropping of unneeded pages. When false,
+    // every group uses full-prefix rules and nothing is dropped mid-request (vLLM v0.6.3).
+    bool jenga = true;
+    // Needed by the image-cache policies of multimodal models.
+    int tokens_per_image = 0;
+  };
+
+  // `alloc_spec` drives allocation; `accounting_spec` is the true per-group architecture,
+  // used for the needed-vs-allocated waste accounting of Fig. 16 and for the decode KV-read
+  // estimate, regardless of allocation mode.
+  KvManager(KvSpec alloc_spec, KvSpec accounting_spec, int64_t pool_bytes, Options options);
+
+  KvManager(const KvManager&) = delete;
+  KvManager& operator=(const KvManager&) = delete;
+
+  // Admission: resolves the longest prefix-cache hit valid across every group (§5.2), takes
+  // references on the covering pages, and fast-forwards r.num_computed_tokens. Must be called
+  // once per (re-)admission, before AllocateForTokens.
+  void OnAdmit(Request& r, Tick now);
+
+  // Ensures KV slots exist for the next `n` tokens of `r` (plus the request's remaining
+  // vision embeddings, when a vision group exists). On failure all pages allocated by this
+  // call are rolled back and false is returned; the caller preempts.
+  [[nodiscard]] bool AllocateForTokens(Request& r, int64_t n, Tick now);
+
+  // Bookkeeping after a step computed tokens of `r` up to r.num_computed_tokens (already
+  // advanced by the caller): registers content hashes of completed blocks, snapshots Mamba
+  // checkpoints, drops out-of-window pages (Jenga), frees consumed vision embeddings, and
+  // refreshes eviction metadata via the layer policies.
+  void OnStepComputed(Request& r, Tick now);
+
+  // Releases every page of `r` (finish or preemption). Cached content stays evictable when
+  // prefix caching is on.
+  void Release(Request& r, Tick now);
+
+  // Conservative admission check: can `tokens` more tokens of `r` be allocated right now,
+  // counting free plus evictable capacity?
+  [[nodiscard]] bool CanAllocate(const Request& r, int64_t tokens) const;
+
+  // --- Accounting (Fig. 16) ---
+
+  struct MemoryStats {
+    int64_t pool_bytes = 0;
+    int64_t used_bytes = 0;       // Pages referenced by running requests.
+    int64_t needed_bytes = 0;     // What the true architecture needs for those requests.
+    int64_t wasted_bytes = 0;     // used − needed + internal fragmentation.
+    int64_t cached_bytes = 0;     // Evictable prefix-cache content.
+    int64_t internal_frag_bytes = 0;
+    int64_t unallocated_bytes = 0;
+  };
+  [[nodiscard]] MemoryStats GetMemoryStats() const;
+
+  // Needed bytes for one request at its current progress, per the accounting spec.
+  [[nodiscard]] int64_t NeededBytesFor(const Request& r) const;
+  // KV bytes a decode step must read for `r` (the bandwidth term of the cost model; identical
+  // across managers because attention kernels read only what the layer needs).
+  [[nodiscard]] int64_t DecodeKvReadBytes(const Request& r) const { return NeededBytesFor(r); }
+
+  [[nodiscard]] const JengaAllocator& allocator() const { return allocator_; }
+  [[nodiscard]] const KvSpec& alloc_spec() const { return spec_; }
+  [[nodiscard]] int tokens_per_page() const { return options_.tokens_per_page; }
+  [[nodiscard]] bool caching_enabled() const { return options_.enable_prefix_caching; }
+  [[nodiscard]] bool has_vision_group() const { return vision_group_ >= 0; }
+  [[nodiscard]] int64_t total_cache_hit_tokens() const { return total_cache_hit_tokens_; }
+  [[nodiscard]] int num_tracked_requests() const { return static_cast<int>(requests_.size()); }
+
+  void CheckConsistency() const;
+
+ private:
+  struct GroupState {
+    std::vector<SmallPageId> pages;  // Block table (attention/image groups); [state] for Mamba.
+    // Incremental hash chain over the group's token stream.
+    BlockHash chain = 0;
+    int64_t chain_tokens = 0;
+    int64_t hashed_blocks = 0;
+    // Blocks below this cursor were released (out-of-window / consumed vision embeddings).
+    int64_t drop_cursor = 0;
+    // Group-local token count driving the next DropUnneededPages pass.
+    int64_t drop_tokens_hint = 0;
+    // Mamba: checkpoints snapshotted so far.
+    int64_t checkpoints_done = 0;
+  };
+  struct RequestKv {
+    std::vector<GroupState> groups;
+    // Modality subsequences accumulated as tokens are computed (shared by same-scope groups;
+    // text_tokens is only maintained when a text-scoped group exists).
+    std::vector<int32_t> image_tokens;
+    std::vector<int32_t> text_tokens;
+    int64_t computed_tokens = 0;
+    // Cached NeededBytesFor value for the Fig. 16 accounting.
+    int64_t needed_bytes = 0;
+  };
+
+  [[nodiscard]] RequestKv& StateOf(const Request& r);
+  [[nodiscard]] uint64_t GroupSalt(int g) const { return (static_cast<uint64_t>(g) + 1) * 0x9E3779B97F4A7C15ull; }
+  // Target block-table size for group `g` once `prefix_tokens` tokens are computed.
+  [[nodiscard]] int64_t TargetPages(const Request& r, const KvGroupSpec& group,
+                                    int64_t prefix_tokens) const;
+  void RegisterHashes(Request& r, RequestKv& state, Tick now);
+  void SnapshotMambaCheckpoints(Request& r, RequestKv& state, int g, Tick now);
+  void DropUnneededPages(RequestKv& state, int g, Tick now);
+  void FreeConsumedVisionPages(const Request& r, RequestKv& state, Tick now);
+  [[nodiscard]] RequestPages ViewOf(const Request& r, const RequestKv& state, int g) const;
+
+  KvSpec spec_;
+  KvSpec accounting_spec_;
+  Options options_;
+  JengaAllocator allocator_;
+  std::vector<std::unique_ptr<LayerPolicy>> policies_;             // Per alloc-spec group.
+  std::vector<std::unique_ptr<LayerPolicy>> accounting_policies_;  // Per accounting group.
+  int vision_group_ = -1;
+  bool has_text_scope_ = false;
+  std::unordered_map<RequestId, RequestKv> requests_;
+  int64_t total_cache_hit_tokens_ = 0;
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_ENGINE_KV_MANAGER_H_

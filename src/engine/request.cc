@@ -1,0 +1,56 @@
+#include "src/engine/request.h"
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+int64_t Prompt::CountImageTokens() const {
+  if (kinds.empty()) {
+    return 0;
+  }
+  int64_t count = 0;
+  for (TokenKind k : kinds) {
+    if (k == TokenKind::kImage) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void Request::Prepare() {
+  JENGA_CHECK_GT(output_len, 0);
+  JENGA_CHECK_GT(prompt.size(), 0);
+  if (!prompt.kinds.empty()) {
+    JENGA_CHECK_EQ(prompt.kinds.size(), prompt.tokens.size());
+  }
+  all_tokens = prompt.tokens;
+  all_kinds.assign(static_cast<size_t>(prompt.size()), TokenKind::kText);
+  if (!prompt.kinds.empty()) {
+    all_kinds = prompt.kinds;
+  }
+  image_prefix.assign(static_cast<size_t>(prompt.size()) + 1, 0);
+  for (int64_t i = 0; i < prompt.size(); ++i) {
+    image_prefix[static_cast<size_t>(i) + 1] =
+        image_prefix[static_cast<size_t>(i)] +
+        (all_kinds[static_cast<size_t>(i)] == TokenKind::kImage ? 1 : 0);
+  }
+}
+
+void Request::AppendGenerated(int32_t token) {
+  all_tokens.push_back(token);
+  all_kinds.push_back(TokenKind::kText);
+  image_prefix.push_back(image_prefix.back());
+  num_generated += 1;
+}
+
+Request MakeRequest(RequestId id, Prompt prompt, int64_t output_len, double arrival_time) {
+  Request request;
+  request.id = id;
+  request.prompt = std::move(prompt);
+  request.output_len = output_len;
+  request.arrival_time = arrival_time;
+  request.Prepare();
+  return request;
+}
+
+}  // namespace jenga

@@ -1,0 +1,355 @@
+#include "src/engine/spec_decode.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/baseline/smartspec.h"
+#include "src/common/check.h"
+
+namespace jenga {
+
+const char* SpecStrategyName(SpecStrategy strategy) {
+  switch (strategy) {
+    case SpecStrategy::kJenga:
+      return "jenga";
+    case SpecStrategy::kVllmMax:
+      return "vllm-max";
+    case SpecStrategy::kVllmManual:
+      return "vllm-manual";
+  }
+  return "unknown";
+}
+
+namespace {
+
+int32_t PseudoToken(RequestId id, int64_t position) {
+  uint64_t x = static_cast<uint64_t>(id) * 0xD1B54A32D192ED03ull + static_cast<uint64_t>(position);
+  x ^= x >> 31;
+  x *= 0x9E3779B97F4A7C15ull;
+  x ^= x >> 29;
+  return static_cast<int32_t>(50000 + (x % 1000000));
+}
+
+// Prefill target: on (re-)admission every token before the generation frontier must have its
+// KV recomputed, including previously generated tokens (preempt-by-recompute semantics).
+int64_t PrefillTarget(const Request& r) { return r.prompt_len() + r.num_generated; }
+
+}  // namespace
+
+SpecDecodeEngine::SpecDecodeEngine(SpecDecodeConfig config)
+    : config_(std::move(config)),
+      target_gpu_(config_.gpu, config_.target),
+      draft_gpu_(config_.gpu, config_.draft),
+      rng_(config_.seed) {
+  max_num_seqs_ = config_.max_num_seqs_override > 0 ? config_.max_num_seqs_override
+                                                    : config_.gpu.max_num_seqs;
+  max_batched_tokens_ = config_.gpu.max_batched_tokens;
+
+  // Both models' weights live on the GPU.
+  const int64_t weights = config_.target.WeightBytes() + config_.draft.WeightBytes();
+  int64_t pool = config_.pool_bytes_override > 0
+                     ? config_.pool_bytes_override
+                     : config_.gpu.memory_bytes - weights - config_.gpu.reserved_bytes;
+  JENGA_CHECK_GT(pool, 0) << "models do not fit on " << config_.gpu.name;
+
+  const int bs = config_.tokens_per_page;
+  KvManager::Options options;
+  options.tokens_per_page = bs;
+  options.enable_prefix_caching = false;  // Fig. 19 isolates allocation efficiency.
+
+  const KvSpec target_jenga = MakeJengaSpec(config_.target, bs, /*vision_cache=*/false);
+  const KvSpec draft_jenga = MakeJengaSpec(config_.draft, bs, /*vision_cache=*/false);
+  const KvSpec merged_accounting =
+      MergeKvSpecs({{"target", target_jenga}, {"draft", draft_jenga}});
+
+  switch (config_.strategy) {
+    case SpecStrategy::kJenga: {
+      options.jenga = true;
+      managers_.push_back(
+          std::make_unique<KvManager>(merged_accounting, merged_accounting, pool, options));
+      break;
+    }
+    case SpecStrategy::kVllmMax: {
+      // One uniform page sized for the larger model; every token pays it for both models.
+      options.jenga = false;
+      const int64_t max_per_token = std::max(config_.target.KvBytesPerTokenAllLayers(),
+                                             config_.draft.KvBytesPerTokenAllLayers());
+      const KvSpec alloc =
+          MakeHomogeneousSpec(config_.target, bs, /*bytes_per_token_override=*/2 * max_per_token);
+      // Homogeneous engines also reserve Mamba state statically for both models.
+      const int64_t reservation = StaticMambaReservationBytes(config_.target, max_num_seqs_) +
+                                  StaticMambaReservationBytes(config_.draft, max_num_seqs_);
+      JENGA_CHECK_LT(reservation, pool);
+      managers_.push_back(
+          std::make_unique<KvManager>(alloc, merged_accounting, pool - reservation, options));
+      break;
+    }
+    case SpecStrategy::kVllmManual: {
+      options.jenga = false;
+      const int64_t reservation = StaticMambaReservationBytes(config_.target, max_num_seqs_) +
+                                  StaticMambaReservationBytes(config_.draft, max_num_seqs_);
+      JENGA_CHECK_LT(reservation, pool);
+      const PoolSplit split = SmartSpecSplit(config_.target, config_.draft, pool - reservation);
+      managers_.push_back(std::make_unique<KvManager>(MakeHomogeneousSpec(config_.target, bs),
+                                                      target_jenga, split.target_bytes, options));
+      managers_.push_back(std::make_unique<KvManager>(MakeHomogeneousSpec(config_.draft, bs),
+                                                      draft_jenga, split.draft_bytes, options));
+      break;
+    }
+  }
+}
+
+void SpecDecodeEngine::Submit(Request request) {
+  const RequestId id = request.id;
+  JENGA_CHECK(!requests_.contains(id));
+  requests_.emplace(id, std::move(request));
+  waiting_.push_back(id);
+}
+
+Request& SpecDecodeEngine::Get(RequestId id) {
+  const auto it = requests_.find(id);
+  JENGA_CHECK(it != requests_.end());
+  return it->second;
+}
+
+bool SpecDecodeEngine::AllocateAll(Request& r, int64_t tokens) {
+  for (size_t m = 0; m < managers_.size(); ++m) {
+    if (!managers_[m]->AllocateForTokens(r, tokens, tick_)) {
+      // Pages taken by earlier managers this call stay with the request; the caller resolves
+      // failure by preempting (which releases everything in all managers).
+      return false;
+    }
+  }
+  return true;
+}
+
+void SpecDecodeEngine::ReleaseAll(Request& r) {
+  for (auto& manager : managers_) {
+    manager->Release(r, tick_);
+  }
+}
+
+void SpecDecodeEngine::StepComputedAll(Request& r) {
+  for (auto& manager : managers_) {
+    manager->OnStepComputed(r, tick_);
+  }
+}
+
+void SpecDecodeEngine::AdmitAll(Request& r) {
+  for (auto& manager : managers_) {
+    manager->OnAdmit(r, tick_);
+  }
+}
+
+void SpecDecodeEngine::Preempt(RequestId id) {
+  Request& r = Get(id);
+  ReleaseAll(r);
+  r.state = RequestState::kPreempted;
+  r.preemptions += 1;
+  r.num_computed_tokens = 0;
+  const auto it = std::find(running_.begin(), running_.end(), id);
+  JENGA_CHECK(it != running_.end());
+  running_.erase(it);
+  waiting_.push_front(id);
+}
+
+void SpecDecodeEngine::FinishRequest(Request& r, bool failed) {
+  r.state = RequestState::kFinished;
+  r.finish_time = now_;
+  RequestRecord record;
+  record.id = r.id;
+  record.prompt_len = r.prompt_len();
+  record.output_len = r.num_generated;
+  record.preemptions = r.preemptions;
+  record.arrival_time = r.arrival_time;
+  record.first_scheduled_time = r.first_scheduled_time;
+  record.first_token_time = r.first_token_time;
+  record.finish_time = now_;
+  record.failed = failed;
+  metrics_.RecordFinished(record);
+}
+
+bool SpecDecodeEngine::StepOnce() {
+  if (running_.empty() && waiting_.empty()) {
+    return false;
+  }
+  ++tick_;
+
+  int64_t budget = max_batched_tokens_;
+  int64_t prefill_tokens = 0;
+  std::unordered_set<RequestId> prefilled_this_step;
+
+  // Phase 1: continue prefill (and post-preemption recompute) of running requests.
+  for (const RequestId id : running_) {
+    Request& r = Get(id);
+    if (r.num_computed_tokens >= PrefillTarget(r) || budget <= 0) {
+      continue;
+    }
+    const int64_t n = std::min<int64_t>(PrefillTarget(r) - r.num_computed_tokens, budget);
+    if (!AllocateAll(r, n)) {
+      continue;  // Retry next step once decodes free memory.
+    }
+    r.num_computed_tokens += n;
+    StepComputedAll(r);
+    budget -= n;
+    prefill_tokens += n;
+    prefilled_this_step.insert(id);
+  }
+
+  // Phase 2: admissions.
+  while (budget > 0 && static_cast<int>(running_.size()) < max_num_seqs_ && !waiting_.empty()) {
+    const RequestId id = waiting_.front();
+    Request& r = Get(id);
+    const int64_t n = std::min<int64_t>(PrefillTarget(r), budget);
+    bool fits = true;
+    for (auto& manager : managers_) {
+      if (!manager->CanAllocate(r, n)) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) {
+      if (running_.empty()) {
+        waiting_.pop_front();
+        FinishRequest(r, /*failed=*/true);
+        continue;
+      }
+      break;
+    }
+    waiting_.pop_front();
+    AdmitAll(r);
+    if (!AllocateAll(r, n)) {
+      ReleaseAll(r);
+      r.num_computed_tokens = 0;
+      if (running_.empty()) {
+        FinishRequest(r, /*failed=*/true);
+        continue;
+      }
+      waiting_.push_front(id);
+      break;
+    }
+    r.state = RequestState::kRunning;
+    if (r.first_scheduled_time < 0.0) {
+      r.first_scheduled_time = now_;
+    }
+    r.num_computed_tokens += n;
+    StepComputedAll(r);
+    running_.push_back(id);
+    budget -= n;
+    prefill_tokens += n;
+    prefilled_this_step.insert(id);
+  }
+
+  // Phase 3: decode macro step — draft proposes, target verifies, accepted tokens commit.
+  // Generated token ids are appended before allocation so block tables can cover them.
+  struct Emit {
+    RequestId id;
+    int64_t tokens;
+  };
+  std::vector<Emit> decode_emits;
+  int64_t decode_kv_read = 0;
+  for (size_t i = 0; i < running_.size();) {
+    const RequestId id = running_[i];
+    Request& r = Get(id);
+    if (prefilled_this_step.contains(id) || r.num_computed_tokens < PrefillTarget(r)) {
+      ++i;
+      continue;
+    }
+    int accepted = 0;
+    while (accepted < config_.propose_len && rng_.Bernoulli(config_.acceptance_rate)) {
+      ++accepted;
+    }
+    const int64_t emit = std::min<int64_t>(accepted + 1, r.output_len - r.num_generated);
+    JENGA_CHECK_GT(emit, 0);
+    for (int64_t j = 0; j < emit; ++j) {
+      r.AppendGenerated(PseudoToken(r.id, r.total_len()));
+    }
+    bool self_preempted = false;
+    while (!AllocateAll(r, emit)) {
+      const RequestId victim = running_.back();
+      Preempt(victim);
+      if (victim == id) {
+        self_preempted = true;
+        break;
+      }
+    }
+    if (self_preempted) {
+      continue;  // Tokens stay appended; recompute covers their KV after re-admission.
+    }
+    for (auto& manager : managers_) {
+      decode_kv_read += manager->DecodeKvReadBytes(r);
+    }
+    decode_emits.push_back({id, emit});
+    ++i;
+  }
+
+  if (prefilled_this_step.empty() && decode_emits.empty()) {
+    // Everything blocked (e.g. a prefill cannot fit next to the others): preempt the youngest
+    // running request so the head of the line can progress.
+    if (!running_.empty()) {
+      Preempt(running_.back());
+      return true;
+    }
+    JENGA_CHECK(!waiting_.empty());
+    return true;
+  }
+
+  // Phase 4: time accounting — chunked prefill on both models + propose_len draft steps +
+  // one target verification pass over batch × (k+1) tokens.
+  double step_time = 0.0;
+  if (prefill_tokens > 0) {
+    step_time += target_gpu_.StepTime(prefill_tokens, 0) + draft_gpu_.StepTime(prefill_tokens, 0);
+  }
+  if (!decode_emits.empty()) {
+    const int64_t batch = static_cast<int64_t>(decode_emits.size());
+    const int64_t per_pass_read = decode_kv_read / (config_.propose_len + 1);
+    for (int j = 0; j < config_.propose_len; ++j) {
+      step_time += draft_gpu_.StepTime(batch, per_pass_read);
+    }
+    step_time += target_gpu_.StepTime(batch * (config_.propose_len + 1), per_pass_read);
+  }
+  now_ += step_time;
+
+  // Phase 5: commit.
+  int64_t emitted_total = 0;
+  for (const Emit& e : decode_emits) {
+    Request& r = Get(e.id);
+    r.num_computed_tokens += e.tokens;
+    StepComputedAll(r);
+    if (r.first_token_time < 0.0) {
+      r.first_token_time = now_;
+    }
+    emitted_total += e.tokens;
+    if (r.num_generated >= r.output_len) {
+      ReleaseAll(r);
+      const auto it = std::find(running_.begin(), running_.end(), e.id);
+      JENGA_CHECK(it != running_.end());
+      running_.erase(it);
+      FinishRequest(r, /*failed=*/false);
+    }
+  }
+  for (const RequestId id : prefilled_this_step) {
+    Request& r = Get(id);
+    if (r.state == RequestState::kRunning && r.num_generated == 0 &&
+        r.num_computed_tokens >= r.prompt_len()) {
+      r.AppendGenerated(PseudoToken(r.id, r.total_len()));
+      r.first_token_time = now_;
+      ++emitted_total;
+    }
+  }
+
+  metrics_.RecordStep(now_, prefill_tokens + emitted_total,
+                      static_cast<int>(decode_emits.size()), static_cast<int>(running_.size()),
+                      static_cast<int>(waiting_.size()));
+  return true;
+}
+
+void SpecDecodeEngine::RunToCompletion(int64_t max_steps) {
+  int64_t steps = 0;
+  while (StepOnce()) {
+    ++steps;
+    JENGA_CHECK_LT(steps, max_steps) << "spec-decode engine did not converge";
+  }
+}
+
+}  // namespace jenga

@@ -1,0 +1,87 @@
+// Speculative decoding (§6.1, Fig. 19): a draft model proposes `propose_len` tokens per macro
+// step and the target model verifies them in one pass. Both models keep KV for every sequence
+// token, so the memory manager must serve two different per-token sizes at once. Three
+// strategies are compared:
+//
+//   kJenga      — one two-level allocator over the merged per-group spec of both models,
+//   kVllmMax    — PagedAttention with a uniform page sized for the large model; draft KV
+//                 wastes (target − draft) bytes per token,
+//   kVllmManual — SmartSpec's static pool split, one homogeneous allocator per model:
+//                 optimal for pure self-attention, blind to per-layer freeing.
+
+#ifndef JENGA_SRC_ENGINE_SPEC_DECODE_H_
+#define JENGA_SRC_ENGINE_SPEC_DECODE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/engine/gpu.h"
+#include "src/engine/kv_manager.h"
+#include "src/engine/request.h"
+#include "src/metrics/metrics.h"
+
+namespace jenga {
+
+enum class SpecStrategy { kJenga, kVllmMax, kVllmManual };
+
+[[nodiscard]] const char* SpecStrategyName(SpecStrategy strategy);
+
+struct SpecDecodeConfig {
+  ModelConfig target;
+  ModelConfig draft;
+  GpuSpec gpu;
+  SpecStrategy strategy = SpecStrategy::kJenga;
+  int propose_len = 4;
+  double acceptance_rate = 0.7;
+  int tokens_per_page = 16;
+  uint64_t seed = 1;
+  int64_t pool_bytes_override = 0;
+  int max_num_seqs_override = 0;
+};
+
+class SpecDecodeEngine {
+ public:
+  explicit SpecDecodeEngine(SpecDecodeConfig config);
+
+  void Submit(Request request);
+  bool StepOnce();
+  void RunToCompletion(int64_t max_steps = 1000000);
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] const EngineMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] int num_managers() const { return static_cast<int>(managers_.size()); }
+  [[nodiscard]] const KvManager& manager(int i) const { return *managers_[static_cast<size_t>(i)]; }
+
+ private:
+  [[nodiscard]] Request& Get(RequestId id);
+  [[nodiscard]] bool AllocateAll(Request& r, int64_t tokens);
+  void ReleaseAll(Request& r);
+  void StepComputedAll(Request& r);
+  void AdmitAll(Request& r);
+  void Preempt(RequestId id);
+  void FinishRequest(Request& r, bool failed);
+
+  SpecDecodeConfig config_;
+  GpuSim target_gpu_;
+  GpuSim draft_gpu_;
+  // One merged manager (kJenga / kVllmMax) or [target, draft] managers (kVllmManual).
+  std::vector<std::unique_ptr<KvManager>> managers_;
+  int max_num_seqs_ = 0;
+  int max_batched_tokens_ = 0;
+
+  Rng rng_;
+  std::unordered_map<RequestId, Request> requests_;
+  std::deque<RequestId> waiting_;
+  std::vector<RequestId> running_;
+  double now_ = 0.0;
+  Tick tick_ = 0;
+  EngineMetrics metrics_;
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_ENGINE_SPEC_DECODE_H_

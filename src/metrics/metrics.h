@@ -1,0 +1,94 @@
+// Engine-side measurement: per-request latency records, per-step time series (decode batch
+// size, scheduled tokens), and memory-breakdown snapshots — everything the paper's figures
+// plot (Figs. 13–18).
+
+#ifndef JENGA_SRC_METRICS_METRICS_H_
+#define JENGA_SRC_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace jenga {
+
+struct RequestRecord {
+  int64_t id = 0;
+  int64_t prompt_len = 0;
+  int64_t output_len = 0;
+  int64_t cached_prefix_tokens = 0;
+  int preemptions = 0;
+  double arrival_time = 0.0;
+  double first_scheduled_time = 0.0;
+  double first_token_time = 0.0;
+  double finish_time = 0.0;
+  bool failed = false;
+
+  [[nodiscard]] double E2eLatency() const { return finish_time - arrival_time; }
+  [[nodiscard]] double Ttft() const { return first_token_time - arrival_time; }
+  // Time per output token after the first.
+  [[nodiscard]] double Tpot() const {
+    return output_len > 1 ? (finish_time - first_token_time) / static_cast<double>(output_len - 1)
+                          : 0.0;
+  }
+};
+
+// One memory snapshot (Fig. 16's stacked areas).
+struct MemorySample {
+  double time = 0.0;
+  int64_t weight_bytes = 0;
+  int64_t reserved_bytes = 0;
+  int64_t used_bytes = 0;    // KV required by running requests (needed).
+  int64_t wasted_bytes = 0;  // Allocated but not needed.
+  int64_t cached_bytes = 0;
+  int64_t unallocated_bytes = 0;
+};
+
+class EngineMetrics {
+ public:
+  void RecordStep(double time, int64_t scheduled_tokens, int decode_batch, int running,
+                  int waiting);
+  void RecordMemory(const MemorySample& sample) { memory_timeline_.push_back(sample); }
+  void RecordFinished(const RequestRecord& record) { finished_.push_back(record); }
+
+  [[nodiscard]] const std::vector<RequestRecord>& finished() const { return finished_; }
+  [[nodiscard]] const std::vector<MemorySample>& memory_timeline() const {
+    return memory_timeline_;
+  }
+  [[nodiscard]] const TimeSeries& decode_batch_series() const { return decode_batch_; }
+  [[nodiscard]] const TimeSeries& running_series() const { return running_; }
+  [[nodiscard]] int64_t total_steps() const { return total_steps_; }
+  [[nodiscard]] int64_t total_scheduled_tokens() const { return total_scheduled_tokens_; }
+  [[nodiscard]] double last_time() const { return last_time_; }
+
+  // Aggregates over finished, non-failed requests.
+  [[nodiscard]] int64_t CompletedRequests() const;
+  [[nodiscard]] int64_t FailedRequests() const;
+  [[nodiscard]] int64_t TotalOutputTokens() const;
+  [[nodiscard]] double RequestThroughput() const;  // requests / s over the busy interval.
+  [[nodiscard]] double TokenThroughput() const;    // output tokens / s.
+  [[nodiscard]] double MeanE2eLatency() const;
+  [[nodiscard]] double MeanTtft() const;
+  [[nodiscard]] double MeanTpot() const;
+  [[nodiscard]] double MeanDecodeBatch() const { return decode_batch_.MeanValue(); }
+
+  // Counters maintained directly by the engine.
+  int64_t vision_encoder_runs = 0;
+  double vision_encode_time = 0.0;
+  int64_t cache_hit_tokens = 0;
+  int64_t prefill_tokens_computed = 0;
+
+ private:
+  std::vector<RequestRecord> finished_;
+  std::vector<MemorySample> memory_timeline_;
+  TimeSeries decode_batch_;
+  TimeSeries running_;
+  int64_t total_steps_ = 0;
+  int64_t total_scheduled_tokens_ = 0;
+  double last_time_ = 0.0;
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_METRICS_METRICS_H_

@@ -1,0 +1,188 @@
+#include "src/model/kv_spec.h"
+
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "src/common/check.h"
+#include "src/common/math_util.h"
+
+namespace jenga {
+
+const char* GroupKindName(GroupKind kind) {
+  switch (kind) {
+    case GroupKind::kFullAttention:
+      return "full_attention";
+    case GroupKind::kSlidingWindow:
+      return "sliding_window";
+    case GroupKind::kMamba:
+      return "mamba";
+    case GroupKind::kCrossAttention:
+      return "cross_attention";
+    case GroupKind::kSparsePyramid:
+      return "sparse_pyramid";
+    case GroupKind::kVisionEmbed:
+      return "vision_embed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+GroupKind ToGroupKind(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kFullAttention:
+      return GroupKind::kFullAttention;
+    case LayerKind::kSlidingWindow:
+      return GroupKind::kSlidingWindow;
+    case LayerKind::kMamba:
+      return GroupKind::kMamba;
+    case LayerKind::kCrossAttention:
+      return GroupKind::kCrossAttention;
+    case LayerKind::kSparsePyramid:
+      return GroupKind::kSparsePyramid;
+  }
+  JENGA_CHECK(false) << "unhandled layer kind";
+}
+
+}  // namespace
+
+int64_t KvSpec::LcmPageBytes() const {
+  std::vector<int64_t> sizes;
+  sizes.reserve(groups.size());
+  for (const KvGroupSpec& group : groups) {
+    sizes.push_back(group.page_bytes);
+  }
+  return LcmAll(sizes);
+}
+
+int64_t KvSpec::GcdPageBytes() const {
+  std::vector<int64_t> sizes;
+  sizes.reserve(groups.size());
+  for (const KvGroupSpec& group : groups) {
+    sizes.push_back(group.page_bytes);
+  }
+  return GcdAll(sizes);
+}
+
+int64_t KvSpec::MaxPageBytes() const {
+  JENGA_CHECK(!groups.empty());
+  int64_t best = 0;
+  for (const KvGroupSpec& group : groups) {
+    best = std::max(best, group.page_bytes);
+  }
+  return best;
+}
+
+const KvGroupSpec* KvSpec::FindGroup(GroupKind kind) const {
+  for (const KvGroupSpec& group : groups) {
+    if (group.kind == kind) {
+      return &group;
+    }
+  }
+  return nullptr;
+}
+
+std::string KvSpec::DebugString() const {
+  std::ostringstream os;
+  os << "KvSpec{lcm_page=" << LcmPageBytes() << "B";
+  for (const KvGroupSpec& group : groups) {
+    os << "; " << group.name << ": " << group.num_layers << " layers, page=" << group.page_bytes
+       << "B, " << group.tokens_per_page << " tok/page";
+  }
+  os << "}";
+  return os.str();
+}
+
+KvSpec BuildKvSpec(const ModelConfig& model, const KvSpecOptions& options) {
+  JENGA_CHECK_GT(options.tokens_per_page, 0);
+  KvSpec spec;
+
+  // Key: (kind, bytes/token, window, budget) → aggregated layer count.
+  using GroupKey = std::tuple<LayerKind, int64_t, int, int>;
+  std::map<GroupKey, int> attention_groups;
+  int64_t mamba_state_total = 0;
+  int mamba_layers = 0;
+  // Cross-attention models keep image tokens out of the decoder sequence (§3.2).
+  const bool has_cross_attention = model.HasKind(LayerKind::kCrossAttention);
+
+  for (const LayerSpec& layer : model.layers) {
+    if (layer.kind == LayerKind::kMamba) {
+      JENGA_CHECK_GT(layer.mamba_state_bytes, 0);
+      mamba_state_total += layer.mamba_state_bytes;
+      ++mamba_layers;
+      continue;
+    }
+    JENGA_CHECK_GT(layer.KvBytesPerToken(), 0) << "attention layer with zero KV size";
+    attention_groups[{layer.kind, layer.KvBytesPerToken(), layer.sliding_window,
+                      layer.token_budget}] += 1;
+  }
+
+  for (const auto& [key, count] : attention_groups) {
+    const auto& [kind, bytes_per_token, window, budget] = key;
+    KvGroupSpec group;
+    group.kind = ToGroupKind(kind);
+    if (kind == LayerKind::kCrossAttention) {
+      group.scope = GroupScope::kImageTokens;
+    } else {
+      group.scope = has_cross_attention ? GroupScope::kTextTokens : GroupScope::kAllTokens;
+    }
+    group.num_layers = count;
+    group.bytes_per_token_per_layer = bytes_per_token;
+    group.tokens_per_page = options.tokens_per_page;
+    group.page_bytes = static_cast<int64_t>(options.tokens_per_page) * bytes_per_token * count;
+    group.sliding_window = window;
+    group.token_budget = budget;
+    std::ostringstream name;
+    name << GroupKindName(group.kind);
+    if (window > 0) {
+      name << "_w" << window;
+    }
+    if (budget > 0) {
+      name << "_b" << budget;
+    }
+    group.name = name.str();
+    spec.groups.push_back(std::move(group));
+  }
+
+  if (mamba_layers > 0) {
+    KvGroupSpec group;
+    group.name = "mamba";
+    group.kind = GroupKind::kMamba;
+    group.scope = GroupScope::kPerSequence;
+    group.num_layers = mamba_layers;
+    group.tokens_per_page = 0;
+    group.page_bytes = mamba_state_total;
+    spec.groups.push_back(std::move(group));
+  }
+
+  if (model.vision.present && options.include_vision_group) {
+    KvGroupSpec group;
+    group.name = "vision_embed";
+    group.kind = GroupKind::kVisionEmbed;
+    group.scope = GroupScope::kImageTokens;
+    group.num_layers = 1;
+    group.bytes_per_token_per_layer = model.vision.embed_bytes_per_token;
+    group.tokens_per_page = options.tokens_per_page;
+    group.page_bytes =
+        static_cast<int64_t>(options.tokens_per_page) * model.vision.embed_bytes_per_token;
+    spec.groups.push_back(std::move(group));
+  }
+
+  JENGA_CHECK(!spec.groups.empty()) << "model " << model.name << " has no KV-bearing layers";
+  return spec;
+}
+
+KvSpec MergeKvSpecs(const std::vector<std::pair<std::string, KvSpec>>& specs) {
+  KvSpec merged;
+  for (const auto& [tag, spec] : specs) {
+    for (KvGroupSpec group : spec.groups) {
+      group.name = tag + "/" + group.name;
+      merged.groups.push_back(std::move(group));
+    }
+  }
+  JENGA_CHECK(!merged.groups.empty());
+  return merged;
+}
+
+}  // namespace jenga

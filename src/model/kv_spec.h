@@ -1,0 +1,98 @@
+// Derivation of KV-cache *groups* from a model architecture. A group is a set of layers that
+// share per-token state size, token-dependency pattern, and caching policy; each group gets
+// its own customized small-page allocator in the two-level scheme (§4.1). The derived KvSpec
+// is the contract between the model layer and the memory manager: the manager never looks at
+// the model again.
+
+#ifndef JENGA_SRC_MODEL_KV_SPEC_H_
+#define JENGA_SRC_MODEL_KV_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/model/model_config.h"
+
+namespace jenga {
+
+// What a KV group stores state for. Self-attention covers every decoder-sequence token;
+// cross-attention KV and vision embeddings exist only for image tokens; in cross-attention
+// VLMs (mllama/NVLM style) the decoder sequence holds only the *text* tokens — image tokens
+// live exclusively in the encoder KV, which is why the paper's ideal for mllama is
+// T·32 + I·8 rather than (T+I)·32 (§3.2). Mamba state is per-sequence.
+enum class GroupScope {
+  kAllTokens,
+  kTextTokens,
+  kImageTokens,
+  kPerSequence,
+};
+
+// The memory-management "type" of a group. Mirrors LayerKind plus the vision-embedding cache,
+// which the paper treats as "another type of layer with a specific hidden size" (§6.2).
+enum class GroupKind {
+  kFullAttention,
+  kSlidingWindow,
+  kMamba,
+  kCrossAttention,
+  kSparsePyramid,
+  kVisionEmbed,
+};
+
+[[nodiscard]] const char* GroupKindName(GroupKind kind);
+
+// One KV-cache group: the unit at which Jenga instantiates a customized allocator + evictor.
+struct KvGroupSpec {
+  std::string name;
+  GroupKind kind = GroupKind::kFullAttention;
+  GroupScope scope = GroupScope::kAllTokens;
+  // Number of distinct-KV layers folded into this group.
+  int num_layers = 0;
+  // Per-token KV bytes per layer (attention-like groups; 0 for Mamba / vision).
+  int64_t bytes_per_token_per_layer = 0;
+  // Tokens covered by one small page (the block size); 0 for per-sequence Mamba pages.
+  int tokens_per_page = 0;
+  // Small-page size in bytes: tokens_per_page × bytes/token × num_layers for attention-like
+  // groups; the full multi-layer recurrent state for Mamba groups.
+  int64_t page_bytes = 0;
+  // Window length (kSlidingWindow groups).
+  int sliding_window = 0;
+  // Retained-token budget (kSparsePyramid groups).
+  int token_budget = 0;
+
+  // Bytes one token contributes to this group (all layers of the group); 0 for Mamba.
+  [[nodiscard]] int64_t BytesPerToken() const {
+    return bytes_per_token_per_layer * num_layers;
+  }
+};
+
+// The complete KV-memory contract for a model (or a set of co-served models): all groups plus
+// the compatible page sizes of the §4.4 design space.
+struct KvSpec {
+  std::vector<KvGroupSpec> groups;
+
+  [[nodiscard]] int64_t LcmPageBytes() const;  // Jenga's choice.
+  [[nodiscard]] int64_t GcdPageBytes() const;  // §4.4 ablation.
+  [[nodiscard]] int64_t MaxPageBytes() const;  // §4.4 ablation.
+
+  [[nodiscard]] const KvGroupSpec* FindGroup(GroupKind kind) const;
+  [[nodiscard]] std::string DebugString() const;
+};
+
+struct KvSpecOptions {
+  int tokens_per_page = 16;
+  // Whether to expose the vision-embedding cache as a group (Jenga does; baselines do not).
+  bool include_vision_group = true;
+};
+
+// Derives the group decomposition for one model. Layers are grouped by
+// (kind, per-token size, window/budget); all Mamba layers merge into one per-sequence group.
+[[nodiscard]] KvSpec BuildKvSpec(const ModelConfig& model, const KvSpecOptions& options);
+
+// Merges the specs of several co-served models (speculative decoding, multi-model serving,
+// §6.1) into one spec with a shared compatible page size. Group names are prefixed with the
+// model tags so allocators stay distinct.
+[[nodiscard]] KvSpec MergeKvSpecs(const std::vector<std::pair<std::string, KvSpec>>& specs);
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_MODEL_KV_SPEC_H_

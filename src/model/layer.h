@@ -1,0 +1,77 @@
+// Layer descriptions for heterogeneous LLM architectures (§3.1 of the paper). A LayerSpec
+// captures exactly what the memory manager needs to know about a layer: how many bytes of
+// per-token (or per-sequence) state it keeps, and which token-dependency pattern governs its
+// caching and eviction rules.
+
+#ifndef JENGA_SRC_MODEL_LAYER_H_
+#define JENGA_SRC_MODEL_LAYER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace jenga {
+
+// The attention variants from Figure 2 of the paper.
+enum class LayerKind {
+  // Standard full-prefix self-attention: KV per token, depends on the entire prefix.
+  kFullAttention,
+  // Sliding-window attention: KV per token, but generation only depends on the last
+  // `sliding_window` tokens; KV outside the window can be freed or deprioritized.
+  kSlidingWindow,
+  // State-space (Mamba) / linear-attention layer: one large fixed-size state per sequence,
+  // updated recurrently; prefix caching works via periodic state checkpoints.
+  kMamba,
+  // Cross-attention from text queries to image-token KV (Llama 3.2 Vision / NVLM style):
+  // KV exists only for image tokens.
+  kCrossAttention,
+  // PyramidKV-style sparse attention: each layer retains at most `token_budget` tokens
+  // (attention sinks + the most recent tokens in our model of it).
+  kSparsePyramid,
+};
+
+[[nodiscard]] inline const char* LayerKindName(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kFullAttention:
+      return "full_attention";
+    case LayerKind::kSlidingWindow:
+      return "sliding_window";
+    case LayerKind::kMamba:
+      return "mamba";
+    case LayerKind::kCrossAttention:
+      return "cross_attention";
+    case LayerKind::kSparsePyramid:
+      return "sparse_pyramid";
+  }
+  return "unknown";
+}
+
+// One decoder layer's memory-relevant description. Attention-like layers are described by
+// their KV geometry (GQA-aware); Mamba layers by their flat state size.
+struct LayerSpec {
+  LayerKind kind = LayerKind::kFullAttention;
+  // KV geometry for attention-like kinds.
+  int num_kv_heads = 0;
+  int head_dim = 0;
+  int dtype_bytes = 2;  // 2 = bf16, 1 = fp8.
+  // Window length in tokens (kSlidingWindow only).
+  int sliding_window = 0;
+  // Full recurrent-state size in bytes for this layer (kMamba only; conv + SSM states).
+  int64_t mamba_state_bytes = 0;
+  // Maximum retained tokens (kSparsePyramid only).
+  int token_budget = 0;
+
+  // Bytes of KV cache this layer stores per token (K and V). Zero for Mamba layers, whose
+  // state is per-sequence rather than per-token.
+  [[nodiscard]] int64_t KvBytesPerToken() const {
+    if (kind == LayerKind::kMamba) {
+      return 0;
+    }
+    return 2LL * num_kv_heads * head_dim * dtype_bytes;
+  }
+
+  [[nodiscard]] std::string DebugString() const;
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_MODEL_LAYER_H_

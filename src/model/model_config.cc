@@ -1,0 +1,68 @@
+#include "src/model/model_config.h"
+
+#include <sstream>
+
+namespace jenga {
+
+std::string LayerSpec::DebugString() const {
+  std::ostringstream os;
+  os << LayerKindName(kind);
+  switch (kind) {
+    case LayerKind::kMamba:
+      os << "(state=" << mamba_state_bytes << "B)";
+      break;
+    case LayerKind::kSlidingWindow:
+      os << "(window=" << sliding_window << ", kv=" << KvBytesPerToken() << "B/tok)";
+      break;
+    case LayerKind::kSparsePyramid:
+      os << "(budget=" << token_budget << ", kv=" << KvBytesPerToken() << "B/tok)";
+      break;
+    default:
+      os << "(kv=" << KvBytesPerToken() << "B/tok)";
+      break;
+  }
+  return os.str();
+}
+
+int64_t ModelConfig::KvBytesPerTokenAllLayers() const {
+  int64_t total = 0;
+  for (const LayerSpec& layer : layers) {
+    total += layer.KvBytesPerToken();
+  }
+  return total;
+}
+
+int64_t ModelConfig::MambaStateBytesTotal() const {
+  int64_t total = 0;
+  for (const LayerSpec& layer : layers) {
+    if (layer.kind == LayerKind::kMamba) {
+      total += layer.mamba_state_bytes;
+    }
+  }
+  return total;
+}
+
+bool ModelConfig::HasKind(LayerKind kind) const { return CountKind(kind) > 0; }
+
+int ModelConfig::CountKind(LayerKind kind) const {
+  int count = 0;
+  for (const LayerSpec& layer : layers) {
+    if (layer.kind == kind) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string ModelConfig::DebugString() const {
+  std::ostringstream os;
+  os << name << " (" << params_b << "B params, " << layers.size() << " distinct-KV layers, "
+     << compute_layers << " compute layers";
+  if (vision.present) {
+    os << ", vision " << vision.tokens_per_image << " tok/img";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace jenga

@@ -1,0 +1,60 @@
+// Whole-model architecture descriptions. A ModelConfig carries (1) the list of distinct-KV
+// decoder layers — layers that share a KV cache (Character.ai-style cross-layer sharing) are
+// listed once and accounted in `compute_layers` — (2) an optional vision encoder, and (3) the
+// scalar quantities the analytic GPU cost model needs (parameter count, hidden size).
+
+#ifndef JENGA_SRC_MODEL_MODEL_CONFIG_H_
+#define JENGA_SRC_MODEL_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/model/layer.h"
+
+namespace jenga {
+
+// Vision-encoder description for multimodal models. The encoder turns each image into
+// `tokens_per_image` image tokens, each with an `embed_bytes_per_token` vision embedding that
+// is cached (or not) by the memory manager, and is consumed by the LLM's chunked prefill.
+struct VisionSpec {
+  bool present = false;
+  int tokens_per_image = 0;
+  int64_t embed_bytes_per_token = 0;
+  // Encoder parameter count (billions); drives simulated encode time.
+  double encoder_params_b = 0.0;
+};
+
+struct ModelConfig {
+  std::string name;
+  // Total parameter count in billions (drives simulated step time and weight memory).
+  double params_b = 0.0;
+  // Weight bytes per parameter (2 for bf16 weights, 1 for fp8-quantized models, Table 1 `*`).
+  int weight_dtype_bytes = 2;
+  int hidden_size = 4096;
+  int max_context_len = 131072;
+  // Distinct-KV decoder layers (one entry per independent KV cache).
+  std::vector<LayerSpec> layers;
+  // Total executed decoder layers, >= layers.size() when KV is shared across layers.
+  int compute_layers = 0;
+  VisionSpec vision;
+
+  [[nodiscard]] int64_t WeightBytes() const {
+    return static_cast<int64_t>(params_b * 1e9) * weight_dtype_bytes;
+  }
+
+  // Sum of per-token KV bytes across all distinct attention-like layers (Mamba excluded).
+  [[nodiscard]] int64_t KvBytesPerTokenAllLayers() const;
+
+  // Sum of per-sequence Mamba state bytes across all Mamba layers.
+  [[nodiscard]] int64_t MambaStateBytesTotal() const;
+
+  [[nodiscard]] bool HasKind(LayerKind kind) const;
+  [[nodiscard]] int CountKind(LayerKind kind) const;
+
+  [[nodiscard]] std::string DebugString() const;
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_MODEL_MODEL_CONFIG_H_

@@ -1,0 +1,365 @@
+#include "src/model/model_zoo.h"
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+namespace {
+
+LayerSpec FullAttn(int kv_heads, int head_dim, int dtype_bytes) {
+  LayerSpec layer;
+  layer.kind = LayerKind::kFullAttention;
+  layer.num_kv_heads = kv_heads;
+  layer.head_dim = head_dim;
+  layer.dtype_bytes = dtype_bytes;
+  return layer;
+}
+
+LayerSpec SlidingAttn(int kv_heads, int head_dim, int dtype_bytes, int window) {
+  LayerSpec layer = FullAttn(kv_heads, head_dim, dtype_bytes);
+  layer.kind = LayerKind::kSlidingWindow;
+  layer.sliding_window = window;
+  return layer;
+}
+
+LayerSpec CrossAttn(int kv_heads, int head_dim, int dtype_bytes) {
+  LayerSpec layer = FullAttn(kv_heads, head_dim, dtype_bytes);
+  layer.kind = LayerKind::kCrossAttention;
+  return layer;
+}
+
+LayerSpec Mamba(int64_t state_bytes) {
+  LayerSpec layer;
+  layer.kind = LayerKind::kMamba;
+  layer.mamba_state_bytes = state_bytes;
+  return layer;
+}
+
+LayerSpec Pyramid(int kv_heads, int head_dim, int dtype_bytes, int budget) {
+  LayerSpec layer = FullAttn(kv_heads, head_dim, dtype_bytes);
+  layer.kind = LayerKind::kSparsePyramid;
+  layer.token_budget = budget;
+  return layer;
+}
+
+}  // namespace
+
+ModelConfig Llama31_8B() {
+  ModelConfig model;
+  model.name = "llama-3.1-8b";
+  model.params_b = 8.0;
+  model.hidden_size = 4096;
+  model.max_context_len = 131072;
+  model.compute_layers = 32;
+  for (int i = 0; i < 32; ++i) {
+    model.layers.push_back(FullAttn(8, 128, 2));
+  }
+  return model;
+}
+
+ModelConfig Llama3_70B_Fp8() {
+  ModelConfig model;
+  model.name = "llama-3-70b-fp8";
+  model.params_b = 70.0;
+  model.weight_dtype_bytes = 1;
+  model.hidden_size = 8192;
+  model.max_context_len = 131072;
+  model.compute_layers = 80;
+  for (int i = 0; i < 80; ++i) {
+    model.layers.push_back(FullAttn(8, 128, 1));
+  }
+  return model;
+}
+
+ModelConfig Gemma2_27B() {
+  ModelConfig model;
+  model.name = "gemma-2-27b";
+  model.params_b = 27.2;
+  model.hidden_size = 4608;
+  model.max_context_len = 8192;
+  model.compute_layers = 46;
+  // 1:1 interleave of sliding-window (4096) and full attention, 16 KV heads × 128.
+  for (int i = 0; i < 46; ++i) {
+    if (i % 2 == 0) {
+      model.layers.push_back(SlidingAttn(16, 128, 2, 4096));
+    } else {
+      model.layers.push_back(FullAttn(16, 128, 2));
+    }
+  }
+  return model;
+}
+
+ModelConfig Gemma2_9B() {
+  ModelConfig model;
+  model.name = "gemma-2-9b";
+  model.params_b = 9.2;
+  model.hidden_size = 3584;
+  model.max_context_len = 8192;
+  model.compute_layers = 42;
+  for (int i = 0; i < 42; ++i) {
+    if (i % 2 == 0) {
+      model.layers.push_back(SlidingAttn(8, 256, 2, 4096));
+    } else {
+      model.layers.push_back(FullAttn(8, 256, 2));
+    }
+  }
+  return model;
+}
+
+ModelConfig Ministral8B() {
+  ModelConfig model;
+  model.name = "ministral-8b";
+  model.params_b = 8.0;
+  model.hidden_size = 4096;
+  model.max_context_len = 131072;
+  model.compute_layers = 36;
+  // 3:1 interleave of sliding-window (32768) and full attention. At the 131072-token max
+  // context a homogeneous allocator wastes 27/36 × (1 − 32768/131072) = 56.25 % (§3.2).
+  for (int i = 0; i < 36; ++i) {
+    if (i % 4 == 3) {
+      model.layers.push_back(FullAttn(8, 128, 2));
+    } else {
+      model.layers.push_back(SlidingAttn(8, 128, 2, 32768));
+    }
+  }
+  return model;
+}
+
+ModelConfig Jamba52B_Fp8() {
+  ModelConfig model;
+  model.name = "jamba-52b-fp8";
+  model.params_b = 52.0;
+  model.weight_dtype_bytes = 1;
+  model.hidden_size = 4096;
+  model.max_context_len = 131072;
+  model.compute_layers = 32;
+  // 4 full-attention layers (FP8 KV) + 28 Mamba layers. The per-layer state size is chosen so
+  // the whole-model Mamba page equals 84 × the 16-token attention page, the worst-case LCM
+  // ratio reported in §4.4 (and the 1344-token MAX-page pathology: 84 × 16 tokens).
+  for (int i = 0; i < 32; ++i) {
+    if (i % 8 == 0) {
+      model.layers.push_back(FullAttn(8, 128, 1));
+    } else {
+      model.layers.push_back(Mamba(393216));
+    }
+  }
+  return model;
+}
+
+ModelConfig CharacterAi8B() {
+  ModelConfig model;
+  model.name = "characterai-8b";
+  model.params_b = 8.0;
+  model.hidden_size = 4096;
+  model.max_context_len = 32768;
+  // 32 executed layers, but cross-layer KV sharing leaves only 12 distinct KV caches:
+  // 2 global full-attention caches and 10 sliding-window caches (per their blog's design).
+  model.compute_layers = 32;
+  for (int i = 0; i < 2; ++i) {
+    model.layers.push_back(FullAttn(8, 128, 2));
+  }
+  for (int i = 0; i < 10; ++i) {
+    model.layers.push_back(SlidingAttn(8, 128, 2, 1024));
+  }
+  return model;
+}
+
+ModelConfig PyramidKv8B() {
+  ModelConfig model;
+  model.name = "pyramidkv-8b";
+  model.params_b = 8.0;
+  model.hidden_size = 4096;
+  model.max_context_len = 131072;
+  model.compute_layers = 32;
+  // Retained-token budgets shrink with depth (pyramidal information funneling).
+  const int kBudgets[4] = {2048, 1024, 512, 256};
+  for (int i = 0; i < 32; ++i) {
+    model.layers.push_back(Pyramid(8, 128, 2, kBudgets[i / 8]));
+  }
+  return model;
+}
+
+ModelConfig CharacterAi70B_Fp8() {
+  ModelConfig model;
+  model.name = "characterai-70b-fp8";
+  model.params_b = 70.0;
+  model.weight_dtype_bytes = 1;
+  model.hidden_size = 8192;
+  model.max_context_len = 32768;
+  // 80 executed layers with cross-layer KV sharing → 30 distinct caches.
+  model.compute_layers = 80;
+  for (int i = 0; i < 5; ++i) {
+    model.layers.push_back(FullAttn(8, 128, 1));
+  }
+  for (int i = 0; i < 25; ++i) {
+    model.layers.push_back(SlidingAttn(8, 128, 1, 1024));
+  }
+  return model;
+}
+
+ModelConfig PyramidKv70B_Fp8() {
+  ModelConfig model;
+  model.name = "pyramidkv-70b-fp8";
+  model.params_b = 70.0;
+  model.weight_dtype_bytes = 1;
+  model.hidden_size = 8192;
+  model.max_context_len = 131072;
+  model.compute_layers = 80;
+  const int kBudgets[4] = {2048, 1024, 512, 256};
+  for (int i = 0; i < 80; ++i) {
+    model.layers.push_back(Pyramid(8, 128, 1, kBudgets[i / 20]));
+  }
+  return model;
+}
+
+ModelConfig Llama32_1B() {
+  ModelConfig model;
+  model.name = "llama-3.2-1b";
+  model.params_b = 1.24;
+  model.hidden_size = 2048;
+  model.max_context_len = 131072;
+  model.compute_layers = 16;
+  for (int i = 0; i < 16; ++i) {
+    model.layers.push_back(FullAttn(8, 64, 2));
+  }
+  return model;
+}
+
+ModelConfig Gemma2_2B() {
+  ModelConfig model;
+  model.name = "gemma-2-2b";
+  model.params_b = 2.6;
+  model.hidden_size = 2304;
+  model.max_context_len = 8192;
+  model.compute_layers = 26;
+  for (int i = 0; i < 26; ++i) {
+    if (i % 2 == 0) {
+      model.layers.push_back(SlidingAttn(4, 256, 2, 4096));
+    } else {
+      model.layers.push_back(FullAttn(4, 256, 2));
+    }
+  }
+  return model;
+}
+
+ModelConfig Ministral1BDraft() {
+  ModelConfig model = Llama32_1B();
+  model.name = "ministral-1b-draft";
+  return model;
+}
+
+ModelConfig Llama32_11B_Vision() {
+  ModelConfig model;
+  model.name = "llama-3.2-11b-vision";
+  model.params_b = 10.7;
+  model.hidden_size = 4096;
+  model.max_context_len = 131072;
+  model.compute_layers = 40;
+  // 32 self-attention layers (KV for all tokens) + 8 cross-attention layers (KV for image
+  // tokens only); the §3.2 waste analysis is (T+I)·40·E vs T·32·E + I·8·E.
+  for (int i = 0; i < 40; ++i) {
+    if (i % 5 == 3) {
+      model.layers.push_back(CrossAttn(8, 128, 2));
+    } else {
+      model.layers.push_back(FullAttn(8, 128, 2));
+    }
+  }
+  model.vision.present = true;
+  model.vision.tokens_per_image = 1601;
+  model.vision.embed_bytes_per_token = 4096 * 2;
+  model.vision.encoder_params_b = 0.9;
+  return model;
+}
+
+ModelConfig LlavaOneVision7B() {
+  ModelConfig model;
+  model.name = "llava-onevision-7b";
+  model.params_b = 8.0;
+  model.hidden_size = 3584;
+  model.max_context_len = 32768;
+  model.compute_layers = 28;
+  for (int i = 0; i < 28; ++i) {
+    model.layers.push_back(FullAttn(4, 128, 2));
+  }
+  model.vision.present = true;
+  model.vision.tokens_per_image = 729;
+  model.vision.embed_bytes_per_token = 3584 * 2;
+  model.vision.encoder_params_b = 0.4;
+  return model;
+}
+
+ModelConfig InternVl2_8B() {
+  ModelConfig model;
+  model.name = "internvl2-8b";
+  model.params_b = 8.1;
+  model.hidden_size = 4096;
+  model.max_context_len = 32768;
+  model.compute_layers = 32;
+  for (int i = 0; i < 32; ++i) {
+    model.layers.push_back(FullAttn(8, 128, 2));
+  }
+  model.vision.present = true;
+  model.vision.tokens_per_image = 256;
+  model.vision.embed_bytes_per_token = 4096 * 2;
+  model.vision.encoder_params_b = 0.3;
+  return model;
+}
+
+ModelConfig Phi3Vision4B() {
+  ModelConfig model;
+  model.name = "phi-3-vision-4b";
+  model.params_b = 4.2;
+  model.hidden_size = 3072;
+  model.max_context_len = 131072;
+  model.compute_layers = 32;
+  for (int i = 0; i < 32; ++i) {
+    model.layers.push_back(FullAttn(32, 96, 2));
+  }
+  model.vision.present = true;
+  model.vision.tokens_per_image = 1024;
+  model.vision.embed_bytes_per_token = 3072 * 2;
+  model.vision.encoder_params_b = 0.3;
+  return model;
+}
+
+ModelConfig Paligemma2_10B() {
+  ModelConfig model = Gemma2_9B();
+  model.name = "paligemma2-10b";
+  model.params_b = 9.7;
+  model.vision.present = true;
+  model.vision.tokens_per_image = 256;
+  model.vision.embed_bytes_per_token = 3584 * 2;
+  model.vision.encoder_params_b = 0.4;
+  return model;
+}
+
+ModelConfig Fp8(ModelConfig model) {
+  model.name += "-fp8";
+  model.weight_dtype_bytes = 1;
+  for (LayerSpec& layer : model.layers) {
+    layer.dtype_bytes = 1;
+    layer.mamba_state_bytes /= 2;
+  }
+  return model;
+}
+
+ModelConfig ModelByName(const std::string& name) {
+  for (ModelConfig& model : AllZooModels()) {
+    if (model.name == name) {
+      return model;
+    }
+  }
+  JENGA_CHECK(false) << "unknown model: " << name;
+}
+
+std::vector<ModelConfig> AllZooModels() {
+  return {
+      Llama31_8B(),       Llama3_70B_Fp8(),    Gemma2_27B(),        Gemma2_9B(),
+      Ministral8B(),      Jamba52B_Fp8(),      CharacterAi8B(),     PyramidKv8B(),
+      CharacterAi70B_Fp8(), PyramidKv70B_Fp8(),
+      Llama32_1B(),       Gemma2_2B(),         Ministral1BDraft(),  Llama32_11B_Vision(),
+      LlavaOneVision7B(), InternVl2_8B(),      Phi3Vision4B(),      Paligemma2_10B(),
+  };
+}
+
+}  // namespace jenga

@@ -1,0 +1,69 @@
+// Factory functions for every model evaluated in the paper (Table 1 plus the Fig. 18 VLMs and
+// the Fig. 19 draft models). Architectures are derived from the public model cards; parameter
+// values that only shift absolute speed (not allocator behaviour) are approximate, while the
+// quantities the allocator consumes — layer mix, per-token KV bytes, window sizes, Mamba state
+// sizes — follow the paper's own arithmetic (§3.2, §4.4) exactly.
+
+#ifndef JENGA_SRC_MODEL_MODEL_ZOO_H_
+#define JENGA_SRC_MODEL_MODEL_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/model/model_config.h"
+
+namespace jenga {
+
+// --- Text models (Table 1) ---
+
+// Standard homogeneous baseline: full attention only (overhead check in Fig. 13).
+[[nodiscard]] ModelConfig Llama31_8B();
+// FP8-quantized 70B used for the MMLU-pro rows.
+[[nodiscard]] ModelConfig Llama3_70B_Fp8();
+// Gemma-2: 1:1 interleaved sliding-window (4096) and full attention.
+[[nodiscard]] ModelConfig Gemma2_27B();
+[[nodiscard]] ModelConfig Gemma2_9B();
+// Ministral: 3:1 sliding-window (32768) to full attention; max context 131072, so a full-length
+// request wastes 0.75 × 0.75 = 56.25 % of its KV under a homogeneous allocator (§3.2).
+[[nodiscard]] ModelConfig Ministral8B();
+// Jamba (FP8): 4 full-attention + 28 Mamba layers; Mamba page = 84 × the attention page, the
+// paper's worst-case LCM ratio (§4.4).
+[[nodiscard]] ModelConfig Jamba52B_Fp8();
+// Character.ai-style model: mostly sliding-window layers with cross-layer KV sharing; the
+// distinct-KV layer list is shorter than the 32 executed layers.
+[[nodiscard]] ModelConfig CharacterAi8B();
+// PyramidKV-style sparse model: per-layer retained-token budgets shrinking with depth.
+[[nodiscard]] ModelConfig PyramidKv8B();
+// 70B-scale FP8 variants of the two above (the Table 1 H100 MMLU-pro rows).
+[[nodiscard]] ModelConfig CharacterAi70B_Fp8();
+[[nodiscard]] ModelConfig PyramidKv70B_Fp8();
+
+// --- Draft models for speculative decoding (Fig. 19) ---
+
+[[nodiscard]] ModelConfig Llama32_1B();
+[[nodiscard]] ModelConfig Gemma2_2B();
+// "An example model created by us following the model configuration of Llama 3.2 1B" (§7.4).
+[[nodiscard]] ModelConfig Ministral1BDraft();
+
+// --- Multimodal models ---
+
+// Llama 3.2 11B Vision (mllama): 32 self-attention + 8 cross-attention layers (§3.2).
+[[nodiscard]] ModelConfig Llama32_11B_Vision();
+[[nodiscard]] ModelConfig LlavaOneVision7B();
+[[nodiscard]] ModelConfig InternVl2_8B();
+[[nodiscard]] ModelConfig Phi3Vision4B();
+// Mixes three memory types: vision embeddings, sliding-window KV, and full-attention KV (§7.1).
+[[nodiscard]] ModelConfig Paligemma2_10B();
+
+// FP8-quantizes a model (Table 1's `*`): 1-byte weights and 1-byte KV, name suffixed "-fp8".
+[[nodiscard]] ModelConfig Fp8(ModelConfig model);
+
+// Looks a model up by its zoo name; checks-fails on unknown names.
+[[nodiscard]] ModelConfig ModelByName(const std::string& name);
+
+// All zoo models, for sweep-style tests.
+[[nodiscard]] std::vector<ModelConfig> AllZooModels();
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_MODEL_MODEL_ZOO_H_

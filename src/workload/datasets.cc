@@ -1,0 +1,185 @@
+#include "src/workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+namespace {
+
+constexpr int32_t kVocab = 50000;
+
+std::vector<int32_t> RandomTokens(int64_t count, Rng& rng) {
+  std::vector<int32_t> tokens;
+  tokens.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    tokens.push_back(static_cast<int32_t>(rng.UniformInt(0, kVocab - 1)));
+  }
+  return tokens;
+}
+
+int64_t ClippedNormal(Rng& rng, double mean, double stddev, int64_t lo, int64_t hi) {
+  const double v = rng.Normal(mean, stddev);
+  return std::clamp<int64_t>(static_cast<int64_t>(std::llround(v)), lo, hi);
+}
+
+}  // namespace
+
+WorkloadItem MmluProDataset::Sample(Rng& rng) {
+  WorkloadItem item;
+  const int64_t len = ClippedNormal(rng, 1200, 600, 64, 3076);
+  item.prompt.tokens = RandomTokens(len, rng);
+  item.output_len = rng.UniformInt(output_lo_, output_hi_);
+  return item;
+}
+
+MmmuProDataset::MmmuProDataset(int tokens_per_image, int64_t output_lo, int64_t output_hi)
+    : tokens_per_image_(tokens_per_image), output_lo_(output_lo), output_hi_(output_hi) {
+  JENGA_CHECK_GT(tokens_per_image, 0);
+}
+
+WorkloadItem MmmuProDataset::Sample(Rng& rng) {
+  WorkloadItem item;
+  // Target ≈ 6193 image tokens (§3.2): pick the tile count whose total is closest, ±1 tile.
+  const int base_tiles =
+      std::max<int>(1, static_cast<int>(std::llround(6193.0 / tokens_per_image_)));
+  const int tiles =
+      std::max<int>(1, base_tiles + static_cast<int>(rng.UniformInt(-1, 1)));
+  const int64_t text_len = ClippedNormal(rng, 43, 12, 8, 128);
+
+  Prompt& prompt = item.prompt;
+  prompt.num_images = tiles;
+  // Layout: a few leading text tokens, then the image tiles, then the question text.
+  const int64_t lead_text = std::min<int64_t>(8, text_len);
+  auto append_text = [&](int64_t count) {
+    for (int64_t i = 0; i < count; ++i) {
+      prompt.tokens.push_back(static_cast<int32_t>(rng.UniformInt(0, kVocab - 1)));
+      prompt.kinds.push_back(TokenKind::kText);
+    }
+  };
+  auto append_image = [&]() {
+    for (int i = 0; i < tokens_per_image_; ++i) {
+      prompt.tokens.push_back(static_cast<int32_t>(rng.UniformInt(0, kVocab - 1)));
+      prompt.kinds.push_back(TokenKind::kImage);
+    }
+  };
+  append_text(lead_text);
+  for (int t = 0; t < tiles; ++t) {
+    append_image();
+  }
+  append_text(text_len - lead_text);
+  item.output_len = rng.UniformInt(output_lo_, output_hi_);
+  return item;
+}
+
+ArxivQaDataset::ArxivQaDataset(int num_articles, int64_t min_article_len,
+                               int64_t max_article_len, uint64_t seed, int64_t output_lo,
+                               int64_t output_hi)
+    : output_lo_(output_lo), output_hi_(output_hi) {
+  JENGA_CHECK_GT(num_articles, 0);
+  JENGA_CHECK_LE(min_article_len, max_article_len);
+  Rng rng(seed);
+  articles_.reserve(static_cast<size_t>(num_articles));
+  for (int a = 0; a < num_articles; ++a) {
+    const int64_t len = rng.UniformInt(min_article_len, max_article_len);
+    articles_.push_back(RandomTokens(len, rng));
+  }
+}
+
+WorkloadItem ArxivQaDataset::Sample(Rng& rng) {
+  const int article = static_cast<int>(rng.UniformInt(0, num_articles() - 1));
+  return SampleForArticle(article, rng);
+}
+
+WorkloadItem ArxivQaDataset::SampleForArticle(int article, Rng& rng) {
+  JENGA_CHECK_GE(article, 0);
+  JENGA_CHECK_LT(article, num_articles());
+  WorkloadItem item;
+  item.prompt.tokens = articles_[static_cast<size_t>(article)];
+  const std::vector<int32_t> question = RandomTokens(rng.UniformInt(32, 192), rng);
+  item.prompt.tokens.insert(item.prompt.tokens.end(), question.begin(), question.end());
+  item.output_len = rng.UniformInt(output_lo_, output_hi_);
+  return item;
+}
+
+WorkloadItem LongDocDataset::Sample(Rng& rng) {
+  WorkloadItem item;
+  item.prompt.tokens = RandomTokens(rng.UniformInt(55000, 110000), rng);
+  item.output_len = rng.UniformInt(50, 100);
+  return item;
+}
+
+WorkloadItem ShareGptDataset::Sample(Rng& rng) {
+  WorkloadItem item;
+  // Log-normal with mean ≈ 1085 tokens (§4.4 quotes the ShareGPT average).
+  const double v = std::exp(rng.Normal(6.6, 0.8));
+  item.prompt.tokens = RandomTokens(std::clamp<int64_t>(static_cast<int64_t>(v), 16, 16384), rng);
+  item.output_len = rng.UniformInt(32, 512);
+  return item;
+}
+
+std::vector<Request> GenerateBatch(Dataset& dataset, int count, Rng& rng, RequestId first_id) {
+  std::vector<Request> requests;
+  requests.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    WorkloadItem item = dataset.Sample(rng);
+    requests.push_back(
+        MakeRequest(first_id + i, std::move(item.prompt), item.output_len, /*arrival_time=*/0.0));
+  }
+  return requests;
+}
+
+std::vector<Request> GeneratePoisson(Dataset& dataset, int count, double rate, Rng& rng,
+                                     RequestId first_id) {
+  JENGA_CHECK_GT(rate, 0.0);
+  std::vector<Request> requests;
+  requests.reserve(static_cast<size_t>(count));
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    t += rng.Exponential(rate);
+    WorkloadItem item = dataset.Sample(rng);
+    requests.push_back(MakeRequest(first_id + i, std::move(item.prompt), item.output_len, t));
+  }
+  return requests;
+}
+
+std::vector<Request> StaticLongTrace(int count, double rate, Rng& rng) {
+  std::vector<Request> requests;
+  requests.reserve(static_cast<size_t>(count));
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    t += rng.Exponential(rate);
+    Prompt prompt;
+    prompt.tokens = std::vector<int32_t>();
+    const int64_t len = ClippedNormal(rng, 80000, 15000, 40000, 120000);
+    for (int64_t j = 0; j < len; ++j) {
+      prompt.tokens.push_back(static_cast<int32_t>(rng.UniformInt(0, kVocab - 1)));
+    }
+    requests.push_back(MakeRequest(i, std::move(prompt), rng.UniformInt(50, 100), t));
+  }
+  return requests;
+}
+
+std::vector<Request> DynamicLongTrace(int count, double rate, Rng& rng) {
+  std::vector<Request> requests;
+  requests.reserve(static_cast<size_t>(count));
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    t += rng.Exponential(rate);
+    // Mean length ramps from ~20k to ~110k over the trace, shifting the self-attention vs
+    // sliding-window memory balance (Fig. 16d).
+    const double progress = static_cast<double>(i) / std::max(1, count - 1);
+    const double mean = 20000.0 + progress * 90000.0;
+    const int64_t len = ClippedNormal(rng, mean, mean * 0.15, 4000, 128000);
+    Prompt prompt;
+    for (int64_t j = 0; j < len; ++j) {
+      prompt.tokens.push_back(static_cast<int32_t>(rng.UniformInt(0, kVocab - 1)));
+    }
+    requests.push_back(MakeRequest(i, std::move(prompt), rng.UniformInt(50, 100), t));
+  }
+  return requests;
+}
+
+}  // namespace jenga

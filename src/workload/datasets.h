@@ -1,0 +1,114 @@
+// Synthetic workload generators standing in for the paper's datasets (see DESIGN.md §2).
+// Each generator reproduces the length/modality/sharing statistics the memory manager reacts
+// to: MMLU-pro (short text), MMMU-pro (image-heavy multimodal), arXiv-QA (long shared-article
+// contexts), the Fig. 15 long-document workload, and the Fig. 16 static/dynamic traces.
+
+#ifndef JENGA_SRC_WORKLOAD_DATASETS_H_
+#define JENGA_SRC_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/engine/request.h"
+
+namespace jenga {
+
+struct WorkloadItem {
+  Prompt prompt;
+  int64_t output_len = 0;
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual WorkloadItem Sample(Rng& rng) = 0;
+};
+
+// MMLU-pro: text-only, max length 3076 (shorter than Gemma-2/Ministral windows, §7.1).
+class MmluProDataset : public Dataset {
+ public:
+  // Output lengths default to chain-of-thought-style generations, which is what makes the
+  // serving benchmark decode-bound (where batch size matters).
+  explicit MmluProDataset(int64_t output_lo = 256, int64_t output_hi = 1024)
+      : output_lo_(output_lo), output_hi_(output_hi) {}
+  [[nodiscard]] const char* name() const override { return "mmlu-pro"; }
+  [[nodiscard]] WorkloadItem Sample(Rng& rng) override;
+
+ private:
+  int64_t output_lo_;
+  int64_t output_hi_;
+};
+
+// MMMU-pro: ~43 text + ~6193 image tokens per request on average (§3.2), built from
+// `tokens_per_image`-sized tiles of the serving model's vision encoder.
+class MmmuProDataset : public Dataset {
+ public:
+  explicit MmmuProDataset(int tokens_per_image, int64_t output_lo = 128, int64_t output_hi = 512);
+  [[nodiscard]] const char* name() const override { return "mmmu-pro"; }
+  [[nodiscard]] WorkloadItem Sample(Rng& rng) override;
+
+ private:
+  int tokens_per_image_;
+  int64_t output_lo_;
+  int64_t output_hi_;
+};
+
+// arXiv-QA: questions over a pool of long articles; requests about the same article share its
+// token prefix, which is what prefix caching exploits (Fig. 17).
+class ArxivQaDataset : public Dataset {
+ public:
+  // Articles are generated once (seeded) with lengths uniform in [min_len, max_len].
+  ArxivQaDataset(int num_articles, int64_t min_article_len, int64_t max_article_len,
+                 uint64_t seed, int64_t output_lo = 128, int64_t output_hi = 384);
+  [[nodiscard]] const char* name() const override { return "arxiv-qa"; }
+  // Samples a question about a uniformly random article.
+  [[nodiscard]] WorkloadItem Sample(Rng& rng) override;
+  // Samples a question about a specific article (round-robin sweeps in benches).
+  [[nodiscard]] WorkloadItem SampleForArticle(int article, Rng& rng);
+  [[nodiscard]] int num_articles() const { return static_cast<int>(articles_.size()); }
+  [[nodiscard]] int64_t article_len(int article) const {
+    return static_cast<int64_t>(articles_[static_cast<size_t>(article)].size());
+  }
+
+ private:
+  std::vector<std::vector<int32_t>> articles_;
+  int64_t output_lo_;
+  int64_t output_hi_;
+};
+
+// Fig. 15's simulated workload: input length uniform in [55k, 110k], output in [50, 100].
+class LongDocDataset : public Dataset {
+ public:
+  [[nodiscard]] const char* name() const override { return "long-doc"; }
+  [[nodiscard]] WorkloadItem Sample(Rng& rng) override;
+};
+
+// ShareGPT-like conversational lengths (mean ≈ 1085 tokens, §4.4).
+class ShareGptDataset : public Dataset {
+ public:
+  [[nodiscard]] const char* name() const override { return "sharegpt"; }
+  [[nodiscard]] WorkloadItem Sample(Rng& rng) override;
+};
+
+// --- Request-stream construction ---
+
+// All requests arrive at t = 0 (throughput benches).
+[[nodiscard]] std::vector<Request> GenerateBatch(Dataset& dataset, int count, Rng& rng,
+                                                 RequestId first_id = 0);
+
+// Poisson arrivals at `rate` requests/second (latency benches, Fig. 14).
+[[nodiscard]] std::vector<Request> GeneratePoisson(Dataset& dataset, int count, double rate,
+                                                   Rng& rng, RequestId first_id = 0);
+
+// Fig. 16 traces for the Ministral fragmentation analysis. The static trace draws request
+// lengths from one fixed distribution; the dynamic trace ramps the mean length over the trace
+// so the self-attention/sliding-window memory split must adapt.
+[[nodiscard]] std::vector<Request> StaticLongTrace(int count, double rate, Rng& rng);
+[[nodiscard]] std::vector<Request> DynamicLongTrace(int count, double rate, Rng& rng);
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_WORKLOAD_DATASETS_H_

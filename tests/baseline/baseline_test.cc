@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "src/baseline/page_scheme.h"
+#include "src/baseline/smartspec.h"
+#include "src/engine/kv_manager.h"
+#include "src/model/model_zoo.h"
+
+namespace jenga {
+namespace {
+
+TEST(SmartSpecSplit, ConservesPool) {
+  const PoolSplit split = SmartSpecSplit(Llama3_70B_Fp8(), Llama32_1B(), 12345678);
+  EXPECT_EQ(split.target_bytes + split.draft_bytes, 12345678);
+  EXPECT_GT(split.target_bytes, split.draft_bytes);
+}
+
+TEST(SmartSpecSplit, EqualModelsSplitEvenly) {
+  const PoolSplit split = SmartSpecSplit(Llama31_8B(), Llama31_8B(), 1000);
+  EXPECT_EQ(split.target_bytes, 500);
+  EXPECT_EQ(split.draft_bytes, 500);
+}
+
+TEST(SmartSpecSplit, ProportionalToTokenSizes) {
+  // 70B fp8: 80 × 2048 = 163840 B/token; 1B: 16 × 2048 = 32768 → 5:1.
+  const PoolSplit split = SmartSpecSplit(Llama3_70B_Fp8(), Llama32_1B(), 600);
+  EXPECT_EQ(split.target_bytes, 500);
+  EXPECT_EQ(split.draft_bytes, 100);
+}
+
+TEST(PageSchemes, JambaMatchesPaperNumbers) {
+  const KvSpec spec = MakeJengaSpec(Jamba52B_Fp8(), 16, false);
+  const auto analyses = AnalyzePageSchemes(spec, /*avg_request_tokens=*/1085);
+  ASSERT_EQ(analyses.size(), 3u);
+  const PageSchemeAnalysis& gcd = analyses[0];
+  const PageSchemeAnalysis& max = analyses[1];
+  const PageSchemeAnalysis& lcm = analyses[2];
+  EXPECT_EQ(gcd.scheme, "GCD");
+  EXPECT_EQ(max.scheme, "MAX");
+  EXPECT_EQ(lcm.scheme, "LCM");
+  // §4.4: MAX-page Jamba needs 1344 tokens per self-attention page.
+  EXPECT_EQ(max.worst_tokens_per_page, 1344);
+  // A 1085-token request wastes the tail of its single 1344-token page.
+  EXPECT_NEAR(max.internal_frag_fraction, 1.0 - 1085.0 / 1344.0, 1e-9);
+  // GCD pays the kernel penalty; the others do not.
+  EXPECT_LT(gcd.kernel_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(max.kernel_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(lcm.kernel_efficiency, 1.0);
+  // LCM keeps the native 16-token pages.
+  EXPECT_EQ(lcm.worst_tokens_per_page, 16);
+}
+
+TEST(PageSchemes, HomogeneousModelHasNoPathologies) {
+  const KvSpec spec = MakeJengaSpec(Llama31_8B(), 16, false);
+  for (const PageSchemeAnalysis& a : AnalyzePageSchemes(spec, 1085)) {
+    // One group → GCD == MAX == LCM == the native page; no kernel penalty anywhere.
+    EXPECT_DOUBLE_EQ(a.kernel_efficiency, 1.0);
+    EXPECT_EQ(a.compatible_page_bytes, spec.groups[0].page_bytes);
+  }
+}
+
+TEST(PageSchemes, GcdNeverFragments) {
+  for (const ModelConfig& model : {Gemma2_27B(), Llama32_11B_Vision(), Jamba52B_Fp8()}) {
+    const auto analyses = AnalyzePageSchemes(MakeJengaSpec(model, 16, true), 2048);
+    EXPECT_DOUBLE_EQ(analyses[0].internal_frag_fraction, 0.0) << model.name;
+  }
+}
+
+TEST(PageSchemesDeath, RejectsNonPositiveRequestLength) {
+  const KvSpec spec = MakeJengaSpec(Llama31_8B(), 16, false);
+  EXPECT_DEATH((void)AnalyzePageSchemes(spec, 0), "");
+}
+
+}  // namespace
+}  // namespace jenga

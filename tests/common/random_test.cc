@@ -1,0 +1,110 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace jenga {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextU64() != b.NextU64()) {
+      ++differing;
+    }
+  }
+  EXPECT_EQ(differing, 32);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.UniformInt(9, 9), 9);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) {
+    counts[static_cast<size_t>(rng.UniformInt(0, 3))] += 1;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);  // Near-uniform: expected 1000 each.
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.Exponential(2.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.Normal(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kSamples;
+  const double var = sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(123);
+  Rng child_a = parent.Fork(0);
+  Rng child_b = parent.Fork(1);
+  EXPECT_NE(child_a.NextU64(), child_b.NextU64());
+  // Forking does not disturb the parent relative to an identical twin.
+  Rng twin(123);
+  (void)twin.Fork(0);
+  (void)twin.Fork(1);
+  EXPECT_EQ(parent.NextU64(), twin.NextU64());
+}
+
+}  // namespace
+}  // namespace jenga

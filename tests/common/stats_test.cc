@@ -1,0 +1,84 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace jenga {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_DOUBLE_EQ(s.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+}
+
+TEST(Summary, EmptyMeanIsZero) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(Summary, Percentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(99), 99.01, 1e-9);
+}
+
+TEST(Summary, PercentileUnsortedInput) {
+  Summary s;
+  for (double v : {9.0, 1.0, 5.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 5.0);
+}
+
+TEST(Summary, Stddev) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_NEAR(s.Stddev(), 2.138, 1e-3);  // Sample stddev.
+}
+
+TEST(TimeSeries, MeanAndMax) {
+  TimeSeries ts;
+  ts.Add(0.0, 2.0);
+  ts.Add(1.0, 6.0);
+  ts.Add(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(ts.MeanValue(), 4.0);
+  EXPECT_DOUBLE_EQ(ts.MaxValue(), 6.0);
+}
+
+TEST(TimeSeries, ResampleStepSemantics) {
+  TimeSeries ts;
+  ts.Add(0.0, 10.0);
+  ts.Add(9.9, 20.0);
+  const std::vector<double> r = ts.Resample(10);
+  ASSERT_EQ(r.size(), 10u);
+  EXPECT_DOUBLE_EQ(r[0], 10.0);
+  // Empty middle buckets carry the previous value.
+  EXPECT_DOUBLE_EQ(r[5], 10.0);
+  EXPECT_DOUBLE_EQ(r[9], 20.0);
+}
+
+TEST(Sparkline, ShapeAndLength) {
+  const std::string line = Sparkline({0.0, 1.0, 2.0, 3.0});
+  EXPECT_FALSE(line.empty());
+  // Four glyphs, each 3 bytes in UTF-8.
+  EXPECT_EQ(line.size(), 12u);
+}
+
+TEST(Sparkline, Empty) { EXPECT_EQ(Sparkline({}), ""); }
+
+}  // namespace
+}  // namespace jenga

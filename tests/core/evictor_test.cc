@@ -1,0 +1,95 @@
+#include "src/core/evictor.h"
+
+#include <gtest/gtest.h>
+
+namespace jenga {
+namespace {
+
+TEST(Evictor, LruOrder) {
+  Evictor evictor;
+  evictor.Insert(/*page=*/1, /*last_access=*/30, /*prefix_length=*/0);
+  evictor.Insert(2, 10, 0);
+  evictor.Insert(3, 20, 0);
+  EXPECT_EQ(*evictor.PopVictim(), 2);
+  EXPECT_EQ(*evictor.PopVictim(), 3);
+  EXPECT_EQ(*evictor.PopVictim(), 1);
+  EXPECT_FALSE(evictor.PopVictim().has_value());
+}
+
+TEST(Evictor, PrefixLengthBreaksTies) {
+  // §5.1: among pages with the same last-access time, the deepest token (largest prefix
+  // length) is evicted first — alignment across layer types.
+  Evictor evictor;
+  evictor.Insert(1, 5, 100);
+  evictor.Insert(2, 5, 300);
+  evictor.Insert(3, 5, 200);
+  EXPECT_EQ(*evictor.PopVictim(), 2);
+  EXPECT_EQ(*evictor.PopVictim(), 3);
+  EXPECT_EQ(*evictor.PopVictim(), 1);
+}
+
+TEST(Evictor, LastAccessDominatesPrefixLength) {
+  Evictor evictor;
+  evictor.Insert(1, 5, 1);     // Older access, short prefix.
+  evictor.Insert(2, 9, 1000);  // Newer access, long prefix.
+  EXPECT_EQ(*evictor.PopVictim(), 1);
+}
+
+TEST(Evictor, UpdateLastAccessReorders) {
+  Evictor evictor;
+  evictor.Insert(1, 10, 0);
+  evictor.Insert(2, 20, 0);
+  evictor.UpdateLastAccess(1, 30);
+  EXPECT_EQ(*evictor.PopVictim(), 2);
+  EXPECT_EQ(*evictor.PopVictim(), 1);
+}
+
+TEST(Evictor, SetPrefixLengthReorders) {
+  Evictor evictor;
+  evictor.Insert(1, 5, 10);
+  evictor.Insert(2, 5, 20);
+  evictor.SetPrefixLength(1, 99);
+  EXPECT_EQ(*evictor.PopVictim(), 1);
+}
+
+TEST(Evictor, UpdateOnAbsentPageIsNoOp) {
+  Evictor evictor;
+  evictor.UpdateLastAccess(42, 1);
+  evictor.SetPrefixLength(42, 1);
+  EXPECT_TRUE(evictor.empty());
+}
+
+TEST(Evictor, RemoveExcludesFromVictims) {
+  Evictor evictor;
+  evictor.Insert(1, 10, 0);
+  evictor.Insert(2, 20, 0);
+  evictor.Remove(1);
+  EXPECT_FALSE(evictor.Contains(1));
+  EXPECT_EQ(evictor.size(), 1u);
+  EXPECT_EQ(*evictor.PopVictim(), 2);
+}
+
+TEST(Evictor, PeekOldestAccess) {
+  Evictor evictor;
+  EXPECT_FALSE(evictor.PeekOldestAccess().has_value());
+  evictor.Insert(1, 17, 0);
+  evictor.Insert(2, 3, 0);
+  EXPECT_EQ(*evictor.PeekOldestAccess(), 3);
+  EXPECT_EQ(evictor.size(), 2u);  // Peek does not pop.
+}
+
+TEST(Evictor, DeterministicTieBreakOnPageId) {
+  Evictor evictor;
+  evictor.Insert(7, 5, 50);
+  evictor.Insert(3, 5, 50);
+  EXPECT_EQ(*evictor.PopVictim(), 3);
+}
+
+TEST(EvictorDeath, DoubleInsert) {
+  Evictor evictor;
+  evictor.Insert(1, 0, 0);
+  EXPECT_DEATH(evictor.Insert(1, 5, 5), "already in evictor");
+}
+
+}  // namespace
+}  // namespace jenga

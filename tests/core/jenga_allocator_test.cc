@@ -1,0 +1,174 @@
+#include "src/core/jenga_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/model/kv_spec.h"
+#include "src/model/model_zoo.h"
+
+namespace jenga {
+namespace {
+
+// Two-group spec mirroring the paper's Figure 6: image pages of 256 bytes and text pages of
+// 384 bytes, LCM page 768.
+KvSpec Figure6Spec() {
+  KvSpec spec;
+  KvGroupSpec image;
+  image.name = "image";
+  image.kind = GroupKind::kCrossAttention;
+  image.scope = GroupScope::kImageTokens;
+  image.num_layers = 2;
+  image.bytes_per_token_per_layer = 128;
+  image.tokens_per_page = 1;
+  image.page_bytes = 256;
+  KvGroupSpec text;
+  text.name = "text";
+  text.kind = GroupKind::kFullAttention;
+  text.num_layers = 3;
+  text.bytes_per_token_per_layer = 128;
+  text.tokens_per_page = 1;
+  text.page_bytes = 384;
+  spec.groups = {image, text};
+  return spec;
+}
+
+TEST(JengaAllocator, ConstructionUsesLcmPageSize) {
+  JengaAllocator alloc(Figure6Spec(), /*pool_bytes=*/768 * 8);
+  EXPECT_EQ(alloc.lcm().large_page_bytes(), 768);
+  EXPECT_EQ(alloc.lcm().num_pages(), 8);
+  EXPECT_EQ(alloc.num_groups(), 2);
+  EXPECT_EQ(alloc.group(0).pages_per_large(), 3);  // 768 / 256.
+  EXPECT_EQ(alloc.group(1).pages_per_large(), 2);  // 768 / 384.
+}
+
+TEST(JengaAllocator, GroupsShareThePool) {
+  JengaAllocator alloc(Figure6Spec(), 768 * 2);
+  // Group 0 takes both large pages (6 image pages), leaving none for group 1.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(alloc.group(0).Allocate(1, 0).has_value());
+  }
+  EXPECT_FALSE(alloc.group(1).Allocate(1, 0).has_value());
+}
+
+TEST(JengaAllocator, WholePageEvictionMovesMemoryBetweenGroups) {
+  // §5.4 step 3: once group 0's content is evictable, group 1 can steal the large pages.
+  JengaAllocator alloc(Figure6Spec(), 768 * 2);
+  std::vector<SmallPageId> pages;
+  for (int i = 0; i < 6; ++i) {
+    const SmallPageId p = *alloc.group(0).Allocate(1, /*now=*/i);
+    alloc.group(0).SetContentHash(p, 0x100 + static_cast<BlockHash>(i));
+    pages.push_back(p);
+  }
+  for (const SmallPageId p : pages) {
+    alloc.group(0).Release(p, /*keep_cached=*/true);
+  }
+  const auto text_page = alloc.group(1).Allocate(2, /*now=*/10);
+  ASSERT_TRUE(text_page.has_value());
+  // One large page was reclaimed from group 0; its three cached image pages are gone.
+  EXPECT_EQ(alloc.group(0).GetStats().evictable_pages, 3);
+  EXPECT_EQ(alloc.group(1).GetStats().large_pages_held, 1);
+  alloc.CheckConsistency();
+}
+
+TEST(JengaAllocator, WholePageEvictionPrefersLruLargePage) {
+  JengaAllocator alloc(Figure6Spec(), 768 * 2);
+  // Large page A holds pages accessed at t=0..2, large page B at t=10..12.
+  std::vector<SmallPageId> pages;
+  for (int i = 0; i < 6; ++i) {
+    const Tick t = (i < 3) ? i : 10 + i;
+    const SmallPageId p = *alloc.group(0).Allocate(1, t);
+    alloc.group(0).SetContentHash(p, 0x100 + static_cast<BlockHash>(i));
+    pages.push_back(p);
+  }
+  for (const SmallPageId p : pages) {
+    alloc.group(0).Release(p, true);
+  }
+  (void)*alloc.group(1).Allocate(2, 20);
+  // The newer half (hashes 0x103..0x105) must survive.
+  EXPECT_FALSE(alloc.group(0).LookupCached(0x100).has_value());
+  EXPECT_FALSE(alloc.group(0).LookupCached(0x102).has_value());
+  EXPECT_TRUE(alloc.group(0).LookupCached(0x103).has_value());
+  EXPECT_TRUE(alloc.group(0).LookupCached(0x105).has_value());
+}
+
+TEST(JengaAllocator, ReclaimHeapRevalidatesRevivedPages) {
+  JengaAllocator alloc(Figure6Spec(), 768 * 2);
+  std::vector<SmallPageId> pages;
+  for (int i = 0; i < 6; ++i) {
+    const SmallPageId p = *alloc.group(0).Allocate(1, i);
+    alloc.group(0).SetContentHash(p, 0x100 + static_cast<BlockHash>(i));
+    pages.push_back(p);
+  }
+  for (const SmallPageId p : pages) {
+    alloc.group(0).Release(p, true);
+  }
+  // Revive the older large page's pages: the stale heap entry must be skipped and the *other*
+  // large page reclaimed instead.
+  alloc.group(0).AddRef(pages[0]);
+  (void)*alloc.group(1).Allocate(2, 20);
+  EXPECT_TRUE(alloc.group(0).LookupCached(0x100).has_value());
+  EXPECT_FALSE(alloc.group(0).LookupCached(0x103).has_value());
+  alloc.CheckConsistency();
+}
+
+TEST(JengaAllocator, FreeAndAvailableSmallPages) {
+  JengaAllocator alloc(Figure6Spec(), 768 * 4);
+  EXPECT_EQ(alloc.FreeSmallPages(0), 4 * 3);
+  EXPECT_EQ(alloc.FreeSmallPages(1), 4 * 2);
+  const SmallPageId p = *alloc.group(0).Allocate(1, 0);
+  // One large page now held by group 0 with 2 empty slots.
+  EXPECT_EQ(alloc.FreeSmallPages(0), 3 * 3 + 2);
+  EXPECT_EQ(alloc.FreeSmallPages(1), 3 * 2);
+  alloc.group(0).SetContentHash(p, 0x1);
+  alloc.group(0).Release(p, true);
+  // The cached page counts toward available-but-not-free capacity.
+  EXPECT_EQ(alloc.FreeSmallPages(0), 3 * 3 + 2);
+  EXPECT_EQ(alloc.AvailableSmallPages(0), 3 * 3 + 2 + 1);
+}
+
+TEST(JengaAllocator, BreakdownSumsToPool) {
+  JengaAllocator alloc(Figure6Spec(), 768 * 4 + 32);
+  (void)*alloc.group(0).Allocate(1, 0);
+  (void)*alloc.group(1).Allocate(2, 0);
+  const auto breakdown = alloc.GetBreakdown();
+  EXPECT_EQ(breakdown.pool_bytes, 768 * 4 + 32);
+  EXPECT_EQ(breakdown.allocated_bytes, 768 * 2);
+  EXPECT_EQ(breakdown.used_bytes, 256 + 384);
+  EXPECT_EQ(breakdown.empty_bytes, 2 * 256 + 384);
+  EXPECT_EQ(breakdown.evictable_bytes, 0);
+  EXPECT_EQ(breakdown.unallocated_bytes, 768 * 2 + 32);
+  EXPECT_EQ(breakdown.allocated_bytes + breakdown.unallocated_bytes, breakdown.pool_bytes);
+  alloc.CheckConsistency();
+}
+
+TEST(JengaAllocator, OverrideLargePageSize) {
+  // MAX-page ablation: force the large page to the larger group page (384); the 256-byte
+  // group cannot pack into it evenly, so construction must reject it.
+  EXPECT_DEATH(JengaAllocator(Figure6Spec(), 768 * 4, /*large_page_bytes_override=*/384),
+               "must divide");
+  // A valid override: double the LCM.
+  JengaAllocator alloc(Figure6Spec(), 768 * 4, 1536);
+  EXPECT_EQ(alloc.lcm().large_page_bytes(), 1536);
+  EXPECT_EQ(alloc.group(0).pages_per_large(), 6);
+}
+
+TEST(JengaAllocator, RealModelSpec) {
+  const KvSpec spec = BuildKvSpec(Jamba52B_Fp8(), KvSpecOptions{});
+  JengaAllocator alloc(spec, /*pool_bytes=*/spec.LcmPageBytes() * 10);
+  // Group order follows the spec; find the mamba group.
+  int mamba_index = -1;
+  for (int i = 0; i < alloc.num_groups(); ++i) {
+    if (alloc.group(i).spec().kind == GroupKind::kMamba) {
+      mamba_index = i;
+    }
+  }
+  ASSERT_GE(mamba_index, 0);
+  EXPECT_EQ(alloc.group(mamba_index).pages_per_large(), 1);
+  const auto state = alloc.group(mamba_index).Allocate(1, 0);
+  ASSERT_TRUE(state.has_value());
+  alloc.CheckConsistency();
+}
+
+}  // namespace
+}  // namespace jenga

@@ -1,0 +1,235 @@
+#include "src/core/layer_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/policy_factory.h"
+#include "src/model/kv_spec.h"
+
+namespace jenga {
+namespace {
+
+// Records policy calls for inspection.
+class FakeOps : public GroupCacheOps {
+ public:
+  void UpdateLastAccess(SmallPageId page, Tick now) override { last_access[page] = now; }
+  void SetPrefixLength(SmallPageId page, int64_t prefix_length) override {
+    prefix_length_of[page] = prefix_length;
+  }
+
+  std::map<SmallPageId, Tick> last_access;
+  std::map<SmallPageId, int64_t> prefix_length_of;
+};
+
+RequestPages MakeRequest(RequestId id, const std::vector<SmallPageId>& pages, int64_t num_tokens,
+                         int tokens_per_page) {
+  RequestPages request;
+  request.request = id;
+  request.pages = pages;
+  request.num_tokens = num_tokens;
+  request.tokens_per_page = tokens_per_page;
+  return request;
+}
+
+// --- FullPrefixPolicy ---
+
+TEST(FullPrefixPolicy, NeedsEverything) {
+  FullPrefixPolicy policy;
+  const auto ranges = policy.NeededTokenRanges(100);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (TokenRange{0, 100}));
+  EXPECT_FALSE(policy.CanDropUnneededPages());
+}
+
+TEST(FullPrefixPolicy, UpdateLastAccessTouchesAllPages) {
+  FullPrefixPolicy policy;
+  FakeOps ops;
+  const std::vector<SmallPageId> pages = {10, 11, 12};
+  policy.UpdateLastAccess(MakeRequest(1, pages, 48, 16), /*now=*/7, ops);
+  EXPECT_EQ(ops.last_access.size(), 3u);
+  EXPECT_EQ(ops.last_access[11], 7);
+}
+
+TEST(FullPrefixPolicy, PossiblePrefixRequiresContiguousHits) {
+  FullPrefixPolicy policy;
+  // Blocks: hit, hit, MISS, hit.
+  const std::vector<bool> valid = policy.GetPossiblePrefix({true, true, false, true}, 16);
+  ASSERT_EQ(valid.size(), 5u);
+  EXPECT_TRUE(valid[0]);
+  EXPECT_TRUE(valid[1]);
+  EXPECT_TRUE(valid[2]);
+  EXPECT_FALSE(valid[3]);
+  EXPECT_FALSE(valid[4]);  // A later hit cannot repair a hole.
+}
+
+TEST(FullPrefixPolicy, DefaultPrefixLengthsAreTokenDepths) {
+  FullPrefixPolicy policy;
+  FakeOps ops;
+  policy.SetPrefixLength(MakeRequest(1, {5, 6, 7}, 48, 16), ops);
+  EXPECT_EQ(ops.prefix_length_of[5], 16);
+  EXPECT_EQ(ops.prefix_length_of[6], 32);
+  EXPECT_EQ(ops.prefix_length_of[7], 48);
+}
+
+// --- SlidingWindowPolicy ---
+
+TEST(SlidingWindowPolicy, NeedsOnlyTrailingWindow) {
+  SlidingWindowPolicy policy(/*window=*/32);
+  const auto ranges = policy.NeededTokenRanges(100);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (TokenRange{68, 100}));
+  EXPECT_TRUE(policy.CanDropUnneededPages());
+}
+
+TEST(SlidingWindowPolicy, ShortSequencesNeedEverything) {
+  SlidingWindowPolicy policy(32);
+  const auto ranges = policy.NeededTokenRanges(20);
+  EXPECT_EQ(ranges[0], (TokenRange{0, 20}));
+}
+
+TEST(SlidingWindowPolicy, UpdateLastAccessSkipsOutOfWindowPages) {
+  // §5.1 / Figure 10: tokens outside the window keep their older timestamps.
+  SlidingWindowPolicy policy(/*window=*/16);
+  FakeOps ops;
+  // 4 blocks of 16 tokens, 64 tokens total: only the last block is inside the window.
+  policy.UpdateLastAccess(MakeRequest(1, {0, 1, 2, 3}, 64, 16), /*now=*/9, ops);
+  EXPECT_EQ(ops.last_access.size(), 1u);
+  EXPECT_EQ(ops.last_access[3], 9);
+}
+
+TEST(SlidingWindowPolicy, PaperHitExample) {
+  // §3.3: prompt [t1 t2 t3 t4] with t1 evicted and window 2: [t1 t2 t3] is still a valid
+  // prefix because t1 lies outside the window. With tokens_per_page = 1 the blocks map 1:1.
+  SlidingWindowPolicy policy(/*window=*/2);
+  const std::vector<bool> valid = policy.GetPossiblePrefix({false, true, true, true}, 1);
+  EXPECT_TRUE(valid[0]);
+  EXPECT_FALSE(valid[1]);  // Needs t1 itself.
+  EXPECT_FALSE(valid[2]);  // Needs t1, t2.
+  EXPECT_TRUE(valid[3]);   // Needs only t2, t3.
+  EXPECT_TRUE(valid[4]);
+}
+
+TEST(SlidingWindowPolicy, Figure11Example) {
+  // Figure 11: request ABCDEFGHIJ, cache state [A B C D - - - H I J] at token granularity
+  // (E, F, G evicted), window 2 ⇒ valid prefixes for sliding window: ABCD, ABCDEFGHI(J).
+  SlidingWindowPolicy policy(2);
+  const std::vector<bool> hits = {true, true, true, true, false, false, false, true, true, true};
+  const std::vector<bool> valid = policy.GetPossiblePrefix(hits, 1);
+  EXPECT_TRUE(valid[4]);   // ABCD: needs C, D.
+  EXPECT_FALSE(valid[5]);  // ABCDE: needs D, E; E missing.
+  EXPECT_FALSE(valid[7]);
+  EXPECT_TRUE(valid[9]);   // Needs H, I.
+  EXPECT_TRUE(valid[10]);  // Needs I, J.
+}
+
+// --- PyramidPolicy ---
+
+TEST(PyramidPolicy, UnderBudgetNeedsEverything) {
+  PyramidPolicy policy(/*token_budget=*/64, /*num_sinks=*/4);
+  const auto ranges = policy.NeededTokenRanges(50);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (TokenRange{0, 50}));
+}
+
+TEST(PyramidPolicy, OverBudgetKeepsSinksAndRecent) {
+  PyramidPolicy policy(64, 4);
+  const auto ranges = policy.NeededTokenRanges(200);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], (TokenRange{0, 4}));
+  EXPECT_EQ(ranges[1], (TokenRange{140, 200}));
+  EXPECT_TRUE(policy.CanDropUnneededPages());
+}
+
+TEST(PyramidPolicy, HitRuleIgnoresDroppedMiddle) {
+  PyramidPolicy policy(/*token_budget=*/32, /*num_sinks=*/16);
+  // Blocks of 16 tokens: prefix of 4 blocks (64 tokens) needs block 0 (sinks) and block 3
+  // (recent 16); blocks 1-2 are dropped.
+  const std::vector<bool> valid = policy.GetPossiblePrefix({true, false, false, true}, 16);
+  EXPECT_TRUE(valid[4]);
+  EXPECT_FALSE(valid[2]);  // Prefix of 2 blocks = 32 tokens is fully retained; block 1 missing.
+}
+
+// --- MambaPolicy ---
+
+TEST(MambaPolicy, OnlyLastPageAccessed) {
+  MambaPolicy policy(512);
+  FakeOps ops;
+  policy.UpdateLastAccess(MakeRequest(1, {100, 101, 102}, 3 * 512, 512), /*now=*/4, ops);
+  EXPECT_EQ(ops.last_access.size(), 1u);
+  EXPECT_EQ(ops.last_access[102], 4);
+}
+
+TEST(MambaPolicy, CheckpointsAreIndependentPrefixes) {
+  MambaPolicy policy(512);
+  // Checkpoints at 512, 1024, 1536; only 1024 cached.
+  const std::vector<bool> valid = policy.GetPossiblePrefix({false, true, false}, 512);
+  EXPECT_TRUE(valid[0]);
+  EXPECT_FALSE(valid[1]);
+  EXPECT_TRUE(valid[2]);  // Restoring from the 1024-token checkpoint needs only itself.
+  EXPECT_FALSE(valid[3]);
+}
+
+TEST(MambaPolicy, PrefixLengthsAreCheckpointDepths) {
+  MambaPolicy policy(512);
+  FakeOps ops;
+  policy.SetPrefixLength(MakeRequest(1, {7, 8}, 1024, 512), ops);
+  EXPECT_EQ(ops.prefix_length_of[7], 512);
+  EXPECT_EQ(ops.prefix_length_of[8], 1024);
+}
+
+// --- ImageCachePolicy ---
+
+TEST(ImageCachePolicy, WholeImageSharesPriority) {
+  // 2 images × 32 tokens, 16 tokens per page → pages {0,1} are image 0, {2,3} image 1.
+  ImageCachePolicy policy(/*tokens_per_image=*/32);
+  FakeOps ops;
+  policy.SetPrefixLength(MakeRequest(77, {0, 1, 2, 3}, 64, 16), ops);
+  EXPECT_EQ(ops.prefix_length_of[0], ops.prefix_length_of[1]);
+  EXPECT_EQ(ops.prefix_length_of[2], ops.prefix_length_of[3]);
+  EXPECT_NE(ops.prefix_length_of[0], ops.prefix_length_of[2]);
+}
+
+TEST(ImageCachePolicy, PrioritiesAreDeterministicPerRequestAndImage) {
+  ImageCachePolicy policy(32);
+  FakeOps a;
+  FakeOps b;
+  policy.SetPrefixLength(MakeRequest(77, {0, 1}, 32, 16), a);
+  policy.SetPrefixLength(MakeRequest(77, {0, 1}, 32, 16), b);
+  EXPECT_EQ(a.prefix_length_of, b.prefix_length_of);
+}
+
+TEST(ImageCachePolicy, HitRequiresAllImageBlocks) {
+  ImageCachePolicy policy(32);
+  const std::vector<bool> valid = policy.GetPossiblePrefix({true, false, true}, 16);
+  EXPECT_TRUE(valid[1]);
+  EXPECT_FALSE(valid[2]);
+  EXPECT_FALSE(valid[3]);
+}
+
+// --- Factory ---
+
+TEST(PolicyFactory, MapsKindsToPolicies) {
+  KvGroupSpec spec;
+  spec.kind = GroupKind::kFullAttention;
+  EXPECT_STREQ(MakeLayerPolicy(spec)->name(), "full_prefix");
+  spec.kind = GroupKind::kSlidingWindow;
+  spec.sliding_window = 128;
+  EXPECT_STREQ(MakeLayerPolicy(spec)->name(), "sliding_window");
+  spec.kind = GroupKind::kMamba;
+  EXPECT_STREQ(MakeLayerPolicy(spec)->name(), "mamba");
+  spec.kind = GroupKind::kSparsePyramid;
+  spec.token_budget = 256;
+  EXPECT_STREQ(MakeLayerPolicy(spec)->name(), "pyramid");
+  spec.kind = GroupKind::kVisionEmbed;
+  EXPECT_STREQ(MakeLayerPolicy(spec, /*tokens_per_image=*/100)->name(), "image_cache");
+}
+
+TEST(PolicyFactoryDeath, ImageGroupNeedsTokensPerImage) {
+  KvGroupSpec spec;
+  spec.kind = GroupKind::kCrossAttention;
+  EXPECT_DEATH(MakeLayerPolicy(spec), "tokens_per_image");
+}
+
+}  // namespace
+}  // namespace jenga

@@ -1,0 +1,78 @@
+#include "src/core/lcm_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace jenga {
+namespace {
+
+TEST(LcmAllocator, PoolPartitioning) {
+  LcmAllocator alloc(10 * 768 + 100, 768);
+  EXPECT_EQ(alloc.num_pages(), 10);
+  EXPECT_EQ(alloc.slack_bytes(), 100);
+  EXPECT_EQ(alloc.num_free(), 10);
+  EXPECT_EQ(alloc.num_allocated(), 0);
+}
+
+TEST(LcmAllocator, AllocateAllThenExhaust) {
+  LcmAllocator alloc(4 * 64, 64);
+  std::set<LargePageId> pages;
+  for (int i = 0; i < 4; ++i) {
+    const auto page = alloc.Allocate(/*owner_group=*/0);
+    ASSERT_TRUE(page.has_value());
+    EXPECT_TRUE(pages.insert(*page).second) << "duplicate page handed out";
+  }
+  EXPECT_FALSE(alloc.Allocate(0).has_value());
+  EXPECT_EQ(alloc.num_allocated(), 4);
+}
+
+TEST(LcmAllocator, FreeMakesPageReusable) {
+  LcmAllocator alloc(2 * 64, 64);
+  const LargePageId a = *alloc.Allocate(0);
+  const LargePageId b = *alloc.Allocate(1);
+  EXPECT_FALSE(alloc.Allocate(0).has_value());
+  alloc.Free(a);
+  EXPECT_EQ(alloc.num_free(), 1);
+  const auto again = alloc.Allocate(2);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, a);
+  EXPECT_EQ(alloc.owner(a), 2);
+  EXPECT_EQ(alloc.owner(b), 1);
+}
+
+TEST(LcmAllocator, OwnerTracking) {
+  LcmAllocator alloc(3 * 64, 64);
+  const LargePageId a = *alloc.Allocate(5);
+  EXPECT_EQ(alloc.owner(a), 5);
+  alloc.Free(a);
+  EXPECT_EQ(alloc.owner(a), -1);
+}
+
+TEST(LcmAllocator, AscendingHandOut) {
+  LcmAllocator alloc(3 * 64, 64);
+  EXPECT_EQ(*alloc.Allocate(0), 0);
+  EXPECT_EQ(*alloc.Allocate(0), 1);
+  EXPECT_EQ(*alloc.Allocate(0), 2);
+}
+
+TEST(LcmAllocator, ZeroPoolHasNoPages) {
+  LcmAllocator alloc(0, 64);
+  EXPECT_EQ(alloc.num_pages(), 0);
+  EXPECT_FALSE(alloc.Allocate(0).has_value());
+}
+
+TEST(LcmAllocatorDeath, DoubleFree) {
+  LcmAllocator alloc(2 * 64, 64);
+  const LargePageId a = *alloc.Allocate(0);
+  alloc.Free(a);
+  EXPECT_DEATH(alloc.Free(a), "double free");
+}
+
+TEST(LcmAllocatorDeath, FreeOutOfRange) {
+  LcmAllocator alloc(2 * 64, 64);
+  EXPECT_DEATH(alloc.Free(7), "");
+}
+
+}  // namespace
+}  // namespace jenga

@@ -1,0 +1,136 @@
+#include "src/engine/spec_decode.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/smartspec.h"
+#include "tests/engine/test_models.h"
+
+namespace jenga {
+namespace {
+
+ModelConfig TinyDraft() {
+  ModelConfig model;
+  model.name = "tiny-draft";
+  model.params_b = 0.02;
+  model.hidden_size = 128;
+  model.max_context_len = 65536;
+  model.compute_layers = 2;
+  for (int i = 0; i < 2; ++i) {
+    LayerSpec layer;
+    layer.kind = LayerKind::kFullAttention;
+    layer.num_kv_heads = 1;
+    layer.head_dim = 32;
+    layer.dtype_bytes = 2;
+    model.layers.push_back(layer);
+  }
+  return model;
+}
+
+SpecDecodeConfig TestSpecConfig(ModelConfig target, SpecStrategy strategy, int64_t pool) {
+  SpecDecodeConfig config;
+  config.target = std::move(target);
+  config.draft = TinyDraft();
+  config.gpu = TestGpu();
+  config.strategy = strategy;
+  config.pool_bytes_override = pool;
+  config.seed = 7;
+  return config;
+}
+
+TEST(SmartSpec, SplitProportionalToKvSizes) {
+  const PoolSplit split = SmartSpecSplit(TinyFullModel(), TinyDraft(), 1000);
+  // Target 1024 B/token vs draft 256 B/token → 4:1 split.
+  EXPECT_EQ(split.target_bytes, 800);
+  EXPECT_EQ(split.draft_bytes, 200);
+  EXPECT_EQ(split.target_bytes + split.draft_bytes, 1000);
+}
+
+TEST(SpecDecode, AllStrategiesComplete) {
+  for (const SpecStrategy strategy :
+       {SpecStrategy::kJenga, SpecStrategy::kVllmMax, SpecStrategy::kVllmManual}) {
+    SCOPED_TRACE(SpecStrategyName(strategy));
+    SpecDecodeEngine engine(TestSpecConfig(TinyFullModel(), strategy, 1 << 24));
+    for (int i = 0; i < 4; ++i) {
+      engine.Submit(MakeRequest(i, TextPrompt(128), 32, 0.0));
+    }
+    engine.RunToCompletion();
+    EXPECT_EQ(engine.metrics().CompletedRequests(), 4);
+    for (const RequestRecord& record : engine.metrics().finished()) {
+      EXPECT_EQ(record.output_len, 32);
+    }
+  }
+}
+
+TEST(SpecDecode, MacroStepsEmitMultipleTokens) {
+  SpecDecodeEngine engine(TestSpecConfig(TinyFullModel(), SpecStrategy::kJenga, 1 << 24));
+  engine.Submit(MakeRequest(0, TextPrompt(64), 40, 0.0));
+  engine.RunToCompletion();
+  // With k = 4 and acceptance 0.7, expected ≈ 2.6 tokens per macro step → far fewer steps
+  // than 40 sequential decodes.
+  EXPECT_LT(engine.metrics().total_steps(), 30);
+}
+
+TEST(SpecDecode, JengaMatchesManualOnHomogeneousModel) {
+  // §7.4: Jenga's automatic allocation reaches the manually-tuned optimum for pure
+  // self-attention models.
+  double times[2] = {0, 0};
+  int i = 0;
+  for (const SpecStrategy strategy : {SpecStrategy::kJenga, SpecStrategy::kVllmManual}) {
+    SpecDecodeEngine engine(TestSpecConfig(TinyFullModel(), strategy, 1 << 22));
+    for (int r = 0; r < 8; ++r) {
+      engine.Submit(MakeRequest(r, TextPrompt(256), 24, 0.0));
+    }
+    engine.RunToCompletion();
+    EXPECT_EQ(engine.metrics().CompletedRequests(), 8);
+    times[i++] = engine.now();
+  }
+  EXPECT_NEAR(times[0], times[1], times[1] * 0.1);
+}
+
+TEST(SpecDecode, JengaBeatsMaxPagingUnderPressure) {
+  // vLLM-max charges every draft token a target-sized page; with a tight pool Jenga batches
+  // more and finishes sooner.
+  double jenga_time = 0.0;
+  double max_time = 0.0;
+  for (const SpecStrategy strategy : {SpecStrategy::kJenga, SpecStrategy::kVllmMax}) {
+    SpecDecodeEngine engine(TestSpecConfig(TinyFullModel(), strategy, 1 << 21));
+    for (int r = 0; r < 8; ++r) {
+      engine.Submit(MakeRequest(r, TextPrompt(256), 24, 0.0));
+    }
+    engine.RunToCompletion();
+    EXPECT_EQ(engine.metrics().CompletedRequests(), 8);
+    (strategy == SpecStrategy::kJenga ? jenga_time : max_time) = engine.now();
+  }
+  EXPECT_LT(jenga_time, max_time);
+}
+
+TEST(SpecDecode, JengaBeatsManualOnHeterogeneousModel) {
+  // On a sliding-window target, manual splitting cannot reclaim out-of-window KV.
+  double jenga_time = 0.0;
+  double manual_time = 0.0;
+  for (const SpecStrategy strategy : {SpecStrategy::kJenga, SpecStrategy::kVllmManual}) {
+    SpecDecodeEngine engine(TestSpecConfig(TinySlidingModel(64), strategy, 1 << 21));
+    for (int r = 0; r < 8; ++r) {
+      engine.Submit(MakeRequest(r, TextPrompt(512), 24, 0.0));
+    }
+    engine.RunToCompletion();
+    EXPECT_EQ(engine.metrics().CompletedRequests(), 8);
+    (strategy == SpecStrategy::kJenga ? jenga_time : manual_time) = engine.now();
+  }
+  EXPECT_LT(jenga_time, manual_time);
+}
+
+TEST(SpecDecode, DeterministicGivenSeed) {
+  auto run = [] {
+    SpecDecodeEngine engine(TestSpecConfig(TinyFullModel(), SpecStrategy::kJenga, 1 << 23));
+    for (int r = 0; r < 4; ++r) {
+      engine.Submit(MakeRequest(r, TextPrompt(100 + r), 16, 0.0));
+    }
+    engine.RunToCompletion();
+    return engine.now();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace jenga

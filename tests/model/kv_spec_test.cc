@@ -1,0 +1,127 @@
+#include "src/model/kv_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/model/model_zoo.h"
+
+namespace jenga {
+namespace {
+
+KvSpecOptions BlockSize(int tokens_per_page) {
+  KvSpecOptions options;
+  options.tokens_per_page = tokens_per_page;
+  return options;
+}
+
+TEST(BuildKvSpec, HomogeneousModelHasOneGroup) {
+  const KvSpec spec = BuildKvSpec(Llama31_8B(), BlockSize(16));
+  ASSERT_EQ(spec.groups.size(), 1u);
+  const KvGroupSpec& group = spec.groups[0];
+  EXPECT_EQ(group.kind, GroupKind::kFullAttention);
+  EXPECT_EQ(group.num_layers, 32);
+  EXPECT_EQ(group.bytes_per_token_per_layer, 2 * 8 * 128 * 2);
+  EXPECT_EQ(group.page_bytes, 16LL * 4096 * 32);
+  EXPECT_EQ(spec.LcmPageBytes(), group.page_bytes);
+}
+
+TEST(BuildKvSpec, PaperFigure6Arithmetic) {
+  // The paper's running example: per-layer KV of 128 bytes/token, 2 cross-attention layers
+  // (image page 256) + 3 self-attention layers (text page 384), tokens_per_page = 1,
+  // compatible page = LCM(256, 384) = 768.
+  ModelConfig model;
+  model.name = "figure6";
+  model.params_b = 1.0;
+  model.compute_layers = 5;
+  LayerSpec self_attn;
+  self_attn.kind = LayerKind::kFullAttention;
+  self_attn.num_kv_heads = 1;
+  self_attn.head_dim = 32;
+  self_attn.dtype_bytes = 2;  // 2·1·32·2 = 128 bytes/token.
+  LayerSpec cross_attn = self_attn;
+  cross_attn.kind = LayerKind::kCrossAttention;
+  model.layers = {self_attn, self_attn, self_attn, cross_attn, cross_attn};
+
+  const KvSpec spec = BuildKvSpec(model, BlockSize(1));
+  ASSERT_EQ(spec.groups.size(), 2u);
+  const KvGroupSpec* text = spec.FindGroup(GroupKind::kFullAttention);
+  const KvGroupSpec* image = spec.FindGroup(GroupKind::kCrossAttention);
+  ASSERT_NE(text, nullptr);
+  ASSERT_NE(image, nullptr);
+  EXPECT_EQ(text->page_bytes, 384);
+  EXPECT_EQ(image->page_bytes, 256);
+  EXPECT_EQ(spec.LcmPageBytes(), 768);
+  EXPECT_EQ(spec.GcdPageBytes(), 128);
+  EXPECT_EQ(spec.MaxPageBytes(), 384);
+  EXPECT_EQ(image->scope, GroupScope::kImageTokens);
+  // In a cross-attention model the decoder sequence holds text tokens only (§3.2).
+  EXPECT_EQ(text->scope, GroupScope::kTextTokens);
+}
+
+TEST(BuildKvSpec, SlidingWindowModelSplitsGroups) {
+  const KvSpec spec = BuildKvSpec(Gemma2_27B(), BlockSize(16));
+  ASSERT_EQ(spec.groups.size(), 2u);
+  const KvGroupSpec* full = spec.FindGroup(GroupKind::kFullAttention);
+  const KvGroupSpec* window = spec.FindGroup(GroupKind::kSlidingWindow);
+  ASSERT_NE(full, nullptr);
+  ASSERT_NE(window, nullptr);
+  EXPECT_EQ(full->num_layers, 23);
+  EXPECT_EQ(window->num_layers, 23);
+  EXPECT_EQ(window->sliding_window, 4096);
+  // Equal layer counts and per-token sizes → equal pages → LCM is trivial.
+  EXPECT_EQ(spec.LcmPageBytes(), full->page_bytes);
+}
+
+TEST(BuildKvSpec, JambaMambaGroupIsPerSequence) {
+  const KvSpec spec = BuildKvSpec(Jamba52B_Fp8(), BlockSize(16));
+  const KvGroupSpec* mamba = spec.FindGroup(GroupKind::kMamba);
+  const KvGroupSpec* attn = spec.FindGroup(GroupKind::kFullAttention);
+  ASSERT_NE(mamba, nullptr);
+  ASSERT_NE(attn, nullptr);
+  EXPECT_EQ(mamba->scope, GroupScope::kPerSequence);
+  EXPECT_EQ(mamba->num_layers, 28);
+  EXPECT_EQ(mamba->tokens_per_page, 0);
+  // §4.4: the worst LCM across vLLM-supported models is Jamba at 84× the small page.
+  EXPECT_EQ(spec.LcmPageBytes() / attn->page_bytes, 84);
+  EXPECT_EQ(spec.LcmPageBytes(), mamba->page_bytes);
+}
+
+TEST(BuildKvSpec, VisionGroupOnlyWhenRequested) {
+  KvSpecOptions with = BlockSize(16);
+  KvSpecOptions without = BlockSize(16);
+  without.include_vision_group = false;
+  const KvSpec spec_with = BuildKvSpec(Llama32_11B_Vision(), with);
+  const KvSpec spec_without = BuildKvSpec(Llama32_11B_Vision(), without);
+  EXPECT_NE(spec_with.FindGroup(GroupKind::kVisionEmbed), nullptr);
+  EXPECT_EQ(spec_without.FindGroup(GroupKind::kVisionEmbed), nullptr);
+  EXPECT_EQ(spec_with.groups.size(), spec_without.groups.size() + 1);
+}
+
+TEST(BuildKvSpec, MllamaGroupShapes) {
+  const KvSpec spec = BuildKvSpec(Llama32_11B_Vision(), BlockSize(16));
+  const KvGroupSpec* self_attn = spec.FindGroup(GroupKind::kFullAttention);
+  const KvGroupSpec* cross = spec.FindGroup(GroupKind::kCrossAttention);
+  ASSERT_NE(self_attn, nullptr);
+  ASSERT_NE(cross, nullptr);
+  EXPECT_EQ(self_attn->num_layers, 32);
+  EXPECT_EQ(cross->num_layers, 8);
+  // Same per-layer KV size → the page ratio is exactly the layer ratio 32:8.
+  EXPECT_EQ(self_attn->page_bytes / cross->page_bytes, 4);
+}
+
+TEST(MergeKvSpecs, SpeculativeDecodingPair) {
+  const KvSpec target = BuildKvSpec(Llama31_8B(), BlockSize(16));
+  const KvSpec draft = BuildKvSpec(Llama32_1B(), BlockSize(16));
+  const KvSpec merged = MergeKvSpecs({{"target", target}, {"draft", draft}});
+  ASSERT_EQ(merged.groups.size(), 2u);
+  EXPECT_EQ(merged.groups[0].name, "target/full_attention");
+  EXPECT_EQ(merged.groups[1].name, "draft/full_attention");
+  // 8B page (32 layers × 4096 B) vs 1B page (16 × 2048 B): ratio 4 → LCM = target page.
+  EXPECT_EQ(merged.LcmPageBytes(), merged.groups[0].page_bytes);
+}
+
+TEST(KvSpecDeath, RejectsZeroBlockSize) {
+  EXPECT_DEATH(BuildKvSpec(Llama31_8B(), BlockSize(0)), "tokens_per_page");
+}
+
+}  // namespace
+}  // namespace jenga

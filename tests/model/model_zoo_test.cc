@@ -1,0 +1,109 @@
+#include "src/model/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "src/model/kv_spec.h"
+
+namespace jenga {
+namespace {
+
+TEST(ModelZoo, AllModelsWellFormed) {
+  for (const ModelConfig& model : AllZooModels()) {
+    SCOPED_TRACE(model.name);
+    EXPECT_FALSE(model.name.empty());
+    EXPECT_GT(model.params_b, 0.0);
+    EXPECT_FALSE(model.layers.empty());
+    EXPECT_GE(model.compute_layers, static_cast<int>(model.layers.size()));
+    // Every model must produce a valid KV spec with a bounded LCM blow-up.
+    const KvSpec spec = BuildKvSpec(model, KvSpecOptions{});
+    int64_t min_page = spec.groups[0].page_bytes;
+    for (const KvGroupSpec& group : spec.groups) {
+      min_page = std::min(min_page, group.page_bytes);
+    }
+    EXPECT_LE(spec.LcmPageBytes() / min_page, 84) << "LCM blow-up beyond the paper's worst case";
+  }
+}
+
+TEST(ModelZoo, LookupByName) {
+  const ModelConfig model = ModelByName("gemma-2-9b");
+  EXPECT_EQ(model.name, "gemma-2-9b");
+  EXPECT_DEATH(ModelByName("no-such-model"), "unknown model");
+}
+
+TEST(ModelZoo, MllamaWasteArithmetic) {
+  // §3.2: with 6193 image + 43 text tokens, PagedAttention stores (T+I)·40·E while the ideal
+  // is T·32·E + I·8·E, a 79.6 % waste.
+  const ModelConfig model = Llama32_11B_Vision();
+  const int64_t e = model.layers[0].KvBytesPerToken();
+  const int64_t text = 43;
+  const int64_t image = 6193;
+  const int64_t paged = (text + image) * 40 * e;
+  const int64_t ideal = (text * 32 + image * 8) * e;
+  const double waste = 1.0 - static_cast<double>(ideal) / static_cast<double>(paged);
+  EXPECT_NEAR(waste, 0.796, 0.001);
+}
+
+TEST(ModelZoo, MinistralWasteArithmetic) {
+  // §3.2: at max context, a homogeneous allocator wastes 27/36 × (1 − 32768/131072) = 56.25 %.
+  const ModelConfig model = Ministral8B();
+  int sliding = 0;
+  for (const LayerSpec& layer : model.layers) {
+    if (layer.kind == LayerKind::kSlidingWindow) {
+      EXPECT_EQ(layer.sliding_window, 32768);
+      ++sliding;
+    }
+  }
+  EXPECT_EQ(sliding, 27);
+  const double frac_sliding = static_cast<double>(sliding) / model.layers.size();
+  const double waste = frac_sliding * (1.0 - 32768.0 / model.max_context_len);
+  EXPECT_NEAR(waste, 0.5625, 1e-9);
+}
+
+TEST(ModelZoo, Gemma2WasteArithmetic) {
+  // §3.2: Gemma-2's waste is up to 25 % — half the layers sliding with window = half the
+  // 8192-token max context.
+  const ModelConfig model = Gemma2_27B();
+  const int sliding = model.CountKind(LayerKind::kSlidingWindow);
+  const double frac = static_cast<double>(sliding) / model.layers.size();
+  const double waste = frac * (1.0 - 4096.0 / model.max_context_len);
+  EXPECT_NEAR(waste, 0.25, 1e-9);
+}
+
+TEST(ModelZoo, Fp8ModelsUseOneByteKv) {
+  for (const LayerSpec& layer : Llama3_70B_Fp8().layers) {
+    EXPECT_EQ(layer.dtype_bytes, 1);
+  }
+  EXPECT_EQ(Llama3_70B_Fp8().weight_dtype_bytes, 1);
+}
+
+TEST(ModelZoo, WeightBytes) {
+  EXPECT_EQ(Llama31_8B().WeightBytes(), 16000000000LL);
+  EXPECT_EQ(Llama3_70B_Fp8().WeightBytes(), 70000000000LL);
+}
+
+TEST(ModelZoo, VisionModelsDeclareEncoders) {
+  for (const char* name :
+       {"llama-3.2-11b-vision", "llava-onevision-7b", "internvl2-8b", "phi-3-vision-4b",
+        "paligemma2-10b"}) {
+    const ModelConfig model = ModelByName(name);
+    SCOPED_TRACE(name);
+    EXPECT_TRUE(model.vision.present);
+    EXPECT_GT(model.vision.tokens_per_image, 0);
+    EXPECT_GT(model.vision.embed_bytes_per_token, 0);
+  }
+}
+
+TEST(ModelZoo, PaligemmaMixesThreeMemoryTypes) {
+  const KvSpec spec = BuildKvSpec(Paligemma2_10B(), KvSpecOptions{});
+  EXPECT_NE(spec.FindGroup(GroupKind::kFullAttention), nullptr);
+  EXPECT_NE(spec.FindGroup(GroupKind::kSlidingWindow), nullptr);
+  EXPECT_NE(spec.FindGroup(GroupKind::kVisionEmbed), nullptr);
+}
+
+TEST(ModelZoo, CharacterAiSharesKv) {
+  const ModelConfig model = CharacterAi8B();
+  EXPECT_LT(static_cast<int>(model.layers.size()), model.compute_layers);
+}
+
+}  // namespace
+}  // namespace jenga

@@ -1,0 +1,147 @@
+#include "src/workload/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+
+namespace jenga {
+namespace {
+
+TEST(MmluPro, LengthsWithinDatasetBounds) {
+  MmluProDataset dataset;
+  Rng rng(1);
+  Summary lengths;
+  for (int i = 0; i < 500; ++i) {
+    const WorkloadItem item = dataset.Sample(rng);
+    lengths.Add(static_cast<double>(item.prompt.size()));
+    EXPECT_LE(item.prompt.size(), 3076);  // §7.1: MMLU-pro max length.
+    EXPECT_GE(item.prompt.size(), 64);
+    EXPECT_TRUE(item.prompt.kinds.empty());
+    EXPECT_GT(item.output_len, 0);
+  }
+  EXPECT_NEAR(lengths.Mean(), 1200, 120);
+}
+
+TEST(MmmuPro, MatchesPaperTokenStatistics) {
+  // §3.2: 6193 image tokens and 43 text tokens per request on average.
+  MmmuProDataset dataset(/*tokens_per_image=*/1601);
+  Rng rng(2);
+  Summary image_tokens;
+  Summary text_tokens;
+  for (int i = 0; i < 400; ++i) {
+    const WorkloadItem item = dataset.Sample(rng);
+    const int64_t images = item.prompt.CountImageTokens();
+    image_tokens.Add(static_cast<double>(images));
+    text_tokens.Add(static_cast<double>(item.prompt.size() - images));
+    EXPECT_EQ(images % 1601, 0);
+  }
+  EXPECT_NEAR(image_tokens.Mean(), 6193, 700);
+  EXPECT_NEAR(text_tokens.Mean(), 43, 10);
+}
+
+TEST(ArxivQa, SharesArticlePrefixes) {
+  ArxivQaDataset dataset(/*num_articles=*/3, 1000, 2000, /*seed=*/7);
+  Rng rng(3);
+  const WorkloadItem a = dataset.SampleForArticle(0, rng);
+  const WorkloadItem b = dataset.SampleForArticle(0, rng);
+  const WorkloadItem c = dataset.SampleForArticle(1, rng);
+  const int64_t article_len = dataset.article_len(0);
+  ASSERT_GE(a.prompt.size(), article_len);
+  ASSERT_GE(b.prompt.size(), article_len);
+  // Same article → identical prefix; different questions after it.
+  for (int64_t i = 0; i < article_len; ++i) {
+    ASSERT_EQ(a.prompt.tokens[static_cast<size_t>(i)], b.prompt.tokens[static_cast<size_t>(i)]);
+  }
+  EXPECT_NE(a.prompt.tokens, b.prompt.tokens);
+  // Different articles diverge immediately (random content).
+  EXPECT_NE(c.prompt.tokens[0], a.prompt.tokens[0]);
+}
+
+TEST(ArxivQa, DeterministicArticlesAcrossInstances) {
+  ArxivQaDataset a(2, 500, 600, 42);
+  ArxivQaDataset b(2, 500, 600, 42);
+  EXPECT_EQ(a.article_len(0), b.article_len(0));
+  Rng ra(1);
+  Rng rb(1);
+  EXPECT_EQ(a.SampleForArticle(0, ra).prompt.tokens, b.SampleForArticle(0, rb).prompt.tokens);
+}
+
+TEST(LongDoc, MatchesFig15Workload) {
+  LongDocDataset dataset;
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const WorkloadItem item = dataset.Sample(rng);
+    EXPECT_GE(item.prompt.size(), 55000);
+    EXPECT_LE(item.prompt.size(), 110000);
+    EXPECT_GE(item.output_len, 50);
+    EXPECT_LE(item.output_len, 100);
+  }
+}
+
+TEST(ShareGpt, MeanNearPaperAverage) {
+  ShareGptDataset dataset;
+  Rng rng(5);
+  Summary lengths;
+  for (int i = 0; i < 3000; ++i) {
+    lengths.Add(static_cast<double>(dataset.Sample(rng).prompt.size()));
+  }
+  EXPECT_NEAR(lengths.Mean(), 1085, 250);  // §4.4 quotes 1085.04.
+}
+
+TEST(GenerateBatch, AssignsIdsAndZeroArrival) {
+  MmluProDataset dataset;
+  Rng rng(6);
+  const std::vector<Request> requests = GenerateBatch(dataset, 5, rng, /*first_id=*/10);
+  ASSERT_EQ(requests.size(), 5u);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(requests[i].id, 10 + static_cast<RequestId>(i));
+    EXPECT_EQ(requests[i].arrival_time, 0.0);
+  }
+}
+
+TEST(GeneratePoisson, ArrivalsIncreaseAtRoughlyTheRate) {
+  MmluProDataset dataset;
+  Rng rng(7);
+  const std::vector<Request> requests = GeneratePoisson(dataset, 400, /*rate=*/2.0, rng);
+  double prev = 0.0;
+  for (const Request& r : requests) {
+    EXPECT_GE(r.arrival_time, prev);
+    prev = r.arrival_time;
+  }
+  EXPECT_NEAR(requests.back().arrival_time, 200.0, 40.0);
+}
+
+TEST(Traces, StaticKeepsMeanDynamicRamps) {
+  Rng rng1(8);
+  Rng rng2(9);
+  const std::vector<Request> s = StaticLongTrace(60, 0.1, rng1);
+  const std::vector<Request> d = DynamicLongTrace(60, 0.1, rng2);
+  Summary s_first;
+  Summary s_last;
+  Summary d_first;
+  Summary d_last;
+  for (int i = 0; i < 20; ++i) {
+    s_first.Add(static_cast<double>(s[static_cast<size_t>(i)].prompt_len()));
+    s_last.Add(static_cast<double>(s[static_cast<size_t>(40 + i)].prompt_len()));
+    d_first.Add(static_cast<double>(d[static_cast<size_t>(i)].prompt_len()));
+    d_last.Add(static_cast<double>(d[static_cast<size_t>(40 + i)].prompt_len()));
+  }
+  EXPECT_NEAR(s_first.Mean(), s_last.Mean(), 20000);
+  EXPECT_GT(d_last.Mean(), d_first.Mean() * 2.0);  // The ramp.
+}
+
+TEST(RequestPrepare, ImagePrefixCounts) {
+  Prompt prompt;
+  prompt.tokens = {1, 2, 3, 4};
+  prompt.kinds = {TokenKind::kText, TokenKind::kImage, TokenKind::kImage, TokenKind::kText};
+  Request r = MakeRequest(1, prompt, 2, 0.0);
+  EXPECT_EQ(r.ImageTokensBefore(0), 0);
+  EXPECT_EQ(r.ImageTokensBefore(2), 1);
+  EXPECT_EQ(r.ImageTokensBefore(4), 2);
+  r.AppendGenerated(99);
+  EXPECT_EQ(r.ImageTokensBefore(5), 2);
+  EXPECT_EQ(r.total_len(), 5);
+}
+
+}  // namespace
+}  // namespace jenga
