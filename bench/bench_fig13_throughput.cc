@@ -79,13 +79,29 @@ void RunPlatform(const char* platform_name, const GpuSpec& gpu,
             {10, "Speedup"},
             {14, "failed v/j"}});
   PrintRule();
-  double speedup_product = 1.0;
-  int speedup_count = 0;
+  // Each row has an independent per-row seed, so every (row, engine) run is self-contained:
+  // generate the shared traces up front, sweep the runs in parallel, print in figure order.
+  std::vector<std::vector<Request>> traces;
+  traces.reserve(rows.size());
   for (const RowSpec& row : rows) {
     Rng rng(0xF13 + std::hash<std::string>{}(row.label + platform_name));
-    const std::vector<Request> requests = row.workload(row.model, rng);
-    const E2eResult vllm = RunOne(row.model, gpu, /*jenga=*/false, requests);
-    const E2eResult jng = RunOne(row.model, gpu, /*jenga=*/true, requests);
+    traces.push_back(row.workload(row.model, rng));
+  }
+  std::vector<std::function<E2eResult()>> tasks;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RowSpec& row = rows[i];
+    const std::vector<Request>& requests = traces[i];
+    tasks.emplace_back([&row, &gpu, &requests] { return RunOne(row.model, gpu, false, requests); });
+    tasks.emplace_back([&row, &gpu, &requests] { return RunOne(row.model, gpu, true, requests); });
+  }
+  const std::vector<E2eResult> results = ParallelSweep(tasks);
+
+  double speedup_product = 1.0;
+  int speedup_count = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RowSpec& row = rows[i];
+    const E2eResult& vllm = results[2 * i];
+    const E2eResult& jng = results[2 * i + 1];
     const double speedup = vllm.req_per_s > 0 ? jng.req_per_s / vllm.req_per_s : 0.0;
     speedup_product *= speedup;
     ++speedup_count;

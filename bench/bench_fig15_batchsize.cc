@@ -15,7 +15,15 @@
 namespace jenga {
 namespace {
 
-void RunProfile(const char* name, EngineConfig config) {
+struct ProfileResult {
+  double mean_batch = 0.0;
+  int64_t steps = 0;
+  int64_t out_tokens = 0;
+  double wall = 0.0;
+  std::vector<double> timeline;
+};
+
+ProfileResult RunProfile(EngineConfig config) {
   config.enable_prefix_caching = false;  // The workload has no shared prefixes.
   config.memory_sample_every = 0;
   Engine engine(std::move(config));
@@ -25,7 +33,8 @@ void RunProfile(const char* name, EngineConfig config) {
     engine.Submit(std::move(r));
   }
   engine.RunToCompletion();
-  const std::vector<double> timeline = engine.metrics().decode_batch_series().Resample(60);
+  ProfileResult result;
+  result.timeline = engine.metrics().decode_batch_series().Resample(60);
   // Mean decode batch over decode-active steps only (matching the paper's metric).
   double batch_sum = 0.0;
   int64_t batch_steps = 0;
@@ -35,13 +44,11 @@ void RunProfile(const char* name, EngineConfig config) {
       ++batch_steps;
     }
   }
-  const double mean_batch = batch_steps > 0 ? batch_sum / static_cast<double>(batch_steps) : 0.0;
-  PrintRow({{10, name},
-            {14, Fmt("%.2f", mean_batch)},
-            {10, FmtI(engine.metrics().total_steps())},
-            {12, FmtI(engine.metrics().TotalOutputTokens())},
-            {12, Fmt("%.1fs", engine.now())}});
-  std::printf("  batch timeline: %s\n", Sparkline(timeline).c_str());
+  result.mean_batch = batch_steps > 0 ? batch_sum / static_cast<double>(batch_steps) : 0.0;
+  result.steps = engine.metrics().total_steps();
+  result.out_tokens = engine.metrics().TotalOutputTokens();
+  result.wall = engine.now();
+  return result;
 }
 
 void Run() {
@@ -54,10 +61,24 @@ void Run() {
             {12, "wall"}});
   PrintRule();
   const ModelConfig model = Ministral8B();
-  RunProfile("vLLM", VllmProfile(model, H100()));
-  RunProfile("SGLang", SglangProfile(model, H100()));
-  RunProfile("TGI", TgiProfile(model, H100()));
-  RunProfile("Jenga", JengaProfile(model, H100()));
+  const std::vector<const char*> names = {"vLLM", "SGLang", "TGI", "Jenga"};
+  // One independent engine run per profile: compute in parallel, print in figure order.
+  const std::vector<std::function<ProfileResult()>> tasks = {
+      [&model] { return RunProfile(VllmProfile(model, H100())); },
+      [&model] { return RunProfile(SglangProfile(model, H100())); },
+      [&model] { return RunProfile(TgiProfile(model, H100())); },
+      [&model] { return RunProfile(JengaProfile(model, H100())); },
+  };
+  const std::vector<ProfileResult> results = ParallelSweep(tasks);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ProfileResult& result = results[i];
+    PrintRow({{10, names[i]},
+              {14, Fmt("%.2f", result.mean_batch)},
+              {10, FmtI(result.steps)},
+              {12, FmtI(result.out_tokens)},
+              {12, Fmt("%.1fs", result.wall)}});
+    std::printf("  batch timeline: %s\n", Sparkline(result.timeline).c_str());
+  }
   std::printf(
       "\nShape checks vs paper: Jenga sustains ~2x the decode batch of the homogeneous\n"
       "engines and finishes in roughly half the steps; TGI emits fewer tokens (stops at\n"

@@ -55,7 +55,8 @@ FragResult RunOne(bool jenga, const std::vector<Request>& trace) {
   return result;
 }
 
-void RunTrace(const char* trace_name, const std::vector<Request>& trace) {
+void PrintTrace(const char* trace_name, const std::vector<Request>& trace,
+                const FragResult* results) {
   std::printf("\n[%s trace: %zu requests]\n", trace_name, trace.size());
   PrintRow({{10, "Engine"},
             {16, "KV waste (avg)"},
@@ -63,7 +64,7 @@ void RunTrace(const char* trace_name, const std::vector<Request>& trace) {
             {16, "wasted (avg)"}});
   PrintRule();
   for (const bool jenga : {false, true}) {
-    const FragResult result = RunOne(jenga, trace);
+    const FragResult& result = results[jenga ? 1 : 0];
     PrintRow({{10, jenga ? "Jenga" : "vLLM"},
               {16, Pct(result.waste_fraction)},
               {16, Fmt("%.2f GB", result.mean_used_gb)},
@@ -77,8 +78,20 @@ void Run() {
   PrintHeader("Figure 16: Memory breakdown timeline — Ministral 8B (H100)");
   Rng rng_static(0xF16);
   Rng rng_dynamic(0xF17);
-  RunTrace("static", StaticLongTrace(/*count=*/40, /*rate=*/0.05, rng_static));
-  RunTrace("dynamic", DynamicLongTrace(/*count=*/40, /*rate=*/0.05, rng_dynamic));
+  const std::vector<Request> static_trace = StaticLongTrace(/*count=*/40, /*rate=*/0.05, rng_static);
+  const std::vector<Request> dynamic_trace =
+      DynamicLongTrace(/*count=*/40, /*rate=*/0.05, rng_dynamic);
+  // Four independent engine runs (trace × engine), computed in parallel, printed in figure
+  // order.
+  std::vector<std::function<FragResult()>> tasks;
+  for (const std::vector<Request>* trace : {&static_trace, &dynamic_trace}) {
+    for (const bool jenga : {false, true}) {
+      tasks.emplace_back([trace, jenga] { return RunOne(jenga, *trace); });
+    }
+  }
+  const std::vector<FragResult> results = ParallelSweep(tasks);
+  PrintTrace("static", static_trace, &results[0]);
+  PrintTrace("dynamic", dynamic_trace, &results[2]);
   std::printf(
       "\nShape checks vs paper: vLLM wastes ~38%% of its KV memory (out-of-window sliding\n"
       "KV it cannot free) while Jenga's waste stays near zero (unused small pages inside\n"

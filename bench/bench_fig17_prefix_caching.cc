@@ -65,10 +65,20 @@ void Run() {
             {14, "Jenga req/s"},
             {12, "speedup"}});
   PrintRule();
-  const int kQuestions = 12;
-  for (const int articles : {1, 2, 3, 4, 5, 6, 8, 10, 12}) {
-    const CacheResult vllm = RunOne(false, articles, kQuestions);
-    const CacheResult jng = RunOne(true, articles, kQuestions);
+  constexpr int kQuestions = 12;
+  const std::vector<int> kArticles = {1, 2, 3, 4, 5, 6, 8, 10, 12};
+  // Each run is self-seeded by its article count, so the rows are independent: compute them
+  // in parallel, print in figure order.
+  std::vector<std::function<CacheResult()>> tasks;
+  for (const int articles : kArticles) {
+    tasks.emplace_back([articles] { return RunOne(false, articles, kQuestions); });
+    tasks.emplace_back([articles] { return RunOne(true, articles, kQuestions); });
+  }
+  const std::vector<CacheResult> results = ParallelSweep(tasks);
+  for (size_t row = 0; row < kArticles.size(); ++row) {
+    const int articles = kArticles[row];
+    const CacheResult& vllm = results[2 * row];
+    const CacheResult& jng = results[2 * row + 1];
     PrintRow({{10, FmtI(articles)},
               {14, Pct(vllm.hit_rate)},
               {14, Pct(jng.hit_rate)},

@@ -52,10 +52,18 @@ void Run() {
   PrintRule();
   const std::vector<ModelConfig> models = {LlavaOneVision7B(), InternVl2_8B(), Phi3Vision4B(),
                                            Paligemma2_10B()};
-  const int kCount = 48;
+  constexpr int kCount = 48;
+  // One independent engine run per (model, engine): compute in parallel, print in order.
+  std::vector<std::function<VisionResult()>> tasks;
   for (const ModelConfig& model : models) {
-    const VisionResult vllm = RunOne(model, false, kCount);
-    const VisionResult jng = RunOne(model, true, kCount);
+    tasks.emplace_back([&model] { return RunOne(model, false, kCount); });
+    tasks.emplace_back([&model] { return RunOne(model, true, kCount); });
+  }
+  const std::vector<VisionResult> results = ParallelSweep(tasks);
+  for (size_t row = 0; row < models.size(); ++row) {
+    const ModelConfig& model = models[row];
+    const VisionResult& vllm = results[2 * row];
+    const VisionResult& jng = results[2 * row + 1];
     PrintRow({{22, model.name},
               {13, Fmt("%.3f", vllm.throughput)},
               {13, Fmt("%.3f", jng.throughput)},

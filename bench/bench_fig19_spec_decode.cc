@@ -59,7 +59,9 @@ void Run() {
       {"pyramidkv-70b-fp8 + 1b", PyramidKv70B_Fp8(), Llama32_1B(), false, 192},
       {"jamba-52b-fp8 + 1b", Jamba52B_Fp8(), Llama32_1B(), false, 192},
   };
-  for (const Pair& pair : pairs) {
+  // Each task rebuilds its own dataset (deterministic constructor args), so the three
+  // strategy runs of a pair share nothing mutable: compute in parallel, print in order.
+  const auto run_pair = [](const Pair& pair, SpecStrategy strategy) {
     const int kCount = pair.count;
     std::unique_ptr<Dataset> dataset;
     if (pair.long_context) {
@@ -70,12 +72,21 @@ void Run() {
     } else {
       dataset = std::make_unique<MmluProDataset>(/*output_lo=*/256, /*output_hi=*/1024);
     }
-    const double max_tput =
-        RunOne(pair.target, pair.draft, SpecStrategy::kVllmMax, *dataset, kCount);
-    const double manual_tput =
-        RunOne(pair.target, pair.draft, SpecStrategy::kVllmManual, *dataset, kCount);
-    const double jenga_tput =
-        RunOne(pair.target, pair.draft, SpecStrategy::kJenga, *dataset, kCount);
+    return RunOne(pair.target, pair.draft, strategy, *dataset, kCount);
+  };
+  std::vector<std::function<double()>> tasks;
+  for (const Pair& pair : pairs) {
+    for (const SpecStrategy strategy :
+         {SpecStrategy::kVllmMax, SpecStrategy::kVllmManual, SpecStrategy::kJenga}) {
+      tasks.emplace_back([&run_pair, &pair, strategy] { return run_pair(pair, strategy); });
+    }
+  }
+  const std::vector<double> results = ParallelSweep(tasks);
+  for (size_t row = 0; row < pairs.size(); ++row) {
+    const Pair& pair = pairs[row];
+    const double max_tput = results[3 * row];
+    const double manual_tput = results[3 * row + 1];
+    const double jenga_tput = results[3 * row + 2];
     PrintRow({{24, pair.label},
               {12, Fmt("%.3f", max_tput)},
               {14, Fmt("%.3f", manual_tput)},

@@ -1,0 +1,429 @@
+// Perf-regression harness: measures allocator hot-path ops/sec (micro) and end-to-end
+// engine steps/sec (macro, across heterogeneous zoo models), and emits a machine-readable
+// JSON trajectory file. Run with --baseline <prior.json> to embed the prior run's numbers
+// and per-metric speedups in the output — that file is committed as BENCH_perf.json so every
+// PR carries the perf history of the §5.4 allocation path.
+//
+// Flags:
+//   --quick            smaller iteration counts (CI-friendly; ratios remain meaningful)
+//   --out <path>       output JSON path (default: BENCH_perf.json in the working directory)
+//   --baseline <path>  prior bench_perf JSON; its "current" section becomes our "baseline"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/evictor.h"
+#include "src/core/jenga_allocator.h"
+#include "src/engine/engine.h"
+#include "src/model/kv_spec.h"
+#include "src/model/model_zoo.h"
+#include "src/workload/datasets.h"
+
+namespace jenga {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+// Prevents the compiler from eliding a measured computation.
+volatile int64_t g_sink = 0;
+
+// Two heterogeneous groups whose page sizes share a 12 KiB large page — the same shape the
+// allocator microbenchmarks (bench_micro_allocator) use.
+KvSpec TwoGroupSpec() {
+  KvSpec spec;
+  KvGroupSpec a;
+  a.name = "a";
+  a.kind = GroupKind::kFullAttention;
+  a.num_layers = 2;
+  a.bytes_per_token_per_layer = 128;
+  a.tokens_per_page = 16;
+  a.page_bytes = 4096;
+  KvGroupSpec b = a;
+  b.name = "b";
+  b.num_layers = 3;
+  b.page_bytes = 6144;
+  spec.groups = {a, b};
+  return spec;
+}
+
+// --- Micro: allocator hot paths (§5.4) ---
+
+double MicroAllocRelease(int64_t iters) {
+  JengaAllocator alloc(TwoGroupSpec(), 64LL << 20);
+  Tick now = 0;
+  const auto begin = Clock::now();
+  for (int64_t i = 0; i < iters; ++i) {
+    ++now;
+    const auto page = alloc.group(0).Allocate(now % 8, now);
+    alloc.group(0).Release(*page, false);
+  }
+  const auto end = Clock::now();
+  return static_cast<double>(iters) / Seconds(begin, end);
+}
+
+double MicroAllocBurstFree(int64_t bursts) {
+  constexpr int kBurst = 1024;
+  JengaAllocator alloc(TwoGroupSpec(), 256LL << 20);
+  std::vector<SmallPageId> pages;
+  pages.reserve(kBurst);
+  Tick now = 0;
+  const auto begin = Clock::now();
+  for (int64_t i = 0; i < bursts; ++i) {
+    ++now;
+    for (int j = 0; j < kBurst; ++j) {
+      pages.push_back(*alloc.group(0).Allocate(now % 4, now));
+    }
+    for (const SmallPageId p : pages) {
+      alloc.group(0).Release(p, false);
+    }
+    pages.clear();
+  }
+  const auto end = Clock::now();
+  return static_cast<double>(bursts * kBurst) / Seconds(begin, end);
+}
+
+// Prefix-cache churn under a bounded pool: hash, release-to-cache, revive, rekey — the
+// evictor-heavy path (Insert/Remove plus UpdateLastAccess/SetPrefixLength rekeys).
+double MicroCacheChurn(int64_t iters) {
+  JengaAllocator alloc(TwoGroupSpec(), 8LL << 20);
+  Tick now = 0;
+  BlockHash hash = 1;
+  const auto begin = Clock::now();
+  for (int64_t i = 0; i < iters; ++i) {
+    ++now;
+    const auto page = alloc.group(0).Allocate(now % 8, now);
+    alloc.group(0).SetContentHash(*page, hash);
+    alloc.group(0).UpdateLastAccess(*page, now);
+    alloc.group(0).SetPrefixLength(*page, static_cast<int64_t>(hash % 512) * 16);
+    alloc.group(0).Release(*page, /*keep_cached=*/true);
+    if (i % 4 == 3) {
+      // Revive a recently cached block (prefix hit) and drop it again.
+      if (const auto hit = alloc.group(0).LookupCached(hash - 1)) {
+        alloc.group(0).AddRef(*hit);
+        alloc.group(0).UpdateLastAccess(*hit, ++now);
+        alloc.group(0).Release(*hit, /*keep_cached=*/true);
+      }
+    }
+    ++hash;
+  }
+  const auto end = Clock::now();
+  return static_cast<double>(iters) / Seconds(begin, end);
+}
+
+// The eviction queue alone: steady-state rekeys with periodic pop/reinsert, over a resident
+// set of 4096 pages (the §5.1 per-token bookkeeping).
+double MicroEvictorChurn(int64_t iters) {
+  constexpr int kPages = 4096;
+  Evictor evictor;
+  Tick now = 0;
+  for (SmallPageId p = 0; p < kPages; ++p) {
+    evictor.Insert(p, ++now, p % 257);
+  }
+  const auto begin = Clock::now();
+  for (int64_t i = 0; i < iters; ++i) {
+    ++now;
+    evictor.UpdateLastAccess(i % kPages, now);
+    if (i % 16 == 15) {
+      const auto victim = evictor.PopVictim();
+      evictor.Insert(*victim, now, static_cast<int64_t>(i % 509));
+    }
+  }
+  const auto end = Clock::now();
+  g_sink = g_sink + static_cast<int64_t>(evictor.size());
+  return static_cast<double>(iters) / Seconds(begin, end);
+}
+
+// Pure page-metadata reads (state/last_access), the per-token lookup tax.
+double MicroMetaReads(int64_t reads) {
+  JengaAllocator alloc(TwoGroupSpec(), 64LL << 20);
+  constexpr int kPages = 4096;
+  std::vector<SmallPageId> pages;
+  pages.reserve(kPages);
+  Tick now = 0;
+  for (int i = 0; i < kPages; ++i) {
+    pages.push_back(*alloc.group(0).Allocate(i % 8, ++now));
+  }
+  int64_t sum = 0;
+  const auto begin = Clock::now();
+  for (int64_t i = 0; i < reads; ++i) {
+    const SmallPageId page = pages[static_cast<size_t>(i % kPages)];
+    sum += alloc.group(0).last_access(page);
+    sum += static_cast<int64_t>(alloc.group(0).state(page));
+  }
+  const auto end = Clock::now();
+  g_sink = g_sink + sum;
+  for (const SmallPageId p : pages) {
+    alloc.group(0).Release(p, false);
+  }
+  return static_cast<double>(reads) / Seconds(begin, end);
+}
+
+// --- Macro: end-to-end engine steps/sec across heterogeneous zoo models ---
+
+struct E2eSpec {
+  std::string key;
+  ModelConfig model;
+  std::vector<Request> requests;
+};
+
+std::vector<E2eSpec> MakeE2eSpecs(bool quick) {
+  std::vector<E2eSpec> specs;
+  {
+    // Sliding-window model on long documents: window drops + heavy eviction churn.
+    E2eSpec s{"ministral-8b.arxiv", Ministral8B(), {}};
+    Rng rng(0xBE9C1);
+    ArxivQaDataset dataset(/*articles=*/6, 30000, 60000, /*seed=*/0xBE9C1,
+                           /*output_lo=*/64, /*output_hi=*/128);
+    const int count = quick ? 4 : 12;
+    for (int i = 0; i < count; ++i) {
+      WorkloadItem item = dataset.SampleForArticle(i % 6, rng);
+      s.requests.push_back(MakeRequest(i, std::move(item.prompt), item.output_len, 0.0));
+    }
+    specs.push_back(std::move(s));
+  }
+  {
+    // Standard short-prompt serving with prefix caching.
+    E2eSpec s{"gemma-2-9b.mmlu", Gemma2_9B(), {}};
+    Rng rng(0xBE9C2);
+    MmluProDataset dataset;
+    s.requests = GenerateBatch(dataset, quick ? 32 : 128, rng);
+    specs.push_back(std::move(s));
+  }
+  {
+    // Multimodal: vision-embedding group + per-modality hashing.
+    E2eSpec s{"mllama-11b-vision.mmmu", Llama32_11B_Vision(), {}};
+    Rng rng(0xBE9C3);
+    MmmuProDataset dataset(s.model.vision.tokens_per_image);
+    s.requests = GenerateBatch(dataset, quick ? 12 : 48, rng);
+    specs.push_back(std::move(s));
+  }
+  {
+    // Hybrid Mamba/attention: checkpoint snapshots exercise allocate/hash/release cycles.
+    E2eSpec s{"jamba-52b-fp8.mmlu", Jamba52B_Fp8(), {}};
+    Rng rng(0xBE9C4);
+    MmluProDataset dataset;
+    s.requests = GenerateBatch(dataset, quick ? 32 : 128, rng);
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+struct E2eResult {
+  int64_t steps = 0;
+  double seconds = 0.0;
+  double steps_per_s = 0.0;
+};
+
+E2eResult RunE2e(const E2eSpec& spec) {
+  EngineConfig config = JengaProfile(spec.model, H100());
+  config.memory_sample_every = 0;
+  Engine engine(std::move(config));
+  const auto begin = Clock::now();
+  for (const Request& r : spec.requests) {
+    engine.Submit(r);
+  }
+  engine.RunToCompletion();
+  const auto end = Clock::now();
+  E2eResult result;
+  result.steps = engine.metrics().total_steps();
+  result.seconds = Seconds(begin, end);
+  result.steps_per_s = static_cast<double>(result.steps) / result.seconds;
+  return result;
+}
+
+// --- Minimal JSON plumbing (flat string→number maps; no external deps) ---
+
+// Returns the body of the top-level `"name": { ... }` object, or the whole text when absent
+// (so a hand-written flat baseline file also works).
+std::string ExtractObject(const std::string& text, const std::string& name) {
+  const std::string needle = "\"" + name + "\"";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) {
+    return text;
+  }
+  const size_t open = text.find('{', at);
+  if (open == std::string::npos) {
+    return text;
+  }
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') {
+      ++depth;
+    } else if (text[i] == '}') {
+      --depth;
+      if (depth == 0) {
+        return text.substr(open + 1, i - open - 1);
+      }
+    }
+  }
+  return text;
+}
+
+std::map<std::string, double> ParseFlatNumbers(const std::string& body) {
+  std::map<std::string, double> values;
+  size_t pos = 0;
+  while ((pos = body.find('"', pos)) != std::string::npos) {
+    const size_t end_quote = body.find('"', pos + 1);
+    if (end_quote == std::string::npos) {
+      break;
+    }
+    const std::string key = body.substr(pos + 1, end_quote - pos - 1);
+    size_t cursor = end_quote + 1;
+    while (cursor < body.size() && (body[cursor] == ':' || body[cursor] == ' ')) {
+      ++cursor;
+    }
+    char* parsed_end = nullptr;
+    const double value = std::strtod(body.c_str() + cursor, &parsed_end);
+    if (parsed_end != body.c_str() + cursor) {
+      values[key] = value;
+      pos = static_cast<size_t>(parsed_end - body.c_str());
+    } else {
+      pos = cursor;
+    }
+  }
+  return values;
+}
+
+bool WriteJson(const std::string& path, const std::string& mode,
+               const std::map<std::string, double>& baseline,
+               const std::map<std::string, double>& current) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(1);
+  const auto emit_map = [&out](const char* name, const std::map<std::string, double>& map) {
+    out << "  \"" << name << "\": {\n";
+    size_t i = 0;
+    for (const auto& [key, value] : map) {
+      out << "    \"" << key << "\": " << value << (++i < map.size() ? ",\n" : "\n");
+    }
+    out << "  }";
+  };
+  out << "{\n  \"bench\": \"bench_perf\",\n  \"mode\": \"" << mode << "\",\n";
+  if (!baseline.empty()) {
+    emit_map("baseline", baseline);
+    out << ",\n";
+  }
+  emit_map("current", current);
+  if (!baseline.empty()) {
+    std::map<std::string, double> speedup;
+    for (const auto& [key, value] : current) {
+      const auto it = baseline.find(key);
+      if (it != baseline.end() && it->second > 0) {
+        speedup[key] = value / it->second;
+      }
+    }
+    out << ",\n";
+    out.precision(3);
+    emit_map("speedup", speedup);
+    out.precision(1);
+  }
+  out << "\n}\n";
+  std::ofstream file(path);
+  file << out.str();
+  if (!file) {
+    std::fprintf(stderr, "\nerror: could not write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
+}
+
+bool Run(bool quick, const std::string& out_path, const std::string& baseline_path) {
+  PrintHeader(std::string("bench_perf: allocator + engine hot-path trajectory (") +
+              (quick ? "quick" : "full") + " mode)");
+  std::map<std::string, double> current;
+
+  PrintRow({{34, "micro benchmark"}, {16, "ops/sec"}});
+  PrintRule();
+  const int64_t scale = quick ? 1 : 8;
+  const struct {
+    const char* key;
+    double ops_per_s;
+  } micros[] = {
+      {"micro.alloc_release.ops_per_s", MicroAllocRelease(125000 * scale)},
+      {"micro.alloc_burst_free.ops_per_s", MicroAllocBurstFree(64 * scale)},
+      {"micro.cache_churn.ops_per_s", MicroCacheChurn(125000 * scale)},
+      {"micro.evictor_churn.ops_per_s", MicroEvictorChurn(250000 * scale)},
+      {"micro.meta_reads.ops_per_s", MicroMetaReads(1250000 * scale)},
+  };
+  for (const auto& micro : micros) {
+    current[micro.key] = micro.ops_per_s;
+    PrintRow({{34, micro.key}, {16, Fmt("%.3g", micro.ops_per_s)}});
+  }
+
+  std::printf("\n");
+  PrintRow({{34, "end-to-end (Jenga profile, H100)"},
+            {10, "steps"},
+            {12, "wall"},
+            {16, "steps/sec"}});
+  PrintRule();
+  for (const E2eSpec& spec : MakeE2eSpecs(quick)) {
+    const E2eResult result = RunE2e(spec);
+    current["e2e." + spec.key + ".steps_per_s"] = result.steps_per_s;
+    PrintRow({{34, spec.key},
+              {10, FmtI(result.steps)},
+              {12, Fmt("%.2fs", result.seconds)},
+              {16, Fmt("%.1f", result.steps_per_s)}});
+  }
+
+  std::map<std::string, double> baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream file(baseline_path);
+    if (file) {
+      std::ostringstream text;
+      text << file.rdbuf();
+      baseline = ParseFlatNumbers(ExtractObject(text.str(), "current"));
+      std::printf("\nbaseline: %s\n", baseline_path.c_str());
+      PrintRow({{34, "metric"}, {16, "baseline"}, {16, "current"}, {10, "speedup"}});
+      PrintRule();
+      for (const auto& [key, value] : current) {
+        const auto it = baseline.find(key);
+        if (it != baseline.end() && it->second > 0) {
+          PrintRow({{34, key},
+                    {16, Fmt("%.3g", it->second)},
+                    {16, Fmt("%.3g", value)},
+                    {10, Fmt("%.2fx", value / it->second)}});
+        }
+      }
+    } else {
+      std::printf("\nwarning: baseline file %s not readable; emitting current only\n",
+                  baseline_path.c_str());
+    }
+  }
+
+  return WriteJson(out_path, quick ? "quick" : "full", baseline, current);
+}
+
+}  // namespace
+}  // namespace jenga
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_perf.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out path] [--baseline path]\n", argv[0]);
+      return 2;
+    }
+  }
+  return jenga::Run(quick, out_path, baseline_path) ? 0 : 1;
+}

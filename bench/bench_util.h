@@ -4,8 +4,12 @@
 #ifndef JENGA_BENCH_BENCH_UTIL_H_
 #define JENGA_BENCH_BENCH_UTIL_H_
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace jenga {
@@ -45,6 +49,49 @@ inline std::string Gb(int64_t bytes) {
 }
 
 inline std::string Pct(double fraction) { return Fmt("%.1f%%", fraction * 100.0); }
+
+// Worker count for ParallelSweep: JENGA_BENCH_THREADS when set, else hardware concurrency.
+// 1 runs tasks inline, in order — byte-for-byte the serial behavior.
+inline int BenchThreads() {
+  if (const char* env = std::getenv("JENGA_BENCH_THREADS")) {
+    const int threads = std::atoi(env);
+    if (threads >= 1) {
+      return threads;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Runs independent deterministic tasks (one engine run each) across BenchThreads() workers
+// and returns their results in task order, so callers compute in parallel and print in the
+// fixed figure order afterwards. Tasks must not touch shared mutable state (each builds its
+// own engine/dataset); determinism comes from per-task seeding, not run order.
+template <typename Result>
+std::vector<Result> ParallelSweep(const std::vector<std::function<Result()>>& tasks) {
+  std::vector<Result> results(tasks.size());
+  const int threads = std::min<int>(BenchThreads(), static_cast<int>(tasks.size()));
+  if (threads <= 1) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      results[i] = tasks[i]();
+    }
+    return results;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < tasks.size(); i = next.fetch_add(1)) {
+        results[i] = tasks[i]();
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  return results;
+}
 
 }  // namespace jenga
 

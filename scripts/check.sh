@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full gate: warnings-clean Release build, entire test suite, and a quick perf smoke.
+# Usage: scripts/check.sh [build-dir]   (default: build-check, kept separate from ./build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-check}"
+
+cmake -B "$build" -S "$repo" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra"
+cmake --build "$build" -j "$(nproc)"
+
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+# Perf smoke: quick mode, scratch output (ignored by git; the tracked BENCH_perf.json
+# at the repo root is only regenerated deliberately via a full --baseline run).
+"$build/bench/bench_perf" --quick --out "$build/BENCH_perf_quick.json"
+
+echo "check.sh: all gates passed"

@@ -1,33 +1,46 @@
 #include "src/core/evictor.h"
 
+#include <algorithm>
+#include <functional>
+
 #include "src/common/check.h"
 
 namespace jenga {
+
+void Evictor::Push(Key key) {
+  heap_.push_back(key);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<Key>{});
+}
+
+void Evictor::DropStaleTop() const {
+  while (!heap_.empty() && !IsLive(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<Key>{});
+    heap_.pop_back();
+  }
+}
+
+void Evictor::MaybeCompact() {
+  if (heap_.size() <= 64 || heap_.size() <= 2 * keys_.size()) {
+    return;
+  }
+  heap_.clear();
+  for (const auto& [page, key] : keys_) {
+    heap_.push_back(key);
+  }
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<Key>{});
+}
 
 void Evictor::Insert(SmallPageId page, Tick last_access, int64_t prefix_length) {
   const Key key{last_access, -prefix_length, page};
   const auto [it, inserted] = keys_.emplace(page, key);
   JENGA_CHECK(inserted) << "page " << page << " already in evictor";
-  queue_.insert(key);
+  Push(key);
 }
 
 void Evictor::Remove(SmallPageId page) {
-  const auto it = keys_.find(page);
-  if (it == keys_.end()) {
-    return;
-  }
-  queue_.erase(it->second);
-  keys_.erase(it);
-}
-
-void Evictor::Rekey(SmallPageId page, Key new_key) {
-  const auto it = keys_.find(page);
-  if (it == keys_.end()) {
-    return;
-  }
-  queue_.erase(it->second);
-  it->second = new_key;
-  queue_.insert(new_key);
+  // Lazy: the heap entry becomes a tombstone, discarded at pop/peek/compaction time.
+  keys_.erase(page);
+  MaybeCompact();
 }
 
 void Evictor::UpdateLastAccess(SmallPageId page, Tick last_access) {
@@ -35,9 +48,9 @@ void Evictor::UpdateLastAccess(SmallPageId page, Tick last_access) {
   if (it == keys_.end()) {
     return;
   }
-  Key key = it->second;
-  key.last_access = last_access;
-  Rekey(page, key);
+  it->second.last_access = last_access;
+  Push(it->second);
+  MaybeCompact();
 }
 
 void Evictor::SetPrefixLength(SmallPageId page, int64_t prefix_length) {
@@ -45,26 +58,29 @@ void Evictor::SetPrefixLength(SmallPageId page, int64_t prefix_length) {
   if (it == keys_.end()) {
     return;
   }
-  Key key = it->second;
-  key.neg_prefix_length = -prefix_length;
-  Rekey(page, key);
+  it->second.neg_prefix_length = -prefix_length;
+  Push(it->second);
+  MaybeCompact();
 }
 
 std::optional<SmallPageId> Evictor::PopVictim() {
-  if (queue_.empty()) {
+  DropStaleTop();
+  if (heap_.empty()) {
     return std::nullopt;
   }
-  const Key key = *queue_.begin();
-  queue_.erase(queue_.begin());
+  const Key key = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<Key>{});
+  heap_.pop_back();
   keys_.erase(key.page);
   return key.page;
 }
 
 std::optional<Tick> Evictor::PeekOldestAccess() const {
-  if (queue_.empty()) {
+  DropStaleTop();
+  if (heap_.empty()) {
     return std::nullopt;
   }
-  return queue_.begin()->last_access;
+  return heap_.front().last_access;
 }
 
 }  // namespace jenga

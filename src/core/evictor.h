@@ -2,14 +2,22 @@
 // prefix_length descending): LRU for balance across requests (§5.1), with the paper's
 // prefix-length tie-break so that, among pages last touched at the same time, the deepest
 // token is evicted first — keeping evicted sets aligned across layer types.
+//
+// Implementation: a lazy-deletion binary heap. Remove and rekey tombstone the old heap entry
+// (the authoritative key lives in `keys_`); PopVictim/PeekOldestAccess discard stale entries
+// on the way down. This turns the per-token UpdateLastAccess/SetPrefixLength rekeys from
+// O(log n) node-allocating tree operations into O(log n) in-place heap pushes, and keeps the
+// victim order bit-identical to the ordered-set formulation: a heap entry is honored only
+// when it equals the page's current key, so the popped sequence is exactly the ascending
+// (last_access, -prefix_length, page) order over live keys.
 
 #ifndef JENGA_SRC_CORE_EVICTOR_H_
 #define JENGA_SRC_CORE_EVICTOR_H_
 
 #include <cstdint>
 #include <optional>
-#include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "src/core/types.h"
 
@@ -39,6 +47,9 @@ class Evictor {
   // Priority of the page that PopVictim would return, without popping.
   [[nodiscard]] std::optional<Tick> PeekOldestAccess() const;
 
+  // Heap entries including tombstones; bounded at O(size()) by compaction (test/bench only).
+  [[nodiscard]] size_t heap_entries() const { return heap_.size(); }
+
  private:
   struct Key {
     Tick last_access;
@@ -47,9 +58,20 @@ class Evictor {
     auto operator<=>(const Key&) const = default;
   };
 
-  void Rekey(SmallPageId page, Key new_key);
+  // A heap entry is live iff it matches the page's current key; everything else is a
+  // tombstone left behind by Remove/rekey.
+  [[nodiscard]] bool IsLive(const Key& key) const {
+    const auto it = keys_.find(key.page);
+    return it != keys_.end() && it->second == key;
+  }
+  void Push(Key key);
+  // Discards stale entries from the heap top (const: tombstone cleanup is not observable).
+  void DropStaleTop() const;
+  // Rebuilds the heap from live keys when tombstones dominate.
+  void MaybeCompact();
 
-  std::set<Key> queue_;
+  // Min-heap over Key (ascending order through std::greater).
+  mutable std::vector<Key> heap_;
   std::unordered_map<SmallPageId, Key> keys_;
 };
 

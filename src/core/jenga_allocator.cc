@@ -44,6 +44,12 @@ void JengaAllocator::OnReclaimCandidate(int group_index, LargePageId large, Tick
   reclaim_heap_.push({timestamp, group_index, large});
 }
 
+void JengaAllocator::ForgetRequest(RequestId request) {
+  for (const auto& group : groups_) {
+    group->ForgetRequest(request);
+  }
+}
+
 int64_t JengaAllocator::FreeSmallPages(int group_index) const {
   const SmallPageAllocator& group = *groups_[static_cast<size_t>(group_index)];
   return static_cast<int64_t>(lcm_.num_free()) * group.pages_per_large() +

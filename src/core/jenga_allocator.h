@@ -40,6 +40,10 @@ class JengaAllocator final : public LargePageProvider {
   [[nodiscard]] std::optional<LargePageId> AcquireLargePage(int group_index) override;
   void OnReclaimCandidate(int group_index, LargePageId large, Tick timestamp) override;
 
+  // Drops every group's affinity free list for a retired request id (see
+  // SmallPageAllocator::ForgetRequest).
+  void ForgetRequest(RequestId request);
+
   // Total small pages (across groups) that could still be produced without evicting anything
   // cached: free large pages × pages-per-large for `group_index`, plus its empty smalls.
   [[nodiscard]] int64_t FreeSmallPages(int group_index) const;
@@ -73,6 +77,10 @@ class JengaAllocator final : public LargePageProvider {
   KvSpec spec_;
   LcmAllocator lcm_;
   std::vector<std::unique_ptr<SmallPageAllocator>> groups_;
+  // Duplicate-tolerant on purpose: every whole-evictable notification pushes, and stale
+  // entries are filtered (or re-keyed) on pop. Deduplicating pushes would change which entry
+  // wins among equal timestamps and therefore which large page gets reclaimed — eviction
+  // decisions must stay bit-identical across refactors (see bench_fig17 determinism check).
   std::priority_queue<ReclaimEntry> reclaim_heap_;
 };
 

@@ -6,6 +6,11 @@
 
 namespace jenga {
 
+namespace {
+// Free lists below this size are never compacted; avoids churn on tiny pools.
+constexpr size_t kFreeListCompactFloor = 64;
+}  // namespace
+
 SmallPageAllocator::SmallPageAllocator(int group_index, KvGroupSpec spec, LcmAllocator* lcm,
                                        LargePageProvider* provider)
     : group_index_(group_index), spec_(std::move(spec)), lcm_(lcm), provider_(provider) {
@@ -15,33 +20,42 @@ SmallPageAllocator::SmallPageAllocator(int group_index, KvGroupSpec spec, LcmAll
   JENGA_CHECK_EQ(lcm_->large_page_bytes() % spec_.page_bytes, 0)
       << "group page size must divide the LCM page size";
   pages_per_large_ = static_cast<int>(lcm_->large_page_bytes() / spec_.page_bytes);
+  larges_.resize(static_cast<size_t>(lcm_->num_pages()));
 }
 
 SmallPageAllocator::SlotMeta& SmallPageAllocator::Meta(SmallPageId page) {
-  const auto it = larges_.find(LargeOf(page));
-  JENGA_CHECK(it != larges_.end()) << "page " << page << " not resident in group " << group_index_;
-  return it->second.slots[static_cast<size_t>(SlotOf(page))];
+  const LargePageId large = LargeOf(page);
+  JENGA_CHECK(page >= 0 && IsResident(large))
+      << "page " << page << " not resident in group " << group_index_;
+  return larges_[static_cast<size_t>(large)].slots[static_cast<size_t>(SlotOf(page))];
 }
 
 const SmallPageAllocator::SlotMeta& SmallPageAllocator::Meta(SmallPageId page) const {
-  const auto it = larges_.find(LargeOf(page));
-  JENGA_CHECK(it != larges_.end()) << "page " << page << " not resident in group " << group_index_;
-  return it->second.slots[static_cast<size_t>(SlotOf(page))];
+  const LargePageId large = LargeOf(page);
+  JENGA_CHECK(page >= 0 && IsResident(large))
+      << "page " << page << " not resident in group " << group_index_;
+  return larges_[static_cast<size_t>(large)].slots[static_cast<size_t>(SlotOf(page))];
 }
 
 SmallPageAllocator::LargeEntry& SmallPageAllocator::Entry(LargePageId large) {
-  const auto it = larges_.find(large);
-  JENGA_CHECK(it != larges_.end())
+  JENGA_CHECK(IsResident(large))
       << "large page " << large << " not resident in group " << group_index_;
-  return it->second;
+  return larges_[static_cast<size_t>(large)];
+}
+
+const SmallPageAllocator::LargeEntry& SmallPageAllocator::Entry(LargePageId large) const {
+  JENGA_CHECK(IsResident(large))
+      << "large page " << large << " not resident in group " << group_index_;
+  return larges_[static_cast<size_t>(large)];
 }
 
 bool SmallPageAllocator::IsValidEmpty(const FreeRef& ref) const {
-  const auto it = larges_.find(LargeOf(ref.page));
-  if (it == larges_.end()) {
+  const LargePageId large = LargeOf(ref.page);
+  if (!IsResident(large)) {
     return false;
   }
-  const SlotMeta& meta = it->second.slots[static_cast<size_t>(SlotOf(ref.page))];
+  const SlotMeta& meta =
+      larges_[static_cast<size_t>(large)].slots[static_cast<size_t>(SlotOf(ref.page))];
   return meta.state == PageState::kEmpty && meta.epoch == ref.epoch;
 }
 
@@ -54,6 +68,7 @@ std::optional<SmallPageId> SmallPageAllocator::PopRequestFree(RequestId request)
   while (!refs.empty()) {
     const FreeRef ref = refs.back();
     refs.pop_back();
+    by_request_refs_ -= 1;
     if (IsValidEmpty(ref)) {
       return ref.page;
     }
@@ -71,6 +86,31 @@ std::optional<SmallPageId> SmallPageAllocator::PopAnyFree() {
     }
   }
   return std::nullopt;
+}
+
+void SmallPageAllocator::MaybeCompactFreeLists() {
+  // Stale refs (epoch moved on) accumulate as pages are claimed through the *other* list.
+  // Once a list outgrows twice the live empty-page population, sweep it in place: erase_if
+  // keeps the relative order of surviving refs, so pops (taken from the back) see exactly
+  // the sequence they would have seen anyway. Amortized O(1) per push.
+  const auto stale = [this](const FreeRef& ref) { return !IsValidEmpty(ref); };
+  if (empty_any_.size() > kFreeListCompactFloor &&
+      empty_any_.size() > 2 * static_cast<size_t>(empty_count_)) {
+    std::erase_if(empty_any_, stale);
+  }
+  if (static_cast<size_t>(by_request_refs_) > kFreeListCompactFloor &&
+      by_request_refs_ > 2 * empty_count_) {
+    by_request_refs_ = 0;
+    for (auto it = empty_by_request_.begin(); it != empty_by_request_.end();) {
+      std::erase_if(it->second, stale);
+      if (it->second.empty()) {
+        it = empty_by_request_.erase(it);
+      } else {
+        by_request_refs_ += static_cast<int64_t>(it->second.size());
+        ++it;
+      }
+    }
+  }
 }
 
 void SmallPageAllocator::ClaimEmpty(SmallPageId page, RequestId request, Tick now) {
@@ -100,22 +140,28 @@ std::optional<SmallPageId> SmallPageAllocator::Allocate(RequestId request, Tick 
   // Steps 2–3: a fresh large page; the provider evicts an evictable large page if the free
   // list is exhausted. All its small pages become associated with this request.
   if (const auto large = provider_->AcquireLargePage(group_index_)) {
-    LargeEntry entry;
-    entry.slots.resize(static_cast<size_t>(pages_per_large_));
+    LargeEntry& entry = larges_[static_cast<size_t>(*large)];
+    JENGA_CHECK(!entry.resident) << "large page " << *large << " already held";
+    entry.resident = true;
+    entry.used_count = 0;
+    entry.evictable_count = 0;
+    entry.slots.assign(static_cast<size_t>(pages_per_large_), SlotMeta{});
     for (SlotMeta& slot : entry.slots) {
       slot.assoc = request;
       slot.epoch = next_epoch_++;
     }
-    const auto [it, inserted] = larges_.emplace(*large, std::move(entry));
-    JENGA_CHECK(inserted) << "large page " << *large << " already held";
+    resident_larges_ += 1;
     empty_count_ += pages_per_large_;
     const SmallPageId base = static_cast<SmallPageId>(*large) * pages_per_large_;
+    std::vector<FreeRef>& request_refs = empty_by_request_[request];
     for (int slot = 1; slot < pages_per_large_; ++slot) {
-      const FreeRef ref{base + slot, it->second.slots[static_cast<size_t>(slot)].epoch};
-      empty_by_request_[request].push_back(ref);
+      const FreeRef ref{base + slot, entry.slots[static_cast<size_t>(slot)].epoch};
+      request_refs.push_back(ref);
       empty_any_.push_back(ref);
     }
+    by_request_refs_ += pages_per_large_ - 1;
     ClaimEmpty(base, request, now);
+    MaybeCompactFreeLists();
     return base;
   }
 
@@ -182,6 +228,14 @@ void SmallPageAllocator::UnregisterHash(SmallPageId page, SlotMeta& meta) {
   }
 }
 
+void SmallPageAllocator::ReleaseLarge(LargePageId large, LargeEntry& entry) {
+  entry.resident = false;
+  entry.used_count = 0;
+  entry.evictable_count = 0;
+  resident_larges_ -= 1;
+  lcm_->Free(large);
+}
+
 void SmallPageAllocator::TransitionToEmpty(SmallPageId page) {
   const LargePageId large = LargeOf(page);
   LargeEntry& entry = Entry(large);
@@ -205,15 +259,16 @@ void SmallPageAllocator::TransitionToEmpty(SmallPageId page) {
     // The whole large page is empty: return it to the LCM allocator (§4.1). Stale FreeRefs to
     // its slots are filtered lazily by epoch/residency checks.
     empty_count_ -= pages_per_large_;
-    larges_.erase(large);
-    lcm_->Free(large);
+    ReleaseLarge(large, entry);
     return;
   }
 
-  const FreeRef ref{page, Meta(page).epoch};
+  const FreeRef ref{page, meta.epoch};
   empty_by_request_[meta.assoc].push_back(ref);
+  by_request_refs_ += 1;
   empty_any_.push_back(ref);
   NotifyCandidateIfEligible(large);
+  MaybeCompactFreeLists();
 }
 
 void SmallPageAllocator::Release(SmallPageId page, bool keep_cached) {
@@ -274,13 +329,26 @@ std::optional<SmallPageId> SmallPageAllocator::LookupCached(BlockHash hash) cons
 void SmallPageAllocator::UpdateLastAccess(SmallPageId page, Tick now) {
   SlotMeta& meta = Meta(page);
   meta.last_access = std::max(meta.last_access, now);
-  evictor_.UpdateLastAccess(page, meta.last_access);
+  if (meta.state == PageState::kEvictable) {
+    evictor_.UpdateLastAccess(page, meta.last_access);
+  }
 }
 
 void SmallPageAllocator::SetPrefixLength(SmallPageId page, int64_t prefix_length) {
   SlotMeta& meta = Meta(page);
   meta.prefix_length = prefix_length;
-  evictor_.SetPrefixLength(page, prefix_length);
+  if (meta.state == PageState::kEvictable) {
+    evictor_.SetPrefixLength(page, prefix_length);
+  }
+}
+
+void SmallPageAllocator::ForgetRequest(RequestId request) {
+  const auto it = empty_by_request_.find(request);
+  if (it == empty_by_request_.end()) {
+    return;
+  }
+  by_request_refs_ -= static_cast<int64_t>(it->second.size());
+  empty_by_request_.erase(it);
 }
 
 void SmallPageAllocator::NotifyCandidateIfEligible(LargePageId large) {
@@ -291,18 +359,17 @@ void SmallPageAllocator::NotifyCandidateIfEligible(LargePageId large) {
 }
 
 bool SmallPageAllocator::IsReclaimCandidate(LargePageId large) const {
-  const auto it = larges_.find(large);
-  if (it == larges_.end()) {
+  if (!IsResident(large)) {
     return false;
   }
-  return it->second.used_count == 0 && it->second.evictable_count > 0;
+  const LargeEntry& entry = larges_[static_cast<size_t>(large)];
+  return entry.used_count == 0 && entry.evictable_count > 0;
 }
 
 Tick SmallPageAllocator::ReclaimTimestamp(LargePageId large) const {
-  const auto it = larges_.find(large);
-  JENGA_CHECK(it != larges_.end());
+  const LargeEntry& entry = Entry(large);
   Tick timestamp = 0;
-  for (const SlotMeta& slot : it->second.slots) {
+  for (const SlotMeta& slot : entry.slots) {
     if (slot.state == PageState::kEvictable) {
       timestamp = std::max(timestamp, slot.last_access);
     }
@@ -311,9 +378,7 @@ Tick SmallPageAllocator::ReclaimTimestamp(LargePageId large) const {
 }
 
 void SmallPageAllocator::ReclaimLargePage(LargePageId large) {
-  const auto it = larges_.find(large);
-  JENGA_CHECK(it != larges_.end());
-  LargeEntry& entry = it->second;
+  LargeEntry& entry = Entry(large);
   JENGA_CHECK_EQ(entry.used_count, 0) << "reclaiming large page with used slots";
   const SmallPageId base = static_cast<SmallPageId>(large) * pages_per_large_;
   for (int slot = 0; slot < pages_per_large_; ++slot) {
@@ -327,8 +392,7 @@ void SmallPageAllocator::ReclaimLargePage(LargePageId large) {
       empty_count_ -= 1;
     }
   }
-  larges_.erase(it);
-  lcm_->Free(large);
+  ReleaseLarge(large, entry);
 }
 
 PageState SmallPageAllocator::state(SmallPageId page) const { return Meta(page).state; }
@@ -341,7 +405,7 @@ int SmallPageAllocator::ref_count(SmallPageId page) const { return Meta(page).re
 
 SmallPageAllocator::Stats SmallPageAllocator::GetStats() const {
   Stats stats;
-  stats.large_pages_held = static_cast<int64_t>(larges_.size());
+  stats.large_pages_held = resident_larges_;
   stats.used_pages = used_count_;
   stats.evictable_pages = evictable_count_;
   stats.empty_pages = empty_count_;
@@ -351,12 +415,28 @@ SmallPageAllocator::Stats SmallPageAllocator::GetStats() const {
   return stats;
 }
 
+SmallPageAllocator::FreeListStats SmallPageAllocator::GetFreeListStats() const {
+  FreeListStats stats;
+  stats.any_refs = static_cast<int64_t>(empty_any_.size());
+  stats.by_request_refs = by_request_refs_;
+  stats.tracked_requests = static_cast<int64_t>(empty_by_request_.size());
+  return stats;
+}
+
 void SmallPageAllocator::CheckConsistency() const {
+  int64_t resident = 0;
   int64_t used = 0;
   int64_t evictable = 0;
   int64_t empty = 0;
-  for (const auto& [large, entry] : larges_) {
+  for (size_t index = 0; index < larges_.size(); ++index) {
+    const LargeEntry& entry = larges_[index];
+    if (!entry.resident) {
+      continue;
+    }
+    const LargePageId large = static_cast<LargePageId>(index);
     JENGA_CHECK_EQ(lcm_->owner(large), group_index_);
+    JENGA_CHECK_EQ(static_cast<int>(entry.slots.size()), pages_per_large_);
+    ++resident;
     int32_t entry_used = 0;
     int32_t entry_evictable = 0;
     const SmallPageId base = static_cast<SmallPageId>(large) * pages_per_large_;
@@ -389,14 +469,19 @@ void SmallPageAllocator::CheckConsistency() const {
     evictable += entry_evictable;
     empty += entry.empty_count();
   }
+  JENGA_CHECK_EQ(resident, resident_larges_);
   JENGA_CHECK_EQ(used, used_count_);
   JENGA_CHECK_EQ(evictable, evictable_count_);
   JENGA_CHECK_EQ(empty, empty_count_);
   JENGA_CHECK_EQ(evictable, static_cast<int64_t>(evictor_.size()));
+  int64_t by_request = 0;
+  for (const auto& [request, refs] : empty_by_request_) {
+    by_request += static_cast<int64_t>(refs.size());
+  }
+  JENGA_CHECK_EQ(by_request, by_request_refs_);
   for (const auto& [hash, page] : cache_index_) {
-    const auto it = larges_.find(LargeOf(page));
-    JENGA_CHECK(it != larges_.end()) << "cache index points at non-resident page";
-    const SlotMeta& meta = it->second.slots[static_cast<size_t>(SlotOf(page))];
+    JENGA_CHECK(IsResident(LargeOf(page))) << "cache index points at non-resident page";
+    const SlotMeta& meta = Meta(page);
     JENGA_CHECK(meta.state != PageState::kEmpty);
     JENGA_CHECK(meta.has_hash);
     JENGA_CHECK_EQ(meta.hash, hash);

@@ -10,6 +10,10 @@
 //
 // The allocator also maintains the group's prefix-cache index (block hash → resident page)
 // and implements GroupCacheOps so the layer policies can adjust eviction priorities.
+//
+// Page metadata lives in a dense slab indexed by LargePageId (large-page ids are pool
+// indices), so Meta()/Entry() are array lookups rather than hash probes — every AddRef/
+// Release/SetContentHash on the per-token path is O(1) with no hashing.
 
 #ifndef JENGA_SRC_CORE_SMALL_PAGE_ALLOCATOR_H_
 #define JENGA_SRC_CORE_SMALL_PAGE_ALLOCATOR_H_
@@ -70,6 +74,11 @@ class SmallPageAllocator final : public GroupCacheOps {
   void UpdateLastAccess(SmallPageId page, Tick now) override;
   void SetPrefixLength(SmallPageId page, int64_t prefix_length) override;
 
+  // Drops the request-affinity free list of a finished request. Affinity state is otherwise
+  // only pruned lazily (on pop exhaustion), so long-lived servers must call this when a
+  // request id retires for good; preempted requests keep their entry for re-admission.
+  void ForgetRequest(RequestId request);
+
   // --- Whole-large-page eviction support (§5.4 step 3, driven by the provider) ---
 
   [[nodiscard]] bool IsReclaimCandidate(LargePageId large) const;
@@ -102,6 +111,14 @@ class SmallPageAllocator final : public GroupCacheOps {
   };
   [[nodiscard]] Stats GetStats() const;
 
+  // Free-ref list sizes including stale entries; compaction keeps them O(empty_pages).
+  struct FreeListStats {
+    int64_t any_refs = 0;
+    int64_t by_request_refs = 0;
+    int64_t tracked_requests = 0;
+  };
+  [[nodiscard]] FreeListStats GetFreeListStats() const;
+
   // Verifies all internal invariants (counts, index consistency, evictor membership);
   // test-only, O(pages).
   void CheckConsistency() const;
@@ -119,9 +136,10 @@ class SmallPageAllocator final : public GroupCacheOps {
   };
 
   struct LargeEntry {
-    std::vector<SlotMeta> slots;
+    std::vector<SlotMeta> slots;  // Sized on first acquisition; capacity reused thereafter.
     int32_t used_count = 0;
     int32_t evictable_count = 0;
+    bool resident = false;
     [[nodiscard]] int32_t empty_count() const {
       return static_cast<int32_t>(slots.size()) - used_count - evictable_count;
     }
@@ -139,14 +157,22 @@ class SmallPageAllocator final : public GroupCacheOps {
   [[nodiscard]] int SlotOf(SmallPageId page) const {
     return static_cast<int>(page % pages_per_large_);
   }
+  [[nodiscard]] bool IsResident(LargePageId large) const {
+    return large >= 0 && static_cast<size_t>(large) < larges_.size() &&
+           larges_[static_cast<size_t>(large)].resident;
+  }
   [[nodiscard]] SlotMeta& Meta(SmallPageId page);
   [[nodiscard]] const SlotMeta& Meta(SmallPageId page) const;
   [[nodiscard]] LargeEntry& Entry(LargePageId large);
+  [[nodiscard]] const LargeEntry& Entry(LargePageId large) const;
 
   // Pops a validated empty page associated with `request`, or any empty page.
   [[nodiscard]] std::optional<SmallPageId> PopRequestFree(RequestId request);
   [[nodiscard]] std::optional<SmallPageId> PopAnyFree();
   [[nodiscard]] bool IsValidEmpty(const FreeRef& ref) const;
+  // Drops stale refs once a list outgrows the live empty-page population; relative order of
+  // valid refs is preserved, so the pop sequence — and allocation placement — is unchanged.
+  void MaybeCompactFreeLists();
 
   // empty → used for `request`.
   void ClaimEmpty(SmallPageId page, RequestId request, Tick now);
@@ -154,6 +180,7 @@ class SmallPageAllocator final : public GroupCacheOps {
   void TransitionToEmpty(SmallPageId page);
   void UnregisterHash(SmallPageId page, SlotMeta& meta);
   void NotifyCandidateIfEligible(LargePageId large);
+  void ReleaseLarge(LargePageId large, LargeEntry& entry);
 
   int group_index_;
   KvGroupSpec spec_;
@@ -161,16 +188,19 @@ class SmallPageAllocator final : public GroupCacheOps {
   LargePageProvider* provider_;
   int pages_per_large_ = 0;
 
-  std::unordered_map<LargePageId, LargeEntry> larges_;
+  // Dense slab over the whole pool; larges_[id].resident marks the pages this group holds.
+  std::vector<LargeEntry> larges_;
   std::unordered_map<RequestId, std::vector<FreeRef>> empty_by_request_;
   std::vector<FreeRef> empty_any_;
   Evictor evictor_;
   std::unordered_map<BlockHash, SmallPageId> cache_index_;
 
   uint64_t next_epoch_ = 1;
+  int64_t resident_larges_ = 0;
   int64_t used_count_ = 0;
   int64_t evictable_count_ = 0;
   int64_t empty_count_ = 0;
+  int64_t by_request_refs_ = 0;  // Total FreeRefs across empty_by_request_, stale included.
 };
 
 }  // namespace jenga

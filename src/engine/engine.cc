@@ -255,9 +255,10 @@ bool Engine::StepOnce() {
     const int64_t n = std::min<int64_t>(r.prompt_len() - r.num_computed_tokens, budget);
     JENGA_CHECK_GT(n, 0);
     if (!kv_->AllocateForTokens(r, n, tick_)) {
-      kv_->Release(r, tick_);
+      const bool abandoned = running_.empty() && scheduled.empty();
+      kv_->Release(r, tick_, /*finished=*/abandoned);
       r.num_computed_tokens = 0;
-      if (running_.empty() && scheduled.empty()) {
+      if (abandoned) {
         FinishRequest(r, /*failed=*/true);
         continue;
       }
@@ -324,7 +325,7 @@ bool Engine::StepOnce() {
       }
     }
     if (r.num_generated >= effective_output) {
-      kv_->Release(r, tick_);
+      kv_->Release(r, tick_, /*finished=*/true);
       const auto it = std::find(running_.begin(), running_.end(), s.id);
       JENGA_CHECK(it != running_.end());
       running_.erase(it);

@@ -122,10 +122,6 @@ void KvManager::OnAdmit(Request& r, Tick now) {
   RequestKv& state = requests_[r.id];
   state.groups.resize(spec_.groups.size());
   for (size_t g = 0; g < spec_.groups.size(); ++g) {
-    const int block =
-        spec_.groups[g].kind == GroupKind::kMamba ? kMambaCheckpointInterval
-                                                  : spec_.groups[g].tokens_per_page;
-    (void)block;
     state.groups[g].chain = InitBlockChain(GroupSalt(static_cast<int>(g)));
   }
   r.num_computed_tokens = 0;
@@ -491,7 +487,7 @@ void KvManager::OnStepComputed(Request& r, Tick now) {
   state.needed_bytes = NeededBytesFor(r);
 }
 
-void KvManager::Release(Request& r, Tick now) {
+void KvManager::Release(Request& r, Tick now, bool finished) {
   RequestKv& state = StateOf(r);
   for (size_t g = 0; g < spec_.groups.size(); ++g) {
     SmallPageAllocator& alloc = allocator_.group(static_cast<int>(g));
@@ -507,6 +503,9 @@ void KvManager::Release(Request& r, Tick now) {
     }
   }
   requests_.erase(r.id);
+  if (finished) {
+    allocator_.ForgetRequest(r.id);
+  }
   (void)now;
 }
 

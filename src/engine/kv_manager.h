@@ -73,8 +73,11 @@ class KvManager {
   void OnStepComputed(Request& r, Tick now);
 
   // Releases every page of `r` (finish or preemption). Cached content stays evictable when
-  // prefix caching is on.
-  void Release(Request& r, Tick now);
+  // prefix caching is on. Pass `finished` when the request id retires for good: the
+  // allocator then drops its request-affinity free lists (which otherwise leak across
+  // millions of requests). Preempted requests keep theirs — they re-admit under the same id
+  // and the affinity drives §4.3 placement.
+  void Release(Request& r, Tick now, bool finished = false);
 
   // Conservative admission check: can `tokens` more tokens of `r` be allocated right now,
   // counting free plus evictable capacity?

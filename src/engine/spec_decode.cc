@@ -123,9 +123,9 @@ bool SpecDecodeEngine::AllocateAll(Request& r, int64_t tokens) {
   return true;
 }
 
-void SpecDecodeEngine::ReleaseAll(Request& r) {
+void SpecDecodeEngine::ReleaseAll(Request& r, bool finished) {
   for (auto& manager : managers_) {
-    manager->Release(r, tick_);
+    manager->Release(r, tick_, finished);
   }
 }
 
@@ -219,9 +219,10 @@ bool SpecDecodeEngine::StepOnce() {
     waiting_.pop_front();
     AdmitAll(r);
     if (!AllocateAll(r, n)) {
-      ReleaseAll(r);
+      const bool abandoned = running_.empty();
+      ReleaseAll(r, /*finished=*/abandoned);
       r.num_computed_tokens = 0;
-      if (running_.empty()) {
+      if (abandoned) {
         FinishRequest(r, /*failed=*/true);
         continue;
       }
@@ -321,7 +322,7 @@ bool SpecDecodeEngine::StepOnce() {
     }
     emitted_total += e.tokens;
     if (r.num_generated >= r.output_len) {
-      ReleaseAll(r);
+      ReleaseAll(r, /*finished=*/true);
       const auto it = std::find(running_.begin(), running_.end(), e.id);
       JENGA_CHECK(it != running_.end());
       running_.erase(it);

@@ -59,7 +59,7 @@ class SpecDecodeEngine {
  private:
   [[nodiscard]] Request& Get(RequestId id);
   [[nodiscard]] bool AllocateAll(Request& r, int64_t tokens);
-  void ReleaseAll(Request& r);
+  void ReleaseAll(Request& r, bool finished = false);
   void StepComputedAll(Request& r);
   void AdmitAll(Request& r);
   void Preempt(RequestId id);

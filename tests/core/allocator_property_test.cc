@@ -196,6 +196,68 @@ TEST_P(AllocatorPropertyTest, RequestAwarePackingBeatsArbitraryPlacement) {
   alloc.CheckConsistency();
 }
 
+TEST_P(AllocatorPropertyTest, LongRunFreeListsStayCompact) {
+  // Regression for unbounded free-ref growth: every empty transition used to push refs that
+  // were only discarded when a pop happened to reach them, so a long-lived server accumulated
+  // stale epochs forever. With periodic compaction the lists stay O(pool), no matter how many
+  // operations have run.
+  Rng rng(GetParam() ^ 0xF00D);
+  JengaAllocator alloc(TwoGroupSpec(), /*pool_bytes=*/768 * 32);
+  int64_t total_small_pages = 0;
+  for (int g = 0; g < alloc.num_groups(); ++g) {
+    total_small_pages +=
+        static_cast<int64_t>(alloc.lcm().num_pages()) * alloc.group(g).pages_per_large();
+  }
+
+  std::vector<Held> held;
+  Tick now = 0;
+  for (int step = 0; step < 60000; ++step) {
+    ++now;
+    const RequestId request = rng.UniformInt(0, 15);
+    if (rng.Bernoulli(0.55) || held.empty()) {
+      const int group = static_cast<int>(rng.UniformInt(0, 1));
+      if (const auto page = alloc.group(group).Allocate(request, now)) {
+        held.push_back({group, *page, 1, false});
+      }
+    } else {
+      const size_t index =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(held.size()) - 1));
+      alloc.group(held[index].group).Release(held[index].page, false);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(index));
+    }
+    // Retire a request id for good now and then, as KvManager does on finish.
+    if (step % 512 == 511) {
+      alloc.ForgetRequest(rng.UniformInt(0, 15));
+    }
+
+    if (step % 1024 == 0) {
+      alloc.CheckConsistency();
+    }
+    for (int g = 0; g < alloc.num_groups(); ++g) {
+      const auto stats = alloc.group(g).GetFreeListStats();
+      // Compaction bound: after 60k operations the lists must still be proportional to the
+      // pool, not to the operation count (the lists saw tens of thousands of pushes).
+      ASSERT_LE(stats.any_refs, 2 * total_small_pages + 64) << "step " << step;
+      ASSERT_LE(stats.by_request_refs, 2 * total_small_pages + 64) << "step " << step;
+      ASSERT_LE(stats.tracked_requests, 16) << "step " << step;
+    }
+  }
+
+  for (const Held& h : held) {
+    alloc.group(h.group).Release(h.page, false);
+  }
+  alloc.CheckConsistency();
+  // Once every request id is forgotten, no affinity state may remain.
+  for (RequestId r = 0; r < 16; ++r) {
+    alloc.ForgetRequest(r);
+  }
+  for (int g = 0; g < alloc.num_groups(); ++g) {
+    EXPECT_EQ(alloc.group(g).GetFreeListStats().by_request_refs, 0);
+    EXPECT_EQ(alloc.group(g).GetFreeListStats().tracked_requests, 0);
+  }
+  alloc.CheckConsistency();
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorPropertyTest,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
 

@@ -299,5 +299,35 @@ TEST(KvManager, SharedPrefixAcrossConcurrentRequests) {
   kv->CheckConsistency();
 }
 
+TEST(KvManager, FinishedReleaseDropsRequestAffinityState) {
+  // Finishing a request must not leak per-request free-ref map entries in any group; a
+  // preempting release keeps them (the id re-admits and §4.3 placement wants its affinity).
+  const ModelConfig model = TinySlidingModel(64);
+  auto kv = MakeJengaManager(model, 1 << 22);
+  for (RequestId id = 1; id <= 20; ++id) {
+    Request r = MakeRequest(id, TextPrompt(100), 4, 0.0);
+    kv->OnAdmit(r, id);
+    ComputeTokens(*kv, r, 100, id);
+    kv->Release(r, id + 1, /*finished=*/true);
+  }
+  for (int g = 0; g < kv->allocator().num_groups(); ++g) {
+    EXPECT_EQ(kv->allocator().group(g).GetFreeListStats().tracked_requests, 0)
+        << "group " << g << " leaked affinity entries for finished requests";
+  }
+  kv->CheckConsistency();
+
+  // Preemption-style release (finished=false) keeps the affinity entry alive.
+  Request r = MakeRequest(99, TextPrompt(100), 4, 0.0);
+  kv->OnAdmit(r, 50);
+  ComputeTokens(*kv, r, 100, 50);
+  kv->Release(r, 51);
+  int64_t tracked = 0;
+  for (int g = 0; g < kv->allocator().num_groups(); ++g) {
+    tracked += kv->allocator().group(g).GetFreeListStats().tracked_requests;
+  }
+  EXPECT_GT(tracked, 0);
+  kv->CheckConsistency();
+}
+
 }  // namespace
 }  // namespace jenga
