@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_batchsize.dir/bench_fig15_batchsize.cc.o"
+  "CMakeFiles/bench_fig15_batchsize.dir/bench_fig15_batchsize.cc.o.d"
+  "bench_fig15_batchsize"
+  "bench_fig15_batchsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_batchsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_prefix_caching.dir/bench_fig17_prefix_caching.cc.o"
+  "CMakeFiles/bench_fig17_prefix_caching.dir/bench_fig17_prefix_caching.cc.o.d"
+  "bench_fig17_prefix_caching"
+  "bench_fig17_prefix_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_prefix_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_allocator.dir/bench_micro_allocator.cc.o"
+  "CMakeFiles/bench_micro_allocator.dir/bench_micro_allocator.cc.o.d"
+  "bench_micro_allocator"
+  "bench_micro_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

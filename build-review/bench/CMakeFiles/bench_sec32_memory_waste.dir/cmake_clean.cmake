@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec32_memory_waste.dir/bench_sec32_memory_waste.cc.o"
+  "CMakeFiles/bench_sec32_memory_waste.dir/bench_sec32_memory_waste.cc.o.d"
+  "bench_sec32_memory_waste"
+  "bench_sec32_memory_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec32_memory_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

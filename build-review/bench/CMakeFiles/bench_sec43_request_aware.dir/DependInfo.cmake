@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec43_request_aware.cc" "bench/CMakeFiles/bench_sec43_request_aware.dir/bench_sec43_request_aware.cc.o" "gcc" "bench/CMakeFiles/bench_sec43_request_aware.dir/bench_sec43_request_aware.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/engine/CMakeFiles/jenga_engine.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/jenga_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/metrics/CMakeFiles/jenga_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baseline/CMakeFiles/jenga_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/jenga_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/model/CMakeFiles/jenga_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/jenga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_request_aware.dir/bench_sec43_request_aware.cc.o"
+  "CMakeFiles/bench_sec43_request_aware.dir/bench_sec43_request_aware.cc.o.d"
+  "bench_sec43_request_aware"
+  "bench_sec43_request_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_request_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

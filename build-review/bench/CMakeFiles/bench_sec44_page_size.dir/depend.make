@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec44_page_size.
+# This may be replaced when dependencies are built.

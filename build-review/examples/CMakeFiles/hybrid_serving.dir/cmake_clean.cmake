@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_serving.dir/hybrid_serving.cpp.o"
+  "CMakeFiles/hybrid_serving.dir/hybrid_serving.cpp.o.d"
+  "hybrid_serving"
+  "hybrid_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

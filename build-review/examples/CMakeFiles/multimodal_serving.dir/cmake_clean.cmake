@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimodal_serving.dir/multimodal_serving.cpp.o"
+  "CMakeFiles/multimodal_serving.dir/multimodal_serving.cpp.o.d"
+  "multimodal_serving"
+  "multimodal_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimodal_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jenga_baseline.dir/page_scheme.cc.o"
+  "CMakeFiles/jenga_baseline.dir/page_scheme.cc.o.d"
+  "CMakeFiles/jenga_baseline.dir/smartspec.cc.o"
+  "CMakeFiles/jenga_baseline.dir/smartspec.cc.o.d"
+  "libjenga_baseline.a"
+  "libjenga_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jenga_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjenga_baseline.a"
+)

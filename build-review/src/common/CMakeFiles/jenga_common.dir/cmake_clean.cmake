@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jenga_common.dir/random.cc.o"
+  "CMakeFiles/jenga_common.dir/random.cc.o.d"
+  "CMakeFiles/jenga_common.dir/stats.cc.o"
+  "CMakeFiles/jenga_common.dir/stats.cc.o.d"
+  "libjenga_common.a"
+  "libjenga_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jenga_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_hash.cc" "src/core/CMakeFiles/jenga_core.dir/block_hash.cc.o" "gcc" "src/core/CMakeFiles/jenga_core.dir/block_hash.cc.o.d"
+  "/root/repo/src/core/evictor.cc" "src/core/CMakeFiles/jenga_core.dir/evictor.cc.o" "gcc" "src/core/CMakeFiles/jenga_core.dir/evictor.cc.o.d"
+  "/root/repo/src/core/jenga_allocator.cc" "src/core/CMakeFiles/jenga_core.dir/jenga_allocator.cc.o" "gcc" "src/core/CMakeFiles/jenga_core.dir/jenga_allocator.cc.o.d"
+  "/root/repo/src/core/layer_policy.cc" "src/core/CMakeFiles/jenga_core.dir/layer_policy.cc.o" "gcc" "src/core/CMakeFiles/jenga_core.dir/layer_policy.cc.o.d"
+  "/root/repo/src/core/lcm_allocator.cc" "src/core/CMakeFiles/jenga_core.dir/lcm_allocator.cc.o" "gcc" "src/core/CMakeFiles/jenga_core.dir/lcm_allocator.cc.o.d"
+  "/root/repo/src/core/policy_factory.cc" "src/core/CMakeFiles/jenga_core.dir/policy_factory.cc.o" "gcc" "src/core/CMakeFiles/jenga_core.dir/policy_factory.cc.o.d"
+  "/root/repo/src/core/small_page_allocator.cc" "src/core/CMakeFiles/jenga_core.dir/small_page_allocator.cc.o" "gcc" "src/core/CMakeFiles/jenga_core.dir/small_page_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/jenga_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/model/CMakeFiles/jenga_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jenga_core.dir/block_hash.cc.o"
+  "CMakeFiles/jenga_core.dir/block_hash.cc.o.d"
+  "CMakeFiles/jenga_core.dir/evictor.cc.o"
+  "CMakeFiles/jenga_core.dir/evictor.cc.o.d"
+  "CMakeFiles/jenga_core.dir/jenga_allocator.cc.o"
+  "CMakeFiles/jenga_core.dir/jenga_allocator.cc.o.d"
+  "CMakeFiles/jenga_core.dir/layer_policy.cc.o"
+  "CMakeFiles/jenga_core.dir/layer_policy.cc.o.d"
+  "CMakeFiles/jenga_core.dir/lcm_allocator.cc.o"
+  "CMakeFiles/jenga_core.dir/lcm_allocator.cc.o.d"
+  "CMakeFiles/jenga_core.dir/policy_factory.cc.o"
+  "CMakeFiles/jenga_core.dir/policy_factory.cc.o.d"
+  "CMakeFiles/jenga_core.dir/small_page_allocator.cc.o"
+  "CMakeFiles/jenga_core.dir/small_page_allocator.cc.o.d"
+  "libjenga_core.a"
+  "libjenga_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jenga_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jenga_engine.dir/engine.cc.o"
+  "CMakeFiles/jenga_engine.dir/engine.cc.o.d"
+  "CMakeFiles/jenga_engine.dir/gpu.cc.o"
+  "CMakeFiles/jenga_engine.dir/gpu.cc.o.d"
+  "CMakeFiles/jenga_engine.dir/kv_manager.cc.o"
+  "CMakeFiles/jenga_engine.dir/kv_manager.cc.o.d"
+  "CMakeFiles/jenga_engine.dir/request.cc.o"
+  "CMakeFiles/jenga_engine.dir/request.cc.o.d"
+  "CMakeFiles/jenga_engine.dir/spec_decode.cc.o"
+  "CMakeFiles/jenga_engine.dir/spec_decode.cc.o.d"
+  "libjenga_engine.a"
+  "libjenga_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jenga_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jenga_metrics.dir/metrics.cc.o"
+  "CMakeFiles/jenga_metrics.dir/metrics.cc.o.d"
+  "libjenga_metrics.a"
+  "libjenga_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jenga_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/kv_spec.cc" "src/model/CMakeFiles/jenga_model.dir/kv_spec.cc.o" "gcc" "src/model/CMakeFiles/jenga_model.dir/kv_spec.cc.o.d"
+  "/root/repo/src/model/model_config.cc" "src/model/CMakeFiles/jenga_model.dir/model_config.cc.o" "gcc" "src/model/CMakeFiles/jenga_model.dir/model_config.cc.o.d"
+  "/root/repo/src/model/model_zoo.cc" "src/model/CMakeFiles/jenga_model.dir/model_zoo.cc.o" "gcc" "src/model/CMakeFiles/jenga_model.dir/model_zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/jenga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jenga_model.dir/kv_spec.cc.o"
+  "CMakeFiles/jenga_model.dir/kv_spec.cc.o.d"
+  "CMakeFiles/jenga_model.dir/model_config.cc.o"
+  "CMakeFiles/jenga_model.dir/model_config.cc.o.d"
+  "CMakeFiles/jenga_model.dir/model_zoo.cc.o"
+  "CMakeFiles/jenga_model.dir/model_zoo.cc.o.d"
+  "libjenga_model.a"
+  "libjenga_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jenga_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

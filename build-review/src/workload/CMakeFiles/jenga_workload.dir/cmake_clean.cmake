@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jenga_workload.dir/datasets.cc.o"
+  "CMakeFiles/jenga_workload.dir/datasets.cc.o.d"
+  "libjenga_workload.a"
+  "libjenga_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jenga_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

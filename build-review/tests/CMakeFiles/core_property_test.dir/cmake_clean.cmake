@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_property_test.dir/core/allocator_property_test.cc.o"
+  "CMakeFiles/core_property_test.dir/core/allocator_property_test.cc.o.d"
+  "CMakeFiles/core_property_test.dir/core/evictor_property_test.cc.o"
+  "CMakeFiles/core_property_test.dir/core/evictor_property_test.cc.o.d"
+  "CMakeFiles/core_property_test.dir/core/policy_property_test.cc.o"
+  "CMakeFiles/core_property_test.dir/core/policy_property_test.cc.o.d"
+  "core_property_test"
+  "core_property_test.pdb"
+  "core_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

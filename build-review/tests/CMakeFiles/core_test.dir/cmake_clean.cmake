@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/block_hash_test.cc.o"
+  "CMakeFiles/core_test.dir/core/block_hash_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/evictor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/evictor_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/jenga_allocator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/jenga_allocator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/layer_policy_test.cc.o"
+  "CMakeFiles/core_test.dir/core/layer_policy_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/lcm_allocator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/lcm_allocator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/small_page_allocator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/small_page_allocator_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/engine_profiles_test.cc" "tests/CMakeFiles/engine_test.dir/engine/engine_profiles_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/engine_profiles_test.cc.o.d"
+  "/root/repo/tests/engine/engine_test.cc" "tests/CMakeFiles/engine_test.dir/engine/engine_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/engine_test.cc.o.d"
+  "/root/repo/tests/engine/gpu_test.cc" "tests/CMakeFiles/engine_test.dir/engine/gpu_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/gpu_test.cc.o.d"
+  "/root/repo/tests/engine/kv_manager_test.cc" "tests/CMakeFiles/engine_test.dir/engine/kv_manager_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/kv_manager_test.cc.o.d"
+  "/root/repo/tests/engine/metrics_test.cc" "tests/CMakeFiles/engine_test.dir/engine/metrics_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/metrics_test.cc.o.d"
+  "/root/repo/tests/engine/multimodal_test.cc" "tests/CMakeFiles/engine_test.dir/engine/multimodal_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/multimodal_test.cc.o.d"
+  "/root/repo/tests/engine/prefix_cache_integration_test.cc" "tests/CMakeFiles/engine_test.dir/engine/prefix_cache_integration_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/prefix_cache_integration_test.cc.o.d"
+  "/root/repo/tests/engine/spec_decode_test.cc" "tests/CMakeFiles/engine_test.dir/engine/spec_decode_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/spec_decode_test.cc.o.d"
+  "/root/repo/tests/engine/zoo_smoke_test.cc" "tests/CMakeFiles/engine_test.dir/engine/zoo_smoke_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/zoo_smoke_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/engine/CMakeFiles/jenga_engine.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/jenga_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/metrics/CMakeFiles/jenga_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baseline/CMakeFiles/jenga_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/jenga_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/model/CMakeFiles/jenga_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/jenga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

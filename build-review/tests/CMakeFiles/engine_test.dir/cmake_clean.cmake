@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/engine/engine_profiles_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/engine_profiles_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/engine_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/engine_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/gpu_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/gpu_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/kv_manager_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/kv_manager_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/metrics_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/metrics_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/multimodal_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/multimodal_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/prefix_cache_integration_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/prefix_cache_integration_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/spec_decode_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/spec_decode_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/zoo_smoke_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/zoo_smoke_test.cc.o.d"
+  "engine_test"
+  "engine_test.pdb"
+  "engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/common_test[1]_include.cmake")
+include("/root/repo/build-review/tests/model_test[1]_include.cmake")
+include("/root/repo/build-review/tests/core_test[1]_include.cmake")
+include("/root/repo/build-review/tests/core_property_test[1]_include.cmake")
+include("/root/repo/build-review/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build-review/tests/engine_test[1]_include.cmake")
+include("/root/repo/build-review/tests/workload_test[1]_include.cmake")
