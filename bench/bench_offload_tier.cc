@@ -1,0 +1,214 @@
+// Host-memory KV offload tier: swap-based preemption and the two-tier prefix cache, swept
+// over host-pool size × PCIe bandwidth on the two workloads where the GPU pool is the
+// bottleneck. Part A reruns the Fig. 15 long-document workload (Ministral 8B, 20 requests at
+// once, 55k–110k-token inputs — preemption-heavy) comparing recompute-only preemption against
+// the swap crossover at several PCIe speeds. Part B reruns the Fig. 17 arXiv-QA workload
+// (Gemma-2 27B, serial closed loop, capacity-limited prefix cache) with Evictor victims
+// parked in host memory and promoted back on a hit. Both parts are deterministic (fixed
+// seeds); with the tier disabled the engine is byte-identical to the tier-less build, so the
+// baselines here are exactly the fig15/fig17 engines.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/engine/engine.h"
+#include "src/model/model_zoo.h"
+#include "src/workload/datasets.h"
+
+namespace jenga {
+namespace {
+
+struct SwapResult {
+  int64_t recomputed = 0;
+  int64_t swap_out = 0;
+  int64_t swap_in = 0;
+  int64_t fallbacks = 0;
+  double stall = 0.0;
+  int64_t steps = 0;
+  double wall = 0.0;
+  double tok_s = 0.0;
+};
+
+// Part A: the fig15 long-document run with the offload tier on. `swap_preemption` off is the
+// recompute-only baseline (identical scheduling, every preemption discards computed KV).
+SwapResult RunLongDoc(bool swap_preemption, double pcie_gbps, int host_gb) {
+  EngineConfig config = JengaProfile(Ministral8B(), H100());
+  config.enable_prefix_caching = false;  // The workload has no shared prefixes.
+  config.memory_sample_every = 0;
+  // Fig. 15 sizes the pool so the batch fits; shrink it so decode growth forces preemptions —
+  // the regime the offload tier targets.
+  config.memory_fraction = 0.45;
+  config.offload.enabled = true;
+  config.offload.swap_preemption = swap_preemption;
+  config.offload.host_prefix_cache = false;  // Part B isolates the cache path.
+  config.offload.host_pool_bytes = static_cast<int64_t>(host_gb) << 30;
+  config.offload.pcie.h2d_bandwidth = pcie_gbps * 1e9;
+  config.offload.pcie.d2h_bandwidth = pcie_gbps * 1e9;
+  Engine engine(std::move(config));
+  LongDocDataset dataset;
+  Rng rng(0xF15);
+  for (Request& r : GenerateBatch(dataset, 20, rng)) {
+    engine.Submit(std::move(r));
+  }
+  engine.RunToCompletion();
+  SwapResult result;
+  result.recomputed = engine.metrics().recomputed_tokens;
+  result.swap_out = engine.metrics().swap_out_events;
+  result.swap_in = engine.metrics().swap_in_events;
+  result.fallbacks = engine.metrics().swap_fallback_events;
+  result.stall = engine.metrics().swap_stall_time;
+  result.steps = engine.metrics().total_steps();
+  result.wall = engine.now();
+  result.tok_s = engine.metrics().TokenThroughput();
+  return result;
+}
+
+struct CacheResult {
+  double hit_rate = 0.0;
+  int64_t stored = 0;
+  int64_t promoted = 0;
+  double stall = 0.0;
+  double req_s = 0.0;
+};
+
+// Part B: the fig17 arXiv-QA run (10 articles × 12 questions, capacity knee well past what
+// the GPU cache holds). `tier` off is the plain fig17 Jenga engine.
+CacheResult RunArxivQa(bool tier, int host_gb, double pcie_gbps) {
+  constexpr int kArticles = 10;
+  constexpr int kQuestions = 12;
+  EngineConfig config = JengaProfile(Gemma2_27B(), H100());
+  config.memory_sample_every = 0;
+  config.max_num_seqs_override = 1;
+  config.memory_fraction = 0.55;
+  if (tier) {
+    config.offload.enabled = true;
+    config.offload.swap_preemption = false;  // Part A isolates the swap path.
+    config.offload.host_prefix_cache = true;
+    config.offload.host_pool_bytes = static_cast<int64_t>(host_gb) << 30;
+    config.offload.pcie.h2d_bandwidth = pcie_gbps * 1e9;
+    config.offload.pcie.d2h_bandwidth = pcie_gbps * 1e9;
+  }
+  Engine engine(std::move(config));
+  ArxivQaDataset dataset(kArticles, 7200, 7800, /*seed=*/0xF17 + kArticles,
+                         /*output_lo=*/16, /*output_hi=*/48);
+  Rng rng(0x17AA + kArticles);
+  int64_t total_prompt_tokens = 0;
+  RequestId id = 0;
+  for (int q = 0; q < kArticles * kQuestions; ++q) {
+    const int article = static_cast<int>(rng.UniformInt(0, kArticles - 1));
+    WorkloadItem item = dataset.SampleForArticle(article, rng);
+    total_prompt_tokens += item.prompt.size();
+    engine.Submit(MakeRequest(id++, std::move(item.prompt), item.output_len,
+                              /*arrival_time=*/0.0));
+  }
+  engine.RunToCompletion();
+  CacheResult result;
+  result.hit_rate = static_cast<double>(engine.metrics().cache_hit_tokens) /
+                    static_cast<double>(total_prompt_tokens);
+  if (engine.swap() != nullptr) {
+    result.stored = engine.swap()->stats().host_pages_stored;
+    result.promoted = engine.swap()->stats().host_pages_promoted;
+  }
+  result.stall = engine.metrics().swap_stall_time;
+  result.req_s = engine.metrics().RequestThroughput();
+  return result;
+}
+
+void Run() {
+  PrintHeader(
+      "Offload tier, part A: preempt-by-swap vs recompute — Ministral 8B, 20 long-doc "
+      "requests (H100)");
+  PrintRow({{22, "preemption"},
+            {8, "pcie"},
+            {8, "host"},
+            {12, "recomputed"},
+            {10, "swap o/i"},
+            {10, "stall"},
+            {8, "steps"},
+            {10, "wall"},
+            {12, "dec tok/s"}});
+  PrintRule();
+  struct SwapCase {
+    const char* name;
+    bool swap;
+    double pcie_gbps;
+    int host_gb;
+  };
+  const std::vector<SwapCase> cases = {
+      {"recompute-only", false, 32.0, 64}, {"swap", true, 8.0, 16},  {"swap", true, 8.0, 64},
+      {"swap", true, 16.0, 16},            {"swap", true, 16.0, 64}, {"swap", true, 32.0, 16},
+      {"swap", true, 32.0, 64},
+  };
+  std::vector<std::function<SwapResult()>> tasks;
+  for (const SwapCase& c : cases) {
+    tasks.emplace_back([c] { return RunLongDoc(c.swap, c.pcie_gbps, c.host_gb); });
+  }
+  const std::vector<SwapResult> results = ParallelSweep(tasks);
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const SwapCase& c = cases[i];
+    const SwapResult& r = results[i];
+    PrintRow({{22, c.name},
+              {8, Fmt("%.0fG", c.pcie_gbps)},
+              {8, Fmt("%.0fG", static_cast<double>(c.host_gb))},
+              {12, FmtI(r.recomputed)},
+              {10, FmtI(r.swap_out) + "/" + FmtI(r.swap_in)},
+              {10, Fmt("%.2fs", r.stall)},
+              {8, FmtI(r.steps)},
+              {10, Fmt("%.1fs", r.wall)},
+              {12, Fmt("%.1f", r.tok_s)}});
+  }
+
+  PrintHeader(
+      "Offload tier, part B: two-tier prefix cache — Gemma-2 27B, 10 arXiv articles x 12 "
+      "questions (H100)");
+  PrintRow({{22, "cache"},
+            {8, "pcie"},
+            {8, "host"},
+            {12, "hit rate"},
+            {12, "parked"},
+            {12, "promoted"},
+            {10, "stall"},
+            {12, "req/s"}});
+  PrintRule();
+  struct CacheCase {
+    const char* name;
+    bool tier;
+    int host_gb;
+    double pcie_gbps;
+  };
+  const std::vector<CacheCase> cache_cases = {
+      {"gpu-only", false, 0, 0.0},    {"two-tier", true, 8, 8.0},  {"two-tier", true, 8, 32.0},
+      {"two-tier", true, 32, 8.0},    {"two-tier", true, 32, 32.0},
+  };
+  std::vector<std::function<CacheResult()>> cache_tasks;
+  for (const CacheCase& c : cache_cases) {
+    cache_tasks.emplace_back([c] { return RunArxivQa(c.tier, c.host_gb, c.pcie_gbps); });
+  }
+  const std::vector<CacheResult> cache_results = ParallelSweep(cache_tasks);
+  for (size_t i = 0; i < cache_cases.size(); ++i) {
+    const CacheCase& c = cache_cases[i];
+    const CacheResult& r = cache_results[i];
+    PrintRow({{22, c.name},
+              {8, c.tier ? Fmt("%.0fG", c.pcie_gbps) : std::string("-")},
+              {8, c.tier ? Fmt("%.0fG", static_cast<double>(c.host_gb)) : std::string("-")},
+              {12, Pct(r.hit_rate)},
+              {12, FmtI(r.stored)},
+              {12, FmtI(r.promoted)},
+              {10, Fmt("%.2fs", r.stall)},
+              {12, Fmt("%.3f", r.req_s)}});
+  }
+  std::printf(
+      "\nShape checks: swapping eliminates most recomputed tokens once PCIe is fast enough\n"
+      "for the crossover to pick it (>=16 GB/s), raising decode throughput over the\n"
+      "recompute-only baseline; the two-tier cache lifts the hit rate past the GPU-only\n"
+      "capacity knee, paying a bounded promotion stall.\n");
+}
+
+}  // namespace
+}  // namespace jenga
+
+int main() {
+  jenga::Run();
+  return 0;
+}

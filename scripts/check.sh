@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Full gate: warnings-clean Release build, entire test suite, and a quick perf smoke.
+# Full gate: warnings-clean Release build, entire test suite, a quick perf smoke, and an
+# ASan+UBSan test pass (CMakePresets.json `asan-ubsan`).
 # Usage: scripts/check.sh [build-dir]   (default: build-check, kept separate from ./build)
+# Set JENGA_SKIP_SANITIZERS=1 to skip the sanitizer stage (it roughly doubles the runtime).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -16,5 +18,20 @@ ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 # Perf smoke: quick mode, scratch output (ignored by git; the tracked BENCH_perf.json
 # at the repo root is only regenerated deliberately via a full --baseline run).
 "$build/bench/bench_perf" --quick --out "$build/BENCH_perf_quick.json"
+
+if [[ "${JENGA_SKIP_SANITIZERS:-0}" != "1" ]]; then
+  sanitizer_build="${build}-asan"
+  cmake -B "$sanitizer_build" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer -O1 -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  # Build only the test executables (benches under sanitizers are prohibitively slow).
+  test_targets="$(sed -n 's/^jenga_add_test(\([a-z_]*\).*/\1/p' "$repo/tests/CMakeLists.txt")"
+  # shellcheck disable=SC2086
+  cmake --build "$sanitizer_build" -j "$(nproc)" --target $test_targets
+  ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1" \
+  UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --test-dir "$sanitizer_build" --output-on-failure -j "$(nproc)"
+fi
 
 echo "check.sh: all gates passed"

@@ -50,6 +50,12 @@ void JengaAllocator::ForgetRequest(RequestId request) {
   }
 }
 
+void JengaAllocator::SetEvictionSink(CacheEvictionSink* sink) {
+  for (const auto& group : groups_) {
+    group->set_eviction_sink(sink);
+  }
+}
+
 int64_t JengaAllocator::FreeSmallPages(int group_index) const {
   const SmallPageAllocator& group = *groups_[static_cast<size_t>(group_index)];
   return static_cast<int64_t>(lcm_.num_free()) * group.pages_per_large() +

@@ -44,6 +44,9 @@ class JengaAllocator final : public LargePageProvider {
   // SmallPageAllocator::ForgetRequest).
   void ForgetRequest(RequestId request);
 
+  // Installs a cache-eviction observer on every group allocator (host offload tier).
+  void SetEvictionSink(CacheEvictionSink* sink);
+
   // Total small pages (across groups) that could still be produced without evicting anything
   // cached: free large pages × pages-per-large for `group_index`, plus its empty smalls.
   [[nodiscard]] int64_t FreeSmallPages(int group_index) const;

@@ -77,6 +77,12 @@ class LayerPolicy {
   // while the request is still running. Sliding-window and pyramid layers return true; full
   // attention must keep everything.
   [[nodiscard]] virtual bool CanDropUnneededPages() const { return false; }
+
+  // Host-offload eligibility: whether this group's pages are worth moving over PCIe instead
+  // of recomputing. Full-prefix KV, Mamba states, and vision embeddings are (the state is
+  // expensive or impossible to recompute cheaply); sliding-window tails and pyramid middles
+  // are cheap to recompute, so their pages never travel.
+  [[nodiscard]] virtual bool SwapEligible() const { return true; }
 };
 
 // Standard full-prefix self-attention (and cross-attention over image tokens, which needs all
@@ -99,6 +105,7 @@ class SlidingWindowPolicy : public LayerPolicy {
   [[nodiscard]] const char* name() const override { return "sliding_window"; }
   [[nodiscard]] std::vector<TokenRange> NeededTokenRanges(int64_t num_tokens) const override;
   [[nodiscard]] bool CanDropUnneededPages() const override { return true; }
+  [[nodiscard]] bool SwapEligible() const override { return false; }
   [[nodiscard]] int window() const { return window_; }
 
  private:
@@ -113,6 +120,7 @@ class PyramidPolicy : public LayerPolicy {
   [[nodiscard]] const char* name() const override { return "pyramid"; }
   [[nodiscard]] std::vector<TokenRange> NeededTokenRanges(int64_t num_tokens) const override;
   [[nodiscard]] bool CanDropUnneededPages() const override { return true; }
+  [[nodiscard]] bool SwapEligible() const override { return false; }
 
  private:
   int token_budget_;

@@ -177,6 +177,7 @@ std::optional<SmallPageId> SmallPageAllocator::Allocate(RequestId request, Tick 
     LargeEntry& entry = Entry(large);
     SlotMeta& meta = entry.slots[static_cast<size_t>(SlotOf(*victim))];
     JENGA_CHECK(meta.state == PageState::kEvictable);
+    NotifyEviction(*victim, meta);
     UnregisterHash(*victim, meta);
     meta.state = PageState::kUsed;
     meta.assoc = request;
@@ -215,6 +216,20 @@ void SmallPageAllocator::AddRef(SmallPageId page) {
     case PageState::kEmpty:
       JENGA_CHECK(false) << "AddRef on empty page " << page;
   }
+}
+
+void SmallPageAllocator::NotifyEviction(SmallPageId page, const SlotMeta& meta) const {
+  // Only indexed content is recoverable later; a page whose hash was superseded by another
+  // resident copy offers nothing a future hit could use.
+  if (eviction_sink_ == nullptr || !meta.has_hash) {
+    return;
+  }
+  const auto it = cache_index_.find(meta.hash);
+  if (it == cache_index_.end() || it->second != page) {
+    return;
+  }
+  eviction_sink_->OnCacheEvicted(group_index_, meta.hash, spec_.page_bytes, meta.prefix_length,
+                                 meta.last_access);
 }
 
 void SmallPageAllocator::UnregisterHash(SmallPageId page, SlotMeta& meta) {
@@ -386,6 +401,7 @@ void SmallPageAllocator::ReclaimLargePage(LargePageId large) {
     const SmallPageId page = base + slot;
     if (meta.state == PageState::kEvictable) {
       evictor_.Remove(page);
+      NotifyEviction(page, meta);
       UnregisterHash(page, meta);
       evictable_count_ -= 1;
     } else {

@@ -74,6 +74,11 @@ class SmallPageAllocator final : public GroupCacheOps {
   void UpdateLastAccess(SmallPageId page, Tick now) override;
   void SetPrefixLength(SmallPageId page, int64_t prefix_length) override;
 
+  // Installs an observer for cache-eviction events (Evictor victims in Allocate step 5 and
+  // whole-large-page reclaims). nullptr (the default) restores destroy-on-evict. Release with
+  // keep_cached=false is NOT an eviction — that content was declared obsolete by its owner.
+  void set_eviction_sink(CacheEvictionSink* sink) { eviction_sink_ = sink; }
+
   // Drops the request-affinity free list of a finished request. Affinity state is otherwise
   // only pruned lazily (on pop exhaustion), so long-lived servers must call this when a
   // request id retires for good; preempted requests keep their entry for re-admission.
@@ -182,10 +187,14 @@ class SmallPageAllocator final : public GroupCacheOps {
   void NotifyCandidateIfEligible(LargePageId large);
   void ReleaseLarge(LargePageId large, LargeEntry& entry);
 
+  // Announces an evictable page's cached content to the sink just before it is destroyed.
+  void NotifyEviction(SmallPageId page, const SlotMeta& meta) const;
+
   int group_index_;
   KvGroupSpec spec_;
   LcmAllocator* lcm_;
   LargePageProvider* provider_;
+  CacheEvictionSink* eviction_sink_ = nullptr;
   int pages_per_large_ = 0;
 
   // Dense slab over the whole pool; larges_[id].resident marks the pages this group holds.

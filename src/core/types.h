@@ -34,6 +34,17 @@ enum class PageState : uint8_t {
   kUsed,
 };
 
+// Observer for prefix-cache pages destroyed by capacity eviction (Evictor victims and
+// whole-large-page reclaims). The host offload tier implements this to give evicted pages a
+// second chance in host memory; with no sink installed, eviction destroys the content as
+// before. Lives in core so SmallPageAllocator need not depend on the offload subsystem.
+class CacheEvictionSink {
+ public:
+  virtual ~CacheEvictionSink() = default;
+  virtual void OnCacheEvicted(int group_index, BlockHash hash, int64_t page_bytes,
+                              int64_t prefix_length, Tick last_access) = 0;
+};
+
 [[nodiscard]] inline const char* PageStateName(PageState state) {
   switch (state) {
     case PageState::kEmpty:

@@ -86,6 +86,16 @@ Engine::Engine(EngineConfig config)
   options.tokens_per_image = config_.model.vision.tokens_per_image;
   kv_ = std::make_unique<KvManager>(std::move(alloc_spec), std::move(accounting_spec), pool,
                                     options);
+
+  if (config_.offload.enabled) {
+    SwapCostParams cost;
+    cost.flops_per_token = 2.0 * config_.model.params_b * 1e9;  // Dense forward ≈ 2·params.
+    cost.gpu_flops = config_.gpu.flops;
+    cost.gpu_mem_bandwidth = config_.gpu.mem_bandwidth;
+    cost.chunk_tokens = max_batched_tokens_;
+    swap_ = std::make_unique<SwapManager>(config_.offload, cost);
+    kv_->AttachOffload(swap_.get(), /*manager_index=*/0);
+  }
 }
 
 void Engine::Submit(Request request) {
@@ -119,6 +129,24 @@ int64_t Engine::EffectiveOutputLen(const Request& r) const {
 
 void Engine::Preempt(RequestId id) {
   Request& r = Get(id);
+  if (swap_ != nullptr) {
+    const KvSwapFootprint kfp = kv_->GetSwapFootprint(r);
+    SwapFootprint fp;
+    fp.tokens = kfp.tokens;
+    fp.swappable_bytes = kfp.swappable_bytes;
+    fp.resident_bytes = kfp.resident_bytes;
+    fp.drop_recompute_bytes = kfp.drop_recompute_bytes;
+    fp.fingerprints.push_back(kfp.fingerprint);
+    if (swap_->ChoosePreemptMode(fp) == PreemptMode::kSwap && swap_->RecordSwapOut(id, fp)) {
+      r.swapped_out = true;
+      r.swapped_out_tokens = r.num_computed_tokens;
+      metrics_.swap_out_events += 1;
+    } else {
+      metrics_.recomputed_tokens += r.num_computed_tokens;
+    }
+  } else {
+    metrics_.recomputed_tokens += r.num_computed_tokens;
+  }
   kv_->Release(r, tick_);
   r.state = RequestState::kPreempted;
   r.preemptions += 1;
@@ -131,6 +159,13 @@ void Engine::Preempt(RequestId id) {
 }
 
 void Engine::FinishRequest(Request& r, bool failed) {
+  // A request can retire without a final Release(finished=true) (e.g. admission-failure abort
+  // after an earlier preemption); drop its allocator affinity state and any host swap set
+  // either way — both calls are idempotent.
+  kv_->OnRequestRetired(r.id);
+  if (swap_ != nullptr) {
+    swap_->DropSwapSet(r.id);
+  }
   r.state = RequestState::kFinished;
   r.finish_time = now_;
   RequestRecord record;
@@ -176,6 +211,49 @@ double Engine::MaybeEncodeVision(Request& r, int64_t chunk_begin, int64_t chunk_
   const double t = gpu_.VisionEncodeTime(total_image_tokens);
   metrics_.vision_encode_time += t;
   return t;
+}
+
+Engine::SwapAdmit Engine::TryAdmitFromSwap(Request& r, bool nothing_else_runnable) {
+  const HostSwapSet* set = swap_->PeekSwapSet(r.id);
+  if (set == nullptr) {
+    // The set was LRU-evicted from host memory while the request queued: recompute.
+    r.swapped_out = false;
+    metrics_.swap_fallback_events += 1;
+    metrics_.recomputed_tokens += r.swapped_out_tokens;
+    r.swapped_out_tokens = 0;
+    return SwapAdmit::kFallthrough;
+  }
+  const int64_t tokens = set->tokens;
+  JENGA_CHECK_EQ(static_cast<int64_t>(set->fingerprints.size()), 1);
+  if (kv_->CanAllocate(r, tokens) &&
+      kv_->RestoreFromSwap(r, tokens, set->fingerprints[0], tick_)) {
+    swap_->CommitSwapIn(r.id);
+    metrics_.swap_in_events += 1;
+    r.swapped_out = false;
+    r.swapped_out_tokens = 0;
+    r.state = RequestState::kRunning;
+    if (r.first_scheduled_time < 0.0) {
+      r.first_scheduled_time = now_;
+    }
+    // The vision-embedding pages came back with the swap set; don't re-run the encoder.
+    if (config_.jenga && config_.vision_cache && config_.model.vision.present &&
+        r.image_prefix.back() > 0) {
+      r.vision_encoder_runs_this_admission = std::max(r.vision_encoder_runs_this_admission, 1);
+    }
+    running_.push_back(r.id);
+    return SwapAdmit::kAdmitted;
+  }
+  if (!nothing_else_runnable) {
+    return SwapAdmit::kBlocked;  // Head-of-line blocking, same as the recompute path.
+  }
+  // Restoring would deadlock (nothing running to free memory): abandon the set and rebuild
+  // the request from scratch through normal admission.
+  swap_->DropSwapSet(r.id);
+  r.swapped_out = false;
+  metrics_.swap_fallback_events += 1;
+  metrics_.recomputed_tokens += r.swapped_out_tokens;
+  r.swapped_out_tokens = 0;
+  return SwapAdmit::kFallthrough;
 }
 
 bool Engine::StepOnce() {
@@ -238,6 +316,18 @@ bool Engine::StepOnce() {
     if (r.arrival_time > now_) {
       break;
     }
+    if (swap_ != nullptr && r.swapped_out) {
+      const SwapAdmit outcome =
+          TryAdmitFromSwap(r, /*nothing_else_runnable=*/running_.empty() && scheduled.empty());
+      if (outcome == SwapAdmit::kBlocked) {
+        break;
+      }
+      if (outcome == SwapAdmit::kAdmitted) {
+        waiting_.pop_front();
+        continue;  // No prefill chunk needed; the request decodes (or resumes) next step.
+      }
+      // kFallthrough: recompute from scratch via the normal path below.
+    }
     const int64_t chunk_peek = std::min<int64_t>(r.prompt_len(), budget);
     if (!kv_->CanAllocate(r, chunk_peek)) {
       // Head-of-line blocking is intentional (FCFS); but if nothing is running the request
@@ -276,6 +366,12 @@ bool Engine::StepOnce() {
   }
 
   if (scheduled.empty()) {
+    // Pending PCIe transfers have no compute to hide behind; drain them as pure stall.
+    if (swap_ != nullptr && swap_->HasPendingTransfer()) {
+      const double stall = swap_->ConsumeStall(/*compute_time=*/0.0);
+      metrics_.swap_stall_time += stall;
+      now_ += stall;
+    }
     // Nothing runnable now: advance to the next arrival if one exists.
     double next_arrival = -1.0;
     for (const RequestId id : waiting_) {
@@ -306,7 +402,13 @@ bool Engine::StepOnce() {
       ++decode_batch;
     }
   }
-  now_ += gpu_.StepTime(new_tokens, kv_read_bytes) + vision_time;
+  double step_time = gpu_.StepTime(new_tokens, kv_read_bytes) + vision_time;
+  if (swap_ != nullptr) {
+    const double stall = swap_->ConsumeStall(step_time);
+    metrics_.swap_stall_time += stall;
+    step_time += stall;
+  }
+  now_ += step_time;
 
   // Phase 4: commit progress, emit tokens, finish requests.
   for (const Scheduled& s : scheduled) {
@@ -346,6 +448,7 @@ bool Engine::StepOnce() {
     sample.wasted_bytes = stats.wasted_bytes;
     sample.cached_bytes = stats.cached_bytes;
     sample.unallocated_bytes = stats.unallocated_bytes;
+    sample.host_bytes = swap_ != nullptr ? swap_->host().used_bytes() : 0;
     metrics_.RecordMemory(sample);
   }
   return true;

@@ -17,6 +17,7 @@
 #include "src/engine/request.h"
 #include "src/metrics/metrics.h"
 #include "src/model/model_config.h"
+#include "src/offload/swap_manager.h"
 
 namespace jenga {
 
@@ -41,6 +42,9 @@ struct EngineConfig {
   int max_num_seqs_override = 0;
   // Record a memory sample every N steps (0 disables).
   int memory_sample_every = 1;
+  // Host-memory KV offload tier (disabled by default; when disabled the engine is
+  // byte-identical to the tier-less build).
+  OffloadConfig offload;
 };
 
 // Named engine profiles used in the Fig. 15 comparison.
@@ -65,6 +69,8 @@ class Engine {
   [[nodiscard]] double now() const { return now_; }
   [[nodiscard]] const EngineMetrics& metrics() const { return metrics_; }
   [[nodiscard]] KvManager& kv() { return *kv_; }
+  // nullptr when the offload tier is disabled.
+  [[nodiscard]] const SwapManager* swap() const { return swap_.get(); }
   [[nodiscard]] const EngineConfig& config() const { return config_; }
   [[nodiscard]] const Request& request(RequestId id) const;
   [[nodiscard]] int num_running() const { return static_cast<int>(running_.size()); }
@@ -85,9 +91,18 @@ class Engine {
   void FinishRequest(Request& r, bool failed);
   [[nodiscard]] double MaybeEncodeVision(Request& r, int64_t chunk_begin, int64_t chunk_end);
 
+  // Outcome of a swap-set re-admission attempt for the head of the waiting queue.
+  enum class SwapAdmit {
+    kFallthrough,  // No usable swap set: take the normal (recompute) admission path.
+    kAdmitted,     // Restored and moved to running_.
+    kBlocked,      // Cannot restore right now: head-of-line blocking, stop admitting.
+  };
+  [[nodiscard]] SwapAdmit TryAdmitFromSwap(Request& r, bool nothing_else_runnable);
+
   EngineConfig config_;
   GpuSim gpu_;
   std::unique_ptr<KvManager> kv_;
+  std::unique_ptr<SwapManager> swap_;
   int64_t reserved_bytes_ = 0;
   int max_batched_tokens_ = 0;
   int max_num_seqs_ = 0;

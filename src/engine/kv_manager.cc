@@ -7,6 +7,7 @@
 #include "src/common/math_util.h"
 #include "src/core/block_hash.h"
 #include "src/core/policy_factory.h"
+#include "src/offload/swap_manager.h"
 
 namespace jenga {
 
@@ -67,6 +68,12 @@ int64_t GroupTokensFor(const Request& r, const KvGroupSpec& group, int64_t prefi
 
 bool IsSubsequenceScope(GroupScope scope) {
   return scope == GroupScope::kImageTokens || scope == GroupScope::kTextTokens;
+}
+
+// Order-sensitive mix for the swap round-trip fingerprint (splitmix-style).
+uint64_t MixFingerprint(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 12) + (h >> 4);
+  return h * 0xFF51AFD7ED558CCDull;
 }
 
 }  // namespace
@@ -138,38 +145,16 @@ void KvManager::OnAdmit(Request& r, Tick now) {
     return;
   }
 
-  // Per-group hashes + hit bitmaps + valid-prefix bitmaps over global boundaries.
+  // Per-group block-hash chains over the prompt (checkpoint-interval blocks for Mamba,
+  // subsequence streams for modality-scoped groups, prompt blocks otherwise).
   std::vector<std::vector<BlockHash>> group_hashes(spec_.groups.size());
-  std::vector<std::vector<bool>> valid_global(spec_.groups.size());
   for (size_t g = 0; g < spec_.groups.size(); ++g) {
     const KvGroupSpec& group = spec_.groups[g];
-    const SmallPageAllocator& alloc = allocator_.group(static_cast<int>(g));
-    std::vector<bool>& valid = valid_global[g];
-    valid.assign(static_cast<size_t>(num_boundaries) + 1, false);
-    valid[0] = true;
-
     if (group.kind == GroupKind::kMamba) {
-      group_hashes[g] =
-          ChainBlockHashes(r.prompt.tokens, kMambaCheckpointInterval, GroupSalt(static_cast<int>(g)));
-      std::vector<bool> is_hit(group_hashes[g].size());
-      for (size_t j = 0; j < is_hit.size(); ++j) {
-        is_hit[j] = alloc.LookupCached(group_hashes[g][j]).has_value();
-      }
-      const std::vector<bool> gv =
-          policies_[g]->GetPossiblePrefix(is_hit, kMambaCheckpointInterval);
-      for (int64_t b = 1; b <= num_boundaries; ++b) {
-        const int64_t tokens = b * bs;
-        if (tokens % kMambaCheckpointInterval != 0) {
-          continue;
-        }
-        const size_t k = static_cast<size_t>(tokens / kMambaCheckpointInterval);
-        if (k < gv.size()) {
-          valid[static_cast<size_t>(b)] = gv[k];
-        }
-      }
+      group_hashes[g] = ChainBlockHashes(r.prompt.tokens, kMambaCheckpointInterval,
+                                         GroupSalt(static_cast<int>(g)));
       continue;
     }
-
     if (IsSubsequenceScope(group.scope)) {
       const TokenKind wanted =
           group.scope == GroupScope::kImageTokens ? TokenKind::kImage : TokenKind::kText;
@@ -181,33 +166,21 @@ void KvManager::OnAdmit(Request& r, Tick now) {
         }
       }
       group_hashes[g] = ChainBlockHashes(sub_tokens, bs, GroupSalt(static_cast<int>(g)));
-      std::vector<bool> is_hit(group_hashes[g].size());
-      for (size_t j = 0; j < is_hit.size(); ++j) {
-        is_hit[j] = alloc.LookupCached(group_hashes[g][j]).has_value();
-      }
-      const std::vector<bool> gv = policies_[g]->GetPossiblePrefix(is_hit, bs);
-      for (int64_t b = 1; b <= num_boundaries; ++b) {
-        const int64_t sub_count = GroupTokensFor(r, group, b * bs);
-        // Conservative: only block-aligned subsequence coverage counts as a hit.
-        if (sub_count % bs != 0) {
-          continue;
-        }
-        const size_t blocks = static_cast<size_t>(sub_count / bs);
-        if (blocks < gv.size()) {
-          valid[static_cast<size_t>(b)] = gv[blocks];
-        }
-      }
       continue;
     }
-
-    // All-token groups: boundaries map 1:1 to group blocks.
     group_hashes[g] = ChainBlockHashes(r.prompt.tokens, bs, GroupSalt(static_cast<int>(g)));
-    std::vector<bool> is_hit(group_hashes[g].size());
-    for (size_t j = 0; j < is_hit.size(); ++j) {
-      is_hit[j] = alloc.LookupCached(group_hashes[g][j]).has_value();
-    }
-    valid = policies_[g]->GetPossiblePrefix(is_hit, bs);
   }
+
+  // Second-chance pass: re-materialize host-resident pages on the GPU *before* scanning for
+  // hits, so the scan and the reference-taking below see one consistent allocator state
+  // (a promotion's allocation may evict GPU pages of any group under pressure).
+  if (offload_ != nullptr) {
+    PromoteHostHits(r, group_hashes, now);
+  }
+
+  // Hit bitmaps + valid-prefix bitmaps over global boundaries.
+  const std::vector<std::vector<bool>> valid_global =
+      BuildValidBitmaps(r, group_hashes, /*include_host=*/false);
 
   int64_t boundary = LongestCommonValidPrefix(valid_global);
   // Keep at least one prompt token to compute (an engine cannot "hit" the whole prompt).
@@ -532,6 +505,298 @@ bool KvManager::CanAllocate(const Request& r, int64_t tokens) const {
   // decode progress does not degenerate into preemption storms.
   const int64_t watermark = std::max<int64_t>(1, allocator_.lcm().num_pages() / 50);
   return larges_needed + watermark <= available;
+}
+
+void KvManager::AttachOffload(SwapManager* offload, int manager_index) {
+  JENGA_CHECK(offload != nullptr);
+  JENGA_CHECK(offload_ == nullptr) << "offload tier already attached";
+  offload_ = offload;
+  manager_index_ = manager_index;
+  std::vector<char> eligible;
+  std::vector<int64_t> page_bytes;
+  eligible.reserve(spec_.groups.size());
+  page_bytes.reserve(spec_.groups.size());
+  for (size_t g = 0; g < spec_.groups.size(); ++g) {
+    eligible.push_back(policies_[g]->SwapEligible() ? 1 : 0);
+    page_bytes.push_back(spec_.groups[g].page_bytes);
+  }
+  allocator_.SetEvictionSink(
+      offload_->RegisterManager(manager_index, std::move(eligible), std::move(page_bytes)));
+}
+
+uint64_t KvManager::StateFingerprint(const RequestKv& state) const {
+  uint64_t h = 0x243F6A8885A308D3ull;
+  for (size_t g = 0; g < state.groups.size(); ++g) {
+    const GroupState& gs = state.groups[g];
+    h = MixFingerprint(h, static_cast<uint64_t>(g));
+    h = MixFingerprint(h, gs.chain);
+    h = MixFingerprint(h, static_cast<uint64_t>(gs.chain_tokens));
+    h = MixFingerprint(h, static_cast<uint64_t>(gs.pages.size()));
+  }
+  return h;
+}
+
+KvSwapFootprint KvManager::GetSwapFootprint(const Request& r) const {
+  const auto it = requests_.find(r.id);
+  JENGA_CHECK(it != requests_.end()) << "request " << r.id << " not admitted";
+  const RequestKv& state = it->second;
+  KvSwapFootprint fp;
+  fp.tokens = r.num_computed_tokens;
+  for (size_t g = 0; g < spec_.groups.size(); ++g) {
+    const KvGroupSpec& group = spec_.groups[g];
+    int64_t resident = 0;
+    for (const SmallPageId page : state.groups[g].pages) {
+      if (page != kNoSmallPage) {
+        resident += group.page_bytes;
+      }
+    }
+    fp.resident_bytes += resident;
+    if (policies_[g]->SwapEligible()) {
+      fp.swappable_bytes += resident;
+    } else {
+      // Recompute-cheap groups are dropped on swap-out; the swap alternative still pays for
+      // rebuilding what the policy needs at this progress point.
+      const int64_t tokens = GroupTokensFor(r, group, r.num_computed_tokens);
+      fp.drop_recompute_bytes +=
+          RangeTokens(policies_[g]->NeededTokenRanges(tokens)) * group.BytesPerToken();
+    }
+  }
+  fp.fingerprint = StateFingerprint(state);
+  return fp;
+}
+
+bool KvManager::RestoreFromSwap(Request& r, int64_t tokens, uint64_t expected_fingerprint,
+                                Tick now) {
+  JENGA_CHECK(!requests_.contains(r.id)) << "request " << r.id << " already admitted";
+  JENGA_CHECK_GT(tokens, 0);
+  JENGA_CHECK_GE(static_cast<int64_t>(r.all_tokens.size()), tokens);
+  RequestKv& state = requests_[r.id];
+  state.groups.resize(spec_.groups.size());
+  for (size_t g = 0; g < spec_.groups.size(); ++g) {
+    state.groups[g].chain = InitBlockChain(GroupSalt(static_cast<int>(g)));
+  }
+  r.num_computed_tokens = 0;
+  r.cached_prefix_tokens = 0;
+  state.computed_tokens = 0;
+
+  std::vector<std::pair<int, SmallPageId>> fresh;
+  bool failed = false;
+  for (size_t g = 0; g < spec_.groups.size() && !failed; ++g) {
+    const KvGroupSpec& group = spec_.groups[g];
+    SmallPageAllocator& alloc = allocator_.group(static_cast<int>(g));
+    GroupState& gs = state.groups[g];
+    const int64_t target = TargetPages(r, group, tokens);
+    // Droppable groups (sliding window, pyramid) restore only the blocks the policy still
+    // needs at `tokens`; everything else stays a hole, exactly as DropUnneededPages left it.
+    const bool droppable = options_.jenga && policies_[g]->CanDropUnneededPages();
+    std::vector<TokenRange> needed;
+    if (droppable) {
+      needed = policies_[g]->NeededTokenRanges(GroupTokensFor(r, group, tokens));
+    }
+    const int bs = group.tokens_per_page;
+    for (int64_t j = 0; j < target; ++j) {
+      bool want = true;
+      if (droppable) {
+        want = false;
+        for (const TokenRange& range : needed) {
+          if (range.begin < (j + 1) * bs && range.end > j * bs) {
+            want = true;
+            break;
+          }
+        }
+      }
+      if (!want) {
+        gs.pages.push_back(kNoSmallPage);
+        continue;
+      }
+      const auto page = alloc.Allocate(r.id, now);
+      if (!page.has_value()) {
+        failed = true;
+        break;
+      }
+      gs.pages.push_back(*page);
+      fresh.emplace_back(static_cast<int>(g), *page);
+    }
+  }
+  if (failed) {
+    for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
+      allocator_.group(it->first).Release(it->second, /*keep_cached=*/false);
+    }
+    requests_.erase(r.id);
+    return false;
+  }
+  // Replay the bookkeeping a normal run reaching `tokens` computed tokens would have done:
+  // stream extension, hash registration, Mamba checkpoints, drop cursors, last-access.
+  r.num_computed_tokens = tokens;
+  OnStepComputed(r, now);
+  JENGA_CHECK_EQ(StateFingerprint(state), expected_fingerprint)
+      << "swap round trip diverged for request " << r.id;
+  return true;
+}
+
+void KvManager::OnRequestRetired(RequestId id) { allocator_.ForgetRequest(id); }
+
+std::vector<std::vector<bool>> KvManager::BuildValidBitmaps(
+    const Request& r, const std::vector<std::vector<BlockHash>>& group_hashes,
+    bool include_host) const {
+  const int bs = options_.tokens_per_page;
+  const int64_t num_boundaries = r.prompt_len() / bs;
+  std::vector<std::vector<bool>> valid_global(spec_.groups.size());
+  for (size_t g = 0; g < spec_.groups.size(); ++g) {
+    const KvGroupSpec& group = spec_.groups[g];
+    const SmallPageAllocator& alloc = allocator_.group(static_cast<int>(g));
+    std::vector<bool>& valid = valid_global[g];
+    valid.assign(static_cast<size_t>(num_boundaries) + 1, false);
+    valid[0] = true;
+
+    std::vector<bool> is_hit(group_hashes[g].size());
+    for (size_t j = 0; j < is_hit.size(); ++j) {
+      is_hit[j] =
+          alloc.LookupCached(group_hashes[g][j]).has_value() ||
+          (include_host && offload_ != nullptr &&
+           offload_->LookupHostPage(manager_index_, static_cast<int>(g), group_hashes[g][j]) !=
+               nullptr);
+    }
+
+    if (group.kind == GroupKind::kMamba) {
+      const std::vector<bool> gv =
+          policies_[g]->GetPossiblePrefix(is_hit, kMambaCheckpointInterval);
+      for (int64_t b = 1; b <= num_boundaries; ++b) {
+        const int64_t tokens = b * bs;
+        if (tokens % kMambaCheckpointInterval != 0) {
+          continue;
+        }
+        const size_t k = static_cast<size_t>(tokens / kMambaCheckpointInterval);
+        if (k < gv.size()) {
+          valid[static_cast<size_t>(b)] = gv[k];
+        }
+      }
+      continue;
+    }
+
+    if (IsSubsequenceScope(group.scope)) {
+      const std::vector<bool> gv = policies_[g]->GetPossiblePrefix(is_hit, bs);
+      for (int64_t b = 1; b <= num_boundaries; ++b) {
+        const int64_t sub_count = GroupTokensFor(r, group, b * bs);
+        // Conservative: only block-aligned subsequence coverage counts as a hit.
+        if (sub_count % bs != 0) {
+          continue;
+        }
+        const size_t blocks = static_cast<size_t>(sub_count / bs);
+        if (blocks < gv.size()) {
+          valid[static_cast<size_t>(b)] = gv[blocks];
+        }
+      }
+      continue;
+    }
+
+    // All-token groups: boundaries map 1:1 to group blocks.
+    valid = policies_[g]->GetPossiblePrefix(is_hit, bs);
+  }
+  return valid_global;
+}
+
+void KvManager::PromoteHostHits(const Request& r,
+                                const std::vector<std::vector<BlockHash>>& group_hashes,
+                                Tick now) {
+  const int bs = options_.tokens_per_page;
+  const int64_t prompt_len = r.prompt_len();
+  // The promotion target is what the hit scan *could* find if every host-resident block were
+  // on the GPU: the longest common valid prefix over GPU ∪ host residency. Promotion then
+  // fills exactly the gap between that target and current GPU residency — blocks a policy
+  // never reads at the target length (out-of-window tails, pyramid middles) are not worth
+  // PCIe time, and each one would evict a genuinely useful page.
+  const std::vector<std::vector<bool>> valid =
+      BuildValidBitmaps(r, group_hashes, /*include_host=*/true);
+  int64_t boundary = LongestCommonValidPrefix(valid);
+  while (boundary > 0 && boundary * bs >= prompt_len) {
+    --boundary;
+  }
+  if (boundary == 0) {
+    return;
+  }
+  const int64_t hit_tokens = boundary * bs;
+
+  // Pass 0 refreshes the last-access of every GPU-resident needed block; pass 1 promotes the
+  // host-resident rest. Ordering matters: a promotion's allocation evicts under pressure, and
+  // it must take other requests' stale pages, not the prefix this pass is assembling (the
+  // reference pass in OnAdmit has not pinned it yet).
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool promote = pass == 1;
+    for (size_t g = 0; g < spec_.groups.size(); ++g) {
+      const KvGroupSpec& group = spec_.groups[g];
+      SmallPageAllocator& alloc = allocator_.group(static_cast<int>(g));
+      const std::vector<BlockHash>& hashes = group_hashes[g];
+      if (group.kind == GroupKind::kMamba) {
+        // Only the deepest checkpoint at or before the target is restored from (the reference
+        // pass reads checkpoint k−1 alone).
+        const int64_t k = hit_tokens / kMambaCheckpointInterval;
+        if (k <= 0 || static_cast<size_t>(k) > hashes.size()) {
+          continue;
+        }
+        const BlockHash h = hashes[static_cast<size_t>(k) - 1];
+        if (const auto page = alloc.LookupCached(h)) {
+          if (!promote) {
+            alloc.UpdateLastAccess(*page, now);
+          }
+        } else if (promote) {
+          (void)TryPromoteHostBlock(static_cast<int>(g), h, k * kMambaCheckpointInterval, r.id,
+                                    now);
+        }
+        continue;
+      }
+      const int64_t group_tokens = GroupTokensFor(r, group, hit_tokens);
+      const int64_t blocks =
+          std::min(static_cast<int64_t>(hashes.size()), group_tokens / bs);
+      const std::vector<TokenRange> needed = policies_[g]->NeededTokenRanges(group_tokens);
+      for (int64_t j = 0; j < blocks; ++j) {
+        bool block_needed = false;
+        for (const TokenRange& range : needed) {
+          if (range.begin < (j + 1) * bs && range.end > j * bs) {
+            block_needed = true;
+            break;
+          }
+        }
+        if (!block_needed) {
+          continue;
+        }
+        const BlockHash h = hashes[static_cast<size_t>(j)];
+        if (const auto page = alloc.LookupCached(h)) {
+          if (!promote) {
+            alloc.UpdateLastAccess(*page, now);
+          }
+        } else if (promote) {
+          (void)TryPromoteHostBlock(static_cast<int>(g), h, (j + 1) * bs, r.id, now);
+        }
+      }
+    }
+  }
+}
+
+bool KvManager::TryPromoteHostBlock(int g, BlockHash hash, int64_t prefix_length, RequestId rid,
+                                    Tick now) {
+  if (offload_->LookupHostPage(manager_index_, g, hash) == nullptr) {
+    return false;
+  }
+  SmallPageAllocator& alloc = allocator_.group(g);
+  const auto page = alloc.Allocate(rid, now);
+  if (!page.has_value()) {
+    return false;
+  }
+  // The allocation's own eviction cascade may have pushed this very page out of the host
+  // pool (new victims displacing LRU entries); re-check before claiming its content.
+  const HostCachePage* host = offload_->LookupHostPage(manager_index_, g, hash);
+  if (host == nullptr) {
+    alloc.Release(*page, /*keep_cached=*/false);
+    return false;
+  }
+  const int64_t host_bytes = host->bytes;
+  alloc.SetContentHash(*page, hash);
+  alloc.SetPrefixLength(*page, prefix_length);
+  alloc.UpdateLastAccess(*page, now);
+  alloc.Release(*page, /*keep_cached=*/true);
+  offload_->OnHostPagePromoted(manager_index_, g, hash, host_bytes);
+  return true;
 }
 
 int64_t KvManager::NeededBytesFor(const Request& r) const {

@@ -20,6 +20,19 @@
 
 namespace jenga {
 
+class SwapManager;
+
+// A request's current KV footprint as seen by one manager, for the swap-vs-recompute
+// decision. `fingerprint` hashes the per-group chains and block-table shapes so a swap-in can
+// verify the round trip restored the exact same state.
+struct KvSwapFootprint {
+  int64_t tokens = 0;
+  int64_t swappable_bytes = 0;       // Resident bytes in swap-eligible groups.
+  int64_t resident_bytes = 0;        // Resident bytes in all groups.
+  int64_t drop_recompute_bytes = 0;  // Needed bytes of swap-ineligible groups.
+  uint64_t fingerprint = 0;
+};
+
 // Builds the per-group spec Jenga allocates with (vision-embedding group included when the
 // model has a vision encoder and `vision_cache` is set).
 [[nodiscard]] KvSpec MakeJengaSpec(const ModelConfig& model, int tokens_per_page,
@@ -83,6 +96,30 @@ class KvManager {
   // counting free plus evictable capacity?
   [[nodiscard]] bool CanAllocate(const Request& r, int64_t tokens) const;
 
+  // --- Host offload tier (all no-ops / unused when no SwapManager is attached) ---
+
+  // Connects this manager to the offload tier: installs the eviction sink on the allocator
+  // (second-chance prefix cache) and enables host-hit promotion in OnAdmit. `manager_index`
+  // disambiguates managers sharing one SwapManager (speculative decoding).
+  void AttachOffload(SwapManager* offload, int manager_index);
+
+  // Footprint of `r`'s resident pages for the swap-vs-recompute crossover. Must be called
+  // before Release (it reads the live block tables).
+  [[nodiscard]] KvSwapFootprint GetSwapFootprint(const Request& r) const;
+
+  // Re-admission by swap-in: rebuilds `r`'s block tables for `tokens` computed tokens
+  // (droppable groups restore only their needed windows) and replays the hash/checkpoint
+  // bookkeeping, check-failing if the restored state's fingerprint differs from
+  // `expected_fingerprint`. On allocation failure everything is rolled back and false is
+  // returned. Replaces OnAdmit for swapped requests; no budget is consumed.
+  [[nodiscard]] bool RestoreFromSwap(Request& r, int64_t tokens, uint64_t expected_fingerprint,
+                                     Tick now);
+
+  // Drops allocator affinity state for a request id that retires without a final
+  // Release(finished=true) — e.g. admission-failure abort after an earlier preemption left
+  // affinity free lists behind. Idempotent.
+  void OnRequestRetired(RequestId id);
+
   // --- Accounting (Fig. 16) ---
 
   struct MemoryStats {
@@ -142,6 +179,21 @@ class KvManager {
   // Target block-table size for group `g` once `prefix_tokens` tokens are computed.
   [[nodiscard]] int64_t TargetPages(const Request& r, const KvGroupSpec& group,
                                     int64_t prefix_tokens) const;
+  // Per-group validity bitmaps over global block boundaries, as the hit scan sees them. With
+  // `include_host` a block also counts as cached when it is host-resident in the offload tier
+  // (the longest common valid prefix of that relaxation is the promotion target).
+  [[nodiscard]] std::vector<std::vector<bool>> BuildValidBitmaps(
+      const Request& r, const std::vector<std::vector<BlockHash>>& group_hashes,
+      bool include_host) const;
+  // Second-chance pass over the admission hash chains: pulls host-resident pages back onto
+  // the GPU where they can extend the hit prefix (runs before the hit scan).
+  void PromoteHostHits(const Request& r, const std::vector<std::vector<BlockHash>>& group_hashes,
+                       Tick now);
+  // Re-materializes one host-resident page of group `g` on the GPU so the regular hit logic
+  // finds it. Returns true when the block is now a GPU cache hit.
+  [[nodiscard]] bool TryPromoteHostBlock(int g, BlockHash hash, int64_t prefix_length,
+                                         RequestId rid, Tick now);
+  [[nodiscard]] uint64_t StateFingerprint(const RequestKv& state) const;
   void RegisterHashes(Request& r, RequestKv& state, Tick now);
   void SnapshotMambaCheckpoints(Request& r, RequestKv& state, int g, Tick now);
   void DropUnneededPages(RequestKv& state, int g, Tick now);
@@ -158,6 +210,8 @@ class KvManager {
   bool has_text_scope_ = false;
   std::unordered_map<RequestId, RequestKv> requests_;
   int64_t total_cache_hit_tokens_ = 0;
+  SwapManager* offload_ = nullptr;
+  int manager_index_ = 0;
 };
 
 }  // namespace jenga

@@ -49,6 +49,10 @@ struct Request {
   int64_t num_generated = 0;
   int64_t cached_prefix_tokens = 0;
   int preemptions = 0;
+  // Preempted-by-swap: KV lives in the host tier and re-admission restores it via PCIe
+  // instead of recomputing (`swapped_out_tokens` = num_computed_tokens at swap-out).
+  bool swapped_out = false;
+  int64_t swapped_out_tokens = 0;
   int vision_encoder_runs = 0;
   // Encoder runs since the last (re-)admission; reset on preemption because the cached
   // embeddings are released with the request's pages.

@@ -97,6 +97,19 @@ SpecDecodeEngine::SpecDecodeEngine(SpecDecodeConfig config)
       break;
     }
   }
+
+  if (config_.offload.enabled) {
+    SwapCostParams cost;
+    // Recompute runs both models over the restored prefix.
+    cost.flops_per_token = 2.0 * (config_.target.params_b + config_.draft.params_b) * 1e9;
+    cost.gpu_flops = config_.gpu.flops;
+    cost.gpu_mem_bandwidth = config_.gpu.mem_bandwidth;
+    cost.chunk_tokens = max_batched_tokens_;
+    swap_ = std::make_unique<SwapManager>(config_.offload, cost);
+    for (size_t m = 0; m < managers_.size(); ++m) {
+      managers_[m]->AttachOffload(swap_.get(), static_cast<int>(m));
+    }
+  }
 }
 
 void SpecDecodeEngine::Submit(Request request) {
@@ -143,6 +156,26 @@ void SpecDecodeEngine::AdmitAll(Request& r) {
 
 void SpecDecodeEngine::Preempt(RequestId id) {
   Request& r = Get(id);
+  if (swap_ != nullptr) {
+    SwapFootprint fp;
+    fp.tokens = r.num_computed_tokens;
+    for (auto& manager : managers_) {
+      const KvSwapFootprint kfp = manager->GetSwapFootprint(r);
+      fp.swappable_bytes += kfp.swappable_bytes;
+      fp.resident_bytes += kfp.resident_bytes;
+      fp.drop_recompute_bytes += kfp.drop_recompute_bytes;
+      fp.fingerprints.push_back(kfp.fingerprint);
+    }
+    if (swap_->ChoosePreemptMode(fp) == PreemptMode::kSwap && swap_->RecordSwapOut(id, fp)) {
+      r.swapped_out = true;
+      r.swapped_out_tokens = r.num_computed_tokens;
+      metrics_.swap_out_events += 1;
+    } else {
+      metrics_.recomputed_tokens += r.num_computed_tokens;
+    }
+  } else {
+    metrics_.recomputed_tokens += r.num_computed_tokens;
+  }
   ReleaseAll(r);
   r.state = RequestState::kPreempted;
   r.preemptions += 1;
@@ -154,6 +187,13 @@ void SpecDecodeEngine::Preempt(RequestId id) {
 }
 
 void SpecDecodeEngine::FinishRequest(Request& r, bool failed) {
+  // Retire allocator affinity state and any parked swap set (both idempotent).
+  for (auto& manager : managers_) {
+    manager->OnRequestRetired(r.id);
+  }
+  if (swap_ != nullptr) {
+    swap_->DropSwapSet(r.id);
+  }
   r.state = RequestState::kFinished;
   r.finish_time = now_;
   RequestRecord record;
@@ -200,6 +240,58 @@ bool SpecDecodeEngine::StepOnce() {
   while (budget > 0 && static_cast<int>(running_.size()) < max_num_seqs_ && !waiting_.empty()) {
     const RequestId id = waiting_.front();
     Request& r = Get(id);
+    if (swap_ != nullptr && r.swapped_out) {
+      const HostSwapSet* set = swap_->PeekSwapSet(id);
+      bool restored = false;
+      if (set != nullptr) {
+        const int64_t tokens = set->tokens;
+        JENGA_CHECK_EQ(set->fingerprints.size(), managers_.size());
+        bool can = true;
+        for (auto& manager : managers_) {
+          if (!manager->CanAllocate(r, tokens)) {
+            can = false;
+            break;
+          }
+        }
+        if (can) {
+          restored = true;
+          for (size_t m = 0; m < managers_.size(); ++m) {
+            if (!managers_[m]->RestoreFromSwap(r, tokens, set->fingerprints[m], tick_)) {
+              for (size_t k = 0; k < m; ++k) {
+                managers_[k]->Release(r, tick_);
+              }
+              r.num_computed_tokens = 0;
+              restored = false;
+              break;
+            }
+          }
+        }
+        if (!restored && !running_.empty()) {
+          break;  // Head-of-line blocking; retry once decodes free memory.
+        }
+      }
+      if (restored) {
+        swap_->CommitSwapIn(id);
+        metrics_.swap_in_events += 1;
+        r.swapped_out = false;
+        r.swapped_out_tokens = 0;
+        waiting_.pop_front();
+        r.state = RequestState::kRunning;
+        if (r.first_scheduled_time < 0.0) {
+          r.first_scheduled_time = now_;
+        }
+        running_.push_back(id);
+        // The restore transfer is still in flight this step; decode resumes next step.
+        prefilled_this_step.insert(id);
+        continue;
+      }
+      // Set evicted from host memory, or restoring would deadlock: recompute from scratch.
+      swap_->DropSwapSet(id);
+      r.swapped_out = false;
+      metrics_.swap_fallback_events += 1;
+      metrics_.recomputed_tokens += r.swapped_out_tokens;
+      r.swapped_out_tokens = 0;
+    }
     const int64_t n = std::min<int64_t>(PrefillTarget(r), budget);
     bool fits = true;
     for (auto& manager : managers_) {
@@ -308,6 +400,11 @@ bool SpecDecodeEngine::StepOnce() {
       step_time += draft_gpu_.StepTime(batch, per_pass_read);
     }
     step_time += target_gpu_.StepTime(batch * (config_.propose_len + 1), per_pass_read);
+  }
+  if (swap_ != nullptr) {
+    const double stall = swap_->ConsumeStall(step_time);
+    metrics_.swap_stall_time += stall;
+    step_time += stall;
   }
   now_ += step_time;
 

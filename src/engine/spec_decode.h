@@ -23,6 +23,7 @@
 #include "src/engine/kv_manager.h"
 #include "src/engine/request.h"
 #include "src/metrics/metrics.h"
+#include "src/offload/swap_manager.h"
 
 namespace jenga {
 
@@ -41,6 +42,9 @@ struct SpecDecodeConfig {
   uint64_t seed = 1;
   int64_t pool_bytes_override = 0;
   int max_num_seqs_override = 0;
+  // Host-memory KV offload tier (disabled by default). With multiple managers the swap set
+  // covers both models' KV; all managers must restore together.
+  OffloadConfig offload;
 };
 
 class SpecDecodeEngine {
@@ -55,6 +59,8 @@ class SpecDecodeEngine {
   [[nodiscard]] const EngineMetrics& metrics() const { return metrics_; }
   [[nodiscard]] int num_managers() const { return static_cast<int>(managers_.size()); }
   [[nodiscard]] const KvManager& manager(int i) const { return *managers_[static_cast<size_t>(i)]; }
+  // nullptr when the offload tier is disabled.
+  [[nodiscard]] const SwapManager* swap() const { return swap_.get(); }
 
  private:
   [[nodiscard]] Request& Get(RequestId id);
@@ -70,6 +76,7 @@ class SpecDecodeEngine {
   GpuSim draft_gpu_;
   // One merged manager (kJenga / kVllmMax) or [target, draft] managers (kVllmManual).
   std::vector<std::unique_ptr<KvManager>> managers_;
+  std::unique_ptr<SwapManager> swap_;
   int max_num_seqs_ = 0;
   int max_batched_tokens_ = 0;
 

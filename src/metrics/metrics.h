@@ -43,6 +43,7 @@ struct MemorySample {
   int64_t wasted_bytes = 0;  // Allocated but not needed.
   int64_t cached_bytes = 0;
   int64_t unallocated_bytes = 0;
+  int64_t host_bytes = 0;  // Host offload tier occupancy (0 when disabled).
 };
 
 class EngineMetrics {
@@ -78,6 +79,12 @@ class EngineMetrics {
   double vision_encode_time = 0.0;
   int64_t cache_hit_tokens = 0;
   int64_t prefill_tokens_computed = 0;
+  // Host offload tier (all zero when the tier is disabled).
+  int64_t swap_out_events = 0;
+  int64_t swap_in_events = 0;
+  int64_t swap_fallback_events = 0;  // Chose/held a swap set but had to recompute anyway.
+  int64_t recomputed_tokens = 0;     // Computed tokens discarded by recompute preemptions.
+  double swap_stall_time = 0.0;      // Engine time stalled on PCIe transfers.
 
  private:
   std::vector<RequestRecord> finished_;

@@ -1,0 +1,110 @@
+#include "src/offload/host_pool.h"
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+HostPool::HostPool(int64_t capacity_bytes) : capacity_bytes_(capacity_bytes) {
+  JENGA_CHECK_GE(capacity_bytes, 0);
+}
+
+void HostPool::MakeRoom(int64_t incoming) {
+  while (used_bytes_ + incoming > capacity_bytes_ && !lru_.empty()) {
+    const auto oldest = lru_.begin();
+    const LruRef ref = oldest->second;
+    lru_.erase(oldest);
+    if (ref.is_set) {
+      const auto it = sets_.find(ref.id);
+      JENGA_CHECK(it != sets_.end());
+      used_bytes_ -= it->second.set.bytes;
+      bytes_evicted_ += it->second.set.bytes;
+      sets_evicted_ += 1;
+      sets_.erase(it);
+    } else {
+      const auto it = pages_.find(ref.key);
+      JENGA_CHECK(it != pages_.end());
+      used_bytes_ -= it->second.page.bytes;
+      bytes_evicted_ += it->second.page.bytes;
+      pages_evicted_ += 1;
+      pages_.erase(it);
+    }
+  }
+}
+
+void HostPool::Unlink(uint64_t seq) {
+  const auto it = lru_.find(seq);
+  JENGA_CHECK(it != lru_.end());
+  lru_.erase(it);
+}
+
+bool HostPool::PutSwapSet(RequestId id, HostSwapSet set) {
+  JENGA_CHECK_GE(set.bytes, 0);
+  if (set.bytes > capacity_bytes_) {
+    rejected_inserts_ += 1;
+    return false;
+  }
+  if (const auto it = sets_.find(id); it != sets_.end()) {
+    used_bytes_ -= it->second.set.bytes;
+    Unlink(it->second.seq);
+    sets_.erase(it);
+  }
+  MakeRoom(set.bytes);
+  const uint64_t seq = next_seq_++;
+  used_bytes_ += set.bytes;
+  lru_.emplace(seq, LruRef{/*is_set=*/true, id, PageKey{}});
+  sets_.emplace(id, SetEntry{std::move(set), seq});
+  return true;
+}
+
+bool HostPool::PutPage(const PageKey& key, HostCachePage page) {
+  JENGA_CHECK_GE(page.bytes, 0);
+  if (page.bytes > capacity_bytes_) {
+    rejected_inserts_ += 1;
+    return false;
+  }
+  if (const auto it = pages_.find(key); it != pages_.end()) {
+    used_bytes_ -= it->second.page.bytes;
+    Unlink(it->second.seq);
+    pages_.erase(it);
+  }
+  MakeRoom(page.bytes);
+  const uint64_t seq = next_seq_++;
+  used_bytes_ += page.bytes;
+  lru_.emplace(seq, LruRef{/*is_set=*/false, kNoRequest, key});
+  pages_.emplace(key, PageEntry{page, seq});
+  return true;
+}
+
+const HostSwapSet* HostPool::FindSwapSet(RequestId id) const {
+  const auto it = sets_.find(id);
+  return it == sets_.end() ? nullptr : &it->second.set;
+}
+
+const HostCachePage* HostPool::FindPage(const PageKey& key) const {
+  const auto it = pages_.find(key);
+  return it == pages_.end() ? nullptr : &it->second.page;
+}
+
+bool HostPool::EraseSwapSet(RequestId id) {
+  const auto it = sets_.find(id);
+  if (it == sets_.end()) {
+    return false;
+  }
+  used_bytes_ -= it->second.set.bytes;
+  Unlink(it->second.seq);
+  sets_.erase(it);
+  return true;
+}
+
+bool HostPool::ErasePage(const PageKey& key) {
+  const auto it = pages_.find(key);
+  if (it == pages_.end()) {
+    return false;
+  }
+  used_bytes_ -= it->second.page.bytes;
+  Unlink(it->second.seq);
+  pages_.erase(it);
+  return true;
+}
+
+}  // namespace jenga

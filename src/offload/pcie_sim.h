@@ -1,0 +1,71 @@
+// Analytic PCIe transfer model for the host-memory KV tier. Mirrors GpuSim in spirit: the
+// absolute numbers are approximate, but transfer time scales correctly with bytes moved and
+// link bandwidth, which is what the swap-vs-recompute crossover depends on.
+//
+// Two cost shapes:
+//   - Swap events (preempt-by-swap of a whole request) pay `per_transfer_latency` on top of
+//     the bandwidth term: the engine must quiesce the request, gather its scattered small
+//     pages through a pinned staging buffer, and synchronize the copy stream.
+//   - Background page streaming (second-chance prefix-cache pages trickling to/from host)
+//     is batched and pays bandwidth only.
+//
+// Transfers overlap with compute up to `overlap_fraction` of the concurrent compute time;
+// only the remainder stalls the engine (see StallTime).
+
+#ifndef JENGA_SRC_OFFLOAD_PCIE_SIM_H_
+#define JENGA_SRC_OFFLOAD_PCIE_SIM_H_
+
+#include <cstdint>
+
+namespace jenga {
+
+struct PcieSpec {
+  // Effective sustained host↔device bandwidth (bytes/s). Defaults approximate a PCIe 5.0 x16
+  // link after protocol overhead.
+  double h2d_bandwidth = 32e9;
+  double d2h_bandwidth = 32e9;
+  // Fixed cost per swap event (stream sync + pinned staging of scattered pages).
+  double per_transfer_latency = 1.5e-3;
+  // Fraction of concurrent compute time a transfer can hide behind (copy-engine overlap).
+  double overlap_fraction = 0.5;
+};
+
+class PcieSim {
+ public:
+  PcieSim() = default;
+  explicit PcieSim(PcieSpec spec) : spec_(spec) {}
+
+  // Swap-event transfer times (latency + bandwidth).
+  [[nodiscard]] double H2DTime(int64_t bytes) const {
+    return bytes > 0 ? spec_.per_transfer_latency + static_cast<double>(bytes) / spec_.h2d_bandwidth
+                     : 0.0;
+  }
+  [[nodiscard]] double D2HTime(int64_t bytes) const {
+    return bytes > 0 ? spec_.per_transfer_latency + static_cast<double>(bytes) / spec_.d2h_bandwidth
+                     : 0.0;
+  }
+
+  // Batched background streaming (prefix-cache pages): bandwidth only.
+  [[nodiscard]] double H2DStreamTime(int64_t bytes) const {
+    return bytes > 0 ? static_cast<double>(bytes) / spec_.h2d_bandwidth : 0.0;
+  }
+  [[nodiscard]] double D2HStreamTime(int64_t bytes) const {
+    return bytes > 0 ? static_cast<double>(bytes) / spec_.d2h_bandwidth : 0.0;
+  }
+
+  // Engine stall caused by `transfer_time` of pending copies while `compute_time` of step
+  // compute runs concurrently: overlap hides up to overlap_fraction × compute_time.
+  [[nodiscard]] double StallTime(double transfer_time, double compute_time) const {
+    const double hidden = spec_.overlap_fraction * compute_time;
+    return transfer_time > hidden ? transfer_time - hidden : 0.0;
+  }
+
+  [[nodiscard]] const PcieSpec& spec() const { return spec_; }
+
+ private:
+  PcieSpec spec_;
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_OFFLOAD_PCIE_SIM_H_

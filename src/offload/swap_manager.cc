@@ -1,0 +1,165 @@
+#include "src/offload/swap_manager.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/math_util.h"
+
+namespace jenga {
+
+// Per-manager adapter: tags allocator eviction callbacks with the manager index so host-pool
+// keys stay unique when several KvManagers (speculative decoding) share one SwapManager.
+struct SwapManager::ManagerSink final : CacheEvictionSink {
+  SwapManager* owner = nullptr;
+  int manager_index = 0;
+  std::vector<char> group_swap_eligible;
+  std::vector<int64_t> group_page_bytes;
+
+  void OnCacheEvicted(int group_index, BlockHash hash, int64_t page_bytes,
+                      int64_t prefix_length, Tick last_access) override {
+    if (!owner->config_.host_prefix_cache) {
+      return;
+    }
+    JENGA_CHECK_LT(static_cast<size_t>(group_index), group_swap_eligible.size());
+    // Unlike preemption swap sets (where SwapEligible() gates transfers and ineligible groups
+    // are recomputed on restore), the second-chance cache parks every group's evictions: the
+    // hit scan demands residency at a common boundary across ALL groups, so a hole in a
+    // sliding-window group would cap the valid prefix no matter how much full-attention KV
+    // the host holds. Out-of-window parked pages are never promoted and age out of the
+    // host LRU naturally.
+    HostCachePage page;
+    page.bytes = page_bytes;
+    page.prefix_length = prefix_length;
+    page.evicted_at = last_access;
+    if (owner->host_.PutPage({manager_index, group_index, hash}, page)) {
+      owner->pending_transfer_ += owner->pcie_.D2HStreamTime(page_bytes);
+      owner->stats_.host_pages_stored += 1;
+      owner->stats_.swap_out_bytes += page_bytes;
+    }
+  }
+};
+
+SwapManager::SwapManager(OffloadConfig config, SwapCostParams cost)
+    : config_(config), cost_(cost), pcie_(config.pcie), host_(config.host_pool_bytes) {
+  JENGA_CHECK_GT(cost_.gpu_flops, 0.0);
+  JENGA_CHECK_GT(cost_.gpu_mem_bandwidth, 0.0);
+  JENGA_CHECK_GT(cost_.chunk_tokens, 0);
+}
+
+SwapManager::~SwapManager() = default;
+
+CacheEvictionSink* SwapManager::RegisterManager(int manager_index,
+                                                std::vector<char> group_swap_eligible,
+                                                std::vector<int64_t> group_page_bytes) {
+  JENGA_CHECK_EQ(manager_index, static_cast<int>(sinks_.size()))
+      << "managers must register in index order";
+  auto sink = std::make_unique<ManagerSink>();
+  sink->owner = this;
+  sink->manager_index = manager_index;
+  sink->group_swap_eligible = std::move(group_swap_eligible);
+  sink->group_page_bytes = std::move(group_page_bytes);
+  sinks_.push_back(std::move(sink));
+  return sinks_.back().get();
+}
+
+double SwapManager::RecomputeTime(int64_t tokens, int64_t resident_bytes) const {
+  if (tokens <= 0) {
+    return 0.0;
+  }
+  const double compute =
+      cost_.flops_per_token * static_cast<double>(tokens) / cost_.gpu_flops;
+  // Chunked prefill re-reads the KV built so far on every chunk; on average half the final
+  // footprint per chunk.
+  const double chunks = static_cast<double>(CeilDiv(tokens, cost_.chunk_tokens));
+  const double kv_reread =
+      chunks * (static_cast<double>(resident_bytes) * 0.5) / cost_.gpu_mem_bandwidth;
+  return compute + kv_reread;
+}
+
+double SwapManager::SwapRoundTripTime(const SwapFootprint& fp) const {
+  double t = pcie_.D2HTime(fp.swappable_bytes) + pcie_.H2DTime(fp.swappable_bytes);
+  if (fp.drop_recompute_bytes > 0 && fp.resident_bytes > 0) {
+    // Swap-ineligible groups recompute their needed window; charge the compute-only
+    // recompute cost by their byte share of the resident footprint (analytic approximation —
+    // per-group compute shares are not modeled).
+    t += RecomputeTime(fp.tokens, 0) * static_cast<double>(fp.drop_recompute_bytes) /
+         static_cast<double>(fp.resident_bytes);
+  }
+  return t;
+}
+
+PreemptMode SwapManager::ChoosePreemptMode(const SwapFootprint& fp) const {
+  if (!config_.swap_preemption || fp.swappable_bytes <= 0 ||
+      fp.swappable_bytes > host_.capacity_bytes()) {
+    return PreemptMode::kRecompute;
+  }
+  return SwapRoundTripTime(fp) < RecomputeTime(fp.tokens, fp.resident_bytes)
+             ? PreemptMode::kSwap
+             : PreemptMode::kRecompute;
+}
+
+bool SwapManager::RecordSwapOut(RequestId id, const SwapFootprint& fp) {
+  HostSwapSet set;
+  set.bytes = fp.swappable_bytes;
+  set.tokens = fp.tokens;
+  set.resident_bytes = fp.resident_bytes;
+  set.drop_recompute_bytes = fp.drop_recompute_bytes;
+  set.fingerprints = fp.fingerprints;
+  if (!host_.PutSwapSet(id, std::move(set))) {
+    return false;
+  }
+  pending_transfer_ += pcie_.D2HTime(fp.swappable_bytes);
+  stats_.swap_out_events += 1;
+  stats_.swap_out_bytes += fp.swappable_bytes;
+  return true;
+}
+
+const HostSwapSet* SwapManager::PeekSwapSet(RequestId id) const {
+  return host_.FindSwapSet(id);
+}
+
+void SwapManager::CommitSwapIn(RequestId id) {
+  const HostSwapSet* set = host_.FindSwapSet(id);
+  JENGA_CHECK(set != nullptr) << "swap-in of request " << id << " without a host set";
+  pending_transfer_ += pcie_.H2DTime(set->bytes);
+  if (set->drop_recompute_bytes > 0 && set->resident_bytes > 0) {
+    pending_transfer_ += RecomputeTime(set->tokens, 0) *
+                         static_cast<double>(set->drop_recompute_bytes) /
+                         static_cast<double>(set->resident_bytes);
+  }
+  stats_.swap_in_events += 1;
+  stats_.swap_in_bytes += set->bytes;
+  host_.EraseSwapSet(id);
+}
+
+void SwapManager::DropSwapSet(RequestId id) { host_.EraseSwapSet(id); }
+
+const HostCachePage* SwapManager::LookupHostPage(int manager_index, int group,
+                                                 BlockHash hash) const {
+  if (!config_.host_prefix_cache) {
+    return nullptr;
+  }
+  return host_.FindPage({manager_index, group, hash});
+}
+
+void SwapManager::OnHostPagePromoted(int manager_index, int group, BlockHash hash,
+                                     int64_t bytes) {
+  JENGA_CHECK(host_.ErasePage({manager_index, group, hash})) << "promoted page not resident";
+  pending_transfer_ += pcie_.H2DStreamTime(bytes);
+  stats_.host_pages_promoted += 1;
+  stats_.host_bytes_promoted += bytes;
+  stats_.swap_in_bytes += bytes;
+}
+
+double SwapManager::ConsumeStall(double compute_time) {
+  if (pending_transfer_ <= 0.0) {
+    return 0.0;
+  }
+  const double stall = pcie_.StallTime(pending_transfer_, compute_time);
+  stats_.transfer_time += pending_transfer_;
+  stats_.stall_time += stall;
+  pending_transfer_ = 0.0;
+  return stall;
+}
+
+}  // namespace jenga

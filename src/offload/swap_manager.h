@@ -1,0 +1,157 @@
+// SwapManager: policy + accounting brain of the host-memory offload tier. It owns the
+// HostPool and PcieSim and gives the engines two new mechanisms:
+//
+//   1. Preempt-by-swap (PreemptMode::kSwap): instead of discarding a preempted request's KV
+//      and recomputing it later, the swap-eligible pages move to host memory and the request
+//      re-admits by transferring them back. The mode is chosen per preemption by an analytic
+//      cost crossover — recompute time (GpuSim-style compute + chunked KV re-read) vs swap
+//      round-trip time (PcieSim D2H + H2D + recompute of swap-ineligible groups).
+//   2. Second-chance prefix cache: Evictor victims flow into the host pool (via the
+//      CacheEvictionSink installed on each group allocator) instead of being destroyed, and
+//      KvManager::OnAdmit promotes host-resident pages back on a hit, charging swap-in time.
+//
+// The SwapManager never touches allocator or request state itself: the engines and KvManager
+// drive the mechanics (footprints, restores, promotions) and report to it; it decides, keeps
+// the host pool, and accumulates pending transfer time that the engine drains into stall
+// time each step (transfers overlap with compute up to PcieSpec::overlap_fraction).
+//
+// Everything is deterministic: LRU order is insertion order, costs are pure functions, and
+// with OffloadConfig::enabled = false nothing is constructed — engine behavior is
+// byte-identical to the tier-less build.
+
+#ifndef JENGA_SRC_OFFLOAD_SWAP_MANAGER_H_
+#define JENGA_SRC_OFFLOAD_SWAP_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/offload/host_pool.h"
+#include "src/offload/pcie_sim.h"
+
+namespace jenga {
+
+// User-facing configuration (EngineConfig::offload / SpecDecodeConfig::offload).
+struct OffloadConfig {
+  bool enabled = false;
+  // Host pool capacity shared by swap sets and second-chance cache pages.
+  int64_t host_pool_bytes = 32ll << 30;
+  PcieSpec pcie;
+  // Mechanism switches (both on by default when the tier is enabled).
+  bool swap_preemption = true;
+  bool host_prefix_cache = true;
+};
+
+// GPU-side constants of the recompute cost model; the engine fills these from its GpuSpec and
+// ModelConfig so the offload library does not depend on the engine layer.
+struct SwapCostParams {
+  double flops_per_token = 0.0;    // ≈ 2 × parameters (dense transformer forward).
+  double gpu_flops = 1.0;          // Sustained FLOP/s.
+  double gpu_mem_bandwidth = 1.0;  // Bytes/s.
+  int64_t chunk_tokens = 1;        // Chunked-prefill budget (KV re-read granularity).
+};
+
+// A request's KV footprint at preemption time, summed across KvManagers.
+struct SwapFootprint {
+  int64_t tokens = 0;                // num_computed_tokens to restore.
+  int64_t swappable_bytes = 0;       // Resident bytes in swap-eligible groups.
+  int64_t resident_bytes = 0;        // Resident bytes in all groups.
+  int64_t drop_recompute_bytes = 0;  // Needed bytes of swap-ineligible groups.
+  std::vector<uint64_t> fingerprints;  // One per KvManager.
+};
+
+enum class PreemptMode { kRecompute, kSwap };
+
+class SwapManager {
+ public:
+  SwapManager(OffloadConfig config, SwapCostParams cost);
+  ~SwapManager();
+
+  SwapManager(const SwapManager&) = delete;
+  SwapManager& operator=(const SwapManager&) = delete;
+
+  // --- Attachment (KvManager::AttachOffload calls this) ---
+
+  // Registers a KvManager's groups (index order = attach order) and returns the eviction sink
+  // to install on its allocator. `group_swap_eligible[g]` gates the second-chance path.
+  [[nodiscard]] CacheEvictionSink* RegisterManager(int manager_index,
+                                                   std::vector<char> group_swap_eligible,
+                                                   std::vector<int64_t> group_page_bytes);
+
+  // --- Preemption crossover ---
+
+  // Marginal cost of recomputing `tokens` tokens whose final KV footprint is
+  // `resident_bytes`: compute term + per-chunk re-read of the already-built KV. Recompute
+  // piggybacks on regular engine steps, so no weight-streaming floor applies.
+  [[nodiscard]] double RecomputeTime(int64_t tokens, int64_t resident_bytes) const;
+
+  // Full cost of the swap alternative: D2H now + H2D at re-admission + recomputing the
+  // swap-ineligible groups (charged by their byte share of the resident footprint).
+  [[nodiscard]] double SwapRoundTripTime(const SwapFootprint& fp) const;
+
+  [[nodiscard]] PreemptMode ChoosePreemptMode(const SwapFootprint& fp) const;
+
+  // --- Swap-set lifecycle (engine-driven) ---
+
+  // Stores the footprint in the host pool (LRU-evicting as needed) and charges the D2H
+  // transfer. Returns false when the set cannot fit at all — the engine falls back to
+  // recompute. ChoosePreemptMode never picks kSwap in that case, so false is defensive.
+  bool RecordSwapOut(RequestId id, const SwapFootprint& fp);
+
+  // Swap set still resident in host memory, if any (nullptr after LRU eviction).
+  [[nodiscard]] const HostSwapSet* PeekSwapSet(RequestId id) const;
+
+  // The engine restored the request's pages; consume the set and charge H2D + the
+  // ineligible-group recompute share.
+  void CommitSwapIn(RequestId id);
+
+  // Abandon a set (request finished, or fell back to recompute).
+  void DropSwapSet(RequestId id);
+
+  // --- Second-chance prefix cache (KvManager-driven) ---
+
+  [[nodiscard]] const HostCachePage* LookupHostPage(int manager_index, int group,
+                                                    BlockHash hash) const;
+  // A host page was re-materialized on the GPU: remove it and charge the H2D stream.
+  void OnHostPagePromoted(int manager_index, int group, BlockHash hash, int64_t bytes);
+
+  // --- Time accounting ---
+
+  [[nodiscard]] bool HasPendingTransfer() const { return pending_transfer_ > 0.0; }
+  // Drains pending transfer time against `compute_time` of overlappable step compute and
+  // returns the engine stall (see PcieSim::StallTime).
+  double ConsumeStall(double compute_time);
+
+  struct Stats {
+    int64_t swap_out_events = 0;
+    int64_t swap_in_events = 0;
+    int64_t swap_out_bytes = 0;
+    int64_t swap_in_bytes = 0;
+    int64_t host_pages_stored = 0;    // Evicted cache pages parked in host memory.
+    int64_t host_pages_promoted = 0;  // Host pages that produced a GPU cache hit.
+    int64_t host_bytes_promoted = 0;
+    double transfer_time = 0.0;  // Total PCIe busy time.
+    double stall_time = 0.0;     // Portion that stalled the engine.
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const HostPool& host() const { return host_; }
+  [[nodiscard]] const OffloadConfig& config() const { return config_; }
+  [[nodiscard]] const PcieSim& pcie() const { return pcie_; }
+
+ private:
+  struct ManagerSink;
+
+  OffloadConfig config_;
+  SwapCostParams cost_;
+  PcieSim pcie_;
+  HostPool host_;
+  std::vector<std::unique_ptr<ManagerSink>> sinks_;  // One per registered KvManager.
+  double pending_transfer_ = 0.0;
+  Stats stats_;
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_OFFLOAD_SWAP_MANAGER_H_

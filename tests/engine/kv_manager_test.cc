@@ -307,7 +307,8 @@ TEST(KvManager, FinishedReleaseDropsRequestAffinityState) {
   for (RequestId id = 1; id <= 20; ++id) {
     Request r = MakeRequest(id, TextPrompt(100), 4, 0.0);
     kv->OnAdmit(r, id);
-    ComputeTokens(*kv, r, 100, id);
+    // Later iterations admit with a cached prefix; only the remainder gets computed.
+    ComputeTokens(*kv, r, 100 - r.num_computed_tokens, id);
     kv->Release(r, id + 1, /*finished=*/true);
   }
   for (int g = 0; g < kv->allocator().num_groups(); ++g) {
@@ -319,7 +320,7 @@ TEST(KvManager, FinishedReleaseDropsRequestAffinityState) {
   // Preemption-style release (finished=false) keeps the affinity entry alive.
   Request r = MakeRequest(99, TextPrompt(100), 4, 0.0);
   kv->OnAdmit(r, 50);
-  ComputeTokens(*kv, r, 100, 50);
+  ComputeTokens(*kv, r, 100 - r.num_computed_tokens, 50);
   kv->Release(r, 51);
   int64_t tracked = 0;
   for (int g = 0; g < kv->allocator().num_groups(); ++g) {

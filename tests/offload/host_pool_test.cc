@@ -1,0 +1,114 @@
+#include "src/offload/host_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace jenga {
+namespace {
+
+HostSwapSet MakeSet(int64_t bytes, uint64_t fingerprint = 0) {
+  HostSwapSet set;
+  set.bytes = bytes;
+  set.tokens = bytes / 100;
+  set.resident_bytes = bytes;
+  set.fingerprints = {fingerprint};
+  return set;
+}
+
+HostCachePage MakePage(int64_t bytes, int64_t prefix_length = 16) {
+  HostCachePage page;
+  page.bytes = bytes;
+  page.prefix_length = prefix_length;
+  return page;
+}
+
+HostPool::PageKey Key(BlockHash hash) { return {/*manager=*/0, /*group=*/0, hash}; }
+
+TEST(HostPool, PutFindEraseRoundTrip) {
+  HostPool pool(1000);
+  EXPECT_TRUE(pool.PutSwapSet(7, MakeSet(400, 0xABCD)));
+  EXPECT_TRUE(pool.PutPage(Key(42), MakePage(100)));
+  EXPECT_EQ(pool.used_bytes(), 500);
+  ASSERT_NE(pool.FindSwapSet(7), nullptr);
+  EXPECT_EQ(pool.FindSwapSet(7)->fingerprints[0], 0xABCDu);
+  ASSERT_NE(pool.FindPage(Key(42)), nullptr);
+  EXPECT_EQ(pool.FindPage(Key(42))->bytes, 100);
+  EXPECT_TRUE(pool.EraseSwapSet(7));
+  EXPECT_TRUE(pool.ErasePage(Key(42)));
+  EXPECT_EQ(pool.used_bytes(), 0);
+  // Double-erase reports the entry as already gone.
+  EXPECT_FALSE(pool.EraseSwapSet(7));
+  EXPECT_FALSE(pool.ErasePage(Key(42)));
+}
+
+TEST(HostPool, KeysAreScopedByManagerAndGroup) {
+  HostPool pool(1000);
+  EXPECT_TRUE(pool.PutPage({0, 0, 5}, MakePage(10, 16)));
+  EXPECT_TRUE(pool.PutPage({0, 1, 5}, MakePage(20, 16)));
+  EXPECT_TRUE(pool.PutPage({1, 0, 5}, MakePage(30, 16)));
+  EXPECT_EQ(pool.num_pages(), 3);
+  EXPECT_EQ(pool.FindPage({0, 0, 5})->bytes, 10);
+  EXPECT_EQ(pool.FindPage({0, 1, 5})->bytes, 20);
+  EXPECT_EQ(pool.FindPage({1, 0, 5})->bytes, 30);
+}
+
+TEST(HostPool, EvictsOldestFirstUnderPressure) {
+  HostPool pool(300);
+  EXPECT_TRUE(pool.PutPage(Key(1), MakePage(100)));
+  EXPECT_TRUE(pool.PutPage(Key(2), MakePage(100)));
+  EXPECT_TRUE(pool.PutPage(Key(3), MakePage(100)));
+  // A fourth page displaces exactly the oldest entry.
+  EXPECT_TRUE(pool.PutPage(Key(4), MakePage(100)));
+  EXPECT_EQ(pool.FindPage(Key(1)), nullptr);
+  EXPECT_NE(pool.FindPage(Key(2)), nullptr);
+  EXPECT_NE(pool.FindPage(Key(3)), nullptr);
+  EXPECT_NE(pool.FindPage(Key(4)), nullptr);
+  EXPECT_EQ(pool.pages_evicted(), 1);
+  EXPECT_EQ(pool.bytes_evicted(), 100);
+}
+
+TEST(HostPool, ReplacingAnEntryRefreshesItsLruPosition) {
+  HostPool pool(300);
+  EXPECT_TRUE(pool.PutPage(Key(1), MakePage(100)));
+  EXPECT_TRUE(pool.PutPage(Key(2), MakePage(100)));
+  EXPECT_TRUE(pool.PutPage(Key(3), MakePage(100)));
+  // Re-put of key 1 makes it the newest; pressure now lands on key 2.
+  EXPECT_TRUE(pool.PutPage(Key(1), MakePage(100)));
+  EXPECT_TRUE(pool.PutPage(Key(4), MakePage(100)));
+  EXPECT_NE(pool.FindPage(Key(1)), nullptr);
+  EXPECT_EQ(pool.FindPage(Key(2)), nullptr);
+}
+
+TEST(HostPool, SetsAndPagesCompeteForTheSameBytes) {
+  HostPool pool(500);
+  EXPECT_TRUE(pool.PutPage(Key(1), MakePage(200)));
+  EXPECT_TRUE(pool.PutSwapSet(9, MakeSet(400)));
+  // The set displaced the older page.
+  EXPECT_EQ(pool.FindPage(Key(1)), nullptr);
+  EXPECT_NE(pool.FindSwapSet(9), nullptr);
+  EXPECT_EQ(pool.used_bytes(), 400);
+  // And a newer large page displaces the set.
+  EXPECT_TRUE(pool.PutPage(Key(2), MakePage(300)));
+  EXPECT_EQ(pool.FindSwapSet(9), nullptr);
+  EXPECT_EQ(pool.sets_evicted(), 1);
+}
+
+TEST(HostPool, RejectsEntriesLargerThanCapacity) {
+  HostPool pool(100);
+  EXPECT_TRUE(pool.PutPage(Key(1), MakePage(60)));
+  EXPECT_FALSE(pool.PutSwapSet(3, MakeSet(101)));
+  EXPECT_FALSE(pool.PutPage(Key(2), MakePage(101)));
+  EXPECT_EQ(pool.rejected_inserts(), 2);
+  // A rejected insert disturbs nothing.
+  EXPECT_NE(pool.FindPage(Key(1)), nullptr);
+  EXPECT_EQ(pool.used_bytes(), 60);
+}
+
+TEST(HostPool, ZeroCapacityAcceptsOnlyZeroByteEntries) {
+  HostPool pool(0);
+  EXPECT_FALSE(pool.PutPage(Key(1), MakePage(1)));
+  EXPECT_TRUE(pool.PutSwapSet(1, MakeSet(0)));
+  EXPECT_EQ(pool.used_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace jenga

@@ -1,0 +1,59 @@
+#include "src/offload/pcie_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace jenga {
+namespace {
+
+PcieSpec TestSpec() {
+  PcieSpec spec;
+  spec.h2d_bandwidth = 16e9;
+  spec.d2h_bandwidth = 8e9;
+  spec.per_transfer_latency = 2e-3;
+  spec.overlap_fraction = 0.5;
+  return spec;
+}
+
+TEST(PcieSim, ZeroBytesIsFree) {
+  PcieSim pcie(TestSpec());
+  EXPECT_EQ(pcie.H2DTime(0), 0.0);
+  EXPECT_EQ(pcie.D2HTime(0), 0.0);
+  EXPECT_EQ(pcie.H2DStreamTime(0), 0.0);
+  EXPECT_EQ(pcie.D2HStreamTime(0), 0.0);
+}
+
+TEST(PcieSim, SwapTransfersPayLatencyPlusBandwidth) {
+  PcieSim pcie(TestSpec());
+  // 16 GB over 16 GB/s = 1 s, plus 2 ms latency.
+  EXPECT_DOUBLE_EQ(pcie.H2DTime(16'000'000'000), 2e-3 + 1.0);
+  // The asymmetric D2H link is half as fast.
+  EXPECT_DOUBLE_EQ(pcie.D2HTime(16'000'000'000), 2e-3 + 2.0);
+}
+
+TEST(PcieSim, StreamingPaysBandwidthOnly) {
+  PcieSim pcie(TestSpec());
+  EXPECT_DOUBLE_EQ(pcie.H2DStreamTime(1'600'000'000), 0.1);
+  EXPECT_DOUBLE_EQ(pcie.D2HStreamTime(1'600'000'000), 0.2);
+}
+
+TEST(PcieSim, StallHidesOverlapFractionOfCompute) {
+  PcieSim pcie(TestSpec());
+  // 0.3 s of transfer against 0.4 s of compute: 0.2 s hidden, 0.1 s stalls.
+  EXPECT_DOUBLE_EQ(pcie.StallTime(0.3, 0.4), 0.1);
+  // Fully hidden.
+  EXPECT_EQ(pcie.StallTime(0.1, 0.4), 0.0);
+  // No concurrent compute: the whole transfer stalls.
+  EXPECT_DOUBLE_EQ(pcie.StallTime(0.25, 0.0), 0.25);
+}
+
+TEST(PcieSim, TransferTimeScalesInverselyWithBandwidth) {
+  PcieSpec slow = TestSpec();
+  PcieSpec fast = TestSpec();
+  fast.h2d_bandwidth = 2.0 * slow.h2d_bandwidth;
+  const double t_slow = PcieSim(slow).H2DStreamTime(1 << 30);
+  const double t_fast = PcieSim(fast).H2DStreamTime(1 << 30);
+  EXPECT_DOUBLE_EQ(t_slow, 2.0 * t_fast);
+}
+
+}  // namespace
+}  // namespace jenga
