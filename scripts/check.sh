@@ -13,7 +13,12 @@ cmake -B "$build" -S "$repo" \
   -DCMAKE_CXX_FLAGS="-Wall -Wextra"
 cmake --build "$build" -j "$(nproc)"
 
-ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+# Tier-1 gate (the fuzz-labeled tests run in the dedicated smoke stage below).
+ctest --test-dir "$build" -L tier1 --output-on-failure -j "$(nproc)"
+
+# Fuzz smoke: deterministic seeds, ~10 s. Covers Engine and SpecDecodeEngine with the
+# offload tier on and off; see TESTING.md for reproducing a failure from its seed.
+JENGA_FUZZ_SCHEDULES="${JENGA_FUZZ_SCHEDULES:-3000}" "$build/tests/engine_fuzz_test"
 
 # Perf smoke: quick mode, scratch output (ignored by git; the tracked BENCH_perf.json
 # at the repo root is only regenerated deliberately via a full --baseline run).

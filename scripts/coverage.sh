@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Line coverage for the test suite, using plain gcov (gcovr/lcov are not in the container).
+#
+# Usage:
+#   scripts/coverage.sh [build-dir]        # default: build-coverage
+#   cmake --build build -t coverage        # same thing, driven from any configured build
+#
+# Configures an instrumented build (-DJENGA_COVERAGE=ON), builds the test executables, runs
+# ctest, then aggregates `gcov` output into a per-directory table over src/. The fuzz tests
+# run at their default 200 schedules per combination; raise JENGA_FUZZ_SCHEDULES for more.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [[ "${JENGA_COVERAGE_INSTRUMENTED:-0}" == "1" && -n "${JENGA_COVERAGE_BUILD:-}" ]]; then
+  build="$JENGA_COVERAGE_BUILD"
+else
+  build="${1:-${JENGA_COVERAGE_BUILD:+${JENGA_COVERAGE_BUILD}-coverage}}"
+  build="${build:-$repo/build-coverage}"
+  cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Debug -DJENGA_COVERAGE=ON
+fi
+
+test_targets="$(sed -n 's/^jenga_add_test(\([a-z_]*\).*/\1/p' "$repo/tests/CMakeLists.txt")"
+# shellcheck disable=SC2086
+cmake --build "$build" -j "$(nproc)" --target $test_targets
+
+# Stale counters from previous runs would inflate the numbers.
+find "$build" -name '*.gcda' -delete
+
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+# gcov resolves sources relative to the object dirs; collect every counter file and let
+# -s/-r restrict the report to in-repo sources.
+scratch="$(cd "$build" && pwd)/gcov-report"
+rm -rf "$scratch"
+mkdir -p "$scratch"
+build_abs="$(cd "$build" && pwd)"
+mapfile -t gcda < <(find "$build_abs/src" -name '*.gcda')
+if [[ ${#gcda[@]} -eq 0 ]]; then
+  echo "coverage.sh: no .gcda files under $build_abs/src — was the build instrumented?" >&2
+  exit 1
+fi
+(cd "$scratch" && gcov -r -s "$repo" "${gcda[@]}" > gcov.log 2>&1) || true
+
+awk '
+  /^File / {
+    file = $2
+    gsub(/^'"'"'|'"'"'$/, "", file)
+    next
+  }
+  /^Lines executed:/ && file ~ /^src\// {
+    split($0, parts, /[:% ]+/)  # Lines executed:PCT% of N
+    pct = parts[3] + 0
+    total = parts[5] + 0
+    hit = pct * total / 100.0
+    dir = file
+    sub(/\/[^\/]*$/, "", dir)
+    # Headers with inline code appear once per including translation unit; keep the
+    # best-covered instance.
+    if (total > best_total[file] || hit > best_hit[file]) {
+      best_total[file] = total
+      best_hit[file] = hit
+      best_dir[file] = dir
+    }
+    file = ""
+  }
+  END {
+    for (f in best_total) {
+      dir_hit[best_dir[f]] += best_hit[f]
+      dir_total[best_dir[f]] += best_total[f]
+    }
+    for (d in dir_total) {
+      printf "%s %d %.2f\n", d, dir_total[d], dir_hit[d]
+    }
+  }
+' "$scratch/gcov.log" | sort | awk '
+  BEGIN {
+    printf "%-24s %10s %10s %8s\n", "directory", "lines", "covered", "pct"
+    printf "%-24s %10s %10s %8s\n", "---------", "-----", "-------", "---"
+  }
+  {
+    printf "%-24s %10d %10d %7.1f%%\n", $1, $2, $3, 100.0 * $3 / $2
+    all_total += $2
+    all_hit += $3
+  }
+  END {
+    printf "%-24s %10d %10d %7.1f%%\n", "TOTAL (src/)", all_total, all_hit,
+           100.0 * all_hit / all_total
+  }
+' | tee "$build/coverage_summary.txt"
+
+echo "coverage.sh: full per-file gcov output in $scratch"

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/audit_events.h"
 #include "src/core/types.h"
 
 namespace jenga {
@@ -50,7 +51,14 @@ class Evictor {
   // Heap entries including tombstones; bounded at O(size()) by compaction (test/bench only).
   [[nodiscard]] size_t heap_entries() const { return heap_.size(); }
 
+  // Audit observation (nullptr = detached); `group` tags this queue's events.
+  void set_audit_sink(AuditSink* sink, int group) {
+    audit_ = sink;
+    audit_group_ = group;
+  }
+
  private:
+  friend class AllocatorAuditor;
   struct Key {
     Tick last_access;
     int64_t neg_prefix_length;  // negated so larger prefixes sort first.
@@ -73,6 +81,8 @@ class Evictor {
   // Min-heap over Key (ascending order through std::greater).
   mutable std::vector<Key> heap_;
   std::unordered_map<SmallPageId, Key> keys_;
+  AuditSink* audit_ = nullptr;
+  int audit_group_ = 0;
 };
 
 }  // namespace jenga

@@ -1,5 +1,7 @@
 #include "src/core/jenga_allocator.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace jenga {
@@ -15,6 +17,18 @@ JengaAllocator::JengaAllocator(KvSpec spec, int64_t pool_bytes, int64_t large_pa
   }
 }
 
+void JengaAllocator::PushReclaim(ReclaimEntry entry) {
+  reclaim_heap_.push_back(entry);
+  std::push_heap(reclaim_heap_.begin(), reclaim_heap_.end());
+}
+
+JengaAllocator::ReclaimEntry JengaAllocator::PopReclaim() {
+  const ReclaimEntry top = reclaim_heap_.front();
+  std::pop_heap(reclaim_heap_.begin(), reclaim_heap_.end());
+  reclaim_heap_.pop_back();
+  return top;
+}
+
 std::optional<LargePageId> JengaAllocator::AcquireLargePage(int group_index) {
   if (const auto page = lcm_.Allocate(group_index)) {
     return page;
@@ -23,16 +37,21 @@ std::optional<LargePageId> JengaAllocator::AcquireLargePage(int group_index) {
   // last-access time, across all groups. The heap is lazy: entries are revalidated against
   // the owning group and re-pushed when their timestamp moved forward.
   while (!reclaim_heap_.empty()) {
-    const ReclaimEntry top = reclaim_heap_.top();
-    reclaim_heap_.pop();
+    const ReclaimEntry top = PopReclaim();
     SmallPageAllocator& owner = *groups_[static_cast<size_t>(top.group)];
     if (!owner.IsReclaimCandidate(top.large)) {
       continue;  // Became used, was reclaimed, or was returned already.
     }
     const Tick current = owner.ReclaimTimestamp(top.large);
     if (current != top.timestamp) {
-      reclaim_heap_.push({current, top.group, top.large});
+      PushReclaim({current, top.group, top.large});
+      if (audit_ != nullptr) {
+        audit_->OnReclaimPushed(top.group, top.large, current);
+      }
       continue;
+    }
+    if (audit_ != nullptr) {
+      audit_->OnLargeReclaimed(top.group, top.large);
     }
     owner.ReclaimLargePage(top.large);
     return lcm_.Allocate(group_index);
@@ -41,7 +60,10 @@ std::optional<LargePageId> JengaAllocator::AcquireLargePage(int group_index) {
 }
 
 void JengaAllocator::OnReclaimCandidate(int group_index, LargePageId large, Tick timestamp) {
-  reclaim_heap_.push({timestamp, group_index, large});
+  PushReclaim({timestamp, group_index, large});
+  if (audit_ != nullptr) {
+    audit_->OnReclaimPushed(group_index, large, timestamp);
+  }
 }
 
 void JengaAllocator::ForgetRequest(RequestId request) {
@@ -53,6 +75,13 @@ void JengaAllocator::ForgetRequest(RequestId request) {
 void JengaAllocator::SetEvictionSink(CacheEvictionSink* sink) {
   for (const auto& group : groups_) {
     group->set_eviction_sink(sink);
+  }
+}
+
+void JengaAllocator::SetAuditSink(AuditSink* sink) {
+  audit_ = sink;
+  for (const auto& group : groups_) {
+    group->set_audit_sink(sink);
   }
 }
 

@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "src/core/audit_events.h"
 #include "src/core/lcm_allocator.h"
 #include "src/core/small_page_allocator.h"
 #include "src/model/kv_spec.h"
@@ -47,6 +47,9 @@ class JengaAllocator final : public LargePageProvider {
   // Installs a cache-eviction observer on every group allocator (host offload tier).
   void SetEvictionSink(CacheEvictionSink* sink);
 
+  // Installs an audit observer on this allocator and every group (nullptr detaches).
+  void SetAuditSink(AuditSink* sink);
+
   // Total small pages (across groups) that could still be produced without evicting anything
   // cached: free large pages × pages-per-large for `group_index`, plus its empty smalls.
   [[nodiscard]] int64_t FreeSmallPages(int group_index) const;
@@ -67,6 +70,8 @@ class JengaAllocator final : public LargePageProvider {
   void CheckConsistency() const;
 
  private:
+  friend class AllocatorAuditor;
+
   struct ReclaimEntry {
     Tick timestamp = 0;
     int group = 0;
@@ -77,6 +82,9 @@ class JengaAllocator final : public LargePageProvider {
     }
   };
 
+  void PushReclaim(ReclaimEntry entry);
+  [[nodiscard]] ReclaimEntry PopReclaim();
+
   KvSpec spec_;
   LcmAllocator lcm_;
   std::vector<std::unique_ptr<SmallPageAllocator>> groups_;
@@ -84,7 +92,13 @@ class JengaAllocator final : public LargePageProvider {
   // entries are filtered (or re-keyed) on pop. Deduplicating pushes would change which entry
   // wins among equal timestamps and therefore which large page gets reclaimed — eviction
   // decisions must stay bit-identical across refactors (see bench_fig17 determinism check).
-  std::priority_queue<ReclaimEntry> reclaim_heap_;
+  //
+  // Kept as a raw vector maintained with std::push_heap/std::pop_heap (exactly what
+  // std::priority_queue is specified to do, so pop order — including equal-timestamp
+  // tie-breaks — is bit-identical to the former priority_queue member) so the auditor can
+  // inspect entries without draining the queue.
+  std::vector<ReclaimEntry> reclaim_heap_;
+  AuditSink* audit_ = nullptr;
 };
 
 }  // namespace jenga

@@ -128,6 +128,9 @@ void SmallPageAllocator::ClaimEmpty(SmallPageId page, RequestId request, Tick no
   entry.used_count += 1;
   empty_count_ -= 1;
   used_count_ += 1;
+  if (audit_ != nullptr) {
+    audit_->OnPageClaimed(group_index_, page, request);
+  }
 }
 
 std::optional<SmallPageId> SmallPageAllocator::Allocate(RequestId request, Tick now) {
@@ -152,6 +155,9 @@ std::optional<SmallPageId> SmallPageAllocator::Allocate(RequestId request, Tick 
     }
     resident_larges_ += 1;
     empty_count_ += pages_per_large_;
+    if (audit_ != nullptr) {
+      audit_->OnLargeAcquired(group_index_, *large, request);
+    }
     const SmallPageId base = static_cast<SmallPageId>(*large) * pages_per_large_;
     std::vector<FreeRef>& request_refs = empty_by_request_[request];
     for (int slot = 1; slot < pages_per_large_; ++slot) {
@@ -179,6 +185,9 @@ std::optional<SmallPageId> SmallPageAllocator::Allocate(RequestId request, Tick 
     JENGA_CHECK(meta.state == PageState::kEvictable);
     NotifyEviction(*victim, meta);
     UnregisterHash(*victim, meta);
+    if (audit_ != nullptr) {
+      audit_->OnPageEvicted(group_index_, *victim);
+    }
     meta.state = PageState::kUsed;
     meta.assoc = request;
     meta.ref_count = 1;
@@ -189,6 +198,9 @@ std::optional<SmallPageId> SmallPageAllocator::Allocate(RequestId request, Tick 
     entry.used_count += 1;
     evictable_count_ -= 1;
     used_count_ += 1;
+    if (audit_ != nullptr) {
+      audit_->OnPageClaimed(group_index_, *victim, request);
+    }
     return victim;
   }
 
@@ -212,6 +224,9 @@ void SmallPageAllocator::AddRef(SmallPageId page) {
       entry.used_count += 1;
       evictable_count_ -= 1;
       used_count_ += 1;
+      if (audit_ != nullptr) {
+        audit_->OnPageRevived(group_index_, page);
+      }
       break;
     case PageState::kEmpty:
       JENGA_CHECK(false) << "AddRef on empty page " << page;
@@ -249,6 +264,9 @@ void SmallPageAllocator::ReleaseLarge(LargePageId large, LargeEntry& entry) {
   entry.evictable_count = 0;
   resident_larges_ -= 1;
   lcm_->Free(large);
+  if (audit_ != nullptr) {
+    audit_->OnLargeReleased(group_index_, large);
+  }
 }
 
 void SmallPageAllocator::TransitionToEmpty(SmallPageId page) {
@@ -269,6 +287,9 @@ void SmallPageAllocator::TransitionToEmpty(SmallPageId page) {
   meta.ref_count = 0;
   meta.epoch = next_epoch_++;
   empty_count_ += 1;
+  if (audit_ != nullptr) {
+    audit_->OnPageEmptied(group_index_, page);
+  }
 
   if (entry.used_count == 0 && entry.evictable_count == 0) {
     // The whole large page is empty: return it to the LCM allocator (§4.1). Stale FreeRefs to
@@ -317,6 +338,9 @@ void SmallPageAllocator::Release(SmallPageId page, bool keep_cached) {
   entry.evictable_count += 1;
   used_count_ -= 1;
   evictable_count_ += 1;
+  if (audit_ != nullptr) {
+    audit_->OnPageCached(group_index_, page, meta.hash);
+  }
   evictor_.Insert(page, meta.last_access, meta.prefix_length);
   NotifyCandidateIfEligible(large);
 }
@@ -364,6 +388,9 @@ void SmallPageAllocator::ForgetRequest(RequestId request) {
   }
   by_request_refs_ -= static_cast<int64_t>(it->second.size());
   empty_by_request_.erase(it);
+  if (audit_ != nullptr) {
+    audit_->OnRequestForgotten(group_index_, request);
+  }
 }
 
 void SmallPageAllocator::NotifyCandidateIfEligible(LargePageId large) {
@@ -403,6 +430,9 @@ void SmallPageAllocator::ReclaimLargePage(LargePageId large) {
       evictor_.Remove(page);
       NotifyEviction(page, meta);
       UnregisterHash(page, meta);
+      if (audit_ != nullptr) {
+        audit_->OnPageEvicted(group_index_, page);
+      }
       evictable_count_ -= 1;
     } else {
       empty_count_ -= 1;

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/audit_events.h"
 #include "src/core/evictor.h"
 #include "src/core/layer_policy.h"
 #include "src/core/lcm_allocator.h"
@@ -79,6 +80,13 @@ class SmallPageAllocator final : public GroupCacheOps {
   // keep_cached=false is NOT an eviction — that content was declared obsolete by its owner.
   void set_eviction_sink(CacheEvictionSink* sink) { eviction_sink_ = sink; }
 
+  // Installs an audit observer on this group and its evictor (nullptr detaches). Costs one
+  // null test per transition when detached; never changes allocation behavior.
+  void set_audit_sink(AuditSink* sink) {
+    audit_ = sink;
+    evictor_.set_audit_sink(sink, group_index_);
+  }
+
   // Drops the request-affinity free list of a finished request. Affinity state is otherwise
   // only pruned lazily (on pop exhaustion), so long-lived servers must call this when a
   // request id retires for good; preempted requests keep their entry for re-admission.
@@ -129,6 +137,8 @@ class SmallPageAllocator final : public GroupCacheOps {
   void CheckConsistency() const;
 
  private:
+  friend class AllocatorAuditor;
+
   struct SlotMeta {
     PageState state = PageState::kEmpty;
     RequestId assoc = kNoRequest;
@@ -195,6 +205,7 @@ class SmallPageAllocator final : public GroupCacheOps {
   LcmAllocator* lcm_;
   LargePageProvider* provider_;
   CacheEvictionSink* eviction_sink_ = nullptr;
+  AuditSink* audit_ = nullptr;
   int pages_per_large_ = 0;
 
   // Dense slab over the whole pool; larges_[id].resident marks the pages this group holds.

@@ -223,11 +223,14 @@ Engine::SwapAdmit Engine::TryAdmitFromSwap(Request& r, bool nothing_else_runnabl
     r.swapped_out_tokens = 0;
     return SwapAdmit::kFallthrough;
   }
-  const int64_t tokens = set->tokens;
-  JENGA_CHECK_EQ(static_cast<int64_t>(set->fingerprints.size()), 1);
+  // Copy the set: restoring may evict cache pages into the host pool, which can LRU-evict
+  // this set (and invalidate `set`) before the commit below.
+  const HostSwapSet snapshot = *set;
+  const int64_t tokens = snapshot.tokens;
+  JENGA_CHECK_EQ(static_cast<int64_t>(snapshot.fingerprints.size()), 1);
   if (kv_->CanAllocate(r, tokens) &&
-      kv_->RestoreFromSwap(r, tokens, set->fingerprints[0], tick_)) {
-    swap_->CommitSwapIn(r.id);
+      kv_->RestoreFromSwap(r, tokens, snapshot.fingerprints[0], tick_)) {
+    swap_->CommitSwapIn(r.id, snapshot);
     metrics_.swap_in_events += 1;
     r.swapped_out = false;
     r.swapped_out_tokens = 0;

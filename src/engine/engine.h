@@ -71,6 +71,8 @@ class Engine {
   [[nodiscard]] KvManager& kv() { return *kv_; }
   // nullptr when the offload tier is disabled.
   [[nodiscard]] const SwapManager* swap() const { return swap_.get(); }
+  // Mutable access for the audit layer (tests only); nullptr when the tier is disabled.
+  [[nodiscard]] SwapManager* swap_mutable() { return swap_.get(); }
   [[nodiscard]] const EngineConfig& config() const { return config_; }
   [[nodiscard]] const Request& request(RequestId id) const;
   [[nodiscard]] int num_running() const { return static_cast<int>(running_.size()); }

@@ -140,6 +140,8 @@ class KvManager {
   [[nodiscard]] int64_t DecodeKvReadBytes(const Request& r) const { return NeededBytesFor(r); }
 
   [[nodiscard]] const JengaAllocator& allocator() const { return allocator_; }
+  // Mutable access for the audit layer (AllocatorAuditor::AttachAllocator); tests only.
+  [[nodiscard]] JengaAllocator& allocator_mutable() { return allocator_; }
   [[nodiscard]] const KvSpec& alloc_spec() const { return spec_; }
   [[nodiscard]] int tokens_per_page() const { return options_.tokens_per_page; }
   [[nodiscard]] bool caching_enabled() const { return options_.enable_prefix_caching; }

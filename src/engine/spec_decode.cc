@@ -125,6 +125,12 @@ Request& SpecDecodeEngine::Get(RequestId id) {
   return it->second;
 }
 
+const Request& SpecDecodeEngine::request(RequestId id) const {
+  const auto it = requests_.find(id);
+  JENGA_CHECK(it != requests_.end());
+  return it->second;
+}
+
 bool SpecDecodeEngine::AllocateAll(Request& r, int64_t tokens) {
   for (size_t m = 0; m < managers_.size(); ++m) {
     if (!managers_[m]->AllocateForTokens(r, tokens, tick_)) {
@@ -243,9 +249,13 @@ bool SpecDecodeEngine::StepOnce() {
     if (swap_ != nullptr && r.swapped_out) {
       const HostSwapSet* set = swap_->PeekSwapSet(id);
       bool restored = false;
+      HostSwapSet snapshot;
       if (set != nullptr) {
-        const int64_t tokens = set->tokens;
-        JENGA_CHECK_EQ(set->fingerprints.size(), managers_.size());
+        // Copy the set: each manager's restore may evict cache pages into the host pool,
+        // which can LRU-evict this set (and invalidate `set`) before the commit below.
+        snapshot = *set;
+        const int64_t tokens = snapshot.tokens;
+        JENGA_CHECK_EQ(snapshot.fingerprints.size(), managers_.size());
         bool can = true;
         for (auto& manager : managers_) {
           if (!manager->CanAllocate(r, tokens)) {
@@ -256,7 +266,7 @@ bool SpecDecodeEngine::StepOnce() {
         if (can) {
           restored = true;
           for (size_t m = 0; m < managers_.size(); ++m) {
-            if (!managers_[m]->RestoreFromSwap(r, tokens, set->fingerprints[m], tick_)) {
+            if (!managers_[m]->RestoreFromSwap(r, tokens, snapshot.fingerprints[m], tick_)) {
               for (size_t k = 0; k < m; ++k) {
                 managers_[k]->Release(r, tick_);
               }
@@ -271,7 +281,7 @@ bool SpecDecodeEngine::StepOnce() {
         }
       }
       if (restored) {
-        swap_->CommitSwapIn(id);
+        swap_->CommitSwapIn(id, snapshot);
         metrics_.swap_in_events += 1;
         r.swapped_out = false;
         r.swapped_out_tokens = 0;
@@ -353,7 +363,14 @@ bool SpecDecodeEngine::StepOnce() {
       ++accepted;
     }
     const int64_t emit = std::min<int64_t>(accepted + 1, r.output_len - r.num_generated);
-    JENGA_CHECK_GT(emit, 0);
+    if (emit == 0) {
+      // Every output token was already appended before a mid-decode self-preemption, and
+      // the recompute that just completed re-covered their KV: the request finishes through
+      // the normal commit path below without emitting anything new.
+      decode_emits.push_back({id, 0});
+      ++i;
+      continue;
+    }
     for (int64_t j = 0; j < emit; ++j) {
       r.AppendGenerated(PseudoToken(r.id, r.total_len()));
     }
@@ -383,8 +400,9 @@ bool SpecDecodeEngine::StepOnce() {
       Preempt(running_.back());
       return true;
     }
-    JENGA_CHECK(!waiting_.empty());
-    return true;
+    // Either the head of the waiting line retries next step, or every remaining request was
+    // failed at admission above and no work remains.
+    return !waiting_.empty();
   }
 
   // Phase 4: time accounting — chunked prefill on both models + propose_len draft steps +

@@ -57,10 +57,16 @@ class SpecDecodeEngine {
 
   [[nodiscard]] double now() const { return now_; }
   [[nodiscard]] const EngineMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const Request& request(RequestId id) const;
+  [[nodiscard]] int num_running() const { return static_cast<int>(running_.size()); }
+  [[nodiscard]] int num_waiting() const { return static_cast<int>(waiting_.size()); }
   [[nodiscard]] int num_managers() const { return static_cast<int>(managers_.size()); }
   [[nodiscard]] const KvManager& manager(int i) const { return *managers_[static_cast<size_t>(i)]; }
+  // Mutable access for the audit layer (tests only).
+  [[nodiscard]] KvManager& manager_mutable(int i) { return *managers_[static_cast<size_t>(i)]; }
   // nullptr when the offload tier is disabled.
   [[nodiscard]] const SwapManager* swap() const { return swap_.get(); }
+  [[nodiscard]] SwapManager* swap_mutable() { return swap_.get(); }
 
  private:
   [[nodiscard]] Request& Get(RequestId id);

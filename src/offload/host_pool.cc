@@ -19,6 +19,9 @@ void HostPool::MakeRoom(int64_t incoming) {
       used_bytes_ -= it->second.set.bytes;
       bytes_evicted_ += it->second.set.bytes;
       sets_evicted_ += 1;
+      if (audit_ != nullptr) {
+        audit_->OnHostSetRemoved(ref.id, it->second.set.bytes, /*evicted=*/true);
+      }
       sets_.erase(it);
     } else {
       const auto it = pages_.find(ref.key);
@@ -26,6 +29,10 @@ void HostPool::MakeRoom(int64_t incoming) {
       used_bytes_ -= it->second.page.bytes;
       bytes_evicted_ += it->second.page.bytes;
       pages_evicted_ += 1;
+      if (audit_ != nullptr) {
+        audit_->OnHostPageRemoved(ref.key.manager, ref.key.group, ref.key.hash,
+                                  it->second.page.bytes, /*evicted=*/true);
+      }
       pages_.erase(it);
     }
   }
@@ -46,13 +53,20 @@ bool HostPool::PutSwapSet(RequestId id, HostSwapSet set) {
   if (const auto it = sets_.find(id); it != sets_.end()) {
     used_bytes_ -= it->second.set.bytes;
     Unlink(it->second.seq);
+    if (audit_ != nullptr) {
+      audit_->OnHostSetRemoved(id, it->second.set.bytes, /*evicted=*/false);
+    }
     sets_.erase(it);
   }
   MakeRoom(set.bytes);
   const uint64_t seq = next_seq_++;
   used_bytes_ += set.bytes;
   lru_.emplace(seq, LruRef{/*is_set=*/true, id, PageKey{}});
+  const int64_t bytes = set.bytes;
   sets_.emplace(id, SetEntry{std::move(set), seq});
+  if (audit_ != nullptr) {
+    audit_->OnHostSetStored(id, bytes);
+  }
   return true;
 }
 
@@ -65,6 +79,10 @@ bool HostPool::PutPage(const PageKey& key, HostCachePage page) {
   if (const auto it = pages_.find(key); it != pages_.end()) {
     used_bytes_ -= it->second.page.bytes;
     Unlink(it->second.seq);
+    if (audit_ != nullptr) {
+      audit_->OnHostPageRemoved(key.manager, key.group, key.hash, it->second.page.bytes,
+                                /*evicted=*/false);
+    }
     pages_.erase(it);
   }
   MakeRoom(page.bytes);
@@ -72,6 +90,9 @@ bool HostPool::PutPage(const PageKey& key, HostCachePage page) {
   used_bytes_ += page.bytes;
   lru_.emplace(seq, LruRef{/*is_set=*/false, kNoRequest, key});
   pages_.emplace(key, PageEntry{page, seq});
+  if (audit_ != nullptr) {
+    audit_->OnHostPageStored(key.manager, key.group, key.hash, page.bytes);
+  }
   return true;
 }
 
@@ -92,6 +113,9 @@ bool HostPool::EraseSwapSet(RequestId id) {
   }
   used_bytes_ -= it->second.set.bytes;
   Unlink(it->second.seq);
+  if (audit_ != nullptr) {
+    audit_->OnHostSetRemoved(id, it->second.set.bytes, /*evicted=*/false);
+  }
   sets_.erase(it);
   return true;
 }
@@ -103,6 +127,10 @@ bool HostPool::ErasePage(const PageKey& key) {
   }
   used_bytes_ -= it->second.page.bytes;
   Unlink(it->second.seq);
+  if (audit_ != nullptr) {
+    audit_->OnHostPageRemoved(key.manager, key.group, key.hash, it->second.page.bytes,
+                              /*evicted=*/false);
+  }
   pages_.erase(it);
   return true;
 }

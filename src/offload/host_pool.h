@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/audit_events.h"
 #include "src/core/types.h"
 
 namespace jenga {
@@ -78,7 +79,11 @@ class HostPool {
   [[nodiscard]] int64_t bytes_evicted() const { return bytes_evicted_; }
   [[nodiscard]] int64_t rejected_inserts() const { return rejected_inserts_; }
 
+  // Audit observation of every insert/erase/LRU-eviction (nullptr = detached).
+  void set_audit_sink(AuditSink* sink) { audit_ = sink; }
+
  private:
+  friend class AllocatorAuditor;
   struct PageKeyHash {
     size_t operator()(const PageKey& key) const {
       uint64_t h = key.hash;
@@ -111,6 +116,7 @@ class HostPool {
   int64_t capacity_bytes_ = 0;
   int64_t used_bytes_ = 0;
   uint64_t next_seq_ = 1;
+  AuditSink* audit_ = nullptr;
   std::unordered_map<RequestId, SetEntry> sets_;
   std::unordered_map<PageKey, PageEntry, PageKeyHash> pages_;
   std::map<uint64_t, LruRef> lru_;

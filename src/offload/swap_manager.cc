@@ -118,17 +118,18 @@ const HostSwapSet* SwapManager::PeekSwapSet(RequestId id) const {
   return host_.FindSwapSet(id);
 }
 
-void SwapManager::CommitSwapIn(RequestId id) {
-  const HostSwapSet* set = host_.FindSwapSet(id);
-  JENGA_CHECK(set != nullptr) << "swap-in of request " << id << " without a host set";
-  pending_transfer_ += pcie_.H2DTime(set->bytes);
-  if (set->drop_recompute_bytes > 0 && set->resident_bytes > 0) {
-    pending_transfer_ += RecomputeTime(set->tokens, 0) *
-                         static_cast<double>(set->drop_recompute_bytes) /
-                         static_cast<double>(set->resident_bytes);
+void SwapManager::CommitSwapIn(RequestId id, const HostSwapSet& set) {
+  pending_transfer_ += pcie_.H2DTime(set.bytes);
+  if (set.drop_recompute_bytes > 0 && set.resident_bytes > 0) {
+    pending_transfer_ += RecomputeTime(set.tokens, 0) *
+                         static_cast<double>(set.drop_recompute_bytes) /
+                         static_cast<double>(set.resident_bytes);
   }
   stats_.swap_in_events += 1;
-  stats_.swap_in_bytes += set->bytes;
+  stats_.swap_in_bytes += set.bytes;
+  // The restore itself may have parked freshly evicted cache pages in the host pool and
+  // LRU-evicted this very set mid-transfer; the caller's snapshot keeps the accounting
+  // correct, and the erase is simply a no-op then.
   host_.EraseSwapSet(id);
 }
 

@@ -104,8 +104,10 @@ class SwapManager {
   [[nodiscard]] const HostSwapSet* PeekSwapSet(RequestId id) const;
 
   // The engine restored the request's pages; consume the set and charge H2D + the
-  // ineligible-group recompute share.
-  void CommitSwapIn(RequestId id);
+  // ineligible-group recompute share. Takes a caller-held *copy* of the set: restoring can
+  // itself park evicted cache pages in the host pool and LRU-evict the set mid-transfer, so
+  // neither the PeekSwapSet pointer nor the pool entry is stable across the restore.
+  void CommitSwapIn(RequestId id, const HostSwapSet& set);
 
   // Abandon a set (request finished, or fell back to recompute).
   void DropSwapSet(RequestId id);
@@ -140,7 +142,12 @@ class SwapManager {
   [[nodiscard]] const OffloadConfig& config() const { return config_; }
   [[nodiscard]] const PcieSim& pcie() const { return pcie_; }
 
+  // Installs an audit observer on the host pool (nullptr detaches).
+  void SetAuditSink(AuditSink* sink) { host_.set_audit_sink(sink); }
+
  private:
+  friend class AllocatorAuditor;
+
   struct ManagerSink;
 
   OffloadConfig config_;

@@ -112,6 +112,84 @@ TEST(JengaAllocator, ReclaimHeapRevalidatesRevivedPages) {
   alloc.CheckConsistency();
 }
 
+TEST(JengaAllocator, ReclaimHeapToleratesDuplicateEqualTimestampEntries) {
+  // Three fully-evictable large pages whose slots all share last-access tick 5 give the
+  // reclaim heap three entries with identical keys; reviving and re-releasing one page per
+  // large then pushes a second, duplicate entry for each. The lazy heap must reclaim each
+  // large exactly once, skip the stale duplicates silently, and fail allocation gracefully
+  // once everything evictable is gone.
+  JengaAllocator alloc(Figure6Spec(), 768 * 3);
+  std::vector<SmallPageId> pages;
+  for (int i = 0; i < 9; ++i) {
+    const SmallPageId p = *alloc.group(0).Allocate(1, /*now=*/5);
+    alloc.group(0).SetContentHash(p, 0x100 + static_cast<BlockHash>(i));
+    pages.push_back(p);
+  }
+  for (const SmallPageId p : pages) {
+    alloc.group(0).Release(p, /*keep_cached=*/true);
+  }
+  for (int l = 0; l < 3; ++l) {
+    alloc.group(0).AddRef(pages[static_cast<size_t>(3 * l)]);
+    alloc.group(0).Release(pages[static_cast<size_t>(3 * l)], true);
+  }
+  // Six heap entries now cover three candidates. Drain the pool from group 1: two text
+  // pages fit per reclaimed large, so every odd allocation forces one reclaim. With equal
+  // keys the victim order is the binary-heap sift order over the duplicate-bearing array —
+  // L0, L2, L1 here — NOT insertion order. This locks the tie-break: fig17 diverges if the
+  // heap is deduplicated or the ordering nudged (see the CHANGES.md PR 1 note).
+  const LargePageId victim_order[] = {0, 2, 1};
+  const BlockHash bases[] = {0x100, 0x103, 0x106};
+  for (int step = 0; step < 3; ++step) {
+    ASSERT_TRUE(alloc.group(1).Allocate(2, /*now=*/20).has_value());
+    ASSERT_TRUE(alloc.group(1).Allocate(2, /*now=*/20).has_value());
+    alloc.CheckConsistency();
+    for (int l = 0; l < 3; ++l) {
+      bool reclaimed = false;
+      for (int v = 0; v <= step; ++v) {
+        reclaimed = reclaimed || victim_order[v] == l;
+      }
+      EXPECT_EQ(alloc.group(0).LookupCached(bases[l]).has_value(), !reclaimed)
+          << "step " << step << " large " << l;
+    }
+  }
+  EXPECT_EQ(alloc.group(0).GetStats().large_pages_held, 0);
+  EXPECT_EQ(alloc.group(1).GetStats().large_pages_held, 3);
+  // Only the three stale duplicates remain in the heap; all must be skipped.
+  EXPECT_FALSE(alloc.group(1).Allocate(2, /*now=*/30).has_value());
+  alloc.CheckConsistency();
+}
+
+TEST(JengaAllocator, ReclaimHeapEqualTimestampsRespectLazyRekey) {
+  // Both large pages become candidates with identical timestamp 5; a later touch of large
+  // A's page leaves its heap entry stale (key 5, true timestamp 9). Whichever entry pops
+  // first, the revalidation step must re-key A and reclaim B — equal keys never excuse
+  // evicting the recently-touched page.
+  JengaAllocator alloc(Figure6Spec(), 768 * 2);
+  std::vector<SmallPageId> pages;
+  for (int i = 0; i < 6; ++i) {
+    const SmallPageId p = *alloc.group(0).Allocate(1, /*now=*/5);
+    alloc.group(0).SetContentHash(p, 0x100 + static_cast<BlockHash>(i));
+    pages.push_back(p);
+  }
+  for (const SmallPageId p : pages) {
+    alloc.group(0).Release(p, true);
+  }
+  alloc.group(0).UpdateLastAccess(pages[0], /*now=*/9);
+  ASSERT_TRUE(alloc.group(1).Allocate(2, /*now=*/20).has_value());
+  // Large B (hashes 0x103..0x105, timestamp 5) was reclaimed; large A survived.
+  EXPECT_TRUE(alloc.group(0).LookupCached(0x100).has_value());
+  EXPECT_TRUE(alloc.group(0).LookupCached(0x102).has_value());
+  EXPECT_FALSE(alloc.group(0).LookupCached(0x103).has_value());
+  EXPECT_FALSE(alloc.group(0).LookupCached(0x105).has_value());
+  alloc.CheckConsistency();
+  // A second large is needed next: now A's re-keyed entry (9) is the only candidate left.
+  ASSERT_TRUE(alloc.group(1).Allocate(2, /*now=*/21).has_value());
+  ASSERT_TRUE(alloc.group(1).Allocate(2, /*now=*/22).has_value());
+  EXPECT_FALSE(alloc.group(0).LookupCached(0x100).has_value());
+  EXPECT_EQ(alloc.group(1).GetStats().large_pages_held, 2);
+  alloc.CheckConsistency();
+}
+
 TEST(JengaAllocator, FreeAndAvailableSmallPages) {
   JengaAllocator alloc(Figure6Spec(), 768 * 4);
   EXPECT_EQ(alloc.FreeSmallPages(0), 4 * 3);

@@ -61,6 +61,50 @@ TEST(SpecDecode, AllStrategiesComplete) {
   }
 }
 
+TEST(SpecDecode, OversizedRequestFailsInsteadOfCrashing) {
+  // Regression: when the last remaining request is failed at admission (its first chunk can
+  // never fit), StepOnce used to hit a JENGA_CHECK(!waiting_.empty()) abort instead of
+  // draining cleanly. Both "alone" and "after normal traffic" orderings must terminate.
+  for (const SpecStrategy strategy :
+       {SpecStrategy::kJenga, SpecStrategy::kVllmMax, SpecStrategy::kVllmManual}) {
+    SCOPED_TRACE(SpecStrategyName(strategy));
+    SpecDecodeConfig config = TestSpecConfig(TinyFullModel(), strategy, 1 << 20);
+    config.gpu.max_batched_tokens = 8192;
+    SpecDecodeEngine engine(config);
+    engine.Submit(MakeRequest(0, TextPrompt(64), 8, 0.0));
+    engine.Submit(MakeRequest(1, TextPrompt(8192), 8, 0.0));  // > pool in one chunk.
+    engine.RunToCompletion();
+    ASSERT_EQ(engine.metrics().finished().size(), 2u);
+    EXPECT_EQ(engine.metrics().CompletedRequests(), 1);
+    EXPECT_EQ(engine.metrics().FailedRequests(), 1);
+    for (const RequestRecord& record : engine.metrics().finished()) {
+      EXPECT_EQ(record.failed, record.id == 1);
+    }
+  }
+}
+
+TEST(SpecDecode, SelfPreemptedRequestWithFullOutputFinishesAfterRecompute) {
+  // Regression: a request that self-preempts mid-decode *after* appending its final output
+  // tokens re-enters the decode loop post-recompute with zero tokens left to emit; that used
+  // to trip JENGA_CHECK_GT(emit, 0) instead of completing the request. Schedule found by the
+  // engine fuzzer (JENGA_FUZZ_SEED=0xE3000208, SpecDecodeFuzz.AllocatorStackNoOffload):
+  // req 3's short output (3 <= propose_len + 1) is fully appended when preemption churn under
+  // the undersized pool knocks it out mid-decode.
+  SpecDecodeConfig config = TestSpecConfig(TinyPyramidModel(), SpecStrategy::kVllmMax, 1409024);
+  config.gpu.max_batched_tokens = 96;
+  config.max_num_seqs_override = 4;
+  config.seed = 0xE3000208ull;
+  SpecDecodeEngine engine(config);
+  engine.Submit(MakeRequest(0, TextPrompt(81), 30, 0.0));
+  engine.Submit(MakeRequest(1, TextPrompt(176), 21, 0.0));
+  engine.Submit(MakeRequest(2, TextPrompt(204), 34, 0.0));
+  engine.Submit(MakeRequest(3, TextPrompt(142), 3, 0.0));
+  engine.RunToCompletion();
+  EXPECT_EQ(engine.metrics().CompletedRequests(), 4);
+  EXPECT_EQ(engine.metrics().FailedRequests(), 0);
+  EXPECT_EQ(engine.request(3).num_generated, 3);
+}
+
 TEST(SpecDecode, MacroStepsEmitMultipleTokens) {
   SpecDecodeEngine engine(TestSpecConfig(TinyFullModel(), SpecStrategy::kJenga, 1 << 24));
   engine.Submit(MakeRequest(0, TextPrompt(64), 40, 0.0));

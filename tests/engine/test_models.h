@@ -39,6 +39,36 @@ inline ModelConfig TinySlidingModel(int window = 64) {
   return model;
 }
 
+// Half full attention, half PyramidKV-style sparse layers (token budget 48).
+inline ModelConfig TinyPyramidModel(int budget = 48) {
+  ModelConfig model = TinyFullModel();
+  model.name = "tiny-pyramid";
+  for (size_t i = 1; i < model.layers.size(); i += 2) {
+    model.layers[i].kind = LayerKind::kSparsePyramid;
+    model.layers[i].token_budget = budget;
+  }
+  return model;
+}
+
+// 2 small full-attention layers (256 B/token total): a speculative-decoding draft model.
+inline ModelConfig TinyDraftModel() {
+  ModelConfig model;
+  model.name = "tiny-draft";
+  model.params_b = 0.02;
+  model.hidden_size = 128;
+  model.max_context_len = 65536;
+  model.compute_layers = 2;
+  for (int i = 0; i < 2; ++i) {
+    LayerSpec layer;
+    layer.kind = LayerKind::kFullAttention;
+    layer.num_kv_heads = 1;
+    layer.head_dim = 32;
+    layer.dtype_bytes = 2;
+    model.layers.push_back(layer);
+  }
+  return model;
+}
+
 // 1 full-attention layer + 3 Mamba layers (state 8 KB each).
 inline ModelConfig TinyMambaModel() {
   ModelConfig model;

@@ -1,0 +1,204 @@
+// Golden smoke tests: shrunken fig13 / fig17 / fig19 configurations whose full numeric
+// output is byte-compared against committed mini-goldens. The figure benches themselves are
+// too slow for ctest; these runs exercise the same engine profiles, datasets, and metrics
+// (a few seconds total) and catch any unintended behavior change as a one-line diff.
+//
+// Regenerate after a *deliberate* behavior change with:
+//   JENGA_REGEN_GOLDENS=1 ./build/tests/golden_smoke_test
+// then review the diff of tests/golden/data/ like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/engine/spec_decode.h"
+#include "src/model/model_zoo.h"
+#include "src/workload/datasets.h"
+
+namespace jenga {
+namespace {
+
+std::string Num(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", v);
+  return buffer;
+}
+
+// --- fig13 (end-to-end throughput, vLLM vs Jenga) ------------------------------------
+
+void AppendEngineRun(const char* label, const ModelConfig& model, bool jenga,
+                     const std::vector<Request>& requests, std::ostringstream& out) {
+  EngineConfig config = jenga ? JengaProfile(model, H100()) : VllmProfile(model, H100());
+  config.memory_sample_every = 0;
+  Engine engine(std::move(config));
+  for (const Request& r : requests) {
+    engine.Submit(r);
+  }
+  engine.RunToCompletion();
+  const EngineMetrics& m = engine.metrics();
+  out << label << (jenga ? " jenga" : " vllm") << ": req/s=" << Num(m.RequestThroughput())
+      << " tok/s=" << Num(m.TokenThroughput()) << " completed=" << m.CompletedRequests()
+      << " failed=" << m.FailedRequests() << " hits=" << m.cache_hit_tokens
+      << " recomputed=" << m.recomputed_tokens << " vision=" << m.vision_encoder_runs
+      << "\n";
+}
+
+std::string Fig13Digest() {
+  std::ostringstream out;
+  out << "fig13-smoke (H100, shrunken row counts)\n";
+  {
+    const ModelConfig model = Llama32_11B_Vision();
+    MmmuProDataset dataset(model.vision.tokens_per_image);
+    Rng rng(0xF13A);
+    const std::vector<Request> requests = GenerateBatch(dataset, 12, rng);
+    AppendEngineRun("mllama-11b-vision/MMMU", model, false, requests, out);
+    AppendEngineRun("mllama-11b-vision/MMMU", model, true, requests, out);
+  }
+  {
+    const ModelConfig model = Gemma2_27B();
+    ArxivQaDataset dataset(/*articles=*/3, 5000, 7800, /*seed=*/0xF13B);
+    Rng rng(0xF13C);
+    std::vector<Request> requests;
+    for (int i = 0; i < 6; ++i) {
+      WorkloadItem item = dataset.SampleForArticle(i % 3, rng);
+      requests.push_back(MakeRequest(i, std::move(item.prompt), item.output_len, 0.0));
+    }
+    AppendEngineRun("gemma-2-27b/arXiv-QA", model, false, requests, out);
+    AppendEngineRun("gemma-2-27b/arXiv-QA", model, true, requests, out);
+  }
+  {
+    const ModelConfig model = Llama3_70B_Fp8();
+    MmluProDataset dataset;
+    Rng rng(0xF13D);
+    const std::vector<Request> requests = GenerateBatch(dataset, 16, rng);
+    AppendEngineRun("llama-70b-fp8/MMLU", model, false, requests, out);
+    AppendEngineRun("llama-70b-fp8/MMLU", model, true, requests, out);
+  }
+  return out.str();
+}
+
+// --- fig17 (prefix caching vs article count) -----------------------------------------
+
+std::string Fig17Digest() {
+  std::ostringstream out;
+  out << "fig17-smoke (Gemma-2 27B, H100, 4 questions per article)\n";
+  for (const int articles : {2, 5}) {
+    for (const bool jenga : {false, true}) {
+      const ModelConfig model = Gemma2_27B();
+      EngineConfig config = jenga ? JengaProfile(model, H100()) : VllmProfile(model, H100());
+      config.memory_sample_every = 0;
+      config.max_num_seqs_override = 1;
+      config.memory_fraction = 0.55;
+      Engine engine(std::move(config));
+      ArxivQaDataset dataset(articles, 7200, 7800, /*seed=*/0xF17 + articles,
+                             /*output_lo=*/16, /*output_hi=*/48);
+      Rng rng(0x17AA + articles);
+      int64_t total_prompt_tokens = 0;
+      RequestId id = 0;
+      for (int q = 0; q < articles * 4; ++q) {
+        const int article = static_cast<int>(rng.UniformInt(0, articles - 1));
+        WorkloadItem item = dataset.SampleForArticle(article, rng);
+        total_prompt_tokens += static_cast<int64_t>(item.prompt.size());
+        engine.Submit(MakeRequest(id++, std::move(item.prompt), item.output_len, 0.0));
+      }
+      engine.RunToCompletion();
+      const EngineMetrics& m = engine.metrics();
+      out << "articles=" << articles << (jenga ? " jenga" : " vllm")
+          << ": hit_tokens=" << m.cache_hit_tokens << "/" << total_prompt_tokens
+          << " req/s=" << Num(m.RequestThroughput()) << " recomputed=" << m.recomputed_tokens
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+// --- fig19 (speculative decoding strategies) -----------------------------------------
+
+std::string Fig19Digest() {
+  std::ostringstream out;
+  out << "fig19-smoke (H100, shrunken request counts)\n";
+  struct Pair {
+    const char* label;
+    ModelConfig target;
+    ModelConfig draft;
+    bool long_context;
+    int count;
+  };
+  const std::vector<Pair> pairs = {
+      {"llama-70b-fp8+1b", Llama3_70B_Fp8(), Llama32_1B(), false, 12},
+      {"gemma2-27b+2b", Gemma2_27B(), Gemma2_2B(), true, 4},
+      {"jamba-52b-fp8+1b", Jamba52B_Fp8(), Llama32_1B(), false, 12},
+  };
+  for (const Pair& pair : pairs) {
+    for (const SpecStrategy strategy :
+         {SpecStrategy::kVllmMax, SpecStrategy::kVllmManual, SpecStrategy::kJenga}) {
+      std::unique_ptr<Dataset> dataset;
+      if (pair.long_context) {
+        const int64_t max_len = 24000;
+        dataset = std::make_unique<ArxivQaDataset>(pair.count, max_len - 2000, max_len,
+                                                   0x19BB, /*output_lo=*/256,
+                                                   /*output_hi=*/512);
+      } else {
+        dataset = std::make_unique<MmluProDataset>(/*output_lo=*/256, /*output_hi=*/1024);
+      }
+      SpecDecodeConfig config;
+      config.target = pair.target;
+      config.draft = pair.draft;
+      config.gpu = H100();
+      config.strategy = strategy;
+      config.seed = 0xF19;
+      SpecDecodeEngine engine(std::move(config));
+      Rng rng(0x19AA);
+      for (Request& r : GenerateBatch(*dataset, pair.count, rng)) {
+        engine.Submit(std::move(r));
+      }
+      engine.RunToCompletion();
+      out << pair.label << " " << SpecStrategyName(strategy)
+          << ": req/s=" << Num(engine.metrics().RequestThroughput())
+          << " completed=" << engine.metrics().CompletedRequests()
+          << " failed=" << engine.metrics().FailedRequests() << "\n";
+    }
+  }
+  return out.str();
+}
+
+// --- golden comparison ----------------------------------------------------------------
+
+std::string GoldenPath(const char* name) {
+  return std::string(JENGA_SOURCE_DIR) + "/tests/golden/data/" + name;
+}
+
+void CompareOrRegen(const char* name, const std::string& digest) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("JENGA_REGEN_GOLDENS") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << digest;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (run with JENGA_REGEN_GOLDENS=1 to create it)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(digest, expected.str())
+      << "golden mismatch for " << name
+      << "; if the behavior change is intentional, regenerate with JENGA_REGEN_GOLDENS=1 "
+      << "and review the diff";
+}
+
+TEST(GoldenSmoke, Fig13Throughput) { CompareOrRegen("fig13_smoke.golden", Fig13Digest()); }
+
+TEST(GoldenSmoke, Fig17PrefixCaching) { CompareOrRegen("fig17_smoke.golden", Fig17Digest()); }
+
+TEST(GoldenSmoke, Fig19SpecDecode) { CompareOrRegen("fig19_smoke.golden", Fig19Digest()); }
+
+}  // namespace
+}  // namespace jenga

@@ -94,7 +94,9 @@ TEST(SwapManager, SwapSetLifecycleAccountsTransfersAndStats) {
   EXPECT_TRUE(swap.HasPendingTransfer());
   ASSERT_NE(swap.PeekSwapSet(5), nullptr);
   EXPECT_EQ(swap.PeekSwapSet(5)->fingerprints[0], 0xFEEDu);
-  swap.CommitSwapIn(5);
+  // Engines snapshot the set before restoring (the restore can churn the host pool).
+  const HostSwapSet snapshot = *swap.PeekSwapSet(5);
+  swap.CommitSwapIn(5, snapshot);
   EXPECT_EQ(swap.stats().swap_in_events, 1);
   EXPECT_EQ(swap.PeekSwapSet(5), nullptr);
   // D2H at swap-out + H2D at swap-in, fully stalled with no concurrent compute.
