@@ -1,0 +1,165 @@
+// Fault-injector overhead bench: measures end-to-end engine steps/sec with the injector in
+// three states and reports the tax each one adds over a faultless engine:
+//
+//   off     no fault plan — the null-injector fast path every consult site short-circuits
+//           through (this is the state every production run and every figure bench is in);
+//   armed   every reachable site armed with an unreachable scheduled trigger — consult
+//           bookkeeping runs each step but no fault ever fires;
+//   firing  gpu_step:p=0.02 — ~2% of steps are voided and recovered, measuring what actual
+//           chaos costs.
+//
+// The acceptance bar is that "off" is indistinguishable from the pre-fault-layer engine: the
+// disabled-injector overhead column should print ~0% (noise-level). Reps are interleaved
+// round-robin so clock drift hits all states equally; the median rep is reported.
+//
+// Flags:
+//   --quick        fewer requests and reps (CI-friendly)
+//   --reps <n>     repetitions per state (default 5, quick 3)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/engine/engine.h"
+#include "src/fault/fault_injector.h"
+#include "src/model/model_zoo.h"
+#include "src/workload/datasets.h"
+
+namespace jenga {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct BenchState {
+  const char* name;
+  const char* plan;  // Parsed into EngineConfig::fault; "" = injector disabled.
+};
+
+constexpr BenchState kStates[] = {
+    {"off", ""},
+    {"armed", "gpu_step:at=2000000000,pcie_d2h:at=2000000000,pcie_h2d:at=2000000000,"
+              "host_alloc:at=2000000000,host_shrink:at=2000000000"},
+    {"firing", "gpu_step:p=0.02"},
+};
+constexpr int kNumStates = 3;
+
+struct Workload {
+  std::string key;
+  ModelConfig model;
+  bool offload = false;  // Offload tier on, so the PCIe/host consult sites are reachable.
+  std::vector<Request> requests;
+};
+
+std::vector<Workload> MakeWorkloads(bool quick) {
+  std::vector<Workload> workloads;
+  {
+    Workload w{"gemma-2-9b.mmlu", Gemma2_9B(), /*offload=*/false, {}};
+    Rng rng(0xC4A05);
+    MmluProDataset dataset;
+    w.requests = GenerateBatch(dataset, quick ? 32 : 96, rng);
+    workloads.push_back(std::move(w));
+  }
+  {
+    Workload w{"ministral-8b.arxiv+offload", Ministral8B(), /*offload=*/true, {}};
+    Rng rng(0xC4A06);
+    ArxivQaDataset dataset(/*articles=*/4, 20000, 40000, /*seed=*/0xC4A06,
+                           /*output_lo=*/32, /*output_hi=*/64);
+    const int count = quick ? 4 : 8;
+    for (int i = 0; i < count; ++i) {
+      WorkloadItem item = dataset.SampleForArticle(i % 4, rng);
+      w.requests.push_back(MakeRequest(i, std::move(item.prompt), item.output_len, 0.0));
+    }
+    workloads.push_back(std::move(w));
+  }
+  return workloads;
+}
+
+double RunOnce(const Workload& w, const char* plan) {
+  EngineConfig config = JengaProfile(w.model, H100());
+  config.memory_sample_every = 0;
+  if (w.offload) {
+    config.offload.enabled = true;
+    config.offload.host_pool_bytes = 1ll << 30;
+  }
+  JENGA_CHECK(FaultPlan::Parse(plan, &config.fault.plan).ok()) << plan;
+  config.fault.seed = 0xC4A05;
+  Engine engine(std::move(config));
+  for (const Request& r : w.requests) {
+    engine.Submit(r);
+  }
+  const auto begin = Clock::now();
+  engine.RunToCompletion();
+  const auto end = Clock::now();
+  const double seconds = std::chrono::duration<double>(end - begin).count();
+  return static_cast<double>(engine.metrics().total_steps()) / seconds;
+}
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+void Run(bool quick, int reps) {
+  PrintHeader(std::string("bench_chaos: fault-injector steps/sec overhead (") +
+              (quick ? "quick" : "full") + " mode)");
+  PrintRow({{30, "workload"},
+            {14, "off steps/s"},
+            {14, "armed"},
+            {14, "firing"},
+            {14, "armed tax"},
+            {14, "firing tax"}});
+  PrintRule();
+  for (const Workload& w : MakeWorkloads(quick)) {
+    std::vector<double> rates[kNumStates];
+    // Warm-up rep per state (page-cache/allocator warmup), then interleaved timed reps.
+    for (int s = 0; s < kNumStates; ++s) {
+      (void)RunOnce(w, kStates[s].plan);
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+      for (int s = 0; s < kNumStates; ++s) {
+        rates[s].push_back(RunOnce(w, kStates[s].plan));
+      }
+    }
+    const double off = Median(rates[0]);
+    const double armed = Median(rates[1]);
+    const double firing = Median(rates[2]);
+    PrintRow({{30, w.key},
+              {14, Fmt("%.0f", off)},
+              {14, Fmt("%.0f", armed)},
+              {14, Fmt("%.0f", firing)},
+              {14, Fmt("%+.1f%%", (off / armed - 1.0) * 100.0)},
+              {14, Fmt("%+.1f%%", (off / firing - 1.0) * 100.0)}});
+  }
+  std::printf(
+      "\n\"armed tax\" is the cost of consult bookkeeping that never fires; \"off\" uses the\n"
+      "null-injector fast path and should match a build without the fault layer (~0%% tax\n"
+      "vs armed; differences well under run-to-run noise).\n");
+}
+
+}  // namespace
+}  // namespace jenga
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int reps = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--reps n]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (reps <= 0) {
+    reps = quick ? 3 : 5;
+  }
+  jenga::Run(quick, reps);
+  return 0;
+}

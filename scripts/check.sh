@@ -20,6 +20,14 @@ ctest --test-dir "$build" -L tier1 --output-on-failure -j "$(nproc)"
 # offload tier on and off; see TESTING.md for reproducing a failure from its seed.
 JENGA_FUZZ_SCHEDULES="${JENGA_FUZZ_SCHEDULES:-3000}" "$build/tests/engine_fuzz_test"
 
+# Chaos smoke: the same schedule model with the fault-injection layer armed (PCIe errors and
+# timeouts, host-pool failures and shrinks, GPU step faults, deadlines, cancels, load shed).
+# Deterministic seeds; see TESTING.md for replaying a failure.
+JENGA_CHAOS_SCHEDULES="${JENGA_CHAOS_SCHEDULES:-3000}" "$build/tests/engine_chaos_test"
+
+# Disabled-injector overhead must be noise-level (the table's "armed tax" column).
+"$build/bench/bench_chaos" --quick
+
 # Perf smoke: quick mode, scratch output (ignored by git; the tracked BENCH_perf.json
 # at the repo root is only regenerated deliberately via a full --baseline run).
 "$build/bench/bench_perf" --quick --out "$build/BENCH_perf_quick.json"

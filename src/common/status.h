@@ -1,0 +1,121 @@
+// Lightweight Status / StatusOr error type for recoverable runtime conditions.
+//
+// JENGA_CHECK (check.h) stays reserved for library invariants — conditions that indicate a bug
+// and can never be handled. Everything that a correct caller may legitimately observe at
+// runtime (an injected transfer fault, host-pool exhaustion, a cancelled request, a deadline)
+// is reported through Status instead so the engine can recover: retry with backoff, fall back
+// to recompute-based preemption, degrade to GPU-only mode, or shed load.
+//
+// The type is deliberately small: an error code plus an optional message, no payloads, no
+// allocation on the OK path. StatusOr<T> carries a value on success and a Status otherwise.
+
+#ifndef JENGA_SRC_COMMON_STATUS_H_
+#define JENGA_SRC_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+enum class StatusCode {
+  kOk = 0,
+  kCancelled = 1,          // The operation's request was cancelled by the client.
+  kInvalidArgument = 2,    // Malformed input (e.g. an unparsable fault plan).
+  kDeadlineExceeded = 3,   // A transfer or request exceeded its time budget.
+  kNotFound = 4,           // The referenced entity does not exist.
+  kResourceExhausted = 5,  // A pool could not satisfy an allocation.
+  kFailedPrecondition = 6, // The operation is not valid in the current state.
+  kUnavailable = 7,        // A transient failure; retrying may succeed.
+  kInternal = 8,           // An injected or simulated internal fault.
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Cancelled(std::string m = "") { return Status(StatusCode::kCancelled, std::move(m)); }
+  static Status InvalidArgument(std::string m = "") { return Status(StatusCode::kInvalidArgument, std::move(m)); }
+  static Status DeadlineExceeded(std::string m = "") { return Status(StatusCode::kDeadlineExceeded, std::move(m)); }
+  static Status NotFound(std::string m = "") { return Status(StatusCode::kNotFound, std::move(m)); }
+  static Status ResourceExhausted(std::string m = "") { return Status(StatusCode::kResourceExhausted, std::move(m)); }
+  static Status FailedPrecondition(std::string m = "") { return Status(StatusCode::kFailedPrecondition, std::move(m)); }
+  static Status Unavailable(std::string m = "") { return Status(StatusCode::kUnavailable, std::move(m)); }
+  static Status Internal(std::string m = "") { return Status(StatusCode::kInternal, std::move(m)); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+  friend bool operator!=(const Status& a, const Status& b) { return a.code_ != b.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
+
+// Minimal StatusOr: either an OK status plus a value, or a non-OK status. Accessing the value
+// of a non-OK StatusOr is a contract violation (JENGA_CHECK).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {      // NOLINT(google-explicit-constructor)
+    JENGA_CHECK(!status_.ok()) << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    JENGA_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    JENGA_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    JENGA_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_COMMON_STATUS_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iostream>
 
 #include "src/common/check.h"
 
@@ -96,12 +97,23 @@ Engine::Engine(EngineConfig config)
     swap_ = std::make_unique<SwapManager>(config_.offload, cost);
     kv_->AttachOffload(swap_.get(), /*manager_index=*/0);
   }
+
+  if (config_.fault.enabled()) {
+    fault_ = std::make_unique<FaultInjector>(config_.fault);
+    gpu_.set_fault_injector(fault_.get());
+    if (swap_ != nullptr) {
+      swap_->SetFaultInjector(fault_.get());
+    }
+  }
 }
 
 void Engine::Submit(Request request) {
   JENGA_CHECK(request.state == RequestState::kWaiting);
   const RequestId id = request.id;
   JENGA_CHECK(!requests_.contains(id)) << "duplicate request id " << id;
+  if (request.deadline >= 0.0) {
+    has_deadlines_ = true;
+  }
   requests_.emplace(id, std::move(request));
   waiting_.push_back(id);
 }
@@ -137,7 +149,10 @@ void Engine::Preempt(RequestId id) {
     fp.resident_bytes = kfp.resident_bytes;
     fp.drop_recompute_bytes = kfp.drop_recompute_bytes;
     fp.fingerprints.push_back(kfp.fingerprint);
-    if (swap_->ChoosePreemptMode(fp) == PreemptMode::kSwap && swap_->RecordSwapOut(id, fp)) {
+    // An injected transfer/host fault inside TryRecordSwapOut exhausts its retry budget and
+    // reports non-OK; the fallback is the same recompute path a cost-crossover loss takes.
+    if (swap_->ChoosePreemptMode(fp) == PreemptMode::kSwap &&
+        swap_->TryRecordSwapOut(id, fp).ok()) {
       r.swapped_out = true;
       r.swapped_out_tokens = r.num_computed_tokens;
       metrics_.swap_out_events += 1;
@@ -179,7 +194,102 @@ void Engine::FinishRequest(Request& r, bool failed) {
   record.first_token_time = r.first_token_time;
   record.finish_time = now_;
   record.failed = failed;
+  record.cancelled = r.cancelled;
   metrics_.RecordFinished(record);
+}
+
+bool Engine::CancelRequest(RequestId id) {
+  const auto it = requests_.find(id);
+  if (it == requests_.end()) {
+    return false;
+  }
+  Request& r = it->second;
+  if (r.state == RequestState::kFinished) {
+    return false;
+  }
+  if (r.state == RequestState::kRunning) {
+    kv_->Release(r, tick_, /*finished=*/true);
+    const auto pos = std::find(running_.begin(), running_.end(), id);
+    JENGA_CHECK(pos != running_.end());
+    running_.erase(pos);
+  } else {
+    // Waiting or preempted (possibly swapped out / mid-restore): these hold no KvManager
+    // pages — every preemption path Releases before re-queueing — so only the queue slot and
+    // any host swap set (dropped by FinishRequest below) remain.
+    const auto pos = std::find(waiting_.begin(), waiting_.end(), id);
+    JENGA_CHECK(pos != waiting_.end());
+    waiting_.erase(pos);
+    r.swapped_out = false;
+    r.swapped_out_tokens = 0;
+  }
+  r.cancelled = true;
+  metrics_.cancelled_requests += 1;
+  FinishRequest(r, /*failed=*/true);
+  return true;
+}
+
+void Engine::ExpireDeadlines() {
+  // Collect ids first: cancellation mutates the queues. Waiting before running, each in
+  // queue order, keeps the cancel order deterministic.
+  std::vector<RequestId> expired;
+  for (const RequestId id : waiting_) {
+    const Request& r = Get(id);
+    if (r.deadline >= 0.0 && r.deadline <= now_) {
+      expired.push_back(id);
+    }
+  }
+  for (const RequestId id : running_) {
+    const Request& r = Get(id);
+    if (r.deadline >= 0.0 && r.deadline <= now_) {
+      expired.push_back(id);
+    }
+  }
+  for (const RequestId id : expired) {
+    metrics_.deadline_expirations += 1;
+    JENGA_CHECK(CancelRequest(id));
+  }
+}
+
+void Engine::MaybeShedHead() {
+  if (config_.shed_after_blocked_steps <= 0 || waiting_.empty()) {
+    return;
+  }
+  if (head_blocked_steps_ < config_.shed_after_blocked_steps) {
+    return;
+  }
+  // Only shed under genuine memory pressure: a head blocked below the watermark is waiting
+  // on a transient condition (e.g. a scheduled batch), not on an over-committed pool.
+  const KvManager::MemoryStats stats = kv_->GetMemoryStats();
+  if (stats.pool_bytes <= 0) {
+    return;
+  }
+  const double occupancy =
+      1.0 - static_cast<double>(stats.unallocated_bytes) / static_cast<double>(stats.pool_bytes);
+  if (occupancy < config_.shed_occupancy_watermark) {
+    return;
+  }
+  const RequestId head = waiting_.front();
+  Request& r = Get(head);
+  waiting_.pop_front();
+  r.swapped_out = false;
+  r.swapped_out_tokens = 0;
+  r.cancelled = true;
+  metrics_.shed_requests += 1;
+  metrics_.cancelled_requests += 1;
+  FinishRequest(r, /*failed=*/true);
+  head_blocked_steps_ = 0;
+}
+
+void Engine::SyncFaultMetrics() {
+  if (fault_ != nullptr) {
+    metrics_.faults_injected = fault_->total_fires();
+  }
+  if (swap_ != nullptr) {
+    const SwapManager::Stats& s = swap_->stats();
+    metrics_.fault_retries = s.fault_retries;
+    metrics_.fault_backoff_time = s.backoff_time;
+    metrics_.degraded_mode_transitions = s.degraded_transitions;
+  }
 }
 
 double Engine::MaybeEncodeVision(Request& r, int64_t chunk_begin, int64_t chunk_end) {
@@ -226,6 +336,16 @@ Engine::SwapAdmit Engine::TryAdmitFromSwap(Request& r, bool nothing_else_runnabl
   // Copy the set: restoring may evict cache pages into the host pool, which can LRU-evict
   // this set (and invalidate `set`) before the commit below.
   const HostSwapSet snapshot = *set;
+  if (!swap_->BeginSwapIn(r.id).ok()) {
+    // Injected H2D fault that survived its retries: the set is unusable — drop it and
+    // rebuild the request through normal (recompute) admission.
+    swap_->DropSwapSet(r.id);
+    r.swapped_out = false;
+    metrics_.swap_fallback_events += 1;
+    metrics_.recomputed_tokens += r.swapped_out_tokens;
+    r.swapped_out_tokens = 0;
+    return SwapAdmit::kFallthrough;
+  }
   const int64_t tokens = snapshot.tokens;
   JENGA_CHECK_EQ(static_cast<int64_t>(snapshot.fingerprints.size()), 1);
   if (kv_->CanAllocate(r, tokens) &&
@@ -262,6 +382,12 @@ Engine::SwapAdmit Engine::TryAdmitFromSwap(Request& r, bool nothing_else_runnabl
 bool Engine::StepOnce() {
   if (running_.empty() && waiting_.empty()) {
     return false;
+  }
+  if (has_deadlines_) {
+    ExpireDeadlines();
+  }
+  if (fault_ != nullptr && swap_ != nullptr) {
+    swap_->OnEngineStep();  // Host memory-pressure site (forced shrink / degrade).
   }
   // Fast-forward to the next arrival when idle.
   if (running_.empty()) {
@@ -313,16 +439,18 @@ bool Engine::StepOnce() {
   }
 
   // Phase 2: admissions.
+  bool head_blocked = false;
   while (budget > 0 && static_cast<int>(running_.size()) < max_num_seqs_ && !waiting_.empty()) {
     const RequestId id = waiting_.front();
     Request& r = Get(id);
     if (r.arrival_time > now_) {
-      break;
+      break;  // Future arrival, not memory pressure: never counts toward the shed gate.
     }
     if (swap_ != nullptr && r.swapped_out) {
       const SwapAdmit outcome =
           TryAdmitFromSwap(r, /*nothing_else_runnable=*/running_.empty() && scheduled.empty());
       if (outcome == SwapAdmit::kBlocked) {
+        head_blocked = true;
         break;
       }
       if (outcome == SwapAdmit::kAdmitted) {
@@ -340,6 +468,7 @@ bool Engine::StepOnce() {
         FinishRequest(r, /*failed=*/true);
         continue;
       }
+      head_blocked = true;
       break;
     }
     waiting_.pop_front();
@@ -356,6 +485,7 @@ bool Engine::StepOnce() {
         continue;
       }
       waiting_.push_front(id);
+      head_blocked = true;
       break;
     }
     r.state = RequestState::kRunning;
@@ -366,6 +496,13 @@ bool Engine::StepOnce() {
     vision_time += MaybeEncodeVision(r, r.num_computed_tokens, r.num_computed_tokens + n);
     budget -= n;
     scheduled.push_back({id, n, true});
+  }
+
+  if (head_blocked) {
+    head_blocked_steps_ += 1;
+    MaybeShedHead();
+  } else {
+    head_blocked_steps_ = 0;
   }
 
   if (scheduled.empty()) {
@@ -385,11 +522,13 @@ bool Engine::StepOnce() {
     }
     if (next_arrival > now_) {
       now_ = next_arrival;
+      SyncFaultMetrics();
       return true;
     }
     // All waiting requests have arrived but none was schedulable. Either decodes blocked on a
     // transiently full pool (running non-empty — retry next step) or this step only drained
     // failed requests and the queues are settling.
+    SyncFaultMetrics();
     return true;
   }
 
@@ -413,33 +552,44 @@ bool Engine::StepOnce() {
   }
   now_ += step_time;
 
+  // The step's GPU time is spent either way; on an injected step fault its results are lost,
+  // so the commit below is skipped. Allocations are target-based (AllocateForTokens is
+  // idempotent at an unchanged num_computed_tokens), so retrying the same chunk next step is
+  // safe and re-uses the pages taken this step.
+  const bool step_failed = gpu_.InjectStepFault();
+  if (step_failed) {
+    metrics_.gpu_step_faults += 1;
+  }
+
   // Phase 4: commit progress, emit tokens, finish requests.
-  for (const Scheduled& s : scheduled) {
-    Request& r = Get(s.id);
-    r.num_computed_tokens += s.tokens;
-    if (s.was_prefill) {
-      metrics_.prefill_tokens_computed += s.tokens;
-    }
-    kv_->OnStepComputed(r, tick_);
-    const int64_t effective_output = EffectiveOutputLen(r);
-    while (r.num_generated < effective_output &&
-           r.num_computed_tokens >= r.prompt_len() + r.num_generated) {
-      r.AppendGenerated(PseudoToken(r.id, r.prompt_len() + r.num_generated));
-      if (r.first_token_time < 0.0) {
-        r.first_token_time = now_;
+  if (!step_failed) {
+    for (const Scheduled& s : scheduled) {
+      Request& r = Get(s.id);
+      r.num_computed_tokens += s.tokens;
+      if (s.was_prefill) {
+        metrics_.prefill_tokens_computed += s.tokens;
       }
-    }
-    if (r.num_generated >= effective_output) {
-      kv_->Release(r, tick_, /*finished=*/true);
-      const auto it = std::find(running_.begin(), running_.end(), s.id);
-      JENGA_CHECK(it != running_.end());
-      running_.erase(it);
-      FinishRequest(r, /*failed=*/false);
+      kv_->OnStepComputed(r, tick_);
+      const int64_t effective_output = EffectiveOutputLen(r);
+      while (r.num_generated < effective_output &&
+             r.num_computed_tokens >= r.prompt_len() + r.num_generated) {
+        r.AppendGenerated(PseudoToken(r.id, r.prompt_len() + r.num_generated));
+        if (r.first_token_time < 0.0) {
+          r.first_token_time = now_;
+        }
+      }
+      if (r.num_generated >= effective_output) {
+        kv_->Release(r, tick_, /*finished=*/true);
+        const auto it = std::find(running_.begin(), running_.end(), s.id);
+        JENGA_CHECK(it != running_.end());
+        running_.erase(it);
+        FinishRequest(r, /*failed=*/false);
+      }
     }
   }
 
-  metrics_.RecordStep(now_, new_tokens, decode_batch, static_cast<int>(running_.size()),
-                      static_cast<int>(waiting_.size()));
+  metrics_.RecordStep(now_, step_failed ? 0 : new_tokens, step_failed ? 0 : decode_batch,
+                      static_cast<int>(running_.size()), static_cast<int>(waiting_.size()));
   if (config_.memory_sample_every > 0 &&
       metrics_.total_steps() % config_.memory_sample_every == 0) {
     const KvManager::MemoryStats stats = kv_->GetMemoryStats();
@@ -454,14 +604,69 @@ bool Engine::StepOnce() {
     sample.host_bytes = swap_ != nullptr ? swap_->host().used_bytes() : 0;
     metrics_.RecordMemory(sample);
   }
+  SyncFaultMetrics();
   return true;
+}
+
+void Engine::DumpStateForDebug(std::ostream& os) const {
+  os << "=== engine state dump ===\n";
+  os << "now=" << now_ << " tick=" << tick_ << " running=" << running_.size()
+     << " waiting=" << waiting_.size() << " finished=" << metrics_.finished().size() << "\n";
+  const KvManager::MemoryStats mem = kv_->GetMemoryStats();
+  os << "pool: bytes=" << mem.pool_bytes << " used=" << mem.used_bytes
+     << " needed=" << mem.needed_bytes << " cached=" << mem.cached_bytes
+     << " unallocated=" << mem.unallocated_bytes << "\n";
+  if (swap_ != nullptr) {
+    const SwapManager::Stats& s = swap_->stats();
+    os << "offload: degraded=" << (swap_->degraded() ? 1 : 0)
+       << " host_used=" << swap_->host().used_bytes()
+       << " host_cap=" << swap_->host().capacity_bytes() << " sets=" << swap_->host().num_sets()
+       << " pages=" << swap_->host().num_pages() << " swap_out=" << s.swap_out_events
+       << " swap_in=" << s.swap_in_events << " retries=" << s.fault_retries
+       << " backoff=" << s.backoff_time << " shrinks=" << s.host_shrinks << "\n";
+  }
+  if (fault_ != nullptr) {
+    os << "faults:";
+    for (int i = 0; i < kNumFaultSites; ++i) {
+      const FaultInjector::SiteCounters& c = fault_->counters(static_cast<FaultSite>(i));
+      os << " " << FaultSiteName(static_cast<FaultSite>(i)) << "=" << c.fires << "/"
+         << c.consults;
+    }
+    os << "\n";
+  }
+  os << "shed: head_blocked_steps=" << head_blocked_steps_
+     << " shed_requests=" << metrics_.shed_requests << "\n";
+  std::vector<RequestId> ids;
+  ids.reserve(requests_.size());
+  for (const auto& [id, r] : requests_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const RequestId id : ids) {
+    const Request& r = requests_.at(id);
+    const char* state = r.state == RequestState::kWaiting     ? "waiting"
+                        : r.state == RequestState::kRunning   ? "running"
+                        : r.state == RequestState::kPreempted ? "preempted"
+                                                              : "finished";
+    os << "  req " << id << ": state=" << state << " prompt=" << r.prompt_len()
+       << " output=" << r.output_len << " computed=" << r.num_computed_tokens
+       << " generated=" << r.num_generated << " preemptions=" << r.preemptions
+       << " swapped_out=" << (r.swapped_out ? 1 : 0) << " cancelled=" << (r.cancelled ? 1 : 0)
+       << " arrival=" << r.arrival_time << " deadline=" << r.deadline << "\n";
+  }
+  os << "=== end engine state dump ===\n";
 }
 
 void Engine::RunToCompletion(int64_t max_steps) {
   int64_t steps = 0;
   while (StepOnce()) {
     ++steps;
-    JENGA_CHECK_LT(steps, max_steps) << "engine did not converge";
+    if (steps >= max_steps) {
+      // Dump everything a postmortem needs before aborting: fuzz/chaos non-convergence must
+      // be debuggable from the log alone.
+      DumpStateForDebug(std::cerr);
+      JENGA_CHECK_LT(steps, max_steps) << "engine did not converge";
+    }
   }
 }
 

@@ -9,10 +9,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <ostream>
 #include <unordered_map>
 #include <vector>
 
 #include "src/engine/gpu.h"
+#include "src/fault/fault_injector.h"
 #include "src/engine/kv_manager.h"
 #include "src/engine/request.h"
 #include "src/metrics/metrics.h"
@@ -45,6 +47,15 @@ struct EngineConfig {
   // Host-memory KV offload tier (disabled by default; when disabled the engine is
   // byte-identical to the tier-less build).
   OffloadConfig offload;
+  // Fault injection (empty plan = disabled; the engine then constructs no injector and all
+  // consult sites short-circuit, keeping behavior byte-identical to the fault-less build).
+  FaultConfig fault;
+  // Load-shedding admission gate: when the head of the waiting queue has been blocked for
+  // this many consecutive steps while pool occupancy is at or above the watermark, fail it
+  // (vLLM-style abort) instead of letting it starve behind long-running requests.
+  // 0 disables the gate (default).
+  int shed_after_blocked_steps = 0;
+  double shed_occupancy_watermark = 0.95;
 };
 
 // Named engine profiles used in the Fig. 15 comparison.
@@ -65,6 +76,16 @@ class Engine {
 
   // Runs until every submitted request finished (or `max_steps` as a runaway guard).
   void RunToCompletion(int64_t max_steps = 2000000);
+
+  // Aborts a request in any state — waiting, running, preempted, or swapped out to the host
+  // tier — with full resource reclamation (GPU pages, allocator affinity state, host
+  // swap-set bytes). Safe at any point between steps. Returns false when the id is unknown
+  // or the request already finished.
+  bool CancelRequest(RequestId id);
+
+  // Writes a human-readable state dump (queues, pool occupancy, per-request progress, fault
+  // counters) — the non-convergence diagnostic, also handy from test failures.
+  void DumpStateForDebug(std::ostream& os) const;
 
   [[nodiscard]] double now() const { return now_; }
   [[nodiscard]] const EngineMetrics& metrics() const { return metrics_; }
@@ -91,6 +112,12 @@ class Engine {
   [[nodiscard]] int64_t EffectiveOutputLen(const Request& r) const;
   void Preempt(RequestId id);
   void FinishRequest(Request& r, bool failed);
+  // Cancels every unfinished request whose deadline has passed (same path as CancelRequest).
+  void ExpireDeadlines();
+  // Shed gate: called when the head of the waiting queue stayed blocked this step.
+  void MaybeShedHead();
+  // Copies injector/swap recovery counters into metrics_ (idempotent assignments).
+  void SyncFaultMetrics();
   [[nodiscard]] double MaybeEncodeVision(Request& r, int64_t chunk_begin, int64_t chunk_end);
 
   // Outcome of a swap-set re-admission attempt for the head of the waiting queue.
@@ -105,9 +132,12 @@ class Engine {
   GpuSim gpu_;
   std::unique_ptr<KvManager> kv_;
   std::unique_ptr<SwapManager> swap_;
+  std::unique_ptr<FaultInjector> fault_;  // nullptr when no faults are configured.
   int64_t reserved_bytes_ = 0;
   int max_batched_tokens_ = 0;
   int max_num_seqs_ = 0;
+  int head_blocked_steps_ = 0;
+  bool has_deadlines_ = false;
 
   std::unordered_map<RequestId, Request> requests_;
   std::deque<RequestId> waiting_;

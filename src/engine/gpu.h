@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/fault/fault_injector.h"
 #include "src/model/model_config.h"
 
 namespace jenga {
@@ -50,8 +51,16 @@ class GpuSim {
 
   [[nodiscard]] const GpuSpec& spec() const { return spec_; }
 
+  // Fault injection (nullptr = disabled). The engine consults InjectStepFault once per
+  // time-advancing step; true means the step's results are lost and must be recomputed.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+  [[nodiscard]] bool InjectStepFault() {
+    return fault_ != nullptr && fault_->Fire(FaultSite::kGpuStep);
+  }
+
  private:
   GpuSpec spec_;
+  FaultInjector* fault_ = nullptr;
   double model_params_ = 0.0;
   double vision_params_ = 0.0;
   int64_t weight_bytes_ = 0;

@@ -35,6 +35,9 @@ struct Request {
   Prompt prompt;
   int64_t output_len = 0;
   double arrival_time = 0.0;
+  // Absolute sim-time deadline; < 0 = none. When `now` passes it the engine cancels the
+  // request through the same path as CancelRequest().
+  double deadline = -1.0;
 
   RequestState state = RequestState::kWaiting;
   // Tokens (prompt + generated so far); generated ids are appended as they are produced so
@@ -53,6 +56,8 @@ struct Request {
   // instead of recomputing (`swapped_out_tokens` = num_computed_tokens at swap-out).
   bool swapped_out = false;
   int64_t swapped_out_tokens = 0;
+  // Aborted via CancelRequest (client cancel, deadline expiry, or load shed).
+  bool cancelled = false;
   int vision_encoder_runs = 0;
   // Encoder runs since the last (re-)admission; reset on preemption because the cached
   // embeddings are released with the request's pages.

@@ -1,6 +1,7 @@
 #include "src/engine/spec_decode.h"
 
 #include <algorithm>
+#include <iostream>
 #include <unordered_set>
 
 #include "src/baseline/smartspec.h"
@@ -110,11 +111,24 @@ SpecDecodeEngine::SpecDecodeEngine(SpecDecodeConfig config)
       managers_[m]->AttachOffload(swap_.get(), static_cast<int>(m));
     }
   }
+
+  if (config_.fault.enabled()) {
+    fault_ = std::make_unique<FaultInjector>(config_.fault);
+    // One consult per macro step through the target model's sim; a fired fault voids the
+    // whole draft+verify pass.
+    target_gpu_.set_fault_injector(fault_.get());
+    if (swap_ != nullptr) {
+      swap_->SetFaultInjector(fault_.get());
+    }
+  }
 }
 
 void SpecDecodeEngine::Submit(Request request) {
   const RequestId id = request.id;
   JENGA_CHECK(!requests_.contains(id));
+  if (request.deadline >= 0.0) {
+    has_deadlines_ = true;
+  }
   requests_.emplace(id, std::move(request));
   waiting_.push_back(id);
 }
@@ -172,7 +186,10 @@ void SpecDecodeEngine::Preempt(RequestId id) {
       fp.drop_recompute_bytes += kfp.drop_recompute_bytes;
       fp.fingerprints.push_back(kfp.fingerprint);
     }
-    if (swap_->ChoosePreemptMode(fp) == PreemptMode::kSwap && swap_->RecordSwapOut(id, fp)) {
+    // Injected transfer/host faults surface as a non-OK TryRecordSwapOut after retries; the
+    // fallback is the same recompute path a cost-crossover loss takes.
+    if (swap_->ChoosePreemptMode(fp) == PreemptMode::kSwap &&
+        swap_->TryRecordSwapOut(id, fp).ok()) {
       r.swapped_out = true;
       r.swapped_out_tokens = r.num_computed_tokens;
       metrics_.swap_out_events += 1;
@@ -212,12 +229,114 @@ void SpecDecodeEngine::FinishRequest(Request& r, bool failed) {
   record.first_token_time = r.first_token_time;
   record.finish_time = now_;
   record.failed = failed;
+  record.cancelled = r.cancelled;
   metrics_.RecordFinished(record);
+}
+
+bool SpecDecodeEngine::CancelRequest(RequestId id) {
+  const auto it = requests_.find(id);
+  if (it == requests_.end()) {
+    return false;
+  }
+  Request& r = it->second;
+  if (r.state == RequestState::kFinished) {
+    return false;
+  }
+  if (r.state == RequestState::kRunning) {
+    ReleaseAll(r, /*finished=*/true);
+    const auto pos = std::find(running_.begin(), running_.end(), id);
+    JENGA_CHECK(pos != running_.end());
+    running_.erase(pos);
+  } else {
+    // Waiting or preempted (possibly swapped out): no manager holds pages for it — every
+    // preemption path Releases before re-queueing. FinishRequest below reclaims the host
+    // swap set and affinity state.
+    const auto pos = std::find(waiting_.begin(), waiting_.end(), id);
+    JENGA_CHECK(pos != waiting_.end());
+    waiting_.erase(pos);
+    r.swapped_out = false;
+    r.swapped_out_tokens = 0;
+  }
+  r.cancelled = true;
+  metrics_.cancelled_requests += 1;
+  FinishRequest(r, /*failed=*/true);
+  return true;
+}
+
+void SpecDecodeEngine::ExpireDeadlines() {
+  std::vector<RequestId> expired;
+  for (const RequestId id : waiting_) {
+    const Request& r = Get(id);
+    if (r.deadline >= 0.0 && r.deadline <= now_) {
+      expired.push_back(id);
+    }
+  }
+  for (const RequestId id : running_) {
+    const Request& r = Get(id);
+    if (r.deadline >= 0.0 && r.deadline <= now_) {
+      expired.push_back(id);
+    }
+  }
+  for (const RequestId id : expired) {
+    metrics_.deadline_expirations += 1;
+    JENGA_CHECK(CancelRequest(id));
+  }
+}
+
+void SpecDecodeEngine::MaybeShedHead() {
+  if (config_.shed_after_blocked_steps <= 0 || waiting_.empty()) {
+    return;
+  }
+  if (head_blocked_steps_ < config_.shed_after_blocked_steps) {
+    return;
+  }
+  // Shed only under genuine memory pressure; with several managers the most constrained one
+  // governs admission, so take the max occupancy.
+  double occupancy = 0.0;
+  for (const auto& manager : managers_) {
+    const KvManager::MemoryStats stats = manager->GetMemoryStats();
+    if (stats.pool_bytes <= 0) {
+      continue;
+    }
+    occupancy = std::max(occupancy, 1.0 - static_cast<double>(stats.unallocated_bytes) /
+                                              static_cast<double>(stats.pool_bytes));
+  }
+  if (occupancy < config_.shed_occupancy_watermark) {
+    return;
+  }
+  const RequestId head = waiting_.front();
+  Request& r = Get(head);
+  waiting_.pop_front();
+  r.swapped_out = false;
+  r.swapped_out_tokens = 0;
+  r.cancelled = true;
+  metrics_.shed_requests += 1;
+  metrics_.cancelled_requests += 1;
+  FinishRequest(r, /*failed=*/true);
+  head_blocked_steps_ = 0;
+}
+
+void SpecDecodeEngine::SyncFaultMetrics() {
+  if (fault_ != nullptr) {
+    metrics_.faults_injected = fault_->total_fires();
+  }
+  if (swap_ != nullptr) {
+    const SwapManager::Stats& s = swap_->stats();
+    metrics_.fault_retries = s.fault_retries;
+    metrics_.fault_backoff_time = s.backoff_time;
+    metrics_.degraded_mode_transitions = s.degraded_transitions;
+  }
 }
 
 bool SpecDecodeEngine::StepOnce() {
   if (running_.empty() && waiting_.empty()) {
     return false;
+  }
+  if (has_deadlines_) {
+    ExpireDeadlines();
+  }
+  if (fault_ != nullptr && swap_ != nullptr) {
+    swap_->OnEngineStep();  // Host memory-pressure site (forced shrink / degrade).
   }
   ++tick_;
 
@@ -243,6 +362,7 @@ bool SpecDecodeEngine::StepOnce() {
   }
 
   // Phase 2: admissions.
+  bool head_blocked = false;
   while (budget > 0 && static_cast<int>(running_.size()) < max_num_seqs_ && !waiting_.empty()) {
     const RequestId id = waiting_.front();
     Request& r = Get(id);
@@ -254,6 +374,13 @@ bool SpecDecodeEngine::StepOnce() {
         // Copy the set: each manager's restore may evict cache pages into the host pool,
         // which can LRU-evict this set (and invalidate `set`) before the commit below.
         snapshot = *set;
+        if (!swap_->BeginSwapIn(id).ok()) {
+          // Injected H2D fault that survived its retries: the set is unusable — fall through
+          // to the recompute path below instead of head-of-line blocking.
+          set = nullptr;
+        }
+      }
+      if (set != nullptr) {
         const int64_t tokens = snapshot.tokens;
         JENGA_CHECK_EQ(snapshot.fingerprints.size(), managers_.size());
         bool can = true;
@@ -277,6 +404,7 @@ bool SpecDecodeEngine::StepOnce() {
           }
         }
         if (!restored && !running_.empty()) {
+          head_blocked = true;
           break;  // Head-of-line blocking; retry once decodes free memory.
         }
       }
@@ -316,6 +444,7 @@ bool SpecDecodeEngine::StepOnce() {
         FinishRequest(r, /*failed=*/true);
         continue;
       }
+      head_blocked = true;
       break;
     }
     waiting_.pop_front();
@@ -329,6 +458,7 @@ bool SpecDecodeEngine::StepOnce() {
         continue;
       }
       waiting_.push_front(id);
+      head_blocked = true;
       break;
     }
     r.state = RequestState::kRunning;
@@ -341,6 +471,13 @@ bool SpecDecodeEngine::StepOnce() {
     budget -= n;
     prefill_tokens += n;
     prefilled_this_step.insert(id);
+  }
+
+  if (head_blocked) {
+    head_blocked_steps_ += 1;
+    MaybeShedHead();
+  } else {
+    head_blocked_steps_ = 0;
   }
 
   // Phase 3: decode macro step — draft proposes, target verifies, accepted tokens commit.
@@ -398,10 +535,12 @@ bool SpecDecodeEngine::StepOnce() {
     // running request so the head of the line can progress.
     if (!running_.empty()) {
       Preempt(running_.back());
+      SyncFaultMetrics();
       return true;
     }
     // Either the head of the waiting line retries next step, or every remaining request was
     // failed at admission above and no work remains.
+    SyncFaultMetrics();
     return !waiting_.empty();
   }
 
@@ -425,6 +564,19 @@ bool SpecDecodeEngine::StepOnce() {
     step_time += stall;
   }
   now_ += step_time;
+
+  // A fired GPU step fault voids the whole draft+verify pass: the Phase 5 commit is skipped,
+  // and the appended-but-uncommitted decode tokens recover through the Phase 1 recompute path
+  // next step (the same mechanism a mid-decode self-preemption relies on — their pages are
+  // already allocated, so the retry is cheap). Prefill commits in Phases 1–2 are inline and
+  // survive the fault.
+  if (target_gpu_.InjectStepFault()) {
+    metrics_.gpu_step_faults += 1;
+    metrics_.RecordStep(now_, prefill_tokens, 0, static_cast<int>(running_.size()),
+                        static_cast<int>(waiting_.size()));
+    SyncFaultMetrics();
+    return true;
+  }
 
   // Phase 5: commit.
   int64_t emitted_total = 0;
@@ -457,14 +609,72 @@ bool SpecDecodeEngine::StepOnce() {
   metrics_.RecordStep(now_, prefill_tokens + emitted_total,
                       static_cast<int>(decode_emits.size()), static_cast<int>(running_.size()),
                       static_cast<int>(waiting_.size()));
+  SyncFaultMetrics();
   return true;
+}
+
+void SpecDecodeEngine::DumpStateForDebug(std::ostream& os) const {
+  os << "=== spec-decode engine state dump ===\n";
+  os << "strategy=" << SpecStrategyName(config_.strategy) << " now=" << now_
+     << " tick=" << tick_ << " running=" << running_.size() << " waiting=" << waiting_.size()
+     << " finished=" << metrics_.finished().size() << "\n";
+  for (size_t m = 0; m < managers_.size(); ++m) {
+    const KvManager::MemoryStats mem = managers_[m]->GetMemoryStats();
+    os << "pool[" << m << "]: bytes=" << mem.pool_bytes << " used=" << mem.used_bytes
+       << " needed=" << mem.needed_bytes << " cached=" << mem.cached_bytes
+       << " unallocated=" << mem.unallocated_bytes << "\n";
+  }
+  if (swap_ != nullptr) {
+    const SwapManager::Stats& s = swap_->stats();
+    os << "offload: degraded=" << (swap_->degraded() ? 1 : 0)
+       << " host_used=" << swap_->host().used_bytes()
+       << " host_cap=" << swap_->host().capacity_bytes() << " sets=" << swap_->host().num_sets()
+       << " pages=" << swap_->host().num_pages() << " swap_out=" << s.swap_out_events
+       << " swap_in=" << s.swap_in_events << " retries=" << s.fault_retries
+       << " backoff=" << s.backoff_time << " shrinks=" << s.host_shrinks << "\n";
+  }
+  if (fault_ != nullptr) {
+    os << "faults:";
+    for (int i = 0; i < kNumFaultSites; ++i) {
+      const FaultInjector::SiteCounters& c = fault_->counters(static_cast<FaultSite>(i));
+      os << " " << FaultSiteName(static_cast<FaultSite>(i)) << "=" << c.fires << "/"
+         << c.consults;
+    }
+    os << "\n";
+  }
+  os << "shed: head_blocked_steps=" << head_blocked_steps_
+     << " shed_requests=" << metrics_.shed_requests << "\n";
+  std::vector<RequestId> ids;
+  ids.reserve(requests_.size());
+  for (const auto& [id, r] : requests_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const RequestId id : ids) {
+    const Request& r = requests_.at(id);
+    const char* state = r.state == RequestState::kWaiting     ? "waiting"
+                        : r.state == RequestState::kRunning   ? "running"
+                        : r.state == RequestState::kPreempted ? "preempted"
+                                                              : "finished";
+    os << "  req " << id << ": state=" << state << " prompt=" << r.prompt_len()
+       << " output=" << r.output_len << " computed=" << r.num_computed_tokens
+       << " generated=" << r.num_generated << " preemptions=" << r.preemptions
+       << " swapped_out=" << (r.swapped_out ? 1 : 0) << " cancelled=" << (r.cancelled ? 1 : 0)
+       << " arrival=" << r.arrival_time << " deadline=" << r.deadline << "\n";
+  }
+  os << "=== end spec-decode engine state dump ===\n";
 }
 
 void SpecDecodeEngine::RunToCompletion(int64_t max_steps) {
   int64_t steps = 0;
   while (StepOnce()) {
     ++steps;
-    JENGA_CHECK_LT(steps, max_steps) << "spec-decode engine did not converge";
+    if (steps >= max_steps) {
+      // Dump everything a postmortem needs before aborting: fuzz/chaos non-convergence must
+      // be debuggable from the log alone.
+      DumpStateForDebug(std::cerr);
+      JENGA_CHECK_LT(steps, max_steps) << "spec-decode engine did not converge";
+    }
   }
 }
 

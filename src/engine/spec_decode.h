@@ -15,11 +15,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <ostream>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/random.h"
 #include "src/engine/gpu.h"
+#include "src/fault/fault_injector.h"
 #include "src/engine/kv_manager.h"
 #include "src/engine/request.h"
 #include "src/metrics/metrics.h"
@@ -45,6 +47,11 @@ struct SpecDecodeConfig {
   // Host-memory KV offload tier (disabled by default). With multiple managers the swap set
   // covers both models' KV; all managers must restore together.
   OffloadConfig offload;
+  // Fault injection (empty plan = disabled) and the load-shedding admission gate; see
+  // EngineConfig for semantics.
+  FaultConfig fault;
+  int shed_after_blocked_steps = 0;
+  double shed_occupancy_watermark = 0.95;
 };
 
 class SpecDecodeEngine {
@@ -54,6 +61,13 @@ class SpecDecodeEngine {
   void Submit(Request request);
   bool StepOnce();
   void RunToCompletion(int64_t max_steps = 1000000);
+
+  // Aborts a request in any state with full resource reclamation across all managers and the
+  // host tier; same contract as Engine::CancelRequest.
+  bool CancelRequest(RequestId id);
+
+  // Non-convergence / test-failure diagnostic dump.
+  void DumpStateForDebug(std::ostream& os) const;
 
   [[nodiscard]] double now() const { return now_; }
   [[nodiscard]] const EngineMetrics& metrics() const { return metrics_; }
@@ -76,6 +90,9 @@ class SpecDecodeEngine {
   void AdmitAll(Request& r);
   void Preempt(RequestId id);
   void FinishRequest(Request& r, bool failed);
+  void ExpireDeadlines();
+  void MaybeShedHead();
+  void SyncFaultMetrics();
 
   SpecDecodeConfig config_;
   GpuSim target_gpu_;
@@ -83,8 +100,11 @@ class SpecDecodeEngine {
   // One merged manager (kJenga / kVllmMax) or [target, draft] managers (kVllmManual).
   std::vector<std::unique_ptr<KvManager>> managers_;
   std::unique_ptr<SwapManager> swap_;
+  std::unique_ptr<FaultInjector> fault_;  // nullptr when no faults are configured.
   int max_num_seqs_ = 0;
   int max_batched_tokens_ = 0;
+  int head_blocked_steps_ = 0;
+  bool has_deadlines_ = false;
 
   Rng rng_;
   std::unordered_map<RequestId, Request> requests_;

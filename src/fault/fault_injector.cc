@@ -1,0 +1,164 @@
+#include "src/fault/fault_injector.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace jenga {
+
+namespace {
+
+constexpr const char* kSiteNames[kNumFaultSites] = {
+    "pcie_d2h", "pcie_h2d", "pcie_timeout", "host_alloc", "host_shrink", "gpu_step",
+};
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  const int i = static_cast<int>(site);
+  JENGA_CHECK(i >= 0 && i < kNumFaultSites) << "bad fault site " << i;
+  return kSiteNames[i];
+}
+
+FaultSite FaultSiteFromName(const std::string& name) {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    if (name == kSiteNames[i]) return static_cast<FaultSite>(i);
+  }
+  return FaultSite::kNumSites;
+}
+
+bool FaultPlan::empty() const {
+  for (const FaultSpec& spec : specs) {
+    if (spec.armed()) return false;
+  }
+  return true;
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream out;
+  bool first = true;
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    const FaultSpec& spec = specs[i];
+    if (!spec.armed()) continue;
+    if (spec.probability > 0.0) {
+      out << (first ? "" : ",") << kSiteNames[i] << ":p=" << spec.probability;
+      first = false;
+    }
+    if (spec.at_consult >= 0) {
+      out << (first ? "" : ",") << kSiteNames[i] << ":at=" << spec.at_consult;
+      first = false;
+    }
+    if (spec.every > 0) {
+      out << (first ? "" : ",") << kSiteNames[i] << ":every=" << spec.every;
+      first = false;
+    }
+  }
+  return out.str();
+}
+
+Status FaultPlan::Parse(const std::string& text, FaultPlan* plan) {
+  FaultPlan parsed;
+  std::istringstream stream(text);
+  std::string entry;
+  while (std::getline(stream, entry, ',')) {
+    if (entry.empty()) continue;
+    const size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("fault plan entry missing ':': \"" + entry + "\"");
+    }
+    const std::string site_name = entry.substr(0, colon);
+    const FaultSite site = FaultSiteFromName(site_name);
+    if (site == FaultSite::kNumSites) {
+      return Status::InvalidArgument("unknown fault site: \"" + site_name + "\"");
+    }
+    const std::string trigger = entry.substr(colon + 1);
+    const size_t eq = trigger.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault trigger missing '=': \"" + entry + "\"");
+    }
+    const std::string kind = trigger.substr(0, eq);
+    const std::string value_text = trigger.substr(eq + 1);
+    FaultSpec& spec = parsed.spec(site);
+    char* end = nullptr;
+    if (kind == "p") {
+      const double p = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument("bad fault probability: \"" + entry + "\"");
+      }
+      spec.probability = p;
+    } else if (kind == "at") {
+      const long long at = std::strtoll(value_text.c_str(), &end, 10);
+      if (end == value_text.c_str() || *end != '\0' || at < 0) {
+        return Status::InvalidArgument("bad fault consult index: \"" + entry + "\"");
+      }
+      spec.at_consult = at;
+    } else if (kind == "every") {
+      const long long every = std::strtoll(value_text.c_str(), &end, 10);
+      if (end == value_text.c_str() || *end != '\0' || every <= 0) {
+        return Status::InvalidArgument("bad fault interval: \"" + entry + "\"");
+      }
+      spec.every = every;
+    } else {
+      return Status::InvalidArgument("unknown fault trigger kind: \"" + entry + "\"");
+    }
+  }
+  *plan = parsed;
+  return Status::Ok();
+}
+
+Status FaultConfigFromEnv(FaultConfig* config) {
+  FaultConfig parsed;
+  if (const char* plan_text = std::getenv("JENGA_FAULT_PLAN")) {
+    Status status = FaultPlan::Parse(plan_text, &parsed.plan);
+    if (!status.ok()) return status;
+  }
+  if (const char* seed_text = std::getenv("JENGA_FAULT_SEED")) {
+    char* end = nullptr;
+    parsed.seed = std::strtoull(seed_text, &end, 0);
+    if (end == seed_text || *end != '\0') {
+      return Status::InvalidArgument(std::string("bad JENGA_FAULT_SEED: \"") + seed_text + "\"");
+    }
+  }
+  *config = parsed;
+  return Status::Ok();
+}
+
+namespace {
+
+// Decorrelated per-site streams: Fork() derives the child from the parent's current state
+// without advancing it, so every site stream depends only on (seed, site index).
+std::array<Rng, kNumFaultSites> MakeStreams(uint64_t seed) {
+  static_assert(kNumFaultSites == 6, "update MakeStreams when adding fault sites");
+  Rng root(seed);
+  return {root.Fork(0), root.Fork(1), root.Fork(2), root.Fork(3), root.Fork(4), root.Fork(5)};
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config), streams_(MakeStreams(config.seed)) {}
+
+bool FaultInjector::Fire(FaultSite site) {
+  const int i = static_cast<int>(site);
+  JENGA_CHECK(i >= 0 && i < kNumFaultSites) << "bad fault site " << i;
+  SiteCounters& counters = counters_[i];
+  const int64_t consult = counters.consults;
+  counters.consults += 1;
+  const FaultSpec& spec = config_.plan.specs[i];
+  bool fire = false;
+  if (spec.at_consult >= 0 && consult == spec.at_consult) fire = true;
+  if (spec.every > 0 && (consult + 1) % spec.every == 0) fire = true;
+  // Always draw when a probability is armed, even if a scheduled trigger already fired: the
+  // site's random stream position must depend only on its consult count, never on which
+  // triggers matched, so replays and plan edits stay deterministic.
+  if (spec.probability > 0.0 && streams_[i].Bernoulli(spec.probability)) fire = true;
+  if (fire) counters.fires += 1;
+  return fire;
+}
+
+int64_t FaultInjector::total_fires() const {
+  int64_t total = 0;
+  for (const SiteCounters& c : counters_) total += c.fires;
+  return total;
+}
+
+}  // namespace jenga

@@ -24,6 +24,9 @@ struct RequestRecord {
   double first_token_time = 0.0;
   double finish_time = 0.0;
   bool failed = false;
+  // Aborted via CancelRequest (client cancel, deadline expiry, or load shed). Cancelled
+  // requests are always also `failed`.
+  bool cancelled = false;
 
   [[nodiscard]] double E2eLatency() const { return finish_time - arrival_time; }
   [[nodiscard]] double Ttft() const { return first_token_time - arrival_time; }
@@ -85,6 +88,15 @@ class EngineMetrics {
   int64_t swap_fallback_events = 0;  // Chose/held a swap set but had to recompute anyway.
   int64_t recomputed_tokens = 0;     // Computed tokens discarded by recompute preemptions.
   double swap_stall_time = 0.0;      // Engine time stalled on PCIe transfers.
+  // Fault injection & recovery (all zero when no faults are configured).
+  int64_t faults_injected = 0;        // Injector fires across all sites.
+  int64_t fault_retries = 0;          // Transfer retries after injected PCIe errors.
+  double fault_backoff_time = 0.0;    // Sim time spent waiting out retries/timeouts.
+  int64_t gpu_step_faults = 0;        // Steps whose results were discarded and recomputed.
+  int64_t shed_requests = 0;          // Requests failed by the admission shed gate.
+  int64_t degraded_mode_transitions = 0;  // Offload tier detached (GPU-only fallback).
+  int64_t cancelled_requests = 0;     // CancelRequest() aborts (incl. deadline expiries).
+  int64_t deadline_expirations = 0;   // Subset of cancellations caused by deadlines.
 
  private:
   std::vector<RequestRecord> finished_;

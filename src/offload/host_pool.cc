@@ -44,8 +44,46 @@ void HostPool::Unlink(uint64_t seq) {
   lru_.erase(it);
 }
 
+void HostPool::ForceShrink(int64_t new_capacity_bytes) {
+  JENGA_CHECK_GE(new_capacity_bytes, 0);
+  capacity_bytes_ = new_capacity_bytes;
+  MakeRoom(0);
+}
+
+void HostPool::Clear() {
+  while (!lru_.empty()) {
+    const auto oldest = lru_.begin();
+    const LruRef ref = oldest->second;
+    lru_.erase(oldest);
+    if (ref.is_set) {
+      const auto it = sets_.find(ref.id);
+      JENGA_CHECK(it != sets_.end());
+      used_bytes_ -= it->second.set.bytes;
+      if (audit_ != nullptr) {
+        audit_->OnHostSetRemoved(ref.id, it->second.set.bytes, /*evicted=*/false);
+      }
+      sets_.erase(it);
+    } else {
+      const auto it = pages_.find(ref.key);
+      JENGA_CHECK(it != pages_.end());
+      used_bytes_ -= it->second.page.bytes;
+      if (audit_ != nullptr) {
+        audit_->OnHostPageRemoved(ref.key.manager, ref.key.group, ref.key.hash,
+                                  it->second.page.bytes, /*evicted=*/false);
+      }
+      pages_.erase(it);
+    }
+  }
+  JENGA_CHECK_EQ(used_bytes_, 0);
+}
+
 bool HostPool::PutSwapSet(RequestId id, HostSwapSet set) {
   JENGA_CHECK_GE(set.bytes, 0);
+  if (fault_ != nullptr && fault_->Fire(FaultSite::kHostPoolAlloc)) {
+    injected_failures_ += 1;
+    rejected_inserts_ += 1;
+    return false;
+  }
   if (set.bytes > capacity_bytes_) {
     rejected_inserts_ += 1;
     return false;
@@ -72,6 +110,11 @@ bool HostPool::PutSwapSet(RequestId id, HostSwapSet set) {
 
 bool HostPool::PutPage(const PageKey& key, HostCachePage page) {
   JENGA_CHECK_GE(page.bytes, 0);
+  if (fault_ != nullptr && fault_->Fire(FaultSite::kHostPoolAlloc)) {
+    injected_failures_ += 1;
+    rejected_inserts_ += 1;
+    return false;
+  }
   if (page.bytes > capacity_bytes_) {
     rejected_inserts_ += 1;
     return false;

@@ -21,6 +21,7 @@
 
 #include "src/core/audit_events.h"
 #include "src/core/types.h"
+#include "src/fault/fault_injector.h"
 
 namespace jenga {
 
@@ -68,6 +69,14 @@ class HostPool {
   bool EraseSwapSet(RequestId id);
   bool ErasePage(const PageKey& key);
 
+  // Memory-pressure spike: shrinks capacity and LRU-evicts overflow through the audited
+  // eviction path. Shrinking to 0 empties the pool.
+  void ForceShrink(int64_t new_capacity_bytes);
+
+  // Drops every entry through the audited (non-eviction) removal path; used when the engine
+  // degrades to GPU-only mode and the tier detaches.
+  void Clear();
+
   [[nodiscard]] int64_t capacity_bytes() const { return capacity_bytes_; }
   [[nodiscard]] int64_t used_bytes() const { return used_bytes_; }
   [[nodiscard]] int64_t num_sets() const { return static_cast<int64_t>(sets_.size()); }
@@ -78,9 +87,15 @@ class HostPool {
   [[nodiscard]] int64_t pages_evicted() const { return pages_evicted_; }
   [[nodiscard]] int64_t bytes_evicted() const { return bytes_evicted_; }
   [[nodiscard]] int64_t rejected_inserts() const { return rejected_inserts_; }
+  // Inserts rejected by an injected kHostPoolAlloc fault (subset of rejected_inserts()).
+  [[nodiscard]] int64_t injected_failures() const { return injected_failures_; }
 
   // Audit observation of every insert/erase/LRU-eviction (nullptr = detached).
   void set_audit_sink(AuditSink* sink) { audit_ = sink; }
+
+  // Fault injection (nullptr = disabled). Consulted at the top of every Put*, before any
+  // state is touched, so a fired fault leaves the pool exactly as it was.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
 
  private:
   friend class AllocatorAuditor;
@@ -117,6 +132,7 @@ class HostPool {
   int64_t used_bytes_ = 0;
   uint64_t next_seq_ = 1;
   AuditSink* audit_ = nullptr;
+  FaultInjector* fault_ = nullptr;
   std::unordered_map<RequestId, SetEntry> sets_;
   std::unordered_map<PageKey, PageEntry, PageKeyHash> pages_;
   std::map<uint64_t, LruRef> lru_;
@@ -125,6 +141,7 @@ class HostPool {
   int64_t pages_evicted_ = 0;
   int64_t bytes_evicted_ = 0;
   int64_t rejected_inserts_ = 0;
+  int64_t injected_failures_ = 0;
 };
 
 }  // namespace jenga

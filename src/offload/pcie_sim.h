@@ -17,6 +17,9 @@
 
 #include <cstdint>
 
+#include "src/common/status.h"
+#include "src/fault/fault_injector.h"
+
 namespace jenga {
 
 struct PcieSpec {
@@ -28,7 +31,12 @@ struct PcieSpec {
   double per_transfer_latency = 1.5e-3;
   // Fraction of concurrent compute time a transfer can hide behind (copy-engine overlap).
   double overlap_fraction = 0.5;
+  // Budget a hung transfer burns before the engine gives up on it (injected kPcieTimeout
+  // faults charge exactly this much stall).
+  double timeout_seconds = 0.05;
 };
+
+enum class PcieDirection { kH2D, kD2H };
 
 class PcieSim {
  public:
@@ -60,10 +68,33 @@ class PcieSim {
     return transfer_time > hidden ? transfer_time - hidden : 0.0;
   }
 
+  // Fault injection (nullptr = disabled; BeginTransfer is then an unconditional OK).
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+
+  // Consults the injector for one swap-event transfer in `dir`. Returns:
+  //   OK                — the transfer proceeds,
+  //   UNAVAILABLE       — injected link error; the caller may retry with backoff,
+  //   DEADLINE_EXCEEDED — injected hang; the caller charges spec().timeout_seconds and
+  //                       gives up on this transfer (retrying a hung link is pointless).
+  [[nodiscard]] Status BeginTransfer(PcieDirection dir) {
+    if (fault_ == nullptr) {
+      return Status::Ok();
+    }
+    const FaultSite site = dir == PcieDirection::kH2D ? FaultSite::kPcieH2D : FaultSite::kPcieD2H;
+    if (fault_->Fire(site)) {
+      return Status::Unavailable("injected PCIe transfer error");
+    }
+    if (fault_->Fire(FaultSite::kPcieTimeout)) {
+      return Status::DeadlineExceeded("injected PCIe transfer timeout");
+    }
+    return Status::Ok();
+  }
+
   [[nodiscard]] const PcieSpec& spec() const { return spec_; }
 
  private:
   PcieSpec spec_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace jenga

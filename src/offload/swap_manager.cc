@@ -17,7 +17,7 @@ struct SwapManager::ManagerSink final : CacheEvictionSink {
 
   void OnCacheEvicted(int group_index, BlockHash hash, int64_t page_bytes,
                       int64_t prefix_length, Tick last_access) override {
-    if (!owner->config_.host_prefix_cache) {
+    if (!owner->config_.host_prefix_cache || owner->degraded_) {
       return;
     }
     JENGA_CHECK_LT(static_cast<size_t>(group_index), group_swap_eligible.size());
@@ -31,10 +31,15 @@ struct SwapManager::ManagerSink final : CacheEvictionSink {
     page.bytes = page_bytes;
     page.prefix_length = prefix_length;
     page.evicted_at = last_access;
+    const int64_t injected_before = owner->host_.injected_failures();
     if (owner->host_.PutPage({manager_index, group_index, hash}, page)) {
       owner->pending_transfer_ += owner->pcie_.D2HStreamTime(page_bytes);
       owner->stats_.host_pages_stored += 1;
       owner->stats_.swap_out_bytes += page_bytes;
+    } else if (owner->host_.injected_failures() > injected_before) {
+      // Injected allocation failure: the page is simply not parked (second-chance is an
+      // optimization, losing one page is safe), but repeated failures degrade the tier.
+      owner->OnInjectedHostFailure();
     }
   }
 };
@@ -89,7 +94,7 @@ double SwapManager::SwapRoundTripTime(const SwapFootprint& fp) const {
 }
 
 PreemptMode SwapManager::ChoosePreemptMode(const SwapFootprint& fp) const {
-  if (!config_.swap_preemption || fp.swappable_bytes <= 0 ||
+  if (degraded_ || !config_.swap_preemption || fp.swappable_bytes <= 0 ||
       fp.swappable_bytes > host_.capacity_bytes()) {
     return PreemptMode::kRecompute;
   }
@@ -98,20 +103,109 @@ PreemptMode SwapManager::ChoosePreemptMode(const SwapFootprint& fp) const {
              : PreemptMode::kRecompute;
 }
 
-bool SwapManager::RecordSwapOut(RequestId id, const SwapFootprint& fp) {
+void SwapManager::SetFaultInjector(FaultInjector* injector) {
+  fault_ = injector;
+  pcie_.set_fault_injector(injector);
+  host_.set_fault_injector(injector);
+}
+
+Status SwapManager::BeginTransferWithRetry(PcieDirection dir) {
+  double backoff = config_.retry_backoff_base;
+  double total_backoff = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    const Status transfer = pcie_.BeginTransfer(dir);
+    if (transfer.ok()) {
+      return transfer;
+    }
+    if (transfer.code() == StatusCode::kDeadlineExceeded) {
+      // Hung transfer: the engine waits out the timeout budget and gives up on this leg —
+      // retrying a hung link immediately is pointless.
+      pending_backoff_ += pcie_.spec().timeout_seconds;
+      stats_.backoff_time += pcie_.spec().timeout_seconds;
+      return transfer;
+    }
+    // Transient link error: retry with exponential backoff until the attempt or the
+    // per-operation backoff budget runs out.
+    if (attempt >= config_.max_transfer_retries ||
+        total_backoff + backoff > config_.max_total_backoff) {
+      return transfer;
+    }
+    stats_.fault_retries += 1;
+    pending_backoff_ += backoff;
+    stats_.backoff_time += backoff;
+    total_backoff += backoff;
+    backoff *= 2.0;
+  }
+}
+
+void SwapManager::OnInjectedHostFailure() {
+  stats_.host_failures += 1;
+  if (stats_.host_failures >= config_.degrade_after_host_failures) {
+    DegradeToGpuOnly();
+  }
+}
+
+Status SwapManager::TryRecordSwapOut(RequestId id, const SwapFootprint& fp) {
+  if (degraded_) {
+    return Status::FailedPrecondition("offload tier degraded to GPU-only mode");
+  }
+  const Status transfer = BeginTransferWithRetry(PcieDirection::kD2H);
+  if (!transfer.ok()) {
+    return transfer;
+  }
   HostSwapSet set;
   set.bytes = fp.swappable_bytes;
   set.tokens = fp.tokens;
   set.resident_bytes = fp.resident_bytes;
   set.drop_recompute_bytes = fp.drop_recompute_bytes;
   set.fingerprints = fp.fingerprints;
+  const int64_t injected_before = host_.injected_failures();
   if (!host_.PutSwapSet(id, std::move(set))) {
-    return false;
+    if (host_.injected_failures() > injected_before) {
+      OnInjectedHostFailure();
+      return Status::ResourceExhausted("injected host-pool allocation failure");
+    }
+    return Status::ResourceExhausted("swap set exceeds host pool capacity");
   }
   pending_transfer_ += pcie_.D2HTime(fp.swappable_bytes);
   stats_.swap_out_events += 1;
   stats_.swap_out_bytes += fp.swappable_bytes;
-  return true;
+  return Status::Ok();
+}
+
+Status SwapManager::BeginSwapIn(RequestId id) {
+  (void)id;
+  if (degraded_) {
+    return Status::FailedPrecondition("offload tier degraded to GPU-only mode");
+  }
+  return BeginTransferWithRetry(PcieDirection::kH2D);
+}
+
+void SwapManager::OnEngineStep() {
+  if (fault_ == nullptr || degraded_) {
+    return;
+  }
+  if (!fault_->Fire(FaultSite::kHostPoolShrink)) {
+    return;
+  }
+  const int64_t new_capacity = host_.capacity_bytes() / 2;
+  if (new_capacity < config_.min_host_pool_bytes) {
+    DegradeToGpuOnly();
+    return;
+  }
+  host_.ForceShrink(new_capacity);
+  stats_.host_shrinks += 1;
+}
+
+void SwapManager::DegradeToGpuOnly() {
+  if (degraded_) {
+    return;
+  }
+  degraded_ = true;
+  stats_.degraded_transitions += 1;
+  // Drain the tier through the audited removal paths so the auditor's shadow model stays
+  // consistent; in-flight transfer/backoff time still gets drained by the next ConsumeStall.
+  host_.Clear();
 }
 
 const HostSwapSet* SwapManager::PeekSwapSet(RequestId id) const {
@@ -137,7 +231,7 @@ void SwapManager::DropSwapSet(RequestId id) { host_.EraseSwapSet(id); }
 
 const HostCachePage* SwapManager::LookupHostPage(int manager_index, int group,
                                                  BlockHash hash) const {
-  if (!config_.host_prefix_cache) {
+  if (!config_.host_prefix_cache || degraded_) {
     return nullptr;
   }
   return host_.FindPage({manager_index, group, hash});
@@ -153,13 +247,16 @@ void SwapManager::OnHostPagePromoted(int manager_index, int group, BlockHash has
 }
 
 double SwapManager::ConsumeStall(double compute_time) {
-  if (pending_transfer_ <= 0.0) {
+  if (pending_transfer_ <= 0.0 && pending_backoff_ <= 0.0) {
     return 0.0;
   }
-  const double stall = pcie_.StallTime(pending_transfer_, compute_time);
+  // Transfers hide behind compute up to the overlap fraction; backoff is pure engine wait
+  // (nothing is on the wire) and never overlaps.
+  const double stall = pcie_.StallTime(pending_transfer_, compute_time) + pending_backoff_;
   stats_.transfer_time += pending_transfer_;
   stats_.stall_time += stall;
   pending_transfer_ = 0.0;
+  pending_backoff_ = 0.0;
   return stall;
 }
 

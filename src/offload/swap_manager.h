@@ -27,7 +27,9 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/core/types.h"
+#include "src/fault/fault_injector.h"
 #include "src/offload/host_pool.h"
 #include "src/offload/pcie_sim.h"
 
@@ -42,6 +44,17 @@ struct OffloadConfig {
   // Mechanism switches (both on by default when the tier is enabled).
   bool swap_preemption = true;
   bool host_prefix_cache = true;
+  // Recovery knobs, only exercised when a FaultInjector is attached:
+  // retries after an injected PCIe link error, with exponential sim-time backoff capped at
+  // max_total_backoff per operation.
+  int max_transfer_retries = 3;
+  double retry_backoff_base = 1e-3;
+  double max_total_backoff = 0.1;
+  // After this many injected host-pool allocation failures the tier degrades to GPU-only
+  // mode (drains and detaches; see DegradeToGpuOnly).
+  int degrade_after_host_failures = 3;
+  // A forced-shrink fault below this capacity degrades instead of shrinking further.
+  int64_t min_host_pool_bytes = 4096;
 };
 
 // GPU-side constants of the recompute cost model; the engine fills these from its GpuSpec and
@@ -96,9 +109,20 @@ class SwapManager {
   // --- Swap-set lifecycle (engine-driven) ---
 
   // Stores the footprint in the host pool (LRU-evicting as needed) and charges the D2H
-  // transfer. Returns false when the set cannot fit at all — the engine falls back to
-  // recompute. ChoosePreemptMode never picks kSwap in that case, so false is defensive.
-  bool RecordSwapOut(RequestId id, const SwapFootprint& fp);
+  // transfer. Non-OK — injected transfer fault that exhausted its retries/backoff budget,
+  // injected host-pool failure, set larger than the pool, or a degraded tier — means nothing
+  // was stored and the engine falls back to recompute. Without a FaultInjector attached this
+  // only fails for oversized sets (defensive: ChoosePreemptMode never picks kSwap then).
+  [[nodiscard]] Status TryRecordSwapOut(RequestId id, const SwapFootprint& fp);
+  // Legacy bool wrapper.
+  bool RecordSwapOut(RequestId id, const SwapFootprint& fp) {
+    return TryRecordSwapOut(id, fp).ok();
+  }
+
+  // Consults the injector for the H2D leg of a swap-in, with the same retry/backoff policy
+  // as TryRecordSwapOut. Call before KvManager::RestoreFromSwap; a non-OK status means the
+  // engine should drop the set and recompute instead.
+  [[nodiscard]] Status BeginSwapIn(RequestId id);
 
   // Swap set still resident in host memory, if any (nullptr after LRU eviction).
   [[nodiscard]] const HostSwapSet* PeekSwapSet(RequestId id) const;
@@ -121,7 +145,9 @@ class SwapManager {
 
   // --- Time accounting ---
 
-  [[nodiscard]] bool HasPendingTransfer() const { return pending_transfer_ > 0.0; }
+  [[nodiscard]] bool HasPendingTransfer() const {
+    return pending_transfer_ > 0.0 || pending_backoff_ > 0.0;
+  }
   // Drains pending transfer time against `compute_time` of overlappable step compute and
   // returns the engine stall (see PcieSim::StallTime).
   double ConsumeStall(double compute_time);
@@ -135,7 +161,13 @@ class SwapManager {
     int64_t host_pages_promoted = 0;  // Host pages that produced a GPU cache hit.
     int64_t host_bytes_promoted = 0;
     double transfer_time = 0.0;  // Total PCIe busy time.
-    double stall_time = 0.0;     // Portion that stalled the engine.
+    double stall_time = 0.0;     // Portion that stalled the engine (incl. retry backoff).
+    // Fault recovery (all zero without an attached FaultInjector).
+    int64_t fault_retries = 0;        // Transfer retries after injected link errors.
+    double backoff_time = 0.0;        // Sim time spent in retry backoff / timeout waits.
+    int64_t host_failures = 0;        // Injected host-pool allocation failures observed.
+    int64_t host_shrinks = 0;         // Forced capacity halvings survived.
+    int64_t degraded_transitions = 0; // 0 or 1: the tier detached into GPU-only mode.
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const HostPool& host() const { return host_; }
@@ -144,6 +176,24 @@ class SwapManager {
 
   // Installs an audit observer on the host pool (nullptr detaches).
   void SetAuditSink(AuditSink* sink) { host_.set_audit_sink(sink); }
+
+  // --- Fault injection & graceful degradation ---
+
+  // Wires the injector into the PCIe model, the host pool, and this manager's own
+  // shrink/degrade sites (nullptr detaches everywhere).
+  void SetFaultInjector(FaultInjector* injector);
+
+  // Called once per engine step (only when an injector is attached): consults the
+  // kHostPoolShrink site and halves the pool under pressure; shrinking below
+  // OffloadConfig::min_host_pool_bytes degrades to GPU-only instead.
+  void OnEngineStep();
+
+  // Detaches the tier: drains every swap set and parked cache page through the audited
+  // removal paths, then refuses all future swaps (ChoosePreemptMode → kRecompute, lookups
+  // miss, the eviction sink no-ops). Swapped-out requests recover through the existing
+  // missing-set recompute fallback. Idempotent.
+  void DegradeToGpuOnly();
+  [[nodiscard]] bool degraded() const { return degraded_; }
 
  private:
   friend class AllocatorAuditor;
@@ -154,8 +204,18 @@ class SwapManager {
   SwapCostParams cost_;
   PcieSim pcie_;
   HostPool host_;
+  // Shared retry loop for one transfer leg; accumulates backoff into pending_backoff_.
+  [[nodiscard]] Status BeginTransferWithRetry(PcieDirection dir);
+  // Injected host-pool failure bookkeeping (degrades after the configured threshold).
+  void OnInjectedHostFailure();
+
   std::vector<std::unique_ptr<ManagerSink>> sinks_;  // One per registered KvManager.
+  FaultInjector* fault_ = nullptr;
+  bool degraded_ = false;
   double pending_transfer_ = 0.0;
+  // Retry/timeout waits accumulated since the last ConsumeStall. Unlike transfers, backoff
+  // cannot hide behind compute: the engine is waiting, not copying.
+  double pending_backoff_ = 0.0;
   Stats stats_;
 };
 

@@ -1,0 +1,69 @@
+// Status / StatusOr: the recoverable-error vocabulary used by the fault-injection and
+// offload recovery paths.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/status.h"
+
+namespace jenga {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, NamedConstructorsCarryCodeAndMessage) {
+  const Status s = Status::Unavailable("injected PCIe transfer error");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.message(), "injected PCIe transfer error");
+  EXPECT_EQ(s.ToString(), "UNAVAILABLE: injected PCIe transfer error");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kCancelled, StatusCode::kInvalidArgument,
+        StatusCode::kDeadlineExceeded, StatusCode::kNotFound, StatusCode::kResourceExhausted,
+        StatusCode::kFailedPrecondition, StatusCode::kUnavailable, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::ResourceExhausted("a"), Status::ResourceExhausted("b"));
+  EXPECT_NE(Status::ResourceExhausted(), Status::Unavailable());
+  EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(Status, StreamOperatorPrintsToString) {
+  std::ostringstream out;
+  out << Status::DeadlineExceeded("timed out");
+  EXPECT_EQ(out.str(), "DEADLINE_EXCEEDED: timed out");
+}
+
+TEST(StatusOr, HoldsValueOnSuccess) {
+  const StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusOr, PropagatesError) {
+  const StatusOr<std::string> result = Status::NotFound("no such swap set");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> result = std::string("payload");
+  ASSERT_TRUE(result.ok());
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+}  // namespace
+}  // namespace jenga

@@ -1,0 +1,188 @@
+// FaultInjector: plan parsing, trigger semantics, and the determinism contract the chaos
+// tier depends on — a (plan, seed) pair replays the exact same fault sequence, and a site's
+// stream position depends only on its own consult count.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+
+namespace jenga {
+namespace {
+
+FaultConfig MakeConfig(const std::string& plan_text, uint64_t seed = 7) {
+  FaultConfig config;
+  JENGA_CHECK(FaultPlan::Parse(plan_text, &config.plan).ok()) << plan_text;
+  config.seed = seed;
+  return config;
+}
+
+TEST(FaultPlan, SiteNamesRoundTrip) {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    const FaultSite site = static_cast<FaultSite>(i);
+    EXPECT_EQ(FaultSiteFromName(FaultSiteName(site)), site);
+  }
+  EXPECT_EQ(FaultSiteFromName("no_such_site"), FaultSite::kNumSites);
+}
+
+TEST(FaultPlan, ParsesAllTriggerKinds) {
+  FaultPlan plan;
+  ASSERT_TRUE(FaultPlan::Parse("pcie_d2h:p=0.25,gpu_step:at=3,host_alloc:every=10", &plan).ok());
+  EXPECT_DOUBLE_EQ(plan.spec(FaultSite::kPcieD2H).probability, 0.25);
+  EXPECT_EQ(plan.spec(FaultSite::kGpuStep).at_consult, 3);
+  EXPECT_EQ(plan.spec(FaultSite::kHostPoolAlloc).every, 10);
+  EXPECT_FALSE(plan.spec(FaultSite::kPcieH2D).armed());
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, RepeatedSiteMergesTriggers) {
+  FaultPlan plan;
+  ASSERT_TRUE(FaultPlan::Parse("pcie_h2d:p=0.1,pcie_h2d:at=7", &plan).ok());
+  EXPECT_DOUBLE_EQ(plan.spec(FaultSite::kPcieH2D).probability, 0.1);
+  EXPECT_EQ(plan.spec(FaultSite::kPcieH2D).at_consult, 7);
+}
+
+TEST(FaultPlan, ToStringRoundTrips) {
+  FaultPlan plan;
+  ASSERT_TRUE(
+      FaultPlan::Parse("pcie_timeout:p=0.5,host_shrink:every=4,gpu_step:at=0", &plan).ok());
+  FaultPlan reparsed;
+  ASSERT_TRUE(FaultPlan::Parse(plan.ToString(), &reparsed).ok());
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    const FaultSite site = static_cast<FaultSite>(i);
+    EXPECT_DOUBLE_EQ(reparsed.spec(site).probability, plan.spec(site).probability);
+    EXPECT_EQ(reparsed.spec(site).at_consult, plan.spec(site).at_consult);
+    EXPECT_EQ(reparsed.spec(site).every, plan.spec(site).every);
+  }
+}
+
+TEST(FaultPlan, RejectsMalformedInput) {
+  FaultPlan plan;
+  EXPECT_EQ(FaultPlan::Parse("bogus_site:p=0.5", &plan).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::Parse("pcie_d2h:q=0.5", &plan).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::Parse("pcie_d2h:p=nope", &plan).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::Parse("pcie_d2h", &plan).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::Parse("pcie_d2h:p=2.0", &plan).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::Parse("gpu_step:every=-1", &plan).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultPlan, EmptyPlanDisablesConfig) {
+  FaultPlan plan;
+  ASSERT_TRUE(FaultPlan::Parse("", &plan).ok());
+  EXPECT_TRUE(plan.empty());
+  FaultConfig config;
+  EXPECT_FALSE(config.enabled());
+}
+
+TEST(FaultInjector, ScheduledConsultFiresExactlyOnce) {
+  FaultInjector injector(MakeConfig("gpu_step:at=2"));
+  std::vector<bool> fires;
+  for (int i = 0; i < 6; ++i) {
+    fires.push_back(injector.Fire(FaultSite::kGpuStep));
+  }
+  EXPECT_EQ(fires, (std::vector<bool>{false, false, true, false, false, false}));
+  EXPECT_EQ(injector.counters(FaultSite::kGpuStep).consults, 6);
+  EXPECT_EQ(injector.counters(FaultSite::kGpuStep).fires, 1);
+  EXPECT_EQ(injector.total_fires(), 1);
+}
+
+TEST(FaultInjector, PeriodicTriggerFiresEveryN) {
+  FaultInjector injector(MakeConfig("host_shrink:every=3"));
+  int fires = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (injector.Fire(FaultSite::kHostPoolShrink)) {
+      ++fires;
+      EXPECT_EQ(i % 3, 2) << "fired off-period at consult " << i;
+    }
+  }
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(FaultInjector, ProbabilityOneAlwaysFiresAndZeroNever) {
+  FaultInjector always(MakeConfig("pcie_d2h:p=1.0"));
+  FaultInjector never(MakeConfig("pcie_h2d:at=1000000"));  // Armed but unreachable.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(always.Fire(FaultSite::kPcieD2H));
+    EXPECT_FALSE(never.Fire(FaultSite::kPcieH2D));
+  }
+  // Unarmed sites never fire regardless of consults.
+  EXPECT_FALSE(always.Fire(FaultSite::kGpuStep));
+}
+
+TEST(FaultInjector, SameSeedReplaysIdenticalFireSequence) {
+  const FaultConfig config = MakeConfig("pcie_d2h:p=0.3,gpu_step:p=0.1", 99);
+  FaultInjector a(config);
+  FaultInjector b(config);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.Fire(FaultSite::kPcieD2H), b.Fire(FaultSite::kPcieD2H));
+    EXPECT_EQ(a.Fire(FaultSite::kGpuStep), b.Fire(FaultSite::kGpuStep));
+  }
+  EXPECT_EQ(a.total_fires(), b.total_fires());
+}
+
+TEST(FaultInjector, SiteStreamsAreIndependent) {
+  // The fire pattern at one site must not change when another site is consulted in between:
+  // per-site streams are forked from the seed, so stream position depends only on the site's
+  // own consult count. This is what makes replays stable under schedule edits.
+  const FaultConfig config = MakeConfig("pcie_d2h:p=0.4,gpu_step:p=0.4", 123);
+  FaultInjector alone(config);
+  FaultInjector interleaved(config);
+  for (int i = 0; i < 200; ++i) {
+    const bool expected = alone.Fire(FaultSite::kPcieD2H);
+    (void)interleaved.Fire(FaultSite::kGpuStep);  // Extra consults elsewhere.
+    (void)interleaved.Fire(FaultSite::kGpuStep);
+    EXPECT_EQ(interleaved.Fire(FaultSite::kPcieD2H), expected) << "at consult " << i;
+  }
+}
+
+TEST(FaultInjector, ScheduledFireDoesNotShiftProbabilityStream) {
+  // A consult that fires via at=/every= still draws its Bernoulli sample, so the probability
+  // stream stays aligned with a plan that lacks the scheduled trigger.
+  FaultInjector plain(MakeConfig("pcie_d2h:p=0.5", 42));
+  FaultInjector scheduled(MakeConfig("pcie_d2h:p=0.5,pcie_d2h:at=3", 42));
+  for (int i = 0; i < 100; ++i) {
+    const bool p = plain.Fire(FaultSite::kPcieD2H);
+    const bool s = scheduled.Fire(FaultSite::kPcieD2H);
+    if (i == 3) {
+      EXPECT_TRUE(s);
+    } else {
+      EXPECT_EQ(s, p) << "streams diverged at consult " << i;
+    }
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  FaultInjector a(MakeConfig("gpu_step:p=0.5", 1));
+  FaultInjector b(MakeConfig("gpu_step:p=0.5", 2));
+  int differences = 0;
+  for (int i = 0; i < 200; ++i) {
+    differences += a.Fire(FaultSite::kGpuStep) != b.Fire(FaultSite::kGpuStep) ? 1 : 0;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(FaultConfigFromEnv, ReadsPlanAndSeed) {
+  ASSERT_EQ(setenv("JENGA_FAULT_PLAN", "pcie_d2h:p=0.5,gpu_step:at=4", 1), 0);
+  ASSERT_EQ(setenv("JENGA_FAULT_SEED", "0xBEEF", 1), 0);
+  FaultConfig config;
+  ASSERT_TRUE(FaultConfigFromEnv(&config).ok());
+  EXPECT_TRUE(config.enabled());
+  EXPECT_DOUBLE_EQ(config.plan.spec(FaultSite::kPcieD2H).probability, 0.5);
+  EXPECT_EQ(config.plan.spec(FaultSite::kGpuStep).at_consult, 4);
+  EXPECT_EQ(config.seed, 0xBEEFull);
+
+  ASSERT_EQ(setenv("JENGA_FAULT_PLAN", "not a plan", 1), 0);
+  EXPECT_EQ(FaultConfigFromEnv(&config).code(), StatusCode::kInvalidArgument);
+
+  unsetenv("JENGA_FAULT_PLAN");
+  unsetenv("JENGA_FAULT_SEED");
+  FaultConfig empty;
+  ASSERT_TRUE(FaultConfigFromEnv(&empty).ok());
+  EXPECT_FALSE(empty.enabled());
+}
+
+}  // namespace
+}  // namespace jenga
