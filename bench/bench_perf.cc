@@ -9,6 +9,7 @@
 //   --out <path>       output JSON path (default: BENCH_perf.json in the working directory)
 //   --baseline <path>  prior bench_perf JSON; its "current" section becomes our "baseline"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -23,8 +24,10 @@
 #include "src/core/evictor.h"
 #include "src/core/jenga_allocator.h"
 #include "src/engine/engine.h"
+#include "src/engine/kv_manager.h"
 #include "src/model/kv_spec.h"
 #include "src/model/model_zoo.h"
+#include "src/offload/swap_manager.h"
 #include "src/workload/datasets.h"
 
 namespace jenga {
@@ -120,6 +123,86 @@ double MicroCacheChurn(int64_t iters) {
   }
   const auto end = Clock::now();
   return static_cast<double>(iters) / Seconds(begin, end);
+}
+
+// Prompt with deterministic all-text tokens; `tag` separates prefix classes.
+Prompt ChurnPrompt(int tag, int len) {
+  Prompt prompt;
+  prompt.tokens.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    prompt.tokens.push_back(tag * 100000 + i);
+  }
+  return prompt;
+}
+
+// Cache churn seen through the full manager with the host offload tier attached: admission
+// (§5.2 hit scan), allocation, hash registration, release-to-cache, with evictions spilling
+// to the host pool and later admissions promoting host-resident pages back (PromoteHostHits).
+// Counts admission cycles per second.
+double MicroCacheChurnOffload(int64_t cycles) {
+  const KvSpec spec = TwoGroupSpec();
+  KvManager::Options options;
+  options.tokens_per_page = 16;
+  KvManager kv(spec, spec, 8LL << 20, options);
+  OffloadConfig offload;
+  offload.enabled = true;
+  offload.host_pool_bytes = 4LL << 20;
+  SwapCostParams cost;
+  cost.flops_per_token = 1e9;
+  cost.gpu_flops = 1e15;
+  cost.gpu_mem_bandwidth = 3e12;
+  cost.chunk_tokens = 512;
+  SwapManager swap(offload, cost);
+  kv.AttachOffload(&swap, 0);
+
+  constexpr int kPrompts = 8;   // Shared prefix classes cycling through a pool ~3 requests wide.
+  constexpr int kLen = 512;
+  std::vector<Prompt> prompts;
+  prompts.reserve(kPrompts);
+  for (int p = 0; p < kPrompts; ++p) {
+    prompts.push_back(ChurnPrompt(p, kLen));
+  }
+  Tick now = 0;
+  const auto begin = Clock::now();
+  for (int64_t i = 0; i < cycles; ++i) {
+    Request r = MakeRequest(static_cast<RequestId>(i), prompts[static_cast<size_t>(i % kPrompts)],
+                            /*output_len=*/1, 0.0);
+    ++now;
+    kv.OnAdmit(r, now);
+    if (kv.AllocateForTokens(r, kLen - r.num_computed_tokens, now)) {
+      r.num_computed_tokens = kLen;
+      kv.OnStepComputed(r, now);
+    }
+    kv.Release(r, now, /*finished=*/true);
+  }
+  const auto end = Clock::now();
+  return static_cast<double>(cycles) / Seconds(begin, end);
+}
+
+// The admission fast path itself: preempt → re-admit cycles of one long-prompt request.
+// Memoized hash chains make each re-admission O(blocks) lookups instead of re-hashing the
+// whole prompt per group. Counts re-admission cycles per second.
+double MicroAdmissionReadmit(int64_t cycles) {
+  const KvSpec spec = TwoGroupSpec();
+  KvManager::Options options;
+  options.tokens_per_page = 16;
+  KvManager kv(spec, spec, 64LL << 20, options);
+  constexpr int kLen = 4096;
+  Request r = MakeRequest(/*id=*/7, ChurnPrompt(0, kLen), /*output_len=*/1, 0.0);
+  Tick now = 0;
+  const auto begin = Clock::now();
+  for (int64_t i = 0; i < cycles; ++i) {
+    ++now;
+    kv.OnAdmit(r, now);
+    if (kv.AllocateForTokens(r, kLen - r.num_computed_tokens, now)) {
+      r.num_computed_tokens = kLen;
+      kv.OnStepComputed(r, now);
+    }
+    kv.Release(r, now, /*finished=*/false);  // Preemption: the request id stays live.
+  }
+  const auto end = Clock::now();
+  kv.OnRequestRetired(7);
+  return static_cast<double>(cycles) / Seconds(begin, end);
 }
 
 // The eviction queue alone: steady-state rekeys with periodic pop/reinsert, over a resident
@@ -224,22 +307,44 @@ struct E2eResult {
   int64_t steps = 0;
   double seconds = 0.0;
   double steps_per_s = 0.0;
+  double step_p50_us = 0.0;
+  double step_p95_us = 0.0;
 };
 
 E2eResult RunE2e(const E2eSpec& spec) {
   EngineConfig config = JengaProfile(spec.model, H100());
   config.memory_sample_every = 0;
   Engine engine(std::move(config));
+  std::vector<double> step_seconds;
+  step_seconds.reserve(1 << 16);
   const auto begin = Clock::now();
   for (const Request& r : spec.requests) {
     engine.Submit(r);
   }
-  engine.RunToCompletion();
+  // Manual step loop (vs RunToCompletion) so each scheduler step gets a latency sample.
+  auto last = Clock::now();
+  for (int64_t guard = 0; guard < 2000000; ++guard) {
+    if (!engine.StepOnce()) {
+      break;
+    }
+    const auto stamp = Clock::now();
+    step_seconds.push_back(Seconds(last, stamp));
+    last = stamp;
+  }
   const auto end = Clock::now();
   E2eResult result;
   result.steps = engine.metrics().total_steps();
   result.seconds = Seconds(begin, end);
   result.steps_per_s = static_cast<double>(result.steps) / result.seconds;
+  if (!step_seconds.empty()) {
+    std::sort(step_seconds.begin(), step_seconds.end());
+    const auto pct = [&step_seconds](double q) {
+      const size_t at = static_cast<size_t>(q * static_cast<double>(step_seconds.size() - 1));
+      return step_seconds[at] * 1e6;
+    };
+    result.step_p50_us = pct(0.50);
+    result.step_p95_us = pct(0.95);
+  }
   return result;
 }
 
@@ -340,7 +445,36 @@ bool WriteJson(const std::string& path, const std::string& mode,
   return true;
 }
 
-bool Run(bool quick, const std::string& out_path, const std::string& baseline_path) {
+// Perf gate (check.sh): every micro.* metric present in both runs must stay within
+// `kGateTolerance` of the baseline. E2e metrics are reported but not gated — they move with
+// machine load; the micros are tight loops whose regressions are real.
+constexpr double kGateTolerance = 0.90;
+
+bool GatePasses(const std::map<std::string, double>& baseline,
+                const std::map<std::string, double>& current) {
+  bool ok = true;
+  for (const auto& [key, base] : baseline) {
+    if (key.rfind("micro.", 0) != 0 || base <= 0) {
+      continue;
+    }
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      std::printf("gate: MISSING %s (present in baseline)\n", key.c_str());
+      ok = false;
+      continue;
+    }
+    const double ratio = it->second / base;
+    if (ratio < kGateTolerance) {
+      std::printf("gate: FAIL %s %.3g -> %.3g (%.2fx < %.2fx)\n", key.c_str(), base, it->second,
+                  ratio, kGateTolerance);
+      ok = false;
+    }
+  }
+  std::printf("gate: %s\n", ok ? "PASS" : "FAIL");
+  return ok;
+}
+
+bool Run(bool quick, bool gate, const std::string& out_path, const std::string& baseline_path) {
   PrintHeader(std::string("bench_perf: allocator + engine hot-path trajectory (") +
               (quick ? "quick" : "full") + " mode)");
   std::map<std::string, double> current;
@@ -355,6 +489,8 @@ bool Run(bool quick, const std::string& out_path, const std::string& baseline_pa
       {"micro.alloc_release.ops_per_s", MicroAllocRelease(125000 * scale)},
       {"micro.alloc_burst_free.ops_per_s", MicroAllocBurstFree(64 * scale)},
       {"micro.cache_churn.ops_per_s", MicroCacheChurn(125000 * scale)},
+      {"micro.cache_churn_offload.ops_per_s", MicroCacheChurnOffload(1500 * scale)},
+      {"micro.admission_readmit.ops_per_s", MicroAdmissionReadmit(1500 * scale)},
       {"micro.evictor_churn.ops_per_s", MicroEvictorChurn(250000 * scale)},
       {"micro.meta_reads.ops_per_s", MicroMetaReads(1250000 * scale)},
   };
@@ -372,10 +508,14 @@ bool Run(bool quick, const std::string& out_path, const std::string& baseline_pa
   for (const E2eSpec& spec : MakeE2eSpecs(quick)) {
     const E2eResult result = RunE2e(spec);
     current["e2e." + spec.key + ".steps_per_s"] = result.steps_per_s;
+    current["e2e." + spec.key + ".step_p50_us"] = result.step_p50_us;
+    current["e2e." + spec.key + ".step_p95_us"] = result.step_p95_us;
     PrintRow({{34, spec.key},
               {10, FmtI(result.steps)},
               {12, Fmt("%.2fs", result.seconds)},
-              {16, Fmt("%.1f", result.steps_per_s)}});
+              {16, Fmt("%.1f", result.steps_per_s)},
+              {20, "p50/p95 " + Fmt("%.0f/", result.step_p50_us) +
+                       Fmt("%.0fus", result.step_p95_us)}});
   }
 
   std::map<std::string, double> baseline;
@@ -403,7 +543,17 @@ bool Run(bool quick, const std::string& out_path, const std::string& baseline_pa
     }
   }
 
-  return WriteJson(out_path, quick ? "quick" : "full", baseline, current);
+  if (!WriteJson(out_path, quick ? "quick" : "full", baseline, current)) {
+    return false;
+  }
+  if (gate) {
+    if (baseline.empty()) {
+      std::printf("gate: FAIL (no readable baseline at %s)\n", baseline_path.c_str());
+      return false;
+    }
+    return GatePasses(baseline, current);
+  }
+  return true;
 }
 
 }  // namespace
@@ -411,19 +561,23 @@ bool Run(bool quick, const std::string& out_path, const std::string& baseline_pa
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool gate = false;
   std::string out_path = "BENCH_perf.json";
   std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--gate") == 0) {
+      gate = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out path] [--baseline path]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--gate] [--out path] [--baseline path]\n",
+                   argv[0]);
       return 2;
     }
   }
-  return jenga::Run(quick, out_path, baseline_path) ? 0 : 1;
+  return jenga::Run(quick, gate, out_path, baseline_path) ? 0 : 1;
 }

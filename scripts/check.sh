@@ -18,19 +18,37 @@ ctest --test-dir "$build" -L tier1 --output-on-failure -j "$(nproc)"
 
 # Fuzz smoke: deterministic seeds, ~10 s. Covers Engine and SpecDecodeEngine with the
 # offload tier on and off; see TESTING.md for reproducing a failure from its seed.
+# JENGA_CHECK_ADMISSION cross-checks the fused admission hit scan against the
+# materialized-bitmap reference on every admission.
+JENGA_CHECK_ADMISSION=1 \
 JENGA_FUZZ_SCHEDULES="${JENGA_FUZZ_SCHEDULES:-3000}" "$build/tests/engine_fuzz_test"
 
 # Chaos smoke: the same schedule model with the fault-injection layer armed (PCIe errors and
 # timeouts, host-pool failures and shrinks, GPU step faults, deadlines, cancels, load shed).
 # Deterministic seeds; see TESTING.md for replaying a failure.
+JENGA_CHECK_ADMISSION=1 \
 JENGA_CHAOS_SCHEDULES="${JENGA_CHAOS_SCHEDULES:-3000}" "$build/tests/engine_chaos_test"
 
 # Disabled-injector overhead must be noise-level (the table's "armed tax" column).
 "$build/bench/bench_chaos" --quick
 
-# Perf smoke: quick mode, scratch output (ignored by git; the tracked BENCH_perf.json
-# at the repo root is only regenerated deliberately via a full --baseline run).
-"$build/bench/bench_perf" --quick --out "$build/BENCH_perf_quick.json"
+# Perf gate: quick mode against the committed quick baseline; every micro.* metric must stay
+# within 10% of BENCH_perf_quick.json. Best-of-3 damps scheduler noise — one passing run is
+# enough. (The tracked BENCH_perf.json full-mode trajectory is only regenerated deliberately
+# via a full --baseline run.)
+perf_gate_ok=0
+for attempt in 1 2 3; do
+  if "$build/bench/bench_perf" --quick --gate --baseline "$repo/BENCH_perf_quick.json" \
+      --out "$build/BENCH_perf_quick.json"; then
+    perf_gate_ok=1
+    break
+  fi
+  echo "check.sh: perf gate attempt $attempt failed, retrying"
+done
+if [[ "$perf_gate_ok" != "1" ]]; then
+  echo "check.sh: perf gate failed (3 attempts)" >&2
+  exit 1
+fi
 
 if [[ "${JENGA_SKIP_SANITIZERS:-0}" != "1" ]]; then
   sanitizer_build="${build}-asan"

@@ -42,6 +42,9 @@ struct AllocatorAuditor::Tap final : AuditSink {
   void OnRequestForgotten(int /*group*/, RequestId /*request*/) override {
     owner->events_observed_ += 1;
   }
+  void OnBulkAllocate(int group, RequestId request, int64_t count) override {
+    owner->HandleBulkAllocate(index, group, request, count);
+  }
   void OnEvictorInsert(int group, SmallPageId page, Tick last_access,
                        int64_t prefix_length) override {
     owner->HandleEvictorInsert(index, group, page, last_access, prefix_length);
@@ -240,6 +243,32 @@ void AllocatorAuditor::HandlePageClaimed(size_t a, int g, SmallPageId page, Requ
   }
   slot->state = PageState::kUsed;
   slot->assoc = request;
+}
+
+void AllocatorAuditor::HandleBulkAllocate(size_t a, int g, RequestId request, int64_t count) {
+  events_observed_ += 1;
+  if (count <= 0) {
+    std::ostringstream os;
+    os << "[alloc" << a << "/group" << g << "] bulk allocate of " << count << " pages";
+    EventError(os.str());
+    return;
+  }
+  // Every page of the bulk was announced through the per-page events first; the shadow must
+  // therefore already show at least `count` used pages held by this request in the group.
+  const ShadowGroup& shadow = allocs_[a]->groups[static_cast<size_t>(g)];
+  int64_t held = 0;
+  for (const auto& [page, slot] : shadow.slots) {
+    if (slot.state == PageState::kUsed && slot.assoc == request) {
+      ++held;
+    }
+  }
+  if (held < count) {
+    std::ostringstream os;
+    os << "[alloc" << a << "/group" << g << "] bulk allocate reported " << count
+       << " pages for request " << request << " but the shadow shows only " << held
+       << " used pages held by it";
+    EventError(os.str());
+  }
 }
 
 void AllocatorAuditor::HandlePageRevived(size_t a, int g, SmallPageId page) {

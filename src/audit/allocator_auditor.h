@@ -117,6 +117,7 @@ class AllocatorAuditor {
   void HandleLargeAcquired(size_t a, int g, LargePageId large, RequestId request);
   void HandleLargeReleased(size_t a, int g, LargePageId large);
   void HandlePageClaimed(size_t a, int g, SmallPageId page, RequestId request);
+  void HandleBulkAllocate(size_t a, int g, RequestId request, int64_t count);
   void HandlePageRevived(size_t a, int g, SmallPageId page);
   void HandlePageCached(size_t a, int g, SmallPageId page);
   void HandlePageEmptied(size_t a, int g, SmallPageId page);

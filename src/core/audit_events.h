@@ -41,6 +41,11 @@ class AuditSink {
   virtual void OnPageEvicted(int /*group*/, SmallPageId /*page*/) {}
   // The request's affinity free list was dropped (request id retired).
   virtual void OnRequestForgotten(int /*group*/, RequestId /*request*/) {}
+  // An AllocateN call completed: `count` pages were claimed for `request` in one pass, each
+  // already announced through the per-page events above (claims, acquisitions, evictions) in
+  // exactly the order `count` single Allocate calls would have produced. Lets the auditor
+  // cross-check the bulk path against its per-page shadow state.
+  virtual void OnBulkAllocate(int /*group*/, RequestId /*request*/, int64_t /*count*/) {}
 
   // --- Evictor transitions ---
 

@@ -33,6 +33,48 @@ uint64_t Mix64(uint64_t x) {
 
 }  // namespace
 
+bool BlockHitResolver::IsHit(int64_t block) {
+  JENGA_CHECK_GE(block, 0);
+  JENGA_CHECK_LT(block, num_blocks());
+  int8_t& s = state_[static_cast<size_t>(block)];
+  if (s == kUnknown) {
+    s = probe_(block) ? 1 : 0;
+  }
+  return s == 1;
+}
+
+bool BlockHitResolver::AnyMiss(int64_t lo, int64_t hi) {
+  lo = std::max<int64_t>(lo, 0);
+  hi = std::min<int64_t>(hi, num_blocks());
+  if (lo >= hi) {
+    return false;
+  }
+  if (hi <= contig_hits_) {
+    return false;  // Entirely inside the known all-hit prefix.
+  }
+  if (lo <= contig_hits_) {
+    // The query spans the frontier of the contiguous prefix: the answer is decided by whether
+    // the first miss of the stream falls before hi. Extend the frontier toward hi.
+    if (first_miss_known_) {
+      return true;  // Block contig_hits_ is the first miss and contig_hits_ < hi.
+    }
+    while (contig_hits_ < hi) {
+      if (!IsHit(contig_hits_)) {
+        first_miss_known_ = true;
+        return true;
+      }
+      ++contig_hits_;
+    }
+    return false;
+  }
+  for (int64_t j = lo; j < hi; ++j) {
+    if (!IsHit(j)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void LayerPolicy::UpdateLastAccess(const RequestPages& request, Tick now,
                                    GroupCacheOps& ops) const {
   std::vector<bool> touched(request.pages.size(), false);
@@ -83,6 +125,24 @@ std::vector<bool> LayerPolicy::GetPossiblePrefix(const std::vector<bool>& is_hit
     valid[static_cast<size_t>(p)] = ok;
   }
   return valid;
+}
+
+bool LayerPolicy::PrefixValid(BlockHitResolver& hits, int64_t p, int tokens_per_page) const {
+  JENGA_CHECK_GT(tokens_per_page, 0);
+  if (p == 0) {
+    return true;  // The empty prefix is always valid.
+  }
+  for (const TokenRange& range : NeededTokenRanges(p * tokens_per_page)) {
+    if (range.empty()) {
+      continue;
+    }
+    const int64_t lo = range.begin / tokens_per_page;
+    const int64_t hi = std::min<int64_t>(p, CeilDiv(range.end, tokens_per_page));
+    if (hits.AnyMiss(lo, hi)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 SlidingWindowPolicy::SlidingWindowPolicy(int window) : window_(window) {
@@ -156,6 +216,13 @@ std::vector<bool> MambaPolicy::GetPossiblePrefix(const std::vector<bool>& is_hit
     valid[p] = is_hit[p - 1];
   }
   return valid;
+}
+
+bool MambaPolicy::PrefixValid(BlockHitResolver& hits, int64_t p, int /*tokens_per_page*/) const {
+  if (p == 0) {
+    return true;
+  }
+  return hits.IsHit(p - 1);
 }
 
 ImageCachePolicy::ImageCachePolicy(int tokens_per_image) : tokens_per_image_(tokens_per_image) {

@@ -13,12 +13,41 @@
 #define JENGA_SRC_CORE_LAYER_POLICY_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "src/core/types.h"
 
 namespace jenga {
+
+// Lazily-resolved per-block cache-hit flags backing the incremental §5.2 hit scan. Each block
+// is probed at most once (a probe is an allocator/host-tier hash lookup); results are memoized
+// so repeated boundary candidates cost array reads only. The contiguous all-hit prefix is
+// tracked separately so full-prefix range checks are O(1) amortized instead of O(p) per
+// candidate prefix.
+class BlockHitResolver {
+ public:
+  BlockHitResolver(int64_t num_blocks, std::function<bool(int64_t)> probe)
+      : probe_(std::move(probe)), state_(static_cast<size_t>(num_blocks), kUnknown) {}
+
+  [[nodiscard]] int64_t num_blocks() const { return static_cast<int64_t>(state_.size()); }
+
+  // Memoized single-block probe.
+  [[nodiscard]] bool IsHit(int64_t block);
+
+  // True when any block in [lo, hi) — clamped to [0, num_blocks()) — is a miss.
+  [[nodiscard]] bool AnyMiss(int64_t lo, int64_t hi);
+
+ private:
+  static constexpr int8_t kUnknown = -1;
+  std::function<bool(int64_t)> probe_;
+  std::vector<int8_t> state_;  // -1 unknown, 0 miss, 1 hit.
+  // Blocks [0, contig_hits_) are known hits; when first_miss_known_, block contig_hits_ is the
+  // stream's first miss.
+  int64_t contig_hits_ = 0;
+  bool first_miss_known_ = false;
+};
 
 // Mutation interface the policies use to talk to their group's allocator (the `self.evictor`
 // of Figure 9b). Implemented by SmallPageAllocator.
@@ -72,6 +101,13 @@ class LayerPolicy {
   // Default: prefix of p blocks is valid iff every *needed* block of that prefix is cached.
   [[nodiscard]] virtual std::vector<bool> GetPossiblePrefix(const std::vector<bool>& is_hit,
                                                             int tokens_per_page) const;
+
+  // Incremental form of GetPossiblePrefix: evaluates valid[p] for one candidate prefix
+  // without materializing the whole bitmap, resolving block hits lazily through `hits`.
+  // Contract: must agree with GetPossiblePrefix for every p in [0, hits.num_blocks()].
+  // Default mirrors the needed-range rule; MambaPolicy overrides (checkpoint p alone).
+  [[nodiscard]] virtual bool PrefixValid(BlockHitResolver& hits, int64_t p,
+                                         int tokens_per_page) const;
 
   // True when pages that fall outside the needed ranges may be dropped (freed or deprioritized)
   // while the request is still running. Sliding-window and pyramid layers return true; full
@@ -141,6 +177,8 @@ class MambaPolicy : public LayerPolicy {
   void SetPrefixLength(const RequestPages& request, GroupCacheOps& ops) const override;
   [[nodiscard]] std::vector<bool> GetPossiblePrefix(const std::vector<bool>& is_hit,
                                                     int tokens_per_page) const override;
+  [[nodiscard]] bool PrefixValid(BlockHitResolver& hits, int64_t p,
+                                 int tokens_per_page) const override;
   [[nodiscard]] int checkpoint_interval() const { return checkpoint_interval_; }
 
  private:

@@ -207,6 +207,33 @@ std::optional<SmallPageId> SmallPageAllocator::Allocate(RequestId request, Tick 
   return std::nullopt;
 }
 
+bool SmallPageAllocator::AllocateN(RequestId request, int64_t n, Tick now,
+                                   std::vector<SmallPageId>* out) {
+  JENGA_CHECK(out != nullptr);
+  JENGA_CHECK_GE(n, 0);
+  const size_t base = out->size();
+  out->reserve(base + static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    // The five-step algorithm must re-run per page: a fresh large page acquired in step 2
+    // refills the affinity free list that step 1 of the *next* page pops from, so batching
+    // any step across pages would change placement. Allocate() is already O(1) per page;
+    // the bulk win is the single rollback below plus the caller-side reserve.
+    const auto page = Allocate(request, now);
+    if (!page.has_value()) {
+      for (size_t j = out->size(); j > base; --j) {
+        Release((*out)[j - 1], /*keep_cached=*/false);
+      }
+      out->resize(base);
+      return false;
+    }
+    out->push_back(*page);
+  }
+  if (audit_ != nullptr && n > 0) {
+    audit_->OnBulkAllocate(group_index_, request, n);
+  }
+  return true;
+}
+
 void SmallPageAllocator::AddRef(SmallPageId page) {
   const LargePageId large = LargeOf(page);
   LargeEntry& entry = Entry(large);

@@ -56,6 +56,14 @@ class SmallPageAllocator final : public GroupCacheOps {
   // used (ref count 1) with no cached content. nullopt when the group is truly out of memory.
   [[nodiscard]] std::optional<SmallPageId> Allocate(RequestId request, Tick now);
 
+  // Bulk variant: appends `n` pages to `*out` with page ids, victim order, and audit events
+  // identical to `n` consecutive Allocate calls. All-or-nothing — on exhaustion every page
+  // this call took is released again (keep_cached=false, reverse order), `*out` is restored,
+  // and false is returned. The single rollback path spares callers from tracking partial
+  // progress per group.
+  [[nodiscard]] bool AllocateN(RequestId request, int64_t n, Tick now,
+                               std::vector<SmallPageId>* out);
+
   // Takes an additional reference on a resident cached page (prefix-cache hit). The page may
   // currently be evictable (revived) or used (shared with another request).
   void AddRef(SmallPageId page);

@@ -83,6 +83,7 @@ Engine::Engine(EngineConfig config)
   KvManager::Options options;
   options.tokens_per_page = config_.tokens_per_page;
   options.enable_prefix_caching = config_.enable_prefix_caching;
+  options.memoize_admission = config_.memoize_admission;
   options.jenga = config_.jenga;
   options.tokens_per_image = config_.model.vision.tokens_per_image;
   kv_ = std::make_unique<KvManager>(std::move(alloc_spec), std::move(accounting_spec), pool,
@@ -115,7 +116,7 @@ void Engine::Submit(Request request) {
     has_deadlines_ = true;
   }
   requests_.emplace(id, std::move(request));
-  waiting_.push_back(id);
+  waiting_.PushBack(id);
 }
 
 Request& Engine::Get(RequestId id) {
@@ -167,10 +168,8 @@ void Engine::Preempt(RequestId id) {
   r.preemptions += 1;
   r.num_computed_tokens = 0;
   r.vision_encoder_runs_this_admission = 0;
-  const auto it = std::find(running_.begin(), running_.end(), id);
-  JENGA_CHECK(it != running_.end());
-  running_.erase(it);
-  waiting_.push_front(id);
+  running_.Erase(id);
+  waiting_.PushFront(id);
 }
 
 void Engine::FinishRequest(Request& r, bool failed) {
@@ -209,16 +208,12 @@ bool Engine::CancelRequest(RequestId id) {
   }
   if (r.state == RequestState::kRunning) {
     kv_->Release(r, tick_, /*finished=*/true);
-    const auto pos = std::find(running_.begin(), running_.end(), id);
-    JENGA_CHECK(pos != running_.end());
-    running_.erase(pos);
+    running_.Erase(id);
   } else {
     // Waiting or preempted (possibly swapped out / mid-restore): these hold no KvManager
     // pages — every preemption path Releases before re-queueing — so only the queue slot and
     // any host swap set (dropped by FinishRequest below) remain.
-    const auto pos = std::find(waiting_.begin(), waiting_.end(), id);
-    JENGA_CHECK(pos != waiting_.end());
-    waiting_.erase(pos);
+    waiting_.Erase(id);
     r.swapped_out = false;
     r.swapped_out_tokens = 0;
   }
@@ -232,13 +227,13 @@ void Engine::ExpireDeadlines() {
   // Collect ids first: cancellation mutates the queues. Waiting before running, each in
   // queue order, keeps the cancel order deterministic.
   std::vector<RequestId> expired;
-  for (const RequestId id : waiting_) {
+  for (RequestId id = waiting_.front(); id != kNoRequest; id = waiting_.Next(id)) {
     const Request& r = Get(id);
     if (r.deadline >= 0.0 && r.deadline <= now_) {
       expired.push_back(id);
     }
   }
-  for (const RequestId id : running_) {
+  for (RequestId id = running_.front(); id != kNoRequest; id = running_.Next(id)) {
     const Request& r = Get(id);
     if (r.deadline >= 0.0 && r.deadline <= now_) {
       expired.push_back(id);
@@ -268,9 +263,8 @@ void Engine::MaybeShedHead() {
   if (occupancy < config_.shed_occupancy_watermark) {
     return;
   }
-  const RequestId head = waiting_.front();
+  const RequestId head = waiting_.PopFront();
   Request& r = Get(head);
-  waiting_.pop_front();
   r.swapped_out = false;
   r.swapped_out_tokens = 0;
   r.cancelled = true;
@@ -363,7 +357,7 @@ Engine::SwapAdmit Engine::TryAdmitFromSwap(Request& r, bool nothing_else_runnabl
         r.image_prefix.back() > 0) {
       r.vision_encoder_runs_this_admission = std::max(r.vision_encoder_runs_this_admission, 1);
     }
-    running_.push_back(r.id);
+    running_.PushBack(r.id);
     return SwapAdmit::kAdmitted;
   }
   if (!nothing_else_runnable) {
@@ -392,7 +386,7 @@ bool Engine::StepOnce() {
   // Fast-forward to the next arrival when idle.
   if (running_.empty()) {
     double next_arrival = -1.0;
-    for (const RequestId id : waiting_) {
+    for (RequestId id = waiting_.front(); id != kNoRequest; id = waiting_.Next(id)) {
       const double t = Get(id).arrival_time;
       if (next_arrival < 0.0 || t < next_arrival) {
         next_arrival = t;
@@ -410,13 +404,12 @@ bool Engine::StepOnce() {
 
   // Phase 1: running requests, FCFS. Decode requests take one token; prefilling requests take
   // a chunk. Allocation failure preempts from the back of the running list.
-  for (size_t i = 0; i < running_.size();) {
-    const RequestId id = running_[i];
+  for (RequestId id = running_.front(); id != kNoRequest;) {
     Request& r = Get(id);
     const bool prefill = r.InPrefill();
     int64_t n = prefill ? std::min<int64_t>(r.prompt_len() - r.num_computed_tokens, budget) : 1;
     if (budget <= 0 || n <= 0) {
-      ++i;
+      id = running_.Next(id);
       continue;
     }
     n = std::min<int64_t>(n, budget);
@@ -430,12 +423,15 @@ bool Engine::StepOnce() {
       }
     }
     if (self_preempted) {
-      continue;  // running_ shrank; i now points at the next element (if any).
+      // Every entry after `id` was preempted (back-first) before `id` itself was; nothing is
+      // left to visit. The successor must be read after the preempt loop either way — the
+      // loop unlinks it.
+      break;
     }
     vision_time += MaybeEncodeVision(r, r.num_computed_tokens, r.num_computed_tokens + n);
     budget -= n;
     scheduled.push_back({id, n, prefill});
-    ++i;
+    id = running_.Next(id);
   }
 
   // Phase 2: admissions.
@@ -454,7 +450,7 @@ bool Engine::StepOnce() {
         break;
       }
       if (outcome == SwapAdmit::kAdmitted) {
-        waiting_.pop_front();
+        waiting_.Erase(id);
         continue;  // No prefill chunk needed; the request decodes (or resumes) next step.
       }
       // kFallthrough: recompute from scratch via the normal path below.
@@ -464,14 +460,14 @@ bool Engine::StepOnce() {
       // Head-of-line blocking is intentional (FCFS); but if nothing is running the request
       // can never fit — fail it rather than deadlock (vLLM aborts in this case, §7.2).
       if (running_.empty() && scheduled.empty()) {
-        waiting_.pop_front();
+        waiting_.Erase(id);
         FinishRequest(r, /*failed=*/true);
         continue;
       }
       head_blocked = true;
       break;
     }
-    waiting_.pop_front();
+    waiting_.Erase(id);
     kv_->OnAdmit(r, tick_);
     metrics_.cache_hit_tokens += r.cached_prefix_tokens;
     const int64_t n = std::min<int64_t>(r.prompt_len() - r.num_computed_tokens, budget);
@@ -484,7 +480,7 @@ bool Engine::StepOnce() {
         FinishRequest(r, /*failed=*/true);
         continue;
       }
-      waiting_.push_front(id);
+      waiting_.PushFront(id);
       head_blocked = true;
       break;
     }
@@ -492,7 +488,7 @@ bool Engine::StepOnce() {
     if (r.first_scheduled_time < 0.0) {
       r.first_scheduled_time = now_;
     }
-    running_.push_back(id);
+    running_.PushBack(id);
     vision_time += MaybeEncodeVision(r, r.num_computed_tokens, r.num_computed_tokens + n);
     budget -= n;
     scheduled.push_back({id, n, true});
@@ -514,7 +510,7 @@ bool Engine::StepOnce() {
     }
     // Nothing runnable now: advance to the next arrival if one exists.
     double next_arrival = -1.0;
-    for (const RequestId id : waiting_) {
+    for (RequestId id = waiting_.front(); id != kNoRequest; id = waiting_.Next(id)) {
       const double t = Get(id).arrival_time;
       if (t > now_ && (next_arrival < 0.0 || t < next_arrival)) {
         next_arrival = t;
@@ -580,9 +576,7 @@ bool Engine::StepOnce() {
       }
       if (r.num_generated >= effective_output) {
         kv_->Release(r, tick_, /*finished=*/true);
-        const auto it = std::find(running_.begin(), running_.end(), s.id);
-        JENGA_CHECK(it != running_.end());
-        running_.erase(it);
+        running_.Erase(s.id);
         FinishRequest(r, /*failed=*/false);
       }
     }

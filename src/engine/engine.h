@@ -7,7 +7,6 @@
 #define JENGA_SRC_ENGINE_ENGINE_H_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <ostream>
 #include <unordered_map>
@@ -17,6 +16,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/engine/kv_manager.h"
 #include "src/engine/request.h"
+#include "src/engine/request_queue.h"
 #include "src/metrics/metrics.h"
 #include "src/model/model_config.h"
 #include "src/offload/swap_manager.h"
@@ -28,6 +28,10 @@ struct EngineConfig {
   GpuSpec gpu;
   int tokens_per_page = 16;
   bool enable_prefix_caching = true;
+  // Admission fast path: memoize per-request prompt hash chains and modality streams across
+  // re-admissions (KvManager::Options::memoize_admission). Off = rebuild-from-scratch
+  // reference behavior, which the memoized path must match bit for bit (differential tests).
+  bool memoize_admission = true;
   // True → Jenga memory management; false → PagedAttention-style homogeneous baseline.
   bool jenga = true;
   // Vision-embedding cache (Jenga only). Engines without it re-run the vision encoder on
@@ -140,8 +144,10 @@ class Engine {
   bool has_deadlines_ = false;
 
   std::unordered_map<RequestId, Request> requests_;
-  std::deque<RequestId> waiting_;
-  std::vector<RequestId> running_;
+  // Indexed FIFOs: same iteration order as the deque/vector they replaced, but preempt,
+  // cancel, and finish remove mid-queue entries in O(1) instead of a std::find scan.
+  RequestQueue waiting_;
+  RequestQueue running_;
 
   double now_ = 0.0;
   Tick tick_ = 0;

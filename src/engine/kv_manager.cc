@@ -1,6 +1,7 @@
 #include "src/engine/kv_manager.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <span>
 
 #include "src/common/check.h"
@@ -76,6 +77,13 @@ uint64_t MixFingerprint(uint64_t h, uint64_t v) {
   return h * 0xFF51AFD7ED558CCDull;
 }
 
+// Differential audit of the fused hit scan against the materialized-bitmap reference. Off by
+// default (the reference pass re-does every allocator lookup); the fuzz/chaos stages enable it.
+bool AdmissionScanAuditEnabled() {
+  static const bool enabled = std::getenv("JENGA_CHECK_ADMISSION") != nullptr;
+  return enabled;
+}
+
 }  // namespace
 
 KvManager::KvManager(KvSpec alloc_spec, KvSpec accounting_spec, int64_t pool_bytes,
@@ -146,30 +154,22 @@ void KvManager::OnAdmit(Request& r, Tick now) {
   }
 
   // Per-group block-hash chains over the prompt (checkpoint-interval blocks for Mamba,
-  // subsequence streams for modality-scoped groups, prompt blocks otherwise).
-  std::vector<std::vector<BlockHash>> group_hashes(spec_.groups.size());
-  for (size_t g = 0; g < spec_.groups.size(); ++g) {
-    const KvGroupSpec& group = spec_.groups[g];
-    if (group.kind == GroupKind::kMamba) {
-      group_hashes[g] = ChainBlockHashes(r.prompt.tokens, kMambaCheckpointInterval,
-                                         GroupSalt(static_cast<int>(g)));
-      continue;
+  // subsequence streams for modality-scoped groups, prompt blocks otherwise). Prompts are
+  // immutable, so re-admissions of the same request reuse the memoized chains instead of
+  // re-hashing the whole prompt.
+  const AdmissionMemo* memo = nullptr;
+  AdmissionMemo scratch;
+  if (options_.memoize_admission) {
+    const auto [it, inserted] = admission_memos_.try_emplace(r.id);
+    if (inserted) {
+      it->second = BuildAdmissionMemo(r);
     }
-    if (IsSubsequenceScope(group.scope)) {
-      const TokenKind wanted =
-          group.scope == GroupScope::kImageTokens ? TokenKind::kImage : TokenKind::kText;
-      std::vector<int32_t> sub_tokens;
-      sub_tokens.reserve(static_cast<size_t>(GroupTokensFor(r, group, prompt_len)));
-      for (int64_t i = 0; i < prompt_len; ++i) {
-        if (r.all_kinds[static_cast<size_t>(i)] == wanted) {
-          sub_tokens.push_back(r.all_tokens[static_cast<size_t>(i)]);
-        }
-      }
-      group_hashes[g] = ChainBlockHashes(sub_tokens, bs, GroupSalt(static_cast<int>(g)));
-      continue;
-    }
-    group_hashes[g] = ChainBlockHashes(r.prompt.tokens, bs, GroupSalt(static_cast<int>(g)));
+    memo = &it->second;
+  } else {
+    scratch = BuildAdmissionMemo(r);
+    memo = &scratch;
   }
+  const std::vector<std::vector<BlockHash>>& group_hashes = memo->group_hashes;
 
   // Second-chance pass: re-materialize host-resident pages on the GPU *before* scanning for
   // hits, so the scan and the reference-taking below see one consistent allocator state
@@ -178,11 +178,7 @@ void KvManager::OnAdmit(Request& r, Tick now) {
     PromoteHostHits(r, group_hashes, now);
   }
 
-  // Hit bitmaps + valid-prefix bitmaps over global boundaries.
-  const std::vector<std::vector<bool>> valid_global =
-      BuildValidBitmaps(r, group_hashes, /*include_host=*/false);
-
-  int64_t boundary = LongestCommonValidPrefix(valid_global);
+  int64_t boundary = ResolveHitBoundary(r, group_hashes, /*include_host=*/false);
   // Keep at least one prompt token to compute (an engine cannot "hit" the whole prompt).
   while (boundary > 0 && boundary * bs >= prompt_len) {
     --boundary;
@@ -219,6 +215,7 @@ void KvManager::OnAdmit(Request& r, Tick now) {
     // evictable with their old timestamps, so they age out first under pressure.
     const std::vector<TokenRange> needed =
         policies_[g]->NeededTokenRanges(GroupTokensFor(r, group, hit_tokens));
+    gs.pages.reserve(static_cast<size_t>(blocks));
     for (int64_t j = 0; j < blocks; ++j) {
       bool block_needed = false;
       for (const TokenRange& range : needed) {
@@ -249,14 +246,9 @@ void KvManager::OnAdmit(Request& r, Tick now) {
     }
   }
 
-  // Modality streams consumed so far (for future chain extension).
-  for (int64_t i = 0; i < hit_tokens; ++i) {
-    if (r.all_kinds[static_cast<size_t>(i)] == TokenKind::kImage) {
-      state.image_tokens.push_back(r.all_tokens[static_cast<size_t>(i)]);
-    } else if (has_text_scope_) {
-      state.text_tokens.push_back(r.all_tokens[static_cast<size_t>(i)]);
-    }
-  }
+  // Modality streams consumed so far (for future chain extension) — bulk-sliced from the
+  // memoized prompt streams by the O(1) image-prefix counts.
+  ExtendModalityStreams(r, state, memo, 0, hit_tokens);
 
   r.num_computed_tokens = hit_tokens;
   r.cached_prefix_tokens = hit_tokens;
@@ -265,30 +257,168 @@ void KvManager::OnAdmit(Request& r, Tick now) {
   total_cache_hit_tokens_ += hit_tokens;
 }
 
+KvManager::AdmissionMemo KvManager::BuildAdmissionMemo(const Request& r) const {
+  AdmissionMemo memo;
+  const int bs = options_.tokens_per_page;
+  const int64_t prompt_len = r.prompt_len();
+  // Prompt modality subsequences, extracted in one pass: they seed the subsequence-scope hash
+  // chains below and the stream rebuilds in OnAdmit/OnStepComputed, which then slice by the
+  // O(1) image-prefix counts instead of re-scanning token kinds.
+  memo.prompt_image_tokens.reserve(static_cast<size_t>(r.ImageTokensBefore(prompt_len)));
+  if (has_text_scope_) {
+    memo.prompt_text_tokens.reserve(static_cast<size_t>(r.TextTokensBefore(prompt_len)));
+  }
+  for (int64_t i = 0; i < prompt_len; ++i) {
+    if (r.all_kinds[static_cast<size_t>(i)] == TokenKind::kImage) {
+      memo.prompt_image_tokens.push_back(r.all_tokens[static_cast<size_t>(i)]);
+    } else if (has_text_scope_) {
+      memo.prompt_text_tokens.push_back(r.all_tokens[static_cast<size_t>(i)]);
+    }
+  }
+  memo.group_hashes.resize(spec_.groups.size());
+  for (size_t g = 0; g < spec_.groups.size(); ++g) {
+    const KvGroupSpec& group = spec_.groups[g];
+    if (group.kind == GroupKind::kMamba) {
+      memo.group_hashes[g] = ChainBlockHashes(r.prompt.tokens, kMambaCheckpointInterval,
+                                              GroupSalt(static_cast<int>(g)));
+      continue;
+    }
+    if (IsSubsequenceScope(group.scope)) {
+      const std::vector<int32_t>& sub = group.scope == GroupScope::kImageTokens
+                                            ? memo.prompt_image_tokens
+                                            : memo.prompt_text_tokens;
+      memo.group_hashes[g] = ChainBlockHashes(sub, bs, GroupSalt(static_cast<int>(g)));
+      continue;
+    }
+    memo.group_hashes[g] = ChainBlockHashes(r.prompt.tokens, bs, GroupSalt(static_cast<int>(g)));
+  }
+  return memo;
+}
+
+int64_t KvManager::ResolveHitBoundary(const Request& r,
+                                      const std::vector<std::vector<BlockHash>>& group_hashes,
+                                      bool include_host) const {
+  const int bs = options_.tokens_per_page;
+  const int64_t num_boundaries = r.prompt_len() / bs;
+  // One lazy hit resolver per group; a block's cache lookup happens at most once no matter how
+  // many boundary candidates probe it.
+  std::vector<BlockHitResolver> resolvers;
+  resolvers.reserve(spec_.groups.size());
+  for (size_t g = 0; g < spec_.groups.size(); ++g) {
+    const SmallPageAllocator* alloc = &allocator_.group(static_cast<int>(g));
+    const std::vector<BlockHash>* hashes = &group_hashes[g];
+    const int gi = static_cast<int>(g);
+    resolvers.emplace_back(static_cast<int64_t>(hashes->size()),
+                           [this, alloc, hashes, gi, include_host](int64_t j) {
+                             const BlockHash h = (*hashes)[static_cast<size_t>(j)];
+                             return alloc->LookupCached(h).has_value() ||
+                                    (include_host && offload_ != nullptr &&
+                                     offload_->LookupHostPage(manager_index_, gi, h) != nullptr);
+                           });
+  }
+
+  // Top-down scan, mirroring LongestCommonValidPrefix over BuildValidBitmaps: the first
+  // boundary where every group's prefix is valid wins. Group evaluation short-circuits on the
+  // first invalid group, and lookups are pure, so lazy evaluation cannot change the result.
+  int64_t result = 0;
+  for (int64_t b = num_boundaries; b > 0; --b) {
+    bool all = true;
+    for (size_t g = 0; g < spec_.groups.size() && all; ++g) {
+      const KvGroupSpec& group = spec_.groups[g];
+      const int64_t num_hashes = static_cast<int64_t>(group_hashes[g].size());
+      if (group.kind == GroupKind::kMamba) {
+        const int64_t tokens = b * bs;
+        if (tokens % kMambaCheckpointInterval != 0) {
+          all = false;  // Only checkpoint-aligned boundaries can be Mamba hits.
+          continue;
+        }
+        const int64_t k = tokens / kMambaCheckpointInterval;
+        all = k <= num_hashes &&
+              policies_[g]->PrefixValid(resolvers[g], k, kMambaCheckpointInterval);
+        continue;
+      }
+      if (IsSubsequenceScope(group.scope)) {
+        const int64_t sub_count = GroupTokensFor(r, group, b * bs);
+        // Conservative: only block-aligned subsequence coverage counts as a hit.
+        if (sub_count % bs != 0) {
+          all = false;
+          continue;
+        }
+        const int64_t p = sub_count / bs;
+        all = p <= num_hashes && policies_[g]->PrefixValid(resolvers[g], p, bs);
+        continue;
+      }
+      // All-token groups: boundaries map 1:1 to group blocks.
+      all = policies_[g]->PrefixValid(resolvers[g], b, bs);
+    }
+    if (all) {
+      result = b;
+      break;
+    }
+  }
+
+  if (AdmissionScanAuditEnabled()) {
+    const int64_t reference =
+        LongestCommonValidPrefix(BuildValidBitmaps(r, group_hashes, include_host));
+    JENGA_CHECK_EQ(result, reference) << "fused hit scan diverged from the bitmap reference";
+  }
+  return result;
+}
+
+void KvManager::ExtendModalityStreams(const Request& r, RequestKv& state,
+                                      const AdmissionMemo* memo, int64_t from, int64_t to) {
+  int64_t i = from;
+  if (memo != nullptr) {
+    const int64_t prompt_end = std::min<int64_t>(to, r.prompt_len());
+    if (i < prompt_end) {
+      const auto img = memo->prompt_image_tokens.begin();
+      state.image_tokens.insert(state.image_tokens.end(), img + r.ImageTokensBefore(i),
+                                img + r.ImageTokensBefore(prompt_end));
+      if (has_text_scope_) {
+        const auto txt = memo->prompt_text_tokens.begin();
+        state.text_tokens.insert(state.text_tokens.end(), txt + r.TextTokensBefore(i),
+                                 txt + r.TextTokensBefore(prompt_end));
+      }
+      i = prompt_end;
+    }
+  }
+  for (; i < to; ++i) {
+    if (r.all_kinds[static_cast<size_t>(i)] == TokenKind::kImage) {
+      state.image_tokens.push_back(r.all_tokens[static_cast<size_t>(i)]);
+    } else if (has_text_scope_) {
+      state.text_tokens.push_back(r.all_tokens[static_cast<size_t>(i)]);
+    }
+  }
+}
+
 bool KvManager::AllocateForTokens(Request& r, int64_t n, Tick now) {
   RequestKv& state = StateOf(r);
   const int64_t upto = r.num_computed_tokens + n;
-  std::vector<std::pair<int, SmallPageId>> fresh;
+  // Completed per-group bulk allocations, for cross-group rollback (within one group
+  // AllocateN rolls itself back before reporting failure).
+  std::vector<std::pair<int, int64_t>> fresh;
+  fresh.reserve(spec_.groups.size());
   for (size_t g = 0; g < spec_.groups.size(); ++g) {
     const KvGroupSpec& group = spec_.groups[g];
-    SmallPageAllocator& alloc = allocator_.group(static_cast<int>(g));
     GroupState& gs = state.groups[g];
     const int64_t target = TargetPages(r, group, upto);
-    while (static_cast<int64_t>(gs.pages.size()) < target) {
-      const auto page = alloc.Allocate(r.id, now);
-      if (!page.has_value()) {
-        // Roll back everything this call allocated; the caller will preempt.
-        for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
-          allocator_.group(it->first).Release(it->second, /*keep_cached=*/false);
-          GroupState& owner = state.groups[static_cast<size_t>(it->first)];
-          JENGA_CHECK_EQ(owner.pages.back(), it->second);
+    const int64_t need = target - static_cast<int64_t>(gs.pages.size());
+    if (need <= 0) {
+      continue;
+    }
+    if (!allocator_.group(static_cast<int>(g)).AllocateN(r.id, need, now, &gs.pages)) {
+      // Roll back everything this call allocated, newest first; the caller will preempt.
+      for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
+        SmallPageAllocator& alloc = allocator_.group(it->first);
+        GroupState& owner = state.groups[static_cast<size_t>(it->first)];
+        for (int64_t k = 0; k < it->second; ++k) {
+          alloc.Release(owner.pages.back(), /*keep_cached=*/false);
           owner.pages.pop_back();
         }
-        return false;
       }
-      gs.pages.push_back(*page);
-      fresh.emplace_back(static_cast<int>(g), *page);
+      return false;
     }
+    fresh.emplace_back(static_cast<int>(g), need);
   }
   return true;
 }
@@ -428,14 +558,13 @@ RequestPages KvManager::ViewOf(const Request& r, const RequestKv& state, int g) 
 void KvManager::OnStepComputed(Request& r, Tick now) {
   RequestKv& state = StateOf(r);
   if (options_.enable_prefix_caching) {
-    // Extend the modality streams with newly computed tokens.
-    for (int64_t i = state.computed_tokens; i < r.num_computed_tokens; ++i) {
-      if (r.all_kinds[static_cast<size_t>(i)] == TokenKind::kImage) {
-        state.image_tokens.push_back(r.all_tokens[static_cast<size_t>(i)]);
-      } else if (has_text_scope_) {
-        state.text_tokens.push_back(r.all_tokens[static_cast<size_t>(i)]);
-      }
-    }
+    // Extend the modality streams with newly computed tokens (bulk copy over the prompt
+    // portion when the admission memo is available — the swap-restore replay covers thousands
+    // of tokens in one call).
+    const auto memo_it = admission_memos_.find(r.id);
+    ExtendModalityStreams(r, state,
+                          memo_it == admission_memos_.end() ? nullptr : &memo_it->second,
+                          state.computed_tokens, r.num_computed_tokens);
     RegisterHashes(r, state, now);
   }
   if (options_.jenga) {
@@ -477,6 +606,7 @@ void KvManager::Release(Request& r, Tick now, bool finished) {
   }
   requests_.erase(r.id);
   if (finished) {
+    admission_memos_.erase(r.id);
     allocator_.ForgetRequest(r.id);
   }
   (void)now;
@@ -579,7 +709,9 @@ bool KvManager::RestoreFromSwap(Request& r, int64_t tokens, uint64_t expected_fi
   r.cached_prefix_tokens = 0;
   state.computed_tokens = 0;
 
-  std::vector<std::pair<int, SmallPageId>> fresh;
+  // Completed bulk runs as (group, first block-table index, count) — needed pages come in
+  // contiguous runs between the droppable holes, so each run is one AllocateN call.
+  std::vector<std::tuple<int, size_t, int64_t>> fresh_runs;
   bool failed = false;
   for (size_t g = 0; g < spec_.groups.size() && !failed; ++g) {
     const KvGroupSpec& group = spec_.groups[g];
@@ -594,33 +726,47 @@ bool KvManager::RestoreFromSwap(Request& r, int64_t tokens, uint64_t expected_fi
       needed = policies_[g]->NeededTokenRanges(GroupTokensFor(r, group, tokens));
     }
     const int bs = group.tokens_per_page;
-    for (int64_t j = 0; j < target; ++j) {
-      bool want = true;
-      if (droppable) {
-        want = false;
-        for (const TokenRange& range : needed) {
-          if (range.begin < (j + 1) * bs && range.end > j * bs) {
-            want = true;
-            break;
-          }
+    const auto want = [&](int64_t j) {
+      if (!droppable) {
+        return true;
+      }
+      for (const TokenRange& range : needed) {
+        if (range.begin < (j + 1) * bs && range.end > j * bs) {
+          return true;
         }
       }
-      if (!want) {
+      return false;
+    };
+    gs.pages.reserve(static_cast<size_t>(target));
+    int64_t j = 0;
+    while (j < target) {
+      if (!want(j)) {
         gs.pages.push_back(kNoSmallPage);
+        ++j;
         continue;
       }
-      const auto page = alloc.Allocate(r.id, now);
-      if (!page.has_value()) {
+      int64_t run_end = j + 1;
+      while (run_end < target && want(run_end)) {
+        ++run_end;
+      }
+      const size_t start = gs.pages.size();
+      if (!alloc.AllocateN(r.id, run_end - j, now, &gs.pages)) {
         failed = true;
         break;
       }
-      gs.pages.push_back(*page);
-      fresh.emplace_back(static_cast<int>(g), *page);
+      fresh_runs.emplace_back(static_cast<int>(g), start, run_end - j);
+      j = run_end;
     }
   }
   if (failed) {
-    for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
-      allocator_.group(it->first).Release(it->second, /*keep_cached=*/false);
+    // Newest-first rollback across runs (AllocateN already rolled back the failing run).
+    for (auto it = fresh_runs.rbegin(); it != fresh_runs.rend(); ++it) {
+      const auto [g, start, count] = *it;
+      GroupState& gs = state.groups[static_cast<size_t>(g)];
+      for (int64_t k = count - 1; k >= 0; --k) {
+        allocator_.group(g).Release(gs.pages[start + static_cast<size_t>(k)],
+                                    /*keep_cached=*/false);
+      }
     }
     requests_.erase(r.id);
     return false;
@@ -634,7 +780,10 @@ bool KvManager::RestoreFromSwap(Request& r, int64_t tokens, uint64_t expected_fi
   return true;
 }
 
-void KvManager::OnRequestRetired(RequestId id) { allocator_.ForgetRequest(id); }
+void KvManager::OnRequestRetired(RequestId id) {
+  admission_memos_.erase(id);
+  allocator_.ForgetRequest(id);
+}
 
 std::vector<std::vector<bool>> KvManager::BuildValidBitmaps(
     const Request& r, const std::vector<std::vector<BlockHash>>& group_hashes,
@@ -706,9 +855,7 @@ void KvManager::PromoteHostHits(const Request& r,
   // fills exactly the gap between that target and current GPU residency — blocks a policy
   // never reads at the target length (out-of-window tails, pyramid middles) are not worth
   // PCIe time, and each one would evict a genuinely useful page.
-  const std::vector<std::vector<bool>> valid =
-      BuildValidBitmaps(r, group_hashes, /*include_host=*/true);
-  int64_t boundary = LongestCommonValidPrefix(valid);
+  int64_t boundary = ResolveHitBoundary(r, group_hashes, /*include_host=*/true);
   while (boundary > 0 && boundary * bs >= prompt_len) {
     --boundary;
   }

@@ -59,6 +59,11 @@ class KvManager {
     bool jenga = true;
     // Needed by the image-cache policies of multimodal models.
     int tokens_per_image = 0;
+    // Compute each request's admission inputs (prompt hash chains, modality subsequence
+    // streams) once at first admission and reuse them on every re-admission — prompts are
+    // immutable, so the results are too. Off = rebuild from scratch each time (the reference
+    // behavior the memoized path must match bit for bit).
+    bool memoize_admission = true;
   };
 
   // `alloc_spec` drives allocation; `accounting_spec` is the true per-group architecture,
@@ -176,7 +181,32 @@ class KvManager {
     int64_t needed_bytes = 0;
   };
 
+  // Immutable per-request admission inputs, computed once (prompts never change) and reused
+  // across re-admissions: the per-group prompt hash chains of OnAdmit's §5.2 scan plus the
+  // prompt's modality subsequence streams. `prompt_text_tokens` is maintained only when a
+  // text-scoped group exists, mirroring RequestKv::text_tokens. Entries are dropped when the
+  // request id retires (Release(finished) / OnRequestRetired); preempted requests keep theirs.
+  struct AdmissionMemo {
+    std::vector<std::vector<BlockHash>> group_hashes;
+    std::vector<int32_t> prompt_image_tokens;
+    std::vector<int32_t> prompt_text_tokens;
+  };
+
   [[nodiscard]] RequestKv& StateOf(const Request& r);
+  [[nodiscard]] AdmissionMemo BuildAdmissionMemo(const Request& r) const;
+  // Fused, early-exiting replacement for BuildValidBitmaps + LongestCommonValidPrefix: scans
+  // boundaries top-down and resolves block hits lazily, returning the identical boundary while
+  // touching O(blocks) allocator lookups instead of materializing every per-group bitmap.
+  // With JENGA_CHECK_ADMISSION set in the environment, every call is cross-checked against the
+  // bitmap reference.
+  [[nodiscard]] int64_t ResolveHitBoundary(const Request& r,
+                                           const std::vector<std::vector<BlockHash>>& group_hashes,
+                                           bool include_host) const;
+  // Appends all_tokens[from, to) to the modality subsequence streams. The prompt portion is
+  // bulk-copied from the memo (sliced by the O(1) image-prefix counts) when one is available;
+  // generated tokens fall back to the per-token kind scan.
+  void ExtendModalityStreams(const Request& r, RequestKv& state, const AdmissionMemo* memo,
+                             int64_t from, int64_t to);
   [[nodiscard]] uint64_t GroupSalt(int g) const { return (static_cast<uint64_t>(g) + 1) * 0x9E3779B97F4A7C15ull; }
   // Target block-table size for group `g` once `prefix_tokens` tokens are computed.
   [[nodiscard]] int64_t TargetPages(const Request& r, const KvGroupSpec& group,
@@ -211,6 +241,8 @@ class KvManager {
   int vision_group_ = -1;
   bool has_text_scope_ = false;
   std::unordered_map<RequestId, RequestKv> requests_;
+  // Populated lazily when memoize_admission is on; survives preemption (requests_ does not).
+  std::unordered_map<RequestId, AdmissionMemo> admission_memos_;
   int64_t total_cache_hit_tokens_ = 0;
   SwapManager* offload_ = nullptr;
   int manager_index_ = 0;

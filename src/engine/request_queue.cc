@@ -1,0 +1,61 @@
+#include "src/engine/request_queue.h"
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+void RequestQueue::PushBack(RequestId id) {
+  JENGA_CHECK(id != kNoRequest);
+  const auto [it, inserted] = nodes_.emplace(id, Node{tail_, kNoRequest});
+  JENGA_CHECK(inserted) << "request " << id << " already queued";
+  if (tail_ == kNoRequest) {
+    head_ = id;
+  } else {
+    nodes_[tail_].next = id;
+  }
+  tail_ = id;
+}
+
+void RequestQueue::PushFront(RequestId id) {
+  JENGA_CHECK(id != kNoRequest);
+  const auto [it, inserted] = nodes_.emplace(id, Node{kNoRequest, head_});
+  JENGA_CHECK(inserted) << "request " << id << " already queued";
+  if (head_ == kNoRequest) {
+    tail_ = id;
+  } else {
+    nodes_[head_].prev = id;
+  }
+  head_ = id;
+}
+
+void RequestQueue::Erase(RequestId id) {
+  const auto it = nodes_.find(id);
+  JENGA_CHECK(it != nodes_.end()) << "request " << id << " not queued";
+  const Node node = it->second;
+  nodes_.erase(it);
+  if (node.prev == kNoRequest) {
+    head_ = node.next;
+  } else {
+    nodes_[node.prev].next = node.next;
+  }
+  if (node.next == kNoRequest) {
+    tail_ = node.prev;
+  } else {
+    nodes_[node.next].prev = node.prev;
+  }
+}
+
+RequestId RequestQueue::PopFront() {
+  JENGA_CHECK(head_ != kNoRequest) << "pop from empty queue";
+  const RequestId id = head_;
+  Erase(id);
+  return id;
+}
+
+RequestId RequestQueue::Next(RequestId id) const {
+  const auto it = nodes_.find(id);
+  JENGA_CHECK(it != nodes_.end()) << "request " << id << " not queued";
+  return it->second.next;
+}
+
+}  // namespace jenga

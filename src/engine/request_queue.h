@@ -1,0 +1,47 @@
+// An indexed FIFO of request ids for the scheduler queues. The engines historically kept
+// `waiting_` as a deque and `running_` as a vector and located entries with std::find — an
+// O(n) scan on every preempt, cancel, shed, and finish. This queue keeps the same insertion
+// order (a doubly-linked list threaded through a hash map) but indexes every id, so
+// membership tests and mid-queue removal are O(1) while iteration order — and therefore every
+// FCFS scheduling decision — is bit-identical to the container it replaces.
+
+#ifndef JENGA_SRC_ENGINE_REQUEST_QUEUE_H_
+#define JENGA_SRC_ENGINE_REQUEST_QUEUE_H_
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "src/core/types.h"
+
+namespace jenga {
+
+class RequestQueue {
+ public:
+  void PushBack(RequestId id);
+  void PushFront(RequestId id);
+  // Removes `id`; check-fails unless present.
+  void Erase(RequestId id);
+  // Removes and returns the front; check-fails when empty.
+  RequestId PopFront();
+
+  [[nodiscard]] RequestId front() const { return head_; }
+  [[nodiscard]] RequestId back() const { return tail_; }
+  // Successor of `id` in queue order, kNoRequest at the end. `id` must be present.
+  [[nodiscard]] RequestId Next(RequestId id) const;
+  [[nodiscard]] bool Contains(RequestId id) const { return nodes_.contains(id); }
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+  [[nodiscard]] size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    RequestId prev = kNoRequest;
+    RequestId next = kNoRequest;
+  };
+  std::unordered_map<RequestId, Node> nodes_;
+  RequestId head_ = kNoRequest;
+  RequestId tail_ = kNoRequest;
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_ENGINE_REQUEST_QUEUE_H_

@@ -130,7 +130,7 @@ void SpecDecodeEngine::Submit(Request request) {
     has_deadlines_ = true;
   }
   requests_.emplace(id, std::move(request));
-  waiting_.push_back(id);
+  waiting_.PushBack(id);
 }
 
 Request& SpecDecodeEngine::Get(RequestId id) {
@@ -203,10 +203,8 @@ void SpecDecodeEngine::Preempt(RequestId id) {
   r.state = RequestState::kPreempted;
   r.preemptions += 1;
   r.num_computed_tokens = 0;
-  const auto it = std::find(running_.begin(), running_.end(), id);
-  JENGA_CHECK(it != running_.end());
-  running_.erase(it);
-  waiting_.push_front(id);
+  running_.Erase(id);
+  waiting_.PushFront(id);
 }
 
 void SpecDecodeEngine::FinishRequest(Request& r, bool failed) {
@@ -244,16 +242,12 @@ bool SpecDecodeEngine::CancelRequest(RequestId id) {
   }
   if (r.state == RequestState::kRunning) {
     ReleaseAll(r, /*finished=*/true);
-    const auto pos = std::find(running_.begin(), running_.end(), id);
-    JENGA_CHECK(pos != running_.end());
-    running_.erase(pos);
+    running_.Erase(id);
   } else {
     // Waiting or preempted (possibly swapped out): no manager holds pages for it — every
     // preemption path Releases before re-queueing. FinishRequest below reclaims the host
     // swap set and affinity state.
-    const auto pos = std::find(waiting_.begin(), waiting_.end(), id);
-    JENGA_CHECK(pos != waiting_.end());
-    waiting_.erase(pos);
+    waiting_.Erase(id);
     r.swapped_out = false;
     r.swapped_out_tokens = 0;
   }
@@ -265,13 +259,13 @@ bool SpecDecodeEngine::CancelRequest(RequestId id) {
 
 void SpecDecodeEngine::ExpireDeadlines() {
   std::vector<RequestId> expired;
-  for (const RequestId id : waiting_) {
+  for (RequestId id = waiting_.front(); id != kNoRequest; id = waiting_.Next(id)) {
     const Request& r = Get(id);
     if (r.deadline >= 0.0 && r.deadline <= now_) {
       expired.push_back(id);
     }
   }
-  for (const RequestId id : running_) {
+  for (RequestId id = running_.front(); id != kNoRequest; id = running_.Next(id)) {
     const Request& r = Get(id);
     if (r.deadline >= 0.0 && r.deadline <= now_) {
       expired.push_back(id);
@@ -304,9 +298,8 @@ void SpecDecodeEngine::MaybeShedHead() {
   if (occupancy < config_.shed_occupancy_watermark) {
     return;
   }
-  const RequestId head = waiting_.front();
+  const RequestId head = waiting_.PopFront();
   Request& r = Get(head);
-  waiting_.pop_front();
   r.swapped_out = false;
   r.swapped_out_tokens = 0;
   r.cancelled = true;
@@ -345,7 +338,7 @@ bool SpecDecodeEngine::StepOnce() {
   std::unordered_set<RequestId> prefilled_this_step;
 
   // Phase 1: continue prefill (and post-preemption recompute) of running requests.
-  for (const RequestId id : running_) {
+  for (RequestId id = running_.front(); id != kNoRequest; id = running_.Next(id)) {
     Request& r = Get(id);
     if (r.num_computed_tokens >= PrefillTarget(r) || budget <= 0) {
       continue;
@@ -413,12 +406,12 @@ bool SpecDecodeEngine::StepOnce() {
         metrics_.swap_in_events += 1;
         r.swapped_out = false;
         r.swapped_out_tokens = 0;
-        waiting_.pop_front();
+        waiting_.Erase(id);
         r.state = RequestState::kRunning;
         if (r.first_scheduled_time < 0.0) {
           r.first_scheduled_time = now_;
         }
-        running_.push_back(id);
+        running_.PushBack(id);
         // The restore transfer is still in flight this step; decode resumes next step.
         prefilled_this_step.insert(id);
         continue;
@@ -440,14 +433,14 @@ bool SpecDecodeEngine::StepOnce() {
     }
     if (!fits) {
       if (running_.empty()) {
-        waiting_.pop_front();
+        waiting_.Erase(id);
         FinishRequest(r, /*failed=*/true);
         continue;
       }
       head_blocked = true;
       break;
     }
-    waiting_.pop_front();
+    waiting_.Erase(id);
     AdmitAll(r);
     if (!AllocateAll(r, n)) {
       const bool abandoned = running_.empty();
@@ -457,7 +450,7 @@ bool SpecDecodeEngine::StepOnce() {
         FinishRequest(r, /*failed=*/true);
         continue;
       }
-      waiting_.push_front(id);
+      waiting_.PushFront(id);
       head_blocked = true;
       break;
     }
@@ -467,7 +460,7 @@ bool SpecDecodeEngine::StepOnce() {
     }
     r.num_computed_tokens += n;
     StepComputedAll(r);
-    running_.push_back(id);
+    running_.PushBack(id);
     budget -= n;
     prefill_tokens += n;
     prefilled_this_step.insert(id);
@@ -488,11 +481,10 @@ bool SpecDecodeEngine::StepOnce() {
   };
   std::vector<Emit> decode_emits;
   int64_t decode_kv_read = 0;
-  for (size_t i = 0; i < running_.size();) {
-    const RequestId id = running_[i];
+  for (RequestId id = running_.front(); id != kNoRequest;) {
     Request& r = Get(id);
     if (prefilled_this_step.contains(id) || r.num_computed_tokens < PrefillTarget(r)) {
-      ++i;
+      id = running_.Next(id);
       continue;
     }
     int accepted = 0;
@@ -505,7 +497,7 @@ bool SpecDecodeEngine::StepOnce() {
       // the recompute that just completed re-covered their KV: the request finishes through
       // the normal commit path below without emitting anything new.
       decode_emits.push_back({id, 0});
-      ++i;
+      id = running_.Next(id);
       continue;
     }
     for (int64_t j = 0; j < emit; ++j) {
@@ -521,13 +513,16 @@ bool SpecDecodeEngine::StepOnce() {
       }
     }
     if (self_preempted) {
-      continue;  // Tokens stay appended; recompute covers their KV after re-admission.
+      // Tokens stay appended; recompute covers their KV after re-admission. Everything after
+      // `id` was already preempted back-first, so the iteration is over — and the successor
+      // must be read after the preempt loop anyway, since the loop unlinks it.
+      break;
     }
     for (auto& manager : managers_) {
       decode_kv_read += manager->DecodeKvReadBytes(r);
     }
     decode_emits.push_back({id, emit});
-    ++i;
+    id = running_.Next(id);
   }
 
   if (prefilled_this_step.empty() && decode_emits.empty()) {
@@ -590,9 +585,7 @@ bool SpecDecodeEngine::StepOnce() {
     emitted_total += e.tokens;
     if (r.num_generated >= r.output_len) {
       ReleaseAll(r, /*finished=*/true);
-      const auto it = std::find(running_.begin(), running_.end(), e.id);
-      JENGA_CHECK(it != running_.end());
-      running_.erase(it);
+      running_.Erase(e.id);
       FinishRequest(r, /*failed=*/false);
     }
   }

@@ -13,7 +13,6 @@
 #define JENGA_SRC_ENGINE_SPEC_DECODE_H_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <ostream>
 #include <unordered_map>
@@ -24,6 +23,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/engine/kv_manager.h"
 #include "src/engine/request.h"
+#include "src/engine/request_queue.h"
 #include "src/metrics/metrics.h"
 #include "src/offload/swap_manager.h"
 
@@ -108,8 +108,10 @@ class SpecDecodeEngine {
 
   Rng rng_;
   std::unordered_map<RequestId, Request> requests_;
-  std::deque<RequestId> waiting_;
-  std::vector<RequestId> running_;
+  // Indexed FIFOs (see request_queue.h): iteration order matches the deque/vector they
+  // replaced, with O(1) mid-queue removal on preempt/cancel/finish.
+  RequestQueue waiting_;
+  RequestQueue running_;
   double now_ = 0.0;
   Tick tick_ = 0;
   EngineMetrics metrics_;
