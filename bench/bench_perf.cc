@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/frontend_bench.h"
 #include "src/core/evictor.h"
 #include "src/core/jenga_allocator.h"
 #include "src/engine/engine.h"
@@ -445,16 +446,21 @@ bool WriteJson(const std::string& path, const std::string& mode,
   return true;
 }
 
-// Perf gate (check.sh): every micro.* metric present in both runs must stay within
-// `kGateTolerance` of the baseline. E2e metrics are reported but not gated — they move with
-// machine load; the micros are tight loops whose regressions are real.
+// Perf gate (check.sh): every micro.* and frontend.* metric present in both runs must stay
+// within `kGateTolerance` of the baseline. E2e metrics are reported but not gated — they
+// move with machine load; the micros are tight loops whose regressions are real, and the
+// frontend keys ride on a min-over-runs committed floor.
 constexpr double kGateTolerance = 0.90;
+
+bool IsGatedKey(const std::string& key) {
+  return key.rfind("micro.", 0) == 0 || key.rfind("frontend.", 0) == 0;
+}
 
 bool GatePasses(const std::map<std::string, double>& baseline,
                 const std::map<std::string, double>& current) {
   bool ok = true;
   for (const auto& [key, base] : baseline) {
-    if (key.rfind("micro.", 0) != 0 || base <= 0) {
+    if (!IsGatedKey(key) || base <= 0) {
       continue;
     }
     const auto it = current.find(key);
@@ -467,6 +473,18 @@ bool GatePasses(const std::map<std::string, double>& baseline,
     if (ratio < kGateTolerance) {
       std::printf("gate: FAIL %s %.3g -> %.3g (%.2fx < %.2fx)\n", key.c_str(), base, it->second,
                   ratio, kGateTolerance);
+      ok = false;
+    }
+  }
+  // Stale-schema guard: a gated metric the bench now produces but the committed baseline
+  // lacks means the baseline predates the metric — the gate would silently not cover it.
+  // Fail loudly with the regeneration hint instead of passing vacuously.
+  for (const auto& [key, value] : current) {
+    (void)value;
+    if (IsGatedKey(key) && baseline.find(key) == baseline.end()) {
+      std::printf("gate: STALE baseline schema — %s is not in the baseline; regenerate it "
+                  "(bench_perf --quick --out BENCH_perf_quick.json) and commit\n",
+                  key.c_str());
       ok = false;
     }
   }
@@ -497,6 +515,29 @@ bool Run(bool quick, bool gate, const std::string& out_path, const std::string& 
   for (const auto& micro : micros) {
     current[micro.key] = micro.ops_per_s;
     PrintRow({{34, micro.key}, {16, Fmt("%.3g", micro.ops_per_s)}});
+  }
+
+  std::printf("\n");
+  PrintRow({{34, "frontend (closed loop, think 200us)"}, {16, "req/sec"}});
+  PrintRule();
+  {
+    // Best-of-3: threaded wall-clock numbers are noisy on a loaded box; the best run is the
+    // least-disturbed one. The committed quick baseline uses min-over-runs floors, so the
+    // gate tolerance still has real margin.
+    const int per_producer = quick ? 16 : 32;
+    double rps_1p = 0.0;
+    double rps_4p = 0.0;
+    for (int trial = 0; trial < 3; ++trial) {
+      rps_1p = std::max(rps_1p, RunClosedLoop(1, per_producer).requests_per_s);
+      rps_4p = std::max(rps_4p, RunClosedLoop(4, per_producer).requests_per_s);
+    }
+    current["frontend.admit_1p.req_per_s"] = rps_1p;
+    current["frontend.admit_4p.req_per_s"] = rps_4p;
+    current["frontend.scaling_4p_over_1p"] = rps_1p > 0 ? rps_4p / rps_1p : 0.0;
+    PrintRow({{34, "frontend.admit_1p.req_per_s"}, {16, Fmt("%.3g", rps_1p)}});
+    PrintRow({{34, "frontend.admit_4p.req_per_s"}, {16, Fmt("%.3g", rps_4p)}});
+    PrintRow({{34, "frontend.scaling_4p_over_1p"},
+              {16, Fmt("%.2fx", current["frontend.scaling_4p_over_1p"])}});
   }
 
   std::printf("\n");

@@ -35,17 +35,15 @@ void Evictor::Insert(SmallPageId page, Tick last_access, int64_t prefix_length) 
   const auto [it, inserted] = keys_.emplace(page, key);
   JENGA_CHECK(inserted) << "page " << page << " already in evictor";
   Push(key);
-  if (audit_ != nullptr) {
-    audit_->OnEvictorInsert(audit_group_, page, last_access, prefix_length);
-  }
+  JENGA_AUDIT_HOOK(audit_, OnEvictorInsert(audit_group_, page, last_access, prefix_length));
 }
 
 void Evictor::Remove(SmallPageId page) {
   // Lazy: the heap entry becomes a tombstone, discarded at pop/peek/compaction time.
   const bool present = keys_.erase(page) > 0;
   MaybeCompact();
-  if (present && audit_ != nullptr) {
-    audit_->OnEvictorRemove(audit_group_, page);
+  if (present) {
+    JENGA_AUDIT_HOOK(audit_, OnEvictorRemove(audit_group_, page));
   }
 }
 
@@ -57,7 +55,7 @@ void Evictor::UpdateLastAccess(SmallPageId page, Tick last_access) {
   it->second.last_access = last_access;
   Push(it->second);
   MaybeCompact();
-  if (audit_ != nullptr) {
+  if (audit_ != nullptr) [[unlikely]] {
     const auto rekeyed = keys_.find(page);
     audit_->OnEvictorRekey(audit_group_, page, rekeyed->second.last_access,
                            -rekeyed->second.neg_prefix_length);
@@ -72,7 +70,7 @@ void Evictor::SetPrefixLength(SmallPageId page, int64_t prefix_length) {
   it->second.neg_prefix_length = -prefix_length;
   Push(it->second);
   MaybeCompact();
-  if (audit_ != nullptr) {
+  if (audit_ != nullptr) [[unlikely]] {
     const auto rekeyed = keys_.find(page);
     audit_->OnEvictorRekey(audit_group_, page, rekeyed->second.last_access,
                            -rekeyed->second.neg_prefix_length);
@@ -88,9 +86,7 @@ std::optional<SmallPageId> Evictor::PopVictim() {
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<Key>{});
   heap_.pop_back();
   keys_.erase(key.page);
-  if (audit_ != nullptr) {
-    audit_->OnEvictorPop(audit_group_, key.page);
-  }
+  JENGA_AUDIT_HOOK(audit_, OnEvictorPop(audit_group_, key.page));
   return key.page;
 }
 

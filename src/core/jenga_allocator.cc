@@ -6,14 +6,15 @@
 
 namespace jenga {
 
-JengaAllocator::JengaAllocator(KvSpec spec, int64_t pool_bytes, int64_t large_page_bytes_override)
+JengaAllocator::JengaAllocator(KvSpec spec, int64_t pool_bytes, int64_t large_page_bytes_override,
+                               int shards)
     : spec_(std::move(spec)),
       lcm_(pool_bytes,
            large_page_bytes_override > 0 ? large_page_bytes_override : spec_.LcmPageBytes()) {
   groups_.reserve(spec_.groups.size());
   for (size_t i = 0; i < spec_.groups.size(); ++i) {
     groups_.push_back(std::make_unique<SmallPageAllocator>(static_cast<int>(i), spec_.groups[i],
-                                                           &lcm_, this));
+                                                           &lcm_, this, shards));
   }
 }
 
@@ -45,14 +46,10 @@ std::optional<LargePageId> JengaAllocator::AcquireLargePage(int group_index) {
     const Tick current = owner.ReclaimTimestamp(top.large);
     if (current != top.timestamp) {
       PushReclaim({current, top.group, top.large});
-      if (audit_ != nullptr) {
-        audit_->OnReclaimPushed(top.group, top.large, current);
-      }
+      JENGA_AUDIT_HOOK(audit_, OnReclaimPushed(top.group, top.large, current));
       continue;
     }
-    if (audit_ != nullptr) {
-      audit_->OnLargeReclaimed(top.group, top.large);
-    }
+    JENGA_AUDIT_HOOK(audit_, OnLargeReclaimed(top.group, top.large));
     owner.ReclaimLargePage(top.large);
     return lcm_.Allocate(group_index);
   }
@@ -61,9 +58,7 @@ std::optional<LargePageId> JengaAllocator::AcquireLargePage(int group_index) {
 
 void JengaAllocator::OnReclaimCandidate(int group_index, LargePageId large, Tick timestamp) {
   PushReclaim({timestamp, group_index, large});
-  if (audit_ != nullptr) {
-    audit_->OnReclaimPushed(group_index, large, timestamp);
-  }
+  JENGA_AUDIT_HOOK(audit_, OnReclaimPushed(group_index, large, timestamp));
 }
 
 void JengaAllocator::ForgetRequest(RequestId request) {

@@ -22,7 +22,10 @@ class JengaAllocator final : public LargePageProvider {
  public:
   // Creates the two-level allocator over a `pool_bytes` KV pool; the large-page size is the
   // LCM of the group page sizes (overridable for ablations, must be a common multiple).
-  JengaAllocator(KvSpec spec, int64_t pool_bytes, int64_t large_page_bytes_override = 0);
+  // `shards` > 1 switches every group allocator's empty-page index to the lock-free
+  // ShardedClaimIndex (see SmallPageAllocator); 1 keeps the deterministic legacy lists.
+  JengaAllocator(KvSpec spec, int64_t pool_bytes, int64_t large_page_bytes_override = 0,
+                 int shards = 1);
 
   JengaAllocator(const JengaAllocator&) = delete;
   JengaAllocator& operator=(const JengaAllocator&) = delete;

@@ -1,0 +1,186 @@
+// Lock-free empty-page claim index for the sharded SmallPageAllocator mode (shards > 1).
+//
+// Purpose: when the engine loop goes multi-threaded, admission on one KV group must not
+// serialize against another on the shared "any empty page" free list. The index keeps one
+// atomic bitmap word strip per large page (bit set = slot is empty and claimable) and
+// partitions large pages round-robin across shards; each shard scans its own partition with
+// a rotating cursor, so concurrent claimers mostly touch disjoint cache lines.
+//
+// The claim idiom (acquire-load the word, pick a set bit, clear it with a fetch_and at
+// acq_rel, and treat "the bit was set in the fetched previous value" as winning the race)
+// follows the find-and-claim page-group pattern used by production block allocators; losing
+// a race is not an error — the loser just rescans.
+//
+// Determinism: under a single thread, Publish/Claim order fully determines FindAndClaim
+// results, but the *placement policy* differs from the legacy FreeRef lists (bitmap order vs
+// LIFO-with-epochs). That is why shards=1 bypasses this index entirely and keeps the legacy
+// lists as the bit-identical deterministic oracle (DESIGN.md §9); shards>1 runs are checked
+// by the AllocatorAuditor instead of golden outputs.
+
+#ifndef JENGA_SRC_CORE_SHARD_CLAIM_H_
+#define JENGA_SRC_CORE_SHARD_CLAIM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/core/types.h"
+
+namespace jenga {
+
+class ShardedClaimIndex {
+ public:
+  ShardedClaimIndex(int shards, int64_t num_larges, int slots_per_large)
+      : shards_(shards),
+        num_larges_(num_larges),
+        slots_per_large_(slots_per_large),
+        words_per_large_((slots_per_large + 63) / 64) {
+    JENGA_CHECK(shards >= 1) << "ShardedClaimIndex needs >= 1 shard";
+    JENGA_CHECK(slots_per_large >= 1) << "ShardedClaimIndex needs >= 1 slot per large";
+    const size_t num_words =
+        static_cast<size_t>(num_larges) * static_cast<size_t>(words_per_large_);
+    words_ = std::make_unique<std::atomic<uint64_t>[]>(num_words);
+    for (size_t i = 0; i < num_words; ++i) {
+      words_[i].store(0, std::memory_order_relaxed);
+    }
+    cursors_ = std::make_unique<ShardCursor[]>(static_cast<size_t>(shards));
+  }
+
+  ShardedClaimIndex(const ShardedClaimIndex&) = delete;
+  ShardedClaimIndex& operator=(const ShardedClaimIndex&) = delete;
+
+  // Marks (large, slot) claimable. Release so a claimer that sees the bit also sees the
+  // slot-metadata writes that preceded publication.
+  void Publish(LargePageId large, int slot) {
+    const uint64_t bit = uint64_t{1} << (slot & 63);
+    const uint64_t prev =
+        Word(large, slot).fetch_or(bit, std::memory_order_acq_rel);
+    JENGA_CHECK((prev & bit) == 0) << "ShardedClaimIndex: double publish of a slot";
+    ShardState(large).population.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Claims (large, slot) if currently claimable. Returns false when another claimer (or a
+  // ClearLarge) got there first.
+  [[nodiscard]] bool TryClaim(LargePageId large, int slot) {
+    const uint64_t bit = uint64_t{1} << (slot & 63);
+    const uint64_t prev =
+        Word(large, slot).fetch_and(~bit, std::memory_order_acq_rel);
+    if ((prev & bit) == 0) return false;
+    ShardState(large).population.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Withdraws every claimable slot of `large` (the page is leaving this group: reclaimed or
+  // returned to the LCM allocator). Only meaningful when no claimer can still win a race for
+  // these slots — the allocator guarantees that by never clearing a large that has published
+  // slots another thread could legally claim mid-release.
+  void ClearLarge(LargePageId large) {
+    int64_t cleared = 0;
+    const size_t base = static_cast<size_t>(large) * static_cast<size_t>(words_per_large_);
+    for (int w = 0; w < words_per_large_; ++w) {
+      const uint64_t prev = words_[base + static_cast<size_t>(w)].exchange(
+          0, std::memory_order_acq_rel);
+      cleared += __builtin_popcountll(prev);
+    }
+    if (cleared > 0) {
+      ShardState(large).population.fetch_sub(cleared, std::memory_order_relaxed);
+    }
+  }
+
+  // Scans the shard owning `shard_hint % shards()` starting after its last hit; claims and
+  // returns one (large, slot), or nullopt when the whole shard ring is empty. Spills into
+  // the other shards before giving up, so a lopsided hint distribution cannot strand memory.
+  [[nodiscard]] std::optional<std::pair<LargePageId, int>> FindAndClaim(int64_t shard_hint) {
+    const int home = static_cast<int>(((shard_hint % shards_) + shards_) % shards_);
+    for (int s = 0; s < shards_; ++s) {
+      const int shard = (home + s) % shards_;
+      if (auto hit = ScanShard(shard)) return hit;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] int shards() const { return shards_; }
+
+  // Reads (without claiming) whether (large, slot) is currently claimable. Consistency
+  // checks and tests; racy under concurrent claimers.
+  [[nodiscard]] bool IsClaimable(LargePageId large, int slot) const {
+    const size_t index =
+        static_cast<size_t>(large) * static_cast<size_t>(words_per_large_) +
+        static_cast<size_t>(slot >> 6);
+    const uint64_t bit = uint64_t{1} << (slot & 63);
+    return (words_[index].load(std::memory_order_acquire) & bit) != 0;
+  }
+
+  // Exact only when quiescent; tests and stats use.
+  [[nodiscard]] int64_t ClaimableApprox() const {
+    int64_t total = 0;
+    for (int s = 0; s < shards_; ++s) {
+      total += cursors_[static_cast<size_t>(s)].population.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  // Per-shard mutable state on its own cache line: the rotating scan cursor (an index into
+  // the shard's large-page sequence) and an approximate population counter for early-exit.
+  struct alignas(64) ShardCursor {
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> population{0};
+  };
+
+  [[nodiscard]] std::atomic<uint64_t>& Word(LargePageId large, int slot) {
+    return words_[static_cast<size_t>(large) * static_cast<size_t>(words_per_large_) +
+                  static_cast<size_t>(slot >> 6)];
+  }
+  [[nodiscard]] ShardCursor& ShardState(LargePageId large) {
+    return cursors_[static_cast<size_t>(large % shards_)];
+  }
+  // Number of large pages in `shard`'s partition {shard, shard+S, shard+2S, ...}.
+  [[nodiscard]] int64_t ShardLarges(int shard) const {
+    return (num_larges_ - shard + shards_ - 1) / shards_;
+  }
+
+  [[nodiscard]] std::optional<std::pair<LargePageId, int>> ScanShard(int shard) {
+    ShardCursor& cur = cursors_[static_cast<size_t>(shard)];
+    const int64_t count = ShardLarges(shard);
+    if (count == 0) return std::nullopt;
+    if (cur.population.load(std::memory_order_acquire) <= 0) return std::nullopt;
+    const int64_t start = cur.next.load(std::memory_order_relaxed) % count;
+    for (int64_t i = 0; i < count; ++i) {
+      const int64_t pos = start + i < count ? start + i : start + i - count;
+      const auto large = static_cast<LargePageId>(shard + pos * shards_);
+      const size_t base =
+          static_cast<size_t>(large) * static_cast<size_t>(words_per_large_);
+      for (int w = 0; w < words_per_large_; ++w) {
+        std::atomic<uint64_t>& word = words_[base + static_cast<size_t>(w)];
+        uint64_t observed = word.load(std::memory_order_acquire);
+        while (observed != 0) {
+          const int bit = __builtin_ctzll(observed);
+          const uint64_t mask = uint64_t{1} << bit;
+          const uint64_t prev = word.fetch_and(~mask, std::memory_order_acq_rel);
+          if ((prev & mask) != 0) {  // Won the race for this bit.
+            cur.population.fetch_sub(1, std::memory_order_relaxed);
+            cur.next.store(pos, std::memory_order_relaxed);
+            return std::make_pair(large, w * 64 + bit);
+          }
+          observed = prev & ~mask;  // Lost; retry the remaining bits we saw.
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  const int shards_;
+  const int64_t num_larges_;
+  const int slots_per_large_;
+  const int words_per_large_;
+  std::unique_ptr<std::atomic<uint64_t>[]> words_;
+  std::unique_ptr<ShardCursor[]> cursors_;
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_CORE_SHARD_CLAIM_H_

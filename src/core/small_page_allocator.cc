@@ -12,15 +12,19 @@ constexpr size_t kFreeListCompactFloor = 64;
 }  // namespace
 
 SmallPageAllocator::SmallPageAllocator(int group_index, KvGroupSpec spec, LcmAllocator* lcm,
-                                       LargePageProvider* provider)
+                                       LargePageProvider* provider, int shards)
     : group_index_(group_index), spec_(std::move(spec)), lcm_(lcm), provider_(provider) {
   JENGA_CHECK(lcm_ != nullptr);
   JENGA_CHECK(provider_ != nullptr);
   JENGA_CHECK_GT(spec_.page_bytes, 0);
+  JENGA_CHECK_GE(shards, 1);
   JENGA_CHECK_EQ(lcm_->large_page_bytes() % spec_.page_bytes, 0)
       << "group page size must divide the LCM page size";
   pages_per_large_ = static_cast<int>(lcm_->large_page_bytes() / spec_.page_bytes);
   larges_.resize(static_cast<size_t>(lcm_->num_pages()));
+  if (shards > 1) {
+    claims_ = std::make_unique<ShardedClaimIndex>(shards, lcm_->num_pages(), pages_per_large_);
+  }
 }
 
 SmallPageAllocator::SlotMeta& SmallPageAllocator::Meta(SmallPageId page) {
@@ -70,6 +74,11 @@ std::optional<SmallPageId> SmallPageAllocator::PopRequestFree(RequestId request)
     refs.pop_back();
     by_request_refs_ -= 1;
     if (IsValidEmpty(ref)) {
+      if (claims_ != nullptr &&
+          !claims_->TryClaim(LargeOf(ref.page), SlotOf(ref.page))) {
+        // Lost the bit to a concurrent FindAndClaim; the ref is stale, keep popping.
+        continue;
+      }
       return ref.page;
     }
   }
@@ -77,7 +86,17 @@ std::optional<SmallPageId> SmallPageAllocator::PopRequestFree(RequestId request)
   return std::nullopt;
 }
 
-std::optional<SmallPageId> SmallPageAllocator::PopAnyFree() {
+std::optional<SmallPageId> SmallPageAllocator::PopAnyFree(RequestId request) {
+  if (claims_ != nullptr) {
+    if (const auto hit = claims_->FindAndClaim(request)) {
+      const SmallPageId page =
+          static_cast<SmallPageId>(hit->first) * pages_per_large_ + hit->second;
+      JENGA_CHECK(Meta(page).state == PageState::kEmpty)
+          << "claim index returned non-empty page " << page;
+      return page;
+    }
+    return std::nullopt;
+  }
   while (!empty_any_.empty()) {
     const FreeRef ref = empty_any_.back();
     empty_any_.pop_back();
@@ -128,9 +147,7 @@ void SmallPageAllocator::ClaimEmpty(SmallPageId page, RequestId request, Tick no
   entry.used_count += 1;
   empty_count_ -= 1;
   used_count_ += 1;
-  if (audit_ != nullptr) {
-    audit_->OnPageClaimed(group_index_, page, request);
-  }
+  JENGA_AUDIT_HOOK(audit_, OnPageClaimed(group_index_, page, request));
 }
 
 std::optional<SmallPageId> SmallPageAllocator::Allocate(RequestId request, Tick now) {
@@ -155,15 +172,22 @@ std::optional<SmallPageId> SmallPageAllocator::Allocate(RequestId request, Tick 
     }
     resident_larges_ += 1;
     empty_count_ += pages_per_large_;
-    if (audit_ != nullptr) {
-      audit_->OnLargeAcquired(group_index_, *large, request);
-    }
+    JENGA_AUDIT_HOOK(audit_, OnLargeAcquired(group_index_, *large, request));
     const SmallPageId base = static_cast<SmallPageId>(*large) * pages_per_large_;
     std::vector<FreeRef>& request_refs = empty_by_request_[request];
-    for (int slot = 1; slot < pages_per_large_; ++slot) {
-      const FreeRef ref{base + slot, entry.slots[static_cast<size_t>(slot)].epoch};
-      request_refs.push_back(ref);
-      empty_any_.push_back(ref);
+    if (claims_ == nullptr) {
+      for (int slot = 1; slot < pages_per_large_; ++slot) {
+        const FreeRef ref{base + slot, entry.slots[static_cast<size_t>(slot)].epoch};
+        request_refs.push_back(ref);
+        empty_any_.push_back(ref);
+      }
+    } else {
+      // Sharded mode: the claim index replaces empty_any_; the affinity list still gets the
+      // refs so step 1 keeps its request-aware placement.
+      for (int slot = 1; slot < pages_per_large_; ++slot) {
+        request_refs.push_back(FreeRef{base + slot, entry.slots[static_cast<size_t>(slot)].epoch});
+        claims_->Publish(*large, slot);
+      }
     }
     by_request_refs_ += pages_per_large_ - 1;
     ClaimEmpty(base, request, now);
@@ -172,7 +196,7 @@ std::optional<SmallPageId> SmallPageAllocator::Allocate(RequestId request, Tick 
   }
 
   // Step 4: any empty page, regardless of association.
-  if (const auto page = PopAnyFree()) {
+  if (const auto page = PopAnyFree(request)) {
     ClaimEmpty(*page, request, now);
     return page;
   }
@@ -185,9 +209,7 @@ std::optional<SmallPageId> SmallPageAllocator::Allocate(RequestId request, Tick 
     JENGA_CHECK(meta.state == PageState::kEvictable);
     NotifyEviction(*victim, meta);
     UnregisterHash(*victim, meta);
-    if (audit_ != nullptr) {
-      audit_->OnPageEvicted(group_index_, *victim);
-    }
+    JENGA_AUDIT_HOOK(audit_, OnPageEvicted(group_index_, *victim));
     meta.state = PageState::kUsed;
     meta.assoc = request;
     meta.ref_count = 1;
@@ -198,9 +220,7 @@ std::optional<SmallPageId> SmallPageAllocator::Allocate(RequestId request, Tick 
     entry.used_count += 1;
     evictable_count_ -= 1;
     used_count_ += 1;
-    if (audit_ != nullptr) {
-      audit_->OnPageClaimed(group_index_, *victim, request);
-    }
+    JENGA_AUDIT_HOOK(audit_, OnPageClaimed(group_index_, *victim, request));
     return victim;
   }
 
@@ -228,8 +248,8 @@ bool SmallPageAllocator::AllocateN(RequestId request, int64_t n, Tick now,
     }
     out->push_back(*page);
   }
-  if (audit_ != nullptr && n > 0) {
-    audit_->OnBulkAllocate(group_index_, request, n);
+  if (n > 0) {
+    JENGA_AUDIT_HOOK(audit_, OnBulkAllocate(group_index_, request, n));
   }
   return true;
 }
@@ -251,9 +271,7 @@ void SmallPageAllocator::AddRef(SmallPageId page) {
       entry.used_count += 1;
       evictable_count_ -= 1;
       used_count_ += 1;
-      if (audit_ != nullptr) {
-        audit_->OnPageRevived(group_index_, page);
-      }
+      JENGA_AUDIT_HOOK(audit_, OnPageRevived(group_index_, page));
       break;
     case PageState::kEmpty:
       JENGA_CHECK(false) << "AddRef on empty page " << page;
@@ -286,14 +304,15 @@ void SmallPageAllocator::UnregisterHash(SmallPageId page, SlotMeta& meta) {
 }
 
 void SmallPageAllocator::ReleaseLarge(LargePageId large, LargeEntry& entry) {
+  if (claims_ != nullptr) {
+    claims_->ClearLarge(large);
+  }
   entry.resident = false;
   entry.used_count = 0;
   entry.evictable_count = 0;
   resident_larges_ -= 1;
   lcm_->Free(large);
-  if (audit_ != nullptr) {
-    audit_->OnLargeReleased(group_index_, large);
-  }
+  JENGA_AUDIT_HOOK(audit_, OnLargeReleased(group_index_, large));
 }
 
 void SmallPageAllocator::TransitionToEmpty(SmallPageId page) {
@@ -314,9 +333,7 @@ void SmallPageAllocator::TransitionToEmpty(SmallPageId page) {
   meta.ref_count = 0;
   meta.epoch = next_epoch_++;
   empty_count_ += 1;
-  if (audit_ != nullptr) {
-    audit_->OnPageEmptied(group_index_, page);
-  }
+  JENGA_AUDIT_HOOK(audit_, OnPageEmptied(group_index_, page));
 
   if (entry.used_count == 0 && entry.evictable_count == 0) {
     // The whole large page is empty: return it to the LCM allocator (§4.1). Stale FreeRefs to
@@ -329,7 +346,11 @@ void SmallPageAllocator::TransitionToEmpty(SmallPageId page) {
   const FreeRef ref{page, meta.epoch};
   empty_by_request_[meta.assoc].push_back(ref);
   by_request_refs_ += 1;
-  empty_any_.push_back(ref);
+  if (claims_ == nullptr) {
+    empty_any_.push_back(ref);
+  } else {
+    claims_->Publish(large, SlotOf(page));
+  }
   NotifyCandidateIfEligible(large);
   MaybeCompactFreeLists();
 }
@@ -365,9 +386,7 @@ void SmallPageAllocator::Release(SmallPageId page, bool keep_cached) {
   entry.evictable_count += 1;
   used_count_ -= 1;
   evictable_count_ += 1;
-  if (audit_ != nullptr) {
-    audit_->OnPageCached(group_index_, page, meta.hash);
-  }
+  JENGA_AUDIT_HOOK(audit_, OnPageCached(group_index_, page, meta.hash));
   evictor_.Insert(page, meta.last_access, meta.prefix_length);
   NotifyCandidateIfEligible(large);
 }
@@ -415,9 +434,7 @@ void SmallPageAllocator::ForgetRequest(RequestId request) {
   }
   by_request_refs_ -= static_cast<int64_t>(it->second.size());
   empty_by_request_.erase(it);
-  if (audit_ != nullptr) {
-    audit_->OnRequestForgotten(group_index_, request);
-  }
+  JENGA_AUDIT_HOOK(audit_, OnRequestForgotten(group_index_, request));
 }
 
 void SmallPageAllocator::NotifyCandidateIfEligible(LargePageId large) {
@@ -457,9 +474,7 @@ void SmallPageAllocator::ReclaimLargePage(LargePageId large) {
       evictor_.Remove(page);
       NotifyEviction(page, meta);
       UnregisterHash(page, meta);
-      if (audit_ != nullptr) {
-        audit_->OnPageEvicted(group_index_, page);
-      }
+      JENGA_AUDIT_HOOK(audit_, OnPageEvicted(group_index_, page));
       evictable_count_ -= 1;
     } else {
       empty_count_ -= 1;
@@ -558,6 +573,31 @@ void SmallPageAllocator::CheckConsistency() const {
     JENGA_CHECK(meta.state != PageState::kEmpty);
     JENGA_CHECK(meta.has_hash);
     JENGA_CHECK_EQ(meta.hash, hash);
+  }
+  if (claims_ != nullptr) {
+    // Sharded mode: the claim bitmap is the authoritative empty-page index. At quiescence a
+    // bit is set iff its resident slot is empty, and the per-shard population counters sum
+    // to the live empty-page count.
+    JENGA_CHECK(empty_any_.empty()) << "sharded mode must not touch the empty_any_ list";
+    int64_t claimable = 0;
+    for (size_t index = 0; index < larges_.size(); ++index) {
+      const LargeEntry& entry = larges_[index];
+      const auto large = static_cast<LargePageId>(index);
+      for (int slot = 0; slot < pages_per_large_; ++slot) {
+        const bool bit = claims_->IsClaimable(large, slot);
+        if (!entry.resident) {
+          JENGA_CHECK(!bit) << "claim bit set on non-resident large " << large;
+          continue;
+        }
+        const bool is_empty =
+            entry.slots[static_cast<size_t>(slot)].state == PageState::kEmpty;
+        JENGA_CHECK_EQ(bit, is_empty)
+            << "claim bit / slot state mismatch at large " << large << " slot " << slot;
+        claimable += bit ? 1 : 0;
+      }
+    }
+    JENGA_CHECK_EQ(claimable, empty_count_);
+    JENGA_CHECK_EQ(claimable, claims_->ClaimableApprox());
   }
 }
 

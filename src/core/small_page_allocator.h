@@ -19,6 +19,7 @@
 #define JENGA_SRC_CORE_SMALL_PAGE_ALLOCATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "src/core/evictor.h"
 #include "src/core/layer_policy.h"
 #include "src/core/lcm_allocator.h"
+#include "src/core/shard_claim.h"
 #include "src/core/types.h"
 #include "src/model/kv_spec.h"
 
@@ -46,8 +48,15 @@ class LargePageProvider {
 
 class SmallPageAllocator final : public GroupCacheOps {
  public:
+  // `shards` selects the empty-page bookkeeping for steps 1/4 of the allocation algorithm:
+  //   1 (default) — the legacy epoch-validated FreeRef lists. Fully deterministic and
+  //     bit-identical to every release before sharding existed; this mode is the oracle the
+  //     fig13–fig19 goldens pin.
+  //   >1 — a ShardedClaimIndex of per-large atomic bitmap words partitioned across `shards`.
+  //     Same invariants (checked by the AllocatorAuditor and CheckConsistency), different —
+  //     and concurrency-ready — placement order. See DESIGN.md §9.
   SmallPageAllocator(int group_index, KvGroupSpec spec, LcmAllocator* lcm,
-                     LargePageProvider* provider);
+                     LargePageProvider* provider, int shards = 1);
 
   SmallPageAllocator(const SmallPageAllocator&) = delete;
   SmallPageAllocator& operator=(const SmallPageAllocator&) = delete;
@@ -114,6 +123,7 @@ class SmallPageAllocator final : public GroupCacheOps {
   [[nodiscard]] int group_index() const { return group_index_; }
   [[nodiscard]] int pages_per_large() const { return pages_per_large_; }
   [[nodiscard]] int64_t page_bytes() const { return spec_.page_bytes; }
+  [[nodiscard]] int shards() const { return claims_ != nullptr ? claims_->shards() : 1; }
 
   [[nodiscard]] PageState state(SmallPageId page) const;
   [[nodiscard]] RequestId assoc(SmallPageId page) const;
@@ -189,9 +199,11 @@ class SmallPageAllocator final : public GroupCacheOps {
   [[nodiscard]] LargeEntry& Entry(LargePageId large);
   [[nodiscard]] const LargeEntry& Entry(LargePageId large) const;
 
-  // Pops a validated empty page associated with `request`, or any empty page.
+  // Pops a validated empty page associated with `request`, or any empty page. In sharded
+  // mode PopAnyFree scans the claim index (the request id doubles as the shard hint) and
+  // PopRequestFree additionally claims the popped page's bit.
   [[nodiscard]] std::optional<SmallPageId> PopRequestFree(RequestId request);
-  [[nodiscard]] std::optional<SmallPageId> PopAnyFree();
+  [[nodiscard]] std::optional<SmallPageId> PopAnyFree(RequestId request);
   [[nodiscard]] bool IsValidEmpty(const FreeRef& ref) const;
   // Drops stale refs once a list outgrows the live empty-page population; relative order of
   // valid refs is preserved, so the pop sequence — and allocation placement — is unchanged.
@@ -220,6 +232,8 @@ class SmallPageAllocator final : public GroupCacheOps {
   std::vector<LargeEntry> larges_;
   std::unordered_map<RequestId, std::vector<FreeRef>> empty_by_request_;
   std::vector<FreeRef> empty_any_;
+  // Sharded mode only (shards > 1); nullptr means the legacy empty_any_ list is in charge.
+  std::unique_ptr<ShardedClaimIndex> claims_;
   Evictor evictor_;
   std::unordered_map<BlockHash, SmallPageId> cache_index_;
 

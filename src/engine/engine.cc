@@ -86,6 +86,7 @@ Engine::Engine(EngineConfig config)
   options.memoize_admission = config_.memoize_admission;
   options.jenga = config_.jenga;
   options.tokens_per_image = config_.model.vision.tokens_per_image;
+  options.alloc_shards = config_.alloc_shards;
   kv_ = std::make_unique<KvManager>(std::move(alloc_spec), std::move(accounting_spec), pool,
                                     options);
 
@@ -181,6 +182,7 @@ void Engine::FinishRequest(Request& r, bool failed) {
     swap_->DropSwapSet(r.id);
   }
   r.state = RequestState::kFinished;
+  r.failed = failed;
   r.finish_time = now_;
   RequestRecord record;
   record.id = r.id;
@@ -275,7 +277,7 @@ void Engine::MaybeShedHead() {
 }
 
 void Engine::SyncFaultMetrics() {
-  if (fault_ != nullptr) {
+  if (fault_ != nullptr) [[unlikely]] {
     metrics_.faults_injected = fault_->total_fires();
   }
   if (swap_ != nullptr) {
@@ -380,7 +382,7 @@ bool Engine::StepOnce() {
   if (has_deadlines_) {
     ExpireDeadlines();
   }
-  if (fault_ != nullptr && swap_ != nullptr) {
+  if (fault_ != nullptr && swap_ != nullptr) [[unlikely]] {
     swap_->OnEngineStep();  // Host memory-pressure site (forced shrink / degrade).
   }
   // Fast-forward to the next arrival when idle.
@@ -399,7 +401,10 @@ bool Engine::StepOnce() {
 
   ++tick_;
   int64_t budget = max_batched_tokens_;
-  std::vector<Scheduled> scheduled;
+  // Reused across steps: per-step construction showed up as malloc traffic on the
+  // steps-per-second path (ROADMAP item 5).
+  std::vector<Scheduled>& scheduled = scheduled_buf_;
+  scheduled.clear();
   double vision_time = 0.0;
 
   // Phase 1: running requests, FCFS. Decode requests take one token; prefilling requests take

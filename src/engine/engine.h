@@ -60,6 +60,10 @@ struct EngineConfig {
   // 0 disables the gate (default).
   int shed_after_blocked_steps = 0;
   double shed_occupancy_watermark = 0.95;
+  // Empty-page index shards per group allocator (KvManager::Options::alloc_shards). 1 = the
+  // deterministic legacy free lists; >1 = the lock-free claim bitmaps (concurrency-ready,
+  // auditor-checked, different placement order — not the golden oracle).
+  int alloc_shards = 1;
 };
 
 // Named engine profiles used in the Fig. 15 comparison.
@@ -152,6 +156,8 @@ class Engine {
   double now_ = 0.0;
   Tick tick_ = 0;
   EngineMetrics metrics_;
+  // Scratch for StepOnce's schedule (cleared each step; capacity reused).
+  std::vector<Scheduled> scheduled_buf_;
 };
 
 }  // namespace jenga

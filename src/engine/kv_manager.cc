@@ -1,6 +1,7 @@
 #include "src/engine/kv_manager.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdlib>
 #include <span>
 
@@ -91,7 +92,8 @@ KvManager::KvManager(KvSpec alloc_spec, KvSpec accounting_spec, int64_t pool_byt
     : spec_(std::move(alloc_spec)),
       accounting_spec_(std::move(accounting_spec)),
       options_(options),
-      allocator_(spec_, pool_bytes) {
+      allocator_(spec_, pool_bytes, /*large_page_bytes_override=*/0, options.alloc_shards) {
+  JENGA_CHECK_LE(spec_.groups.size(), kMaxGroups);
   for (size_t g = 0; g < spec_.groups.size(); ++g) {
     const KvGroupSpec& group = spec_.groups[g];
     if (options_.jenga) {
@@ -395,9 +397,16 @@ bool KvManager::AllocateForTokens(Request& r, int64_t n, Tick now) {
   RequestKv& state = StateOf(r);
   const int64_t upto = r.num_computed_tokens + n;
   // Completed per-group bulk allocations, for cross-group rollback (within one group
-  // AllocateN rolls itself back before reporting failure).
-  std::vector<std::pair<int, int64_t>> fresh;
-  fresh.reserve(spec_.groups.size());
+  // AllocateN rolls itself back before reporting failure). Groups are per layer *type*, so
+  // the count is tiny and bounded (checked in the constructor); the inline array removes the
+  // heap allocation this function used to pay per call even when nothing needed rolling
+  // back (ROADMAP item 5).
+  struct FreshGroup {
+    int group;
+    int64_t need;
+  };
+  std::array<FreshGroup, kMaxGroups> fresh;
+  size_t num_fresh = 0;
   for (size_t g = 0; g < spec_.groups.size(); ++g) {
     const KvGroupSpec& group = spec_.groups[g];
     GroupState& gs = state.groups[g];
@@ -408,17 +417,17 @@ bool KvManager::AllocateForTokens(Request& r, int64_t n, Tick now) {
     }
     if (!allocator_.group(static_cast<int>(g)).AllocateN(r.id, need, now, &gs.pages)) {
       // Roll back everything this call allocated, newest first; the caller will preempt.
-      for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
-        SmallPageAllocator& alloc = allocator_.group(it->first);
-        GroupState& owner = state.groups[static_cast<size_t>(it->first)];
-        for (int64_t k = 0; k < it->second; ++k) {
+      for (size_t f = num_fresh; f > 0; --f) {
+        SmallPageAllocator& alloc = allocator_.group(fresh[f - 1].group);
+        GroupState& owner = state.groups[static_cast<size_t>(fresh[f - 1].group)];
+        for (int64_t k = 0; k < fresh[f - 1].need; ++k) {
           alloc.Release(owner.pages.back(), /*keep_cached=*/false);
           owner.pages.pop_back();
         }
       }
       return false;
     }
-    fresh.emplace_back(static_cast<int>(g), need);
+    fresh[num_fresh++] = FreshGroup{static_cast<int>(g), need};
   }
   return true;
 }

@@ -51,6 +51,10 @@ struct KvSwapFootprint {
 
 class KvManager {
  public:
+  // Upper bound on KV groups per spec (groups are per layer type: full-prefix attention,
+  // sliding window, Mamba, vision embeddings, ...). Lets hot paths use inline arrays.
+  static constexpr size_t kMaxGroups = 16;
+
   struct Options {
     int tokens_per_page = 16;
     bool enable_prefix_caching = true;
@@ -64,6 +68,9 @@ class KvManager {
     // immutable, so the results are too. Off = rebuild from scratch each time (the reference
     // behavior the memoized path must match bit for bit).
     bool memoize_admission = true;
+    // Empty-page index shards per group allocator (JengaAllocator shards). 1 = the
+    // deterministic legacy free lists (the golden oracle); >1 = lock-free claim bitmaps.
+    int alloc_shards = 1;
   };
 
   // `alloc_spec` drives allocation; `accounting_spec` is the true per-group architecture,

@@ -58,6 +58,9 @@ struct Request {
   int64_t swapped_out_tokens = 0;
   // Aborted via CancelRequest (client cancel, deadline expiry, or load shed).
   bool cancelled = false;
+  // Finished unsuccessfully (admission abort / shed); mirrors RequestRecord::failed so
+  // pollers (ServingFrontend streams) can classify terminal states without the metrics log.
+  bool failed = false;
   int vision_encoder_runs = 0;
   // Encoder runs since the last (re-)admission; reset on preemption because the cached
   // embeddings are released with the request's pages.

@@ -19,9 +19,7 @@ void HostPool::MakeRoom(int64_t incoming) {
       used_bytes_ -= it->second.set.bytes;
       bytes_evicted_ += it->second.set.bytes;
       sets_evicted_ += 1;
-      if (audit_ != nullptr) {
-        audit_->OnHostSetRemoved(ref.id, it->second.set.bytes, /*evicted=*/true);
-      }
+      JENGA_AUDIT_HOOK(audit_, OnHostSetRemoved(ref.id, it->second.set.bytes, /*evicted=*/true));
       sets_.erase(it);
     } else {
       const auto it = pages_.find(ref.key);
@@ -29,7 +27,7 @@ void HostPool::MakeRoom(int64_t incoming) {
       used_bytes_ -= it->second.page.bytes;
       bytes_evicted_ += it->second.page.bytes;
       pages_evicted_ += 1;
-      if (audit_ != nullptr) {
+      if (audit_ != nullptr) [[unlikely]] {
         audit_->OnHostPageRemoved(ref.key.manager, ref.key.group, ref.key.hash,
                                   it->second.page.bytes, /*evicted=*/true);
       }
@@ -59,15 +57,13 @@ void HostPool::Clear() {
       const auto it = sets_.find(ref.id);
       JENGA_CHECK(it != sets_.end());
       used_bytes_ -= it->second.set.bytes;
-      if (audit_ != nullptr) {
-        audit_->OnHostSetRemoved(ref.id, it->second.set.bytes, /*evicted=*/false);
-      }
+      JENGA_AUDIT_HOOK(audit_, OnHostSetRemoved(ref.id, it->second.set.bytes, /*evicted=*/false));
       sets_.erase(it);
     } else {
       const auto it = pages_.find(ref.key);
       JENGA_CHECK(it != pages_.end());
       used_bytes_ -= it->second.page.bytes;
-      if (audit_ != nullptr) {
+      if (audit_ != nullptr) [[unlikely]] {
         audit_->OnHostPageRemoved(ref.key.manager, ref.key.group, ref.key.hash,
                                   it->second.page.bytes, /*evicted=*/false);
       }
@@ -91,9 +87,7 @@ bool HostPool::PutSwapSet(RequestId id, HostSwapSet set) {
   if (const auto it = sets_.find(id); it != sets_.end()) {
     used_bytes_ -= it->second.set.bytes;
     Unlink(it->second.seq);
-    if (audit_ != nullptr) {
-      audit_->OnHostSetRemoved(id, it->second.set.bytes, /*evicted=*/false);
-    }
+    JENGA_AUDIT_HOOK(audit_, OnHostSetRemoved(id, it->second.set.bytes, /*evicted=*/false));
     sets_.erase(it);
   }
   MakeRoom(set.bytes);
@@ -102,9 +96,7 @@ bool HostPool::PutSwapSet(RequestId id, HostSwapSet set) {
   lru_.emplace(seq, LruRef{/*is_set=*/true, id, PageKey{}});
   const int64_t bytes = set.bytes;
   sets_.emplace(id, SetEntry{std::move(set), seq});
-  if (audit_ != nullptr) {
-    audit_->OnHostSetStored(id, bytes);
-  }
+  JENGA_AUDIT_HOOK(audit_, OnHostSetStored(id, bytes));
   return true;
 }
 
@@ -122,7 +114,7 @@ bool HostPool::PutPage(const PageKey& key, HostCachePage page) {
   if (const auto it = pages_.find(key); it != pages_.end()) {
     used_bytes_ -= it->second.page.bytes;
     Unlink(it->second.seq);
-    if (audit_ != nullptr) {
+    if (audit_ != nullptr) [[unlikely]] {
       audit_->OnHostPageRemoved(key.manager, key.group, key.hash, it->second.page.bytes,
                                 /*evicted=*/false);
     }
@@ -133,9 +125,7 @@ bool HostPool::PutPage(const PageKey& key, HostCachePage page) {
   used_bytes_ += page.bytes;
   lru_.emplace(seq, LruRef{/*is_set=*/false, kNoRequest, key});
   pages_.emplace(key, PageEntry{page, seq});
-  if (audit_ != nullptr) {
-    audit_->OnHostPageStored(key.manager, key.group, key.hash, page.bytes);
-  }
+  JENGA_AUDIT_HOOK(audit_, OnHostPageStored(key.manager, key.group, key.hash, page.bytes));
   return true;
 }
 
@@ -156,9 +146,7 @@ bool HostPool::EraseSwapSet(RequestId id) {
   }
   used_bytes_ -= it->second.set.bytes;
   Unlink(it->second.seq);
-  if (audit_ != nullptr) {
-    audit_->OnHostSetRemoved(id, it->second.set.bytes, /*evicted=*/false);
-  }
+  JENGA_AUDIT_HOOK(audit_, OnHostSetRemoved(id, it->second.set.bytes, /*evicted=*/false));
   sets_.erase(it);
   return true;
 }
@@ -170,7 +158,7 @@ bool HostPool::ErasePage(const PageKey& key) {
   }
   used_bytes_ -= it->second.page.bytes;
   Unlink(it->second.seq);
-  if (audit_ != nullptr) {
+  if (audit_ != nullptr) [[unlikely]] {
     audit_->OnHostPageRemoved(key.manager, key.group, key.hash, it->second.page.bytes,
                               /*evicted=*/false);
   }

@@ -1,0 +1,153 @@
+// ShardedClaimIndex tests: single-threaded publish/claim semantics, shard-hint affinity and
+// spill, and multi-threaded claim uniqueness (every published slot is claimed exactly once
+// no matter how many threads race). The concurrent cases run under the tsan preset.
+
+#include "src/core/shard_claim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace jenga {
+namespace {
+
+using Slot = std::pair<LargePageId, int>;
+
+TEST(ShardClaimTest, PublishThenClaim) {
+  ShardedClaimIndex index(2, /*num_larges=*/4, /*slots_per_large=*/8);
+  EXPECT_FALSE(index.TryClaim(1, 3));  // Nothing published yet.
+  index.Publish(1, 3);
+  EXPECT_TRUE(index.IsClaimable(1, 3));
+  EXPECT_EQ(index.ClaimableApprox(), 1);
+  EXPECT_TRUE(index.TryClaim(1, 3));
+  EXPECT_FALSE(index.TryClaim(1, 3));  // Single claim only.
+  EXPECT_EQ(index.ClaimableApprox(), 0);
+}
+
+TEST(ShardClaimTest, FindAndClaimReturnsEachPublishedSlotOnce) {
+  ShardedClaimIndex index(4, /*num_larges=*/8, /*slots_per_large=*/70);  // >64: two words.
+  std::set<Slot> published;
+  for (LargePageId large = 0; large < 8; ++large) {
+    for (int slot = 0; slot < 70; slot += 7) {
+      index.Publish(large, slot);
+      published.insert({large, slot});
+    }
+  }
+  std::set<Slot> claimed;
+  while (auto hit = index.FindAndClaim(0)) {
+    EXPECT_TRUE(claimed.insert(*hit).second) << "slot returned twice";
+  }
+  EXPECT_EQ(claimed, published);
+  EXPECT_EQ(index.ClaimableApprox(), 0);
+}
+
+TEST(ShardClaimTest, ShardHintAffinity) {
+  // 8 larges over 4 shards: shard s owns larges {s, s+4}. A hint of s must be served from
+  // its own partition while that partition has anything claimable.
+  ShardedClaimIndex index(4, /*num_larges=*/8, /*slots_per_large=*/4);
+  for (LargePageId large = 0; large < 8; ++large) {
+    index.Publish(large, 0);
+  }
+  for (int64_t hint = 0; hint < 4; ++hint) {
+    const auto hit = index.FindAndClaim(hint);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->first % 4, static_cast<LargePageId>(hint));
+  }
+}
+
+TEST(ShardClaimTest, SpillsIntoOtherShardsBeforeFailing) {
+  ShardedClaimIndex index(4, /*num_larges=*/8, /*slots_per_large=*/4);
+  index.Publish(2, 1);  // Only shard 2 has anything.
+  const auto hit = index.FindAndClaim(/*shard_hint=*/0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, Slot(2, 1));
+  EXPECT_FALSE(index.FindAndClaim(0).has_value());
+}
+
+TEST(ShardClaimTest, ClearLargeWithdrawsAllBits) {
+  ShardedClaimIndex index(2, /*num_larges=*/4, /*slots_per_large=*/100);
+  for (int slot = 0; slot < 100; ++slot) {
+    index.Publish(3, slot);
+  }
+  index.Publish(2, 5);
+  EXPECT_EQ(index.ClaimableApprox(), 101);
+  index.ClearLarge(3);
+  EXPECT_EQ(index.ClaimableApprox(), 1);
+  EXPECT_FALSE(index.TryClaim(3, 50));
+  EXPECT_TRUE(index.TryClaim(2, 5));
+}
+
+TEST(ShardClaimTest, ConcurrentClaimersPartitionTheSlots) {
+  constexpr int kLarges = 64;
+  constexpr int kSlots = 16;
+  constexpr int kThreads = 8;
+  ShardedClaimIndex index(4, kLarges, kSlots);
+  for (LargePageId large = 0; large < kLarges; ++large) {
+    for (int slot = 0; slot < kSlots; ++slot) {
+      index.Publish(large, slot);
+    }
+  }
+  std::vector<std::vector<Slot>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&index, &per_thread, t] {
+      while (auto hit = index.FindAndClaim(t)) {
+        per_thread[static_cast<size_t>(t)].push_back(*hit);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  std::set<Slot> all;
+  size_t total = 0;
+  for (const auto& claims : per_thread) {
+    total += claims.size();
+    for (const Slot& s : claims) {
+      EXPECT_TRUE(all.insert(s).second) << "slot claimed by two threads";
+    }
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kLarges) * kSlots);
+  EXPECT_EQ(index.ClaimableApprox(), 0);
+}
+
+TEST(ShardClaimTest, ConcurrentChurnConservesPopulation) {
+  // Each thread repeatedly claims a slot and republished it; the published population is
+  // conserved, so after joining, exactly the initial slots are still claimable.
+  constexpr int kLarges = 16;
+  constexpr int kSlots = 8;
+  ShardedClaimIndex index(4, kLarges, kSlots);
+  for (LargePageId large = 0; large < kLarges; ++large) {
+    for (int slot = 0; slot < kSlots; ++slot) {
+      index.Publish(large, slot);
+    }
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&index, t] {
+      for (int i = 0; i < 2000; ++i) {
+        if (auto hit = index.FindAndClaim(t + i)) {
+          index.Publish(hit->first, hit->second);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(index.ClaimableApprox(), kLarges * kSlots);
+  int drained = 0;
+  while (index.FindAndClaim(0)) {
+    ++drained;
+  }
+  EXPECT_EQ(drained, kLarges * kSlots);
+}
+
+}  // namespace
+}  // namespace jenga

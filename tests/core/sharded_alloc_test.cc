@@ -1,0 +1,178 @@
+// shards>1 vs shards=1 differential: the sharded claim-bitmap allocator must satisfy every
+// invariant the legacy free lists do (AllocatorAuditor + CheckConsistency) and must agree
+// with the oracle on all aggregate accounting (used/evictable page counts, allocation
+// success) across a long seeded schedule of allocate / hash / release / forget ops. Exact
+// placement is allowed to differ — that is the point of sharding — so page ids are tracked
+// per mode rather than compared across modes.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/audit/allocator_auditor.h"
+#include "src/common/random.h"
+#include "src/core/jenga_allocator.h"
+#include "src/engine/engine.h"
+#include "tests/engine/test_models.h"
+
+namespace jenga {
+namespace {
+
+struct ModeState {
+  explicit ModeState(const KvSpec& spec, int64_t pool_bytes, int shards)
+      : alloc(spec, pool_bytes, /*large_page_bytes_override=*/0, shards) {}
+
+  JengaAllocator alloc;
+  // request -> pages currently held, per group (parallel to the op schedule).
+  std::unordered_map<RequestId, std::vector<std::vector<SmallPageId>>> held;
+};
+
+// Applies one seeded operation to a mode and reports whether an allocation succeeded.
+// Both modes receive the identical schedule; the RNG is forked once and replayed per mode.
+void RunSchedule(ModeState& mode, uint64_t seed, int iterations, int num_groups) {
+  Rng rng(seed);
+  RequestId next_request = 1;
+  std::vector<RequestId> active;
+  BlockHash next_hash = 1000;
+  // Keep the live working set under half the per-group capacity so allocation never fails —
+  // in either mode. held/total_held evolve identically across modes (same deterministic
+  // schedule), so this guard never desynchronizes the two runs.
+  const int64_t capacity =
+      (mode.alloc.lcm().num_pages()) * mode.alloc.group(0).pages_per_large();
+  int64_t total_held = 0;
+  for (int it = 0; it < iterations; ++it) {
+    const int64_t action = rng.UniformInt(0, 9);
+    if ((action <= 4 && total_held < capacity / 2) || active.empty()) {
+      // Allocate a few pages in every group for a (possibly new) request. The schedule keeps
+      // the live working set well under the pool, so allocation must always succeed — in
+      // BOTH modes (success parity is part of the differential).
+      RequestId request;
+      if (active.size() < 6 && (active.empty() || rng.Bernoulli(0.5))) {
+        request = next_request++;
+        active.push_back(request);
+        mode.held[request].resize(static_cast<size_t>(num_groups));
+      } else {
+        request = active[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(active.size()) - 1))];
+      }
+      const int64_t n = rng.UniformInt(1, 4);
+      for (int g = 0; g < num_groups; ++g) {
+        for (int64_t k = 0; k < n; ++k) {
+          const auto page = mode.alloc.group(g).Allocate(request, static_cast<Tick>(it));
+          ASSERT_TRUE(page.has_value()) << "allocation failed (iteration " << it << ", group "
+                                        << g << ", shards " << mode.alloc.group(g).shards() << ")";
+          mode.held[request][static_cast<size_t>(g)].push_back(*page);
+          ++total_held;
+        }
+      }
+      // Sometimes register content hashes so releases can keep cached pages around.
+      if (rng.Bernoulli(0.4)) {
+        for (int g = 0; g < num_groups; ++g) {
+          const auto& pages = mode.held[request][static_cast<size_t>(g)];
+          mode.alloc.group(g).SetContentHash(pages.back(), next_hash + static_cast<BlockHash>(g));
+        }
+        next_hash += 10;
+      }
+    } else {
+      // Release a request, keeping cached content with probability 1/2; occasionally retire
+      // its affinity state entirely.
+      const size_t idx =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(active.size()) - 1));
+      const RequestId request = active[idx];
+      const bool keep_cached = rng.Bernoulli(0.5);
+      for (int g = 0; g < num_groups; ++g) {
+        for (const SmallPageId page : mode.held[request][static_cast<size_t>(g)]) {
+          mode.alloc.group(g).Release(page, keep_cached);
+          --total_held;
+        }
+      }
+      mode.held.erase(request);
+      active.erase(active.begin() + static_cast<int64_t>(idx));
+      if (rng.Bernoulli(0.5)) {
+        mode.alloc.ForgetRequest(request);
+      }
+    }
+  }
+}
+
+TEST(ShardedAllocTest, DifferentialAgainstLegacyOracle) {
+  const ModelConfig model = TinyFullModel();
+  const KvSpec spec = MakeJengaSpec(model, 16, false);
+  // Pool sized so the schedule's worst-case working set (6 requests × ≤4 pages × iterations
+  // between releases) stays comfortably allocatable in both modes.
+  const int64_t pool_bytes = spec.LcmPageBytes() * 96;
+  const int num_groups = static_cast<int>(spec.groups.size());
+
+  ModeState legacy(spec, pool_bytes, /*shards=*/1);
+  ModeState sharded(spec, pool_bytes, /*shards=*/4);
+  ASSERT_EQ(legacy.alloc.group(0).shards(), 1);
+  ASSERT_EQ(sharded.alloc.group(0).shards(), 4);
+
+  AllocatorAuditor legacy_auditor;
+  AllocatorAuditor sharded_auditor;
+  legacy_auditor.AttachAllocator(&legacy.alloc);
+  sharded_auditor.AttachAllocator(&sharded.alloc);
+
+  constexpr uint64_t kSeed = 20260807;
+  constexpr int kIterations = 600;
+  RunSchedule(legacy, kSeed, kIterations, num_groups);
+  RunSchedule(sharded, kSeed, kIterations, num_groups);
+
+  // Same schedule → same aggregate books, even though placement differs.
+  for (int g = 0; g < num_groups; ++g) {
+    const auto ls = legacy.alloc.group(g).GetStats();
+    const auto ss = sharded.alloc.group(g).GetStats();
+    EXPECT_EQ(ls.used_pages, ss.used_pages) << "group " << g;
+    EXPECT_EQ(ls.used_bytes, ss.used_bytes) << "group " << g;
+  }
+  const auto lb = legacy.alloc.GetBreakdown();
+  const auto sb = sharded.alloc.GetBreakdown();
+  EXPECT_EQ(lb.used_bytes, sb.used_bytes);
+
+  legacy.alloc.CheckConsistency();
+  sharded.alloc.CheckConsistency();
+  const auto legacy_violations = legacy_auditor.Audit();
+  EXPECT_TRUE(legacy_violations.empty()) << legacy_violations.front();
+  const auto sharded_violations = sharded_auditor.Audit();
+  EXPECT_TRUE(sharded_violations.empty()) << sharded_violations.front();
+  legacy_auditor.DetachAll();
+  sharded_auditor.DetachAll();
+}
+
+// Engine-level: a preemption-heavy workload completes identically-accounted under
+// alloc_shards=4, with the auditor green at the end. (The fig goldens pin shards=1; this is
+// the sharded mode's substitute for byte-identity.)
+TEST(ShardedAllocTest, EngineCompletesPreemptionWorkloadSharded) {
+  const ModelConfig model = TinyFullModel();
+  const KvSpec spec = MakeJengaSpec(model, 16, false);
+  EngineConfig config;
+  config.model = model;
+  config.gpu = TestGpu();
+  config.jenga = true;
+  config.alloc_shards = 4;
+  config.pool_bytes_override = spec.LcmPageBytes() * 24;  // Pressure → preemptions.
+
+  Engine engine(config);
+  for (int i = 0; i < 6; ++i) {
+    engine.Submit(MakeRequest(i, TextPrompt(96, 100 + i * 100), 60, 0.0));
+  }
+  engine.RunToCompletion();
+
+  EXPECT_EQ(engine.metrics().finished().size(), 6u);
+  int preemptions = 0;
+  for (const RequestRecord& record : engine.metrics().finished()) {
+    preemptions += record.preemptions;
+  }
+  EXPECT_GT(preemptions, 0);
+  engine.kv().CheckConsistency();
+  AllocatorAuditor auditor;
+  auditor.AttachAllocator(&engine.kv().allocator_mutable());
+  const auto violations = auditor.Audit();
+  EXPECT_TRUE(violations.empty()) << violations.front();
+  auditor.DetachAll();
+}
+
+}  // namespace
+}  // namespace jenga
