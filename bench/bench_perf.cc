@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/fleet_bench.h"
 #include "bench/frontend_bench.h"
 #include "src/core/evictor.h"
 #include "src/core/jenga_allocator.h"
@@ -446,14 +447,16 @@ bool WriteJson(const std::string& path, const std::string& mode,
   return true;
 }
 
-// Perf gate (check.sh): every micro.* and frontend.* metric present in both runs must stay
-// within `kGateTolerance` of the baseline. E2e metrics are reported but not gated — they
-// move with machine load; the micros are tight loops whose regressions are real, and the
-// frontend keys ride on a min-over-runs committed floor.
+// Perf gate (check.sh): every micro.*, frontend.*, and fleet.* metric present in both runs
+// must stay within `kGateTolerance` of the baseline. E2e metrics are reported but not gated
+// — they move with machine load; the micros are tight loops whose regressions are real, the
+// frontend keys ride on a min-over-runs committed floor, and the fleet hit rates are
+// deterministic (seeded single-threaded router).
 constexpr double kGateTolerance = 0.90;
 
 bool IsGatedKey(const std::string& key) {
-  return key.rfind("micro.", 0) == 0 || key.rfind("frontend.", 0) == 0;
+  return key.rfind("micro.", 0) == 0 || key.rfind("frontend.", 0) == 0 ||
+         key.rfind("fleet.", 0) == 0;
 }
 
 bool GatePasses(const std::map<std::string, double>& baseline,
@@ -538,6 +541,27 @@ bool Run(bool quick, bool gate, const std::string& out_path, const std::string& 
     PrintRow({{34, "frontend.admit_4p.req_per_s"}, {16, Fmt("%.3g", rps_4p)}});
     PrintRow({{34, "frontend.scaling_4p_over_1p"},
               {16, Fmt("%.2fx", current["frontend.scaling_4p_over_1p"])}});
+  }
+
+  std::printf("\n");
+  PrintRow({{34, "fleet (4 replicas, tiny model)"}, {16, "value"}});
+  PrintRule();
+  {
+    const double route_ops = FleetRouteOpsPerSecond(quick ? 20000 : 100000);
+    const int requests = quick ? 48 : 96;
+    const double affinity_hit =
+        FleetPerfHitRate(4, RoutePolicy::kPrefixAffinity, requests);
+    const double rr_hit = FleetPerfHitRate(4, RoutePolicy::kRoundRobin, requests);
+    // Hit rates ship as percents: the JSON writer emits one decimal place, and 34.9 keeps
+    // gate resolution where 0.3 would not.
+    current["fleet.route_4r.ops_per_s"] = route_ops;
+    current["fleet.affinity_4r.hit_pct"] = affinity_hit * 100.0;
+    current["fleet.rr_4r.hit_pct"] = rr_hit * 100.0;
+    current["fleet.hit_ratio_4r"] = rr_hit > 0 ? affinity_hit / rr_hit : 0.0;
+    PrintRow({{34, "fleet.route_4r.ops_per_s"}, {16, Fmt("%.3g", route_ops)}});
+    PrintRow({{34, "fleet.affinity_4r.hit_pct"}, {16, Pct(affinity_hit)}});
+    PrintRow({{34, "fleet.rr_4r.hit_pct"}, {16, Pct(rr_hit)}});
+    PrintRow({{34, "fleet.hit_ratio_4r"}, {16, Fmt("%.2fx", current["fleet.hit_ratio_4r"])}});
   }
 
   std::printf("\n");

@@ -1,0 +1,168 @@
+// Shared fleet-bench harness: arXiv-QA traces replayed through a FleetRouter under each
+// routing policy, plus a small deterministic fleet (tiny model) for the bench_perf trajectory
+// keys. Used by bench_fleet (the showcase comparison) and bench_perf (the gated fleet.*
+// metrics).
+
+#ifndef JENGA_BENCH_FLEET_BENCH_H_
+#define JENGA_BENCH_FLEET_BENCH_H_
+
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/cluster_metrics.h"
+#include "src/cluster/fleet_router.h"
+#include "src/common/random.h"
+#include "src/engine/engine.h"
+#include "src/engine/gpu.h"
+#include "src/model/model_zoo.h"
+#include "src/workload/datasets.h"
+
+namespace jenga {
+
+struct FleetTraceOptions {
+  int num_articles = 12;
+  int64_t min_article_len = 1500;
+  int64_t max_article_len = 2500;
+  int requests = 60;
+  double rate = 8.0;  // Poisson arrivals per second.
+  uint64_t seed = 0xF1EE7;
+  int64_t output_lo = 16;
+  int64_t output_hi = 48;
+};
+
+// The showcase fleet: Llama-3.1-8B replicas whose KV pools hold only a few articles each, so
+// routing policy decides whether article prefixes stay resident. `pool_bytes` is per replica
+// — ~4 articles' worth at the defaults (131072 KV bytes/token × ~2000-token articles).
+struct FleetBenchConfig {
+  int num_replicas = 4;
+  RoutePolicy policy = RoutePolicy::kPrefixAffinity;
+  int64_t pool_bytes = 1200LL << 20;
+  uint64_t seed = 1;
+};
+
+inline std::vector<Request> MakeFleetTrace(const FleetTraceOptions& options) {
+  ArxivQaDataset dataset(options.num_articles, options.min_article_len,
+                         options.max_article_len, options.seed, options.output_lo,
+                         options.output_hi);
+  Rng rng(options.seed * 2654435761ull + 1);
+  return GeneratePoisson(dataset, options.requests, options.rate, rng, /*first_id=*/1);
+}
+
+struct FleetBenchResult {
+  FleetStats stats;
+  FleetCounters counters;
+  double wall_seconds = 0.0;
+  double sim_seconds = 0.0;
+};
+
+inline FleetBenchResult RunFleetPolicy(const FleetBenchConfig& bench,
+                                       std::vector<Request> trace) {
+  FleetConfig config;
+  config.num_replicas = bench.num_replicas;
+  config.engine = JengaProfile(Llama31_8B(), H100());
+  config.engine.pool_bytes_override = bench.pool_bytes;
+  config.engine.memory_sample_every = 0;
+  config.policy = bench.policy;
+  config.seed = bench.seed;
+  FleetRouter fleet(std::move(config));
+
+  const auto begin = std::chrono::steady_clock::now();
+  fleet.RunTimedTrace(std::move(trace));
+  const auto end = std::chrono::steady_clock::now();
+
+  FleetBenchResult result;
+  result.stats = ClusterMetrics::FromRouter(fleet);
+  result.counters = fleet.counters();
+  result.wall_seconds = std::chrono::duration<double>(end - begin).count();
+  result.sim_seconds = fleet.ClusterClock();
+  return result;
+}
+
+// --- Small deterministic fleet for the bench_perf fleet.* keys ---
+
+// 4 full-attention layers, 1 KV head × 64 dims × fp16 → 1 KB/token: cheap enough that the
+// perf-gate quick run costs milliseconds, with the same policy-sensitive cache shape.
+inline ModelConfig FleetPerfModel() {
+  ModelConfig model;
+  model.name = "fleet-perf-tiny";
+  model.params_b = 0.1;
+  model.hidden_size = 256;
+  model.max_context_len = 65536;
+  model.compute_layers = 4;
+  for (int i = 0; i < 4; ++i) {
+    LayerSpec layer;
+    layer.kind = LayerKind::kFullAttention;
+    layer.num_kv_heads = 1;
+    layer.head_dim = 64;
+    layer.dtype_bytes = 2;
+    model.layers.push_back(layer);
+  }
+  return model;
+}
+
+inline FleetConfig FleetPerfConfig(int num_replicas, RoutePolicy policy) {
+  GpuSpec gpu;
+  gpu.name = "fleet-perf-gpu";
+  gpu.memory_bytes = 1LL << 30;
+  gpu.flops = 1e13;
+  gpu.mem_bandwidth = 1e11;
+  gpu.max_batched_tokens = 2048;
+  gpu.max_num_seqs = 32;
+  gpu.reserved_bytes = 0;
+
+  FleetConfig config;
+  config.num_replicas = num_replicas;
+  config.engine.model = FleetPerfModel();
+  config.engine.gpu = gpu;
+  config.engine.tokens_per_page = 16;
+  config.engine.memory_sample_every = 0;
+  // Per-replica pool of ~3 articles (articles below are ~512 tokens ≈ 512 KB).
+  config.engine.pool_bytes_override = 1600LL << 10;
+  config.policy = policy;
+  return config;
+}
+
+// Deterministic cluster hit rate of the tiny fleet under `policy`: 8 articles over
+// `num_replicas` replicas, Poisson trace, fixed seeds throughout.
+inline double FleetPerfHitRate(int num_replicas, RoutePolicy policy, int requests) {
+  FleetRouter fleet(FleetPerfConfig(num_replicas, policy));
+  ArxivQaDataset dataset(/*num_articles=*/8, 400, 600, /*seed=*/0xF1EE7,
+                         /*output_lo=*/8, /*output_hi=*/24);
+  Rng rng(0xF1EE8);
+  fleet.RunTimedTrace(GeneratePoisson(dataset, requests, /*rate=*/200.0, rng, 1));
+  return ClusterMetrics::FromRouter(fleet).hit_rate;
+}
+
+// Routing-decision throughput against a warm 4-replica fleet: each Route() call snapshots
+// per-replica load, hashes the prompt's routing chain, and scans the cluster prefix index —
+// the per-request router overhead bench_perf gates.
+inline double FleetRouteOpsPerSecond(int64_t iters) {
+  FleetRouter fleet(FleetPerfConfig(4, RoutePolicy::kPrefixAffinity));
+  ArxivQaDataset dataset(/*num_articles=*/8, 400, 600, /*seed=*/0xF1EE7,
+                         /*output_lo=*/8, /*output_hi=*/24);
+  Rng rng(0xF1EE9);
+  // Warm every replica's cache and the cluster index.
+  for (Request& r : GenerateBatch(dataset, 16, rng, 1)) {
+    fleet.Submit(std::move(r));
+  }
+  fleet.RunToCompletion();
+
+  std::vector<Request> probes = GenerateBatch(dataset, 32, rng, 1000);
+  const auto begin = std::chrono::steady_clock::now();
+  int64_t picked = 0;
+  for (int64_t i = 0; i < iters; ++i) {
+    picked += fleet.Route(probes[static_cast<size_t>(i) % probes.size()]).replica;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  // Keep the loop from being optimized out.
+  if (picked < 0) {
+    std::abort();
+  }
+  return static_cast<double>(iters) / std::chrono::duration<double>(end - begin).count();
+}
+
+}  // namespace jenga
+
+#endif  // JENGA_BENCH_FLEET_BENCH_H_

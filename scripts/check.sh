@@ -32,6 +32,14 @@ JENGA_CHAOS_SCHEDULES="${JENGA_CHAOS_SCHEDULES:-3000}" "$build/tests/engine_chao
 # Disabled-injector overhead must be noise-level (the table's "armed tax" column).
 "$build/bench/bench_chaos" --quick
 
+# Fleet stage: the cluster suite by label (prefix index, router policy, cluster metrics,
+# the 1-replica byte-identical differential, and the threaded fleet stress harness), then
+# the fleet routing showcase, which self-checks the acceptance criteria (affinity >= 1.3x
+# round-robin hit rate at 4 replicas without regressing p99 TTFT) and exits non-zero on
+# violation.
+ctest --test-dir "$build" -L fleet --output-on-failure -j "$(nproc)"
+"$build/bench/bench_fleet" --quick
+
 # Perf gate: quick mode against the committed quick baseline; every micro.* and frontend.*
 # metric must stay within 10% of BENCH_perf_quick.json. Best-of-3 damps scheduler noise —
 # one passing run is enough. (The tracked BENCH_perf.json full-mode trajectory is only
@@ -45,7 +53,7 @@ if [[ ! -r "$repo/BENCH_perf_quick.json" ]]; then
   echo "check.sh: regenerate it with: $build/bench/bench_perf --quick --out $repo/BENCH_perf_quick.json  (then commit it)" >&2
   exit 1
 fi
-for gated_key in micro.alloc_release.ops_per_s frontend.admit_4p.req_per_s; do
+for gated_key in micro.alloc_release.ops_per_s frontend.admit_4p.req_per_s fleet.route_4r.ops_per_s; do
   if ! grep -q "\"$gated_key\"" "$repo/BENCH_perf_quick.json"; then
     echo "check.sh: BENCH_perf_quick.json is stale — gated metric $gated_key is absent." >&2
     echo "check.sh: regenerate it with: $build/bench/bench_perf --quick --out $repo/BENCH_perf_quick.json  (then commit it)" >&2
@@ -68,16 +76,19 @@ fi
 
 if [[ "${JENGA_SKIP_SANITIZERS:-0}" != "1" ]]; then
   # TSan pass over the concurrency suite (CMakePresets.json `tsan`): the MPSC queue, the
-  # sharded claim index, the serving frontend, and the multi-producer stress harness. Only
-  # these binaries run threads; the rest of the suite would waste the (slow) TSan build.
+  # sharded claim index, the serving frontend, the multi-producer stress harness, and the
+  # multi-replica fleet frontend stress harness. Only these binaries run threads; the rest
+  # of the suite would waste the (slow) TSan build.
   tsan_build="${build}-tsan"
   cmake -B "$tsan_build" -S "$repo" \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all -fno-omit-frame-pointer -O1 -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build "$tsan_build" -j "$(nproc)" \
-    --target mpsc_queue_test shard_claim_test frontend_test frontend_stress_test
-  for tsan_test in mpsc_queue_test shard_claim_test frontend_test frontend_stress_test; do
+    --target mpsc_queue_test shard_claim_test frontend_test frontend_stress_test \
+             fleet_stress_test
+  for tsan_test in mpsc_queue_test shard_claim_test frontend_test frontend_stress_test \
+                   fleet_stress_test; do
     TSAN_OPTIONS="halt_on_error=1" "$tsan_build/tests/$tsan_test"
   done
 

@@ -1,0 +1,217 @@
+#include "src/cluster/fleet_frontend.h"
+
+#include <thread>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/core/block_hash.h"
+
+namespace jenga {
+
+FleetFrontend::FleetFrontend(FleetConfig config, ServingFrontend::Options options)
+    : config_(std::move(config)) {
+  JENGA_CHECK_GT(config_.num_replicas, 0);
+  JENGA_CHECK_GT(config_.spill_queue_depth, 0);
+
+  loads_.reserve(static_cast<size_t>(config_.num_replicas));
+  fronts_.reserve(static_cast<size_t>(config_.num_replicas));
+  for (int i = 0; i < config_.num_replicas; ++i) {
+    loads_.push_back(std::make_unique<ReplicaLoad>());
+    ReplicaLoad* load = loads_.back().get();
+    // Chain load publication before the caller's observer: the engine thread snapshots its
+    // own queue depths and occupancy after every step, which is the freshest view routing
+    // can get without touching the engine from a client thread.
+    ServingFrontend::Options replica_options = options;
+    const std::function<void(Engine&)> user_observer = options.step_observer;
+    replica_options.step_observer = [load, user_observer](Engine& engine) {
+      load->waiting.store(engine.num_waiting(), std::memory_order_relaxed);
+      load->running.store(engine.num_running(), std::memory_order_relaxed);
+      const KvManager::MemoryStats stats = engine.kv().GetMemoryStats();
+      load->occupancy.store(
+          stats.pool_bytes > 0
+              ? static_cast<double>(stats.used_bytes) / static_cast<double>(stats.pool_bytes)
+              : 0.0,
+          std::memory_order_relaxed);
+      if (user_observer) {
+        user_observer(engine);
+      }
+    };
+    fronts_.push_back(
+        std::make_unique<ServingFrontend>(config_.engine, std::move(replica_options)));
+  }
+
+  const KvSpec& spec = fronts_[0]->engine().kv().alloc_spec();
+  routing_group_ = config_.engine.enable_prefix_caching ? PickRoutingGroup(spec) : -1;
+  if (routing_group_ >= 0) {
+    routing_block_size_ = spec.groups[static_cast<size_t>(routing_group_)].tokens_per_page;
+    routing_salt_ = GroupChainSalt(routing_group_);
+  }
+  index_ = std::make_unique<ClusterPrefixIndex>(config_.num_replicas, routing_group_);
+  // Sinks attach before Start(), so no engine thread is touching the allocator yet.
+  for (int i = 0; i < config_.num_replicas; ++i) {
+    fronts_[static_cast<size_t>(i)]->engine().kv().allocator_mutable().SetResidencySink(
+        index_->feed(i));
+  }
+  rr_cursor_.store(
+      static_cast<int64_t>(config_.seed % static_cast<uint64_t>(config_.num_replicas)),
+      std::memory_order_relaxed);
+}
+
+FleetFrontend::~FleetFrontend() { Shutdown(); }
+
+void FleetFrontend::Start() {
+  for (const auto& front : fronts_) {
+    front->Start();
+  }
+}
+
+void FleetFrontend::Shutdown() {
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  for (const auto& front : fronts_) {
+    front->Shutdown();
+  }
+}
+
+RouteDecision FleetFrontend::Decide(const Request& request) {
+  const int n = num_replicas();
+  std::vector<ReplicaLoadView> loads(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const ReplicaLoad& load = *loads_[static_cast<size_t>(i)];
+    loads[static_cast<size_t>(i)].waiting = load.waiting.load(std::memory_order_relaxed);
+    loads[static_cast<size_t>(i)].running = load.running.load(std::memory_order_relaxed);
+    loads[static_cast<size_t>(i)].occupancy = load.occupancy.load(std::memory_order_relaxed);
+  }
+  std::vector<int64_t> affinity(static_cast<size_t>(n), 0);
+  if (config_.policy == RoutePolicy::kPrefixAffinity && routing_group_ >= 0) {
+    const std::vector<BlockHash> chain =
+        ChainBlockHashes(request.prompt.tokens, routing_block_size_, routing_salt_);
+    for (int i = 0; i < n; ++i) {
+      affinity[static_cast<size_t>(i)] = index_->ResidentPrefixBlocks(i, chain);
+    }
+  }
+  const int64_t slot = config_.policy == RoutePolicy::kRoundRobin
+                           ? rr_cursor_.fetch_add(1, std::memory_order_relaxed)
+                           : rr_cursor_.load(std::memory_order_relaxed);
+  return DecideRoute(config_.policy, config_.spill_queue_depth, config_.spill_occupancy, loads,
+                     affinity, slot);
+}
+
+void FleetFrontend::CountDecision(const RouteDecision& decision) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  switch (decision.reason) {
+    case RouteDecision::Reason::kAffinity:
+      routed_affinity_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RouteDecision::Reason::kSpill:
+      routed_spill_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RouteDecision::Reason::kLeastLoaded:
+      routed_least_loaded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RouteDecision::Reason::kRoundRobin:
+      routed_round_robin_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  if (decision.all_saturated) {
+    saturated_submits_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+StreamHandle FleetFrontend::SubmitAsync(Request request) {
+  const RouteDecision decision = Decide(request);
+  CountDecision(decision);
+  {
+    std::lock_guard<std::mutex> lock(placement_mu_);
+    placement_[request.id] = decision.replica;
+  }
+  return fronts_[static_cast<size_t>(decision.replica)]->SubmitAsync(std::move(request));
+}
+
+bool FleetFrontend::TrySubmitAsync(Request request, StreamHandle* out) {
+  const RouteDecision decision = Decide(request);
+  if (decision.all_saturated) {
+    backpressure_rejections_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // The replica queue can still be full (saturation thresholds and queue capacity are
+  // independent); surface that as backpressure too rather than blocking.
+  const RequestId id = request.id;
+  StreamHandle stream;
+  if (!fronts_[static_cast<size_t>(decision.replica)]->TrySubmitAsync(std::move(request),
+                                                                      &stream)) {
+    backpressure_rejections_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  CountDecision(decision);
+  {
+    std::lock_guard<std::mutex> lock(placement_mu_);
+    placement_[id] = decision.replica;
+  }
+  *out = std::move(stream);
+  return true;
+}
+
+void FleetFrontend::CancelAsync(RequestId id) {
+  int replica = -1;
+  {
+    std::lock_guard<std::mutex> lock(placement_mu_);
+    const auto it = placement_.find(id);
+    if (it != placement_.end()) {
+      replica = it->second;
+    }
+  }
+  if (replica < 0) {
+    return;
+  }
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  fronts_[static_cast<size_t>(replica)]->CancelAsync(id);
+}
+
+void FleetFrontend::RunClients(int n, const std::function<void(int)>& fn) {
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    clients.emplace_back(fn, i);
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+}
+
+FleetCounters FleetFrontend::counters() const {
+  FleetCounters c;
+  c.submitted = submitted_.load(std::memory_order_relaxed);
+  c.routed_affinity = routed_affinity_.load(std::memory_order_relaxed);
+  c.routed_spill = routed_spill_.load(std::memory_order_relaxed);
+  c.routed_least_loaded = routed_least_loaded_.load(std::memory_order_relaxed);
+  c.routed_round_robin = routed_round_robin_.load(std::memory_order_relaxed);
+  c.saturated_submits = saturated_submits_.load(std::memory_order_relaxed);
+  c.backpressure_rejections = backpressure_rejections_.load(std::memory_order_relaxed);
+  c.cancelled = cancelled_.load(std::memory_order_relaxed);
+  return c;
+}
+
+ServingFrontend::Counters FleetFrontend::frontend_counters() const {
+  ServingFrontend::Counters total;
+  for (const auto& front : fronts_) {
+    const ServingFrontend::Counters c = front->counters();
+    total.submitted += c.submitted;
+    total.rejected += c.rejected;
+    total.admitted += c.admitted;
+    total.cancelled_queued += c.cancelled_queued;
+    total.finished += c.finished;
+    total.cancelled += c.cancelled;
+    total.failed += c.failed;
+  }
+  return total;
+}
+
+int FleetFrontend::PlacementOf(RequestId id) const {
+  std::lock_guard<std::mutex> lock(placement_mu_);
+  const auto it = placement_.find(id);
+  return it == placement_.end() ? -1 : it->second;
+}
+
+}  // namespace jenga

@@ -1,0 +1,115 @@
+// Concurrent fleet serving: N ServingFrontends (one engine thread per replica) behind the
+// same prefix-affinity routing policy as FleetRouter. Client threads call SubmitAsync from
+// anywhere; the routing decision runs on the submitting thread against (a) the shared
+// ClusterPrefixIndex, fed by each replica's engine thread through the allocator residency
+// sinks, and (b) lock-free per-replica load snapshots that each engine thread publishes
+// after every step.
+//
+// Unlike FleetRouter — the seeded single-threaded determinism reference — this path is
+// deliberately NOT deterministic: load snapshots lag by up to a step and concurrent submits
+// race for the same affine replica. Routing is advisory (see prefix_index.h), so the races
+// affect locality, never correctness. Per-replica admission backpressure surfaces through
+// TrySubmitAsync, which refuses (no side effects) while every replica is saturated.
+
+#ifndef JENGA_SRC_CLUSTER_FLEET_FRONTEND_H_
+#define JENGA_SRC_CLUSTER_FLEET_FRONTEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/fleet_router.h"
+#include "src/cluster/prefix_index.h"
+#include "src/engine/frontend.h"
+
+namespace jenga {
+
+class FleetFrontend {
+ public:
+  // `options` applies to every replica frontend. A caller-supplied step_observer is chained
+  // after the frontend's own load publication (the stress tests' auditor hook).
+  explicit FleetFrontend(FleetConfig config, ServingFrontend::Options options = {});
+  ~FleetFrontend();
+
+  FleetFrontend(const FleetFrontend&) = delete;
+  FleetFrontend& operator=(const FleetFrontend&) = delete;
+
+  // --- Client API (any thread) ---
+
+  // Routes and submits; blocks while the chosen replica's queue is full. Request ids must be
+  // fleet-unique (NextRequestId()).
+  StreamHandle SubmitAsync(Request request);
+  // Backpressure-aware variant: false — and no side effects — when every replica is
+  // saturated per the spill thresholds.
+  [[nodiscard]] bool TrySubmitAsync(Request request, StreamHandle* out);
+  // Cancels wherever the request was routed; unknown ids are a no-op.
+  void CancelAsync(RequestId id);
+  [[nodiscard]] RequestId NextRequestId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- Lifecycle ---
+
+  void Start();
+  // Shuts every replica frontend down (drain + join); idempotent, also run by the destructor.
+  void Shutdown();
+  // Spawns `n` client threads running `fn(client_index)` and joins them all.
+  void RunClients(int n, const std::function<void(int)>& fn);
+
+  // --- Introspection ---
+
+  [[nodiscard]] int num_replicas() const { return static_cast<int>(fronts_.size()); }
+  [[nodiscard]] ServingFrontend& replica(int i) { return *fronts_[static_cast<size_t>(i)]; }
+  [[nodiscard]] const ClusterPrefixIndex& prefix_index() const { return *index_; }
+  [[nodiscard]] bool routing_enabled() const { return routing_group_ >= 0; }
+  // Routing counters snapshot (atomics; exact after Shutdown).
+  [[nodiscard]] FleetCounters counters() const;
+  // Sum of the replica frontends' own counters (exact after Shutdown).
+  [[nodiscard]] ServingFrontend::Counters frontend_counters() const;
+  // Replica the request was routed to; -1 for unknown ids.
+  [[nodiscard]] int PlacementOf(RequestId id) const;
+
+ private:
+  struct ReplicaLoad {
+    std::atomic<int64_t> waiting{0};
+    std::atomic<int64_t> running{0};
+    std::atomic<double> occupancy{0.0};
+  };
+
+  [[nodiscard]] RouteDecision Decide(const Request& request);
+  void CountDecision(const RouteDecision& decision);
+
+  FleetConfig config_;
+  std::unique_ptr<ClusterPrefixIndex> index_;
+  int routing_group_ = -1;
+  int routing_block_size_ = 0;
+  uint64_t routing_salt_ = 0;
+  std::vector<std::unique_ptr<ReplicaLoad>> loads_;
+  std::vector<std::unique_ptr<ServingFrontend>> fronts_;
+
+  std::atomic<RequestId> next_id_{1};
+  std::atomic<int64_t> rr_cursor_{0};
+  std::atomic<bool> shut_down_{false};
+
+  // Forever-growing like the engines' own request maps (same asymptotics); guarded because
+  // submit and cancel race across client threads.
+  mutable std::mutex placement_mu_;
+  std::unordered_map<RequestId, int> placement_;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> routed_affinity_{0};
+  std::atomic<int64_t> routed_spill_{0};
+  std::atomic<int64_t> routed_least_loaded_{0};
+  std::atomic<int64_t> routed_round_robin_{0};
+  std::atomic<int64_t> saturated_submits_{0};
+  std::atomic<int64_t> backpressure_rejections_{0};
+  std::atomic<int64_t> cancelled_{0};
+};
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_CLUSTER_FLEET_FRONTEND_H_

@@ -1,0 +1,310 @@
+#include "src/cluster/fleet_router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/core/block_hash.h"
+
+namespace jenga {
+
+int PickRoutingGroup(const KvSpec& spec) {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int g = 0; g < static_cast<int>(spec.groups.size()); ++g) {
+      const KvGroupSpec& group = spec.groups[static_cast<size_t>(g)];
+      if (group.scope != GroupScope::kAllTokens || group.tokens_per_page <= 0 ||
+          group.kind == GroupKind::kMamba || group.kind == GroupKind::kVisionEmbed) {
+        continue;
+      }
+      if (pass == 0 && group.kind != GroupKind::kFullAttention) {
+        continue;
+      }
+      return g;
+    }
+  }
+  return -1;
+}
+
+namespace {
+
+[[nodiscard]] bool Saturated(const ReplicaLoadView& load, int spill_queue_depth,
+                             double spill_occupancy) {
+  return load.waiting >= spill_queue_depth || load.occupancy >= spill_occupancy;
+}
+
+// Least-loaded replica by waiting+running (ties → lowest index), optionally restricted to
+// unsaturated replicas; -1 when the restriction filters everyone out.
+int PickLeastLoaded(std::span<const ReplicaLoadView> loads, int spill_queue_depth,
+                    double spill_occupancy, bool unsaturated_only) {
+  int best = -1;
+  int64_t best_load = 0;
+  for (int i = 0; i < static_cast<int>(loads.size()); ++i) {
+    const ReplicaLoadView& load = loads[static_cast<size_t>(i)];
+    if (unsaturated_only && Saturated(load, spill_queue_depth, spill_occupancy)) {
+      continue;
+    }
+    const int64_t total = load.waiting + load.running;
+    if (best < 0 || total < best_load) {
+      best = i;
+      best_load = total;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+const char* RoutePolicyName(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kRoundRobin:
+      return "round-robin";
+    case RoutePolicy::kPrefixAffinity:
+      return "prefix-affinity";
+  }
+  return "unknown";
+}
+
+const char* RouteReasonName(RouteDecision::Reason reason) {
+  switch (reason) {
+    case RouteDecision::Reason::kAffinity:
+      return "affinity";
+    case RouteDecision::Reason::kSpill:
+      return "spill";
+    case RouteDecision::Reason::kLeastLoaded:
+      return "least-loaded";
+    case RouteDecision::Reason::kRoundRobin:
+      return "round-robin";
+  }
+  return "unknown";
+}
+
+RouteDecision DecideRoute(RoutePolicy policy, int spill_queue_depth, double spill_occupancy,
+                          std::span<const ReplicaLoadView> loads,
+                          std::span<const int64_t> affinity_blocks, int64_t round_robin_slot) {
+  const int n = static_cast<int>(loads.size());
+  JENGA_CHECK_GT(n, 0);
+  RouteDecision decision;
+  decision.all_saturated = true;
+  for (const ReplicaLoadView& load : loads) {
+    if (!Saturated(load, spill_queue_depth, spill_occupancy)) {
+      decision.all_saturated = false;
+      break;
+    }
+  }
+
+  if (policy == RoutePolicy::kRoundRobin) {
+    decision.replica = static_cast<int>(round_robin_slot % n);
+    decision.reason = RouteDecision::Reason::kRoundRobin;
+    return decision;
+  }
+
+  int affine = -1;
+  for (int i = 0; i < static_cast<int>(affinity_blocks.size()); ++i) {
+    const int64_t blocks = affinity_blocks[static_cast<size_t>(i)];
+    if (blocks > decision.affinity_blocks) {
+      affine = i;
+      decision.affinity_blocks = blocks;
+    }
+  }
+  if (affine >= 0 &&
+      !Saturated(loads[static_cast<size_t>(affine)], spill_queue_depth, spill_occupancy)) {
+    decision.replica = affine;
+    decision.reason = RouteDecision::Reason::kAffinity;
+    return decision;
+  }
+
+  int pick = PickLeastLoaded(loads, spill_queue_depth, spill_occupancy,
+                             /*unsaturated_only=*/true);
+  if (pick < 0) {
+    pick = PickLeastLoaded(loads, spill_queue_depth, spill_occupancy,
+                           /*unsaturated_only=*/false);
+  }
+  decision.replica = pick;
+  decision.reason = affine >= 0 ? RouteDecision::Reason::kSpill
+                                : RouteDecision::Reason::kLeastLoaded;
+  return decision;
+}
+
+FleetRouter::FleetRouter(FleetConfig config) : config_(std::move(config)) {
+  JENGA_CHECK_GT(config_.num_replicas, 0);
+  JENGA_CHECK_GT(config_.spill_queue_depth, 0);
+  replicas_.reserve(static_cast<size_t>(config_.num_replicas));
+  for (int i = 0; i < config_.num_replicas; ++i) {
+    replicas_.push_back(std::make_unique<Engine>(config_.engine));
+  }
+
+  const KvSpec& spec = replicas_[0]->kv().alloc_spec();
+  routing_group_ = config_.engine.enable_prefix_caching ? PickRoutingGroup(spec) : -1;
+  if (routing_group_ >= 0) {
+    routing_block_size_ = spec.groups[static_cast<size_t>(routing_group_)].tokens_per_page;
+    routing_salt_ = GroupChainSalt(routing_group_);
+  }
+  index_ = std::make_unique<ClusterPrefixIndex>(config_.num_replicas, routing_group_);
+  for (int i = 0; i < config_.num_replicas; ++i) {
+    replicas_[static_cast<size_t>(i)]->kv().allocator_mutable().SetResidencySink(
+        index_->feed(i));
+  }
+  rr_cursor_ = static_cast<int64_t>(config_.seed % static_cast<uint64_t>(config_.num_replicas));
+}
+
+std::vector<BlockHash> FleetRouter::RoutingChain(const Prompt& prompt) const {
+  if (routing_group_ < 0) {
+    return {};
+  }
+  return ChainBlockHashes(prompt.tokens, routing_block_size_, routing_salt_);
+}
+
+ReplicaLoadView FleetRouter::LoadOf(int replica) const {
+  const Engine& engine = *replicas_[static_cast<size_t>(replica)];
+  ReplicaLoadView load;
+  load.waiting = engine.num_waiting();
+  load.running = engine.num_running();
+  // GetMemoryStats is const on KvManager; Engine only exposes a mutable accessor.
+  const KvManager::MemoryStats stats =
+      const_cast<Engine&>(engine).kv().GetMemoryStats();
+  load.occupancy = stats.pool_bytes > 0
+                       ? static_cast<double>(stats.used_bytes) / static_cast<double>(stats.pool_bytes)
+                       : 0.0;
+  return load;
+}
+
+bool FleetRouter::IsSaturated(int replica) const {
+  const ReplicaLoadView load = LoadOf(replica);
+  return load.waiting >= config_.spill_queue_depth || load.occupancy >= config_.spill_occupancy;
+}
+
+RouteDecision FleetRouter::Route(const Request& request) {
+  std::vector<ReplicaLoadView> loads(static_cast<size_t>(num_replicas()));
+  for (int i = 0; i < num_replicas(); ++i) {
+    loads[static_cast<size_t>(i)] = LoadOf(i);
+  }
+  std::vector<int64_t> affinity(static_cast<size_t>(num_replicas()), 0);
+  if (config_.policy == RoutePolicy::kPrefixAffinity && routing_group_ >= 0) {
+    const std::vector<BlockHash> chain = RoutingChain(request.prompt);
+    for (int i = 0; i < num_replicas(); ++i) {
+      affinity[static_cast<size_t>(i)] = index_->ResidentPrefixBlocks(i, chain);
+    }
+  }
+  const RouteDecision decision =
+      DecideRoute(config_.policy, config_.spill_queue_depth, config_.spill_occupancy, loads,
+                  affinity, rr_cursor_);
+  if (config_.policy == RoutePolicy::kRoundRobin) {
+    ++rr_cursor_;
+  }
+  return decision;
+}
+
+void FleetRouter::CountDecision(const RouteDecision& decision) {
+  counters_.submitted += 1;
+  switch (decision.reason) {
+    case RouteDecision::Reason::kAffinity:
+      counters_.routed_affinity += 1;
+      break;
+    case RouteDecision::Reason::kSpill:
+      counters_.routed_spill += 1;
+      break;
+    case RouteDecision::Reason::kLeastLoaded:
+      counters_.routed_least_loaded += 1;
+      break;
+    case RouteDecision::Reason::kRoundRobin:
+      counters_.routed_round_robin += 1;
+      break;
+  }
+  if (decision.all_saturated) {
+    counters_.saturated_submits += 1;
+  }
+}
+
+RouteDecision FleetRouter::Submit(Request request) {
+  const RouteDecision decision = Route(request);
+  CountDecision(decision);
+  placement_[request.id] = decision.replica;
+  replicas_[static_cast<size_t>(decision.replica)]->Submit(std::move(request));
+  return decision;
+}
+
+StatusOr<int> FleetRouter::TrySubmit(Request request) {
+  bool all_saturated = true;
+  for (int i = 0; i < num_replicas(); ++i) {
+    if (!IsSaturated(i)) {
+      all_saturated = false;
+      break;
+    }
+  }
+  if (all_saturated) {
+    counters_.backpressure_rejections += 1;
+    return Status::ResourceExhausted("all " + std::to_string(num_replicas()) +
+                                     " replicas saturated");
+  }
+  return Submit(std::move(request)).replica;
+}
+
+bool FleetRouter::StepOnce() {
+  bool any = false;
+  for (const auto& replica : replicas_) {
+    any = replica->StepOnce() || any;
+  }
+  return any;
+}
+
+void FleetRouter::RunToCompletion(int64_t max_steps) {
+  for (int64_t step = 0; step < max_steps; ++step) {
+    if (!StepOnce()) {
+      return;
+    }
+  }
+  JENGA_CHECK(false) << "FleetRouter::RunToCompletion did not converge in " << max_steps
+                     << " steps";
+}
+
+void FleetRouter::RunTimedTrace(std::vector<Request> requests, int64_t max_steps) {
+  std::stable_sort(requests.begin(), requests.end(), [](const Request& a, const Request& b) {
+    return a.arrival_time < b.arrival_time;
+  });
+  size_t next = 0;
+  for (int64_t step = 0; step < max_steps; ++step) {
+    const double clock = ClusterClock();
+    while (next < requests.size() && requests[next].arrival_time <= clock) {
+      Submit(std::move(requests[next]));
+      ++next;
+    }
+    if (!StepOnce()) {
+      if (next >= requests.size()) {
+        return;
+      }
+      // Fleet idle with the next arrival in the future: jump to it (the chosen replica's
+      // engine fast-forwards its own clock on the next step).
+      Submit(std::move(requests[next]));
+      ++next;
+    }
+  }
+  JENGA_CHECK(false) << "FleetRouter::RunTimedTrace did not converge in " << max_steps
+                     << " steps";
+}
+
+bool FleetRouter::CancelRequest(RequestId id) {
+  const auto it = placement_.find(id);
+  if (it == placement_.end()) {
+    return false;
+  }
+  const bool cancelled = replicas_[static_cast<size_t>(it->second)]->CancelRequest(id);
+  if (cancelled) {
+    counters_.cancelled += 1;
+  }
+  return cancelled;
+}
+
+double FleetRouter::ClusterClock() const {
+  double clock = 0.0;
+  for (const auto& replica : replicas_) {
+    clock = std::max(clock, replica->now());
+  }
+  return clock;
+}
+
+int FleetRouter::PlacementOf(RequestId id) const {
+  const auto it = placement_.find(id);
+  return it == placement_.end() ? -1 : it->second;
+}
+
+}  // namespace jenga

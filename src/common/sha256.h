@@ -1,0 +1,24 @@
+// Self-contained SHA-256 (FIPS 180-4), used where a compact content fingerprint is worth
+// more than raw speed — e.g. the fleet differential tests, which compare a single-replica
+// fleet's serialized output against the bare Engine's digest-for-digest. Not a hot-path
+// hash; the allocator's chained block hashes stay on their own cheap mix function.
+
+#ifndef JENGA_SRC_COMMON_SHA256_H_
+#define JENGA_SRC_COMMON_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jenga {
+
+// Raw 32-byte digest of `data`.
+[[nodiscard]] std::array<uint8_t, 32> Sha256(std::string_view data);
+
+// Lowercase hex rendering of the digest (64 characters).
+[[nodiscard]] std::string Sha256Hex(std::string_view data);
+
+}  // namespace jenga
+
+#endif  // JENGA_SRC_COMMON_SHA256_H_

@@ -17,6 +17,15 @@ namespace jenga {
 // hashers (InitBlockChain + repeated ExtendBlockHash) produce identical hashes.
 [[nodiscard]] BlockHash InitBlockChain(uint64_t salt);
 
+// The per-group chain salt the KV manager hashes with (group index → salt). Exposed here so
+// layers that compute chains *about* a manager's cache — the cluster router scoring a prompt
+// against per-replica residency summaries — produce hashes identical to the ones the manager
+// registered. Changing this constant invalidates every golden that pins hash-dependent
+// placement.
+[[nodiscard]] inline uint64_t GroupChainSalt(int group_index) {
+  return (static_cast<uint64_t>(group_index) + 1) * 0x9E3779B97F4A7C15ull;
+}
+
 // Chained hash of one more block given the previous chain value.
 [[nodiscard]] BlockHash ExtendBlockHash(BlockHash previous, std::span<const int32_t> block_tokens);
 

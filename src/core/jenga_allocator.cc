@@ -73,6 +73,12 @@ void JengaAllocator::SetEvictionSink(CacheEvictionSink* sink) {
   }
 }
 
+void JengaAllocator::SetResidencySink(CacheResidencySink* sink) {
+  for (const auto& group : groups_) {
+    group->set_residency_sink(sink);
+  }
+}
+
 void JengaAllocator::SetAuditSink(AuditSink* sink) {
   audit_ = sink;
   for (const auto& group : groups_) {

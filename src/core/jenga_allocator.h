@@ -50,6 +50,10 @@ class JengaAllocator final : public LargePageProvider {
   // Installs a cache-eviction observer on every group allocator (host offload tier).
   void SetEvictionSink(CacheEvictionSink* sink);
 
+  // Installs a prefix-cache residency observer on every group allocator (cluster routing
+  // summaries); nullptr detaches. Pure observation — never changes allocation behavior.
+  void SetResidencySink(CacheResidencySink* sink);
+
   // Installs an audit observer on this allocator and every group (nullptr detaches).
   void SetAuditSink(AuditSink* sink);
 

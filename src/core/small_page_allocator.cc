@@ -297,6 +297,9 @@ void SmallPageAllocator::UnregisterHash(SmallPageId page, SlotMeta& meta) {
     const auto it = cache_index_.find(meta.hash);
     if (it != cache_index_.end() && it->second == page) {
       cache_index_.erase(it);
+      if (residency_sink_ != nullptr) {
+        residency_sink_->OnHashNonResident(group_index_, meta.hash);
+      }
     }
     meta.has_hash = false;
     meta.hash = 0;
@@ -373,6 +376,9 @@ void SmallPageAllocator::Release(SmallPageId page, bool keep_cached) {
     if (!inserted && it->second != page) {
       cacheable = false;
     }
+    if (inserted && residency_sink_ != nullptr) {
+      residency_sink_->OnHashResident(group_index_, meta.hash);
+    }
   }
 
   if (!cacheable) {
@@ -400,7 +406,13 @@ void SmallPageAllocator::SetContentHash(SmallPageId page, BlockHash hash) {
   }
   meta.has_hash = true;
   meta.hash = hash;
-  cache_index_.emplace(hash, page);  // Keeps an existing mapping if one is resident.
+  // Keeps an existing mapping if one is resident (in which case the index is unchanged and
+  // the residency sink stays silent).
+  const auto [it, inserted] = cache_index_.emplace(hash, page);
+  (void)it;
+  if (inserted && residency_sink_ != nullptr) {
+    residency_sink_->OnHashResident(group_index_, hash);
+  }
 }
 
 std::optional<SmallPageId> SmallPageAllocator::LookupCached(BlockHash hash) const {

@@ -104,6 +104,11 @@ class SmallPageAllocator final : public GroupCacheOps {
     evictor_.set_audit_sink(sink, group_index_);
   }
 
+  // Installs a prefix-cache index-membership observer (cluster residency summaries); nullptr
+  // (the default) detaches. Events track cache_index_'s key set exactly; see
+  // CacheResidencySink. Never changes allocation behavior.
+  void set_residency_sink(CacheResidencySink* sink) { residency_sink_ = sink; }
+
   // Drops the request-affinity free list of a finished request. Affinity state is otherwise
   // only pruned lazily (on pop exhaustion), so long-lived servers must call this when a
   // request id retires for good; preempted requests keep their entry for re-admission.
@@ -225,6 +230,7 @@ class SmallPageAllocator final : public GroupCacheOps {
   LcmAllocator* lcm_;
   LargePageProvider* provider_;
   CacheEvictionSink* eviction_sink_ = nullptr;
+  CacheResidencySink* residency_sink_ = nullptr;
   AuditSink* audit_ = nullptr;
   int pages_per_large_ = 0;
 

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/block_hash.h"
 #include "src/core/jenga_allocator.h"
 #include "src/core/layer_policy.h"
 #include "src/engine/request.h"
@@ -214,7 +215,7 @@ class KvManager {
   // generated tokens fall back to the per-token kind scan.
   void ExtendModalityStreams(const Request& r, RequestKv& state, const AdmissionMemo* memo,
                              int64_t from, int64_t to);
-  [[nodiscard]] uint64_t GroupSalt(int g) const { return (static_cast<uint64_t>(g) + 1) * 0x9E3779B97F4A7C15ull; }
+  [[nodiscard]] uint64_t GroupSalt(int g) const { return GroupChainSalt(g); }
   // Target block-table size for group `g` once `prefix_tokens` tokens are computed.
   [[nodiscard]] int64_t TargetPages(const Request& r, const KvGroupSpec& group,
                                     int64_t prefix_tokens) const;

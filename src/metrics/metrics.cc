@@ -82,4 +82,44 @@ double EngineMetrics::MeanTpot() const {
   return summary.Mean();
 }
 
+Summary EngineMetrics::TtftDistribution() const {
+  Summary summary;
+  for (const RequestRecord& record : finished_) {
+    if (!record.failed) {
+      summary.Add(record.Ttft());
+    }
+  }
+  return summary;
+}
+
+Summary EngineMetrics::TpotDistribution() const {
+  Summary summary;
+  for (const RequestRecord& record : finished_) {
+    if (!record.failed && record.output_len > 1) {
+      summary.Add(record.Tpot());
+    }
+  }
+  return summary;
+}
+
+Summary EngineMetrics::E2eDistribution() const {
+  Summary summary;
+  for (const RequestRecord& record : finished_) {
+    if (!record.failed) {
+      summary.Add(record.E2eLatency());
+    }
+  }
+  return summary;
+}
+
+double EngineMetrics::TtftPercentile(double p) const {
+  const Summary summary = TtftDistribution();
+  return summary.empty() ? 0.0 : summary.Percentile(p);
+}
+
+double EngineMetrics::TpotPercentile(double p) const {
+  const Summary summary = TpotDistribution();
+  return summary.empty() ? 0.0 : summary.Percentile(p);
+}
+
 }  // namespace jenga

@@ -77,6 +77,17 @@ class EngineMetrics {
   [[nodiscard]] double MeanTpot() const;
   [[nodiscard]] double MeanDecodeBatch() const { return decode_batch_.MeanValue(); }
 
+  // Per-request latency distributions over finished, non-failed requests — the real-percentile
+  // inputs ClusterMetrics and the fleet benches aggregate (step averages hide tail latency).
+  // TpotDistribution only includes requests with more than one output token (Tpot is undefined
+  // otherwise, matching MeanTpot).
+  [[nodiscard]] Summary TtftDistribution() const;
+  [[nodiscard]] Summary TpotDistribution() const;
+  [[nodiscard]] Summary E2eDistribution() const;
+  // Convenience percentile queries (`p` in [0, 100]); 0.0 when no request qualifies.
+  [[nodiscard]] double TtftPercentile(double p) const;
+  [[nodiscard]] double TpotPercentile(double p) const;
+
   // Counters maintained directly by the engine.
   int64_t vision_encoder_runs = 0;
   double vision_encode_time = 0.0;

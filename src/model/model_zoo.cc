@@ -1,5 +1,7 @@
 #include "src/model/model_zoo.h"
 
+#include <utility>
+
 #include "src/common/check.h"
 
 namespace jenga {
@@ -341,6 +343,65 @@ ModelConfig Fp8(ModelConfig model) {
     layer.mamba_state_bytes /= 2;
   }
   return model;
+}
+
+StatusOr<ModelConfig> TensorParallelShard(const ModelConfig& model, int tp_degree) {
+  if (tp_degree < 1) {
+    return Status::InvalidArgument("tp_degree must be >= 1, got " + std::to_string(tp_degree));
+  }
+  ModelConfig shard = model;
+  if (tp_degree == 1) {
+    return shard;
+  }
+  // Validate every layer before mutating anything, so an error never returns a half-sharded
+  // config — and so the per-rank KV bytes are exact, never a silent integer truncation.
+  for (size_t i = 0; i < model.layers.size(); ++i) {
+    const LayerSpec& layer = model.layers[i];
+    if (layer.kind == LayerKind::kMamba) {
+      if (layer.mamba_state_bytes % tp_degree != 0) {
+        return Status::InvalidArgument(
+            model.name + " layer " + std::to_string(i) + ": mamba_state_bytes " +
+            std::to_string(layer.mamba_state_bytes) + " not divisible by tp " +
+            std::to_string(tp_degree));
+      }
+    } else if (layer.num_kv_heads % tp_degree != 0) {
+      return Status::InvalidArgument(
+          model.name + " layer " + std::to_string(i) + ": num_kv_heads " +
+          std::to_string(layer.num_kv_heads) + " not divisible by tp " +
+          std::to_string(tp_degree));
+    }
+  }
+  if (model.vision.present && model.vision.embed_bytes_per_token % tp_degree != 0) {
+    return Status::InvalidArgument(model.name + ": vision embed_bytes_per_token " +
+                                   std::to_string(model.vision.embed_bytes_per_token) +
+                                   " not divisible by tp " + std::to_string(tp_degree));
+  }
+  for (LayerSpec& layer : shard.layers) {
+    if (layer.kind == LayerKind::kMamba) {
+      layer.mamba_state_bytes /= tp_degree;
+    } else {
+      layer.num_kv_heads /= tp_degree;
+    }
+  }
+  if (shard.vision.present) {
+    shard.vision.embed_bytes_per_token /= tp_degree;
+    shard.vision.encoder_params_b /= tp_degree;
+  }
+  shard.params_b /= tp_degree;
+  shard.name += "-tp" + std::to_string(tp_degree);
+  return shard;
+}
+
+ModelConfig Llama3_70B_Fp8_Tp(int tp_degree) {
+  StatusOr<ModelConfig> shard = TensorParallelShard(Llama3_70B_Fp8(), tp_degree);
+  JENGA_CHECK(shard.ok()) << shard.status();
+  return std::move(shard).value();
+}
+
+ModelConfig CharacterAi70B_Fp8_Tp(int tp_degree) {
+  StatusOr<ModelConfig> shard = TensorParallelShard(CharacterAi70B_Fp8(), tp_degree);
+  JENGA_CHECK(shard.ok()) << shard.status();
+  return std::move(shard).value();
 }
 
 ModelConfig ModelByName(const std::string& name) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/model/model_config.h"
 
 namespace jenga {
@@ -57,6 +58,25 @@ namespace jenga {
 
 // FP8-quantizes a model (Table 1's `*`): 1-byte weights and 1-byte KV, name suffixed "-fp8".
 [[nodiscard]] ModelConfig Fp8(ModelConfig model);
+
+// --- Tensor-parallel memory profiles (fleet serving of 70B+ models) ---
+
+// One TP rank's shard of `model` under `tp_degree`-way tensor parallelism: KV heads, Mamba
+// state bytes, vision-embedding bytes, and parameters split evenly across ranks, so one
+// allocator (one Engine replica) per rank serves the per-rank KV pool. Name is suffixed
+// "-tpN". Compute is scaled with the parameter split (ideal TP; interconnect overhead is out
+// of scope for the memory simulation).
+//
+// Errors with kInvalidArgument — instead of silently truncating the per-rank KV bytes — when
+// any layer's geometry does not divide evenly: attention-like layers need
+// num_kv_heads % tp == 0, Mamba layers mamba_state_bytes % tp == 0, vision encoders
+// embed_bytes_per_token % tp == 0.
+[[nodiscard]] StatusOr<ModelConfig> TensorParallelShard(const ModelConfig& model, int tp_degree);
+
+// Convenience 70B fleet configs: the per-rank shard of the Table 1 FP8 70B models.
+// Check-fails on degrees that do not divide the geometry (8 KV heads → tp in {1,2,4,8}).
+[[nodiscard]] ModelConfig Llama3_70B_Fp8_Tp(int tp_degree);
+[[nodiscard]] ModelConfig CharacterAi70B_Fp8_Tp(int tp_degree);
 
 // Looks a model up by its zoo name; checks-fails on unknown names.
 [[nodiscard]] ModelConfig ModelByName(const std::string& name);

@@ -97,6 +97,7 @@ WorkloadItem ArxivQaDataset::SampleForArticle(int article, Rng& rng) {
   JENGA_CHECK_GE(article, 0);
   JENGA_CHECK_LT(article, num_articles());
   WorkloadItem item;
+  item.prefix_class = article;
   item.prompt.tokens = articles_[static_cast<size_t>(article)];
   const std::vector<int32_t> question = RandomTokens(rng.UniformInt(32, 192), rng);
   item.prompt.tokens.insert(item.prompt.tokens.end(), question.begin(), question.end());

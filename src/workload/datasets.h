@@ -18,6 +18,11 @@ namespace jenga {
 struct WorkloadItem {
   Prompt prompt;
   int64_t output_len = 0;
+  // Shared-prefix equivalence class of the prompt (the article index for arXiv-QA), or -1
+  // when the prompt shares no prefix with other samples. Fleet benches use it to measure
+  // routing concentration: requests of one class should land on the replica that already
+  // caches the class's prefix.
+  int prefix_class = -1;
 };
 
 class Dataset {

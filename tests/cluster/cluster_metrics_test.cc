@@ -1,0 +1,96 @@
+#include "src/cluster/cluster_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/fleet_router.h"
+#include "src/metrics/metrics.h"
+#include "tests/cluster/fleet_test_util.h"
+
+namespace jenga {
+namespace {
+
+RequestRecord Record(int64_t id, double arrival, double ttft_delta, double finish,
+                     int64_t output_len = 8) {
+  RequestRecord r;
+  r.id = id;
+  r.prompt_len = 32;
+  r.output_len = output_len;
+  r.arrival_time = arrival;
+  r.first_scheduled_time = arrival;
+  r.first_token_time = arrival + ttft_delta;
+  r.finish_time = finish;
+  return r;
+}
+
+TEST(ClusterMetricsTest, PoolsPercentilesAcrossReplicas) {
+  // 60/40 split keeps p50 strictly inside the fast half (Percentile interpolates between
+  // order statistics, so an even split would land midway between the two modes).
+  EngineMetrics fast;
+  for (int i = 0; i < 60; ++i) {
+    fast.RecordFinished(Record(i, 0.0, 0.010, 1.0));
+  }
+  fast.cache_hit_tokens = 90;
+  fast.prefill_tokens_computed = 10;
+
+  EngineMetrics slow;
+  for (int i = 0; i < 40; ++i) {
+    slow.RecordFinished(Record(100 + i, 0.0, 0.100, 2.0));
+  }
+  slow.cache_hit_tokens = 10;
+  slow.prefill_tokens_computed = 90;
+
+  ClusterMetrics cluster;
+  cluster.AddReplica(fast, /*occupancy=*/0.25);
+  cluster.AddReplica(slow, /*occupancy=*/0.75);
+  const FleetStats stats = cluster.Summarize();
+
+  EXPECT_EQ(stats.completed, 100);
+  EXPECT_EQ(stats.failed, 0);
+  ASSERT_EQ(stats.replicas.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.replicas[0].hit_rate, 0.9);
+  EXPECT_DOUBLE_EQ(stats.replicas[1].hit_rate, 0.1);
+  EXPECT_DOUBLE_EQ(stats.replicas[0].occupancy, 0.25);
+  // Cluster hit rate pools tokens, not replica averages: (90+10)/(100+100).
+  EXPECT_DOUBLE_EQ(stats.hit_rate, 0.5);
+  // p50 sits in the fast half, p99 in the slow half of the pooled population.
+  EXPECT_NEAR(stats.ttft_p50, 0.010, 1e-9);
+  EXPECT_NEAR(stats.ttft_p99, 0.100, 1e-9);
+  EXPECT_LE(stats.ttft_p50, stats.ttft_p99);
+  EXPECT_LE(stats.tpot_p50, stats.tpot_p99);
+  EXPECT_FALSE(stats.DebugString().empty());
+}
+
+TEST(ClusterMetricsTest, SkipsFailedRequestsAndHandlesEmpty) {
+  EngineMetrics metrics;
+  RequestRecord failed = Record(1, 0.0, 0.5, 1.0);
+  failed.failed = true;
+  metrics.RecordFinished(failed);
+
+  ClusterMetrics cluster;
+  cluster.AddReplica(metrics, 0.0);
+  const FleetStats stats = cluster.Summarize();
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_DOUBLE_EQ(stats.ttft_p50, 0.0);
+  EXPECT_DOUBLE_EQ(stats.ttft_p99, 0.0);
+  EXPECT_DOUBLE_EQ(stats.hit_rate, 0.0);
+}
+
+TEST(ClusterMetricsTest, FromRouterSnapshotsEveryReplica) {
+  FleetRouter fleet(TestFleetConfig(2, RoutePolicy::kRoundRobin));
+  for (int i = 0; i < 6; ++i) {
+    fleet.Submit(MakeRequest(i + 1, ArticlePrompt(i, 48), 4, 0.0));
+  }
+  fleet.RunToCompletion();
+
+  const FleetStats stats = ClusterMetrics::FromRouter(fleet);
+  EXPECT_EQ(stats.completed, 6);
+  ASSERT_EQ(stats.replicas.size(), 2u);
+  EXPECT_EQ(stats.replicas[0].completed, 3);
+  EXPECT_EQ(stats.replicas[1].completed, 3);
+  EXPECT_GT(stats.ttft_p50, 0.0);
+  EXPECT_GE(stats.ttft_p99, stats.ttft_p50);
+}
+
+}  // namespace
+}  // namespace jenga

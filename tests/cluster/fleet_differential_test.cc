@@ -1,0 +1,118 @@
+// The 1-replica fleet must be byte-identical to a bare Engine: the router's residency sink
+// and scoring are pure observation, so wrapping an engine in a fleet may not perturb a
+// single bit of scheduling, allocation, or metrics. Checked by serializing both runs —
+// engine debug state plus every per-request record at full precision — and comparing the
+// strings AND their SHA-256 digests.
+
+#include <gtest/gtest.h>
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cluster/fleet_router.h"
+#include "src/common/random.h"
+#include "src/common/sha256.h"
+#include "src/engine/engine.h"
+#include "src/metrics/metrics.h"
+#include "src/workload/datasets.h"
+#include "tests/cluster/fleet_test_util.h"
+
+namespace jenga {
+namespace {
+
+void SerializeRun(Engine& engine, std::ostream& os) {
+  engine.DumpStateForDebug(os);
+  const EngineMetrics& m = engine.metrics();
+  os << std::setprecision(17);
+  os << "cache_hit_tokens=" << m.cache_hit_tokens
+     << " prefill_tokens_computed=" << m.prefill_tokens_computed
+     << " total_steps=" << m.total_steps()
+     << " total_scheduled_tokens=" << m.total_scheduled_tokens()
+     << " last_time=" << m.last_time() << "\n";
+  for (const RequestRecord& r : m.finished()) {
+    os << "req " << r.id << " prompt=" << r.prompt_len << " out=" << r.output_len
+       << " cached=" << r.cached_prefix_tokens << " preempt=" << r.preemptions
+       << " arrive=" << r.arrival_time << " sched=" << r.first_scheduled_time
+       << " ttft=" << r.first_token_time << " finish=" << r.finish_time
+       << " failed=" << r.failed << " cancelled=" << r.cancelled << "\n";
+  }
+}
+
+std::vector<Request> DifferentialTrace() {
+  ArxivQaDataset dataset(/*num_articles=*/4, 150, 300, /*seed=*/5);
+  Rng rng(23);
+  return GeneratePoisson(dataset, 30, /*rate=*/40.0, rng, 1);
+}
+
+TEST(FleetDifferentialTest, SingleReplicaFleetMatchesBareEngineByteForByte) {
+  const EngineConfig config = FleetEngineConfig();
+
+  Engine bare(config);
+  for (Request& r : DifferentialTrace()) {
+    bare.Submit(std::move(r));
+  }
+  bare.RunToCompletion();
+  std::ostringstream bare_os;
+  SerializeRun(bare, bare_os);
+
+  FleetConfig fleet_config;
+  fleet_config.num_replicas = 1;
+  fleet_config.engine = config;
+  fleet_config.policy = RoutePolicy::kPrefixAffinity;
+  FleetRouter fleet(fleet_config);
+  for (Request& r : DifferentialTrace()) {
+    fleet.Submit(std::move(r));
+  }
+  fleet.RunToCompletion();
+  std::ostringstream fleet_os;
+  SerializeRun(fleet.replica(0), fleet_os);
+
+  ASSERT_FALSE(bare_os.str().empty());
+  EXPECT_EQ(bare_os.str(), fleet_os.str());
+  EXPECT_EQ(Sha256Hex(bare_os.str()), Sha256Hex(fleet_os.str()));
+}
+
+// Same contract under the round-robin policy (trivially replica 0 at N=1) and with the
+// detached-sink engine: installing no sink and installing the fleet's sink are equivalent.
+TEST(FleetDifferentialTest, PolicyChoiceIsInvisibleAtOneReplica) {
+  FleetConfig affinity;
+  affinity.num_replicas = 1;
+  affinity.engine = FleetEngineConfig();
+  affinity.policy = RoutePolicy::kPrefixAffinity;
+  FleetConfig rr = affinity;
+  rr.policy = RoutePolicy::kRoundRobin;
+  rr.seed = 99;  // Any seed mod 1 = slot 0.
+
+  FleetRouter a(affinity);
+  FleetRouter b(rr);
+  for (Request& r : DifferentialTrace()) {
+    a.Submit(std::move(r));
+  }
+  for (Request& r : DifferentialTrace()) {
+    b.Submit(std::move(r));
+  }
+  a.RunToCompletion();
+  b.RunToCompletion();
+  std::ostringstream oa;
+  std::ostringstream ob;
+  SerializeRun(a.replica(0), oa);
+  SerializeRun(b.replica(0), ob);
+  EXPECT_EQ(Sha256Hex(oa.str()), Sha256Hex(ob.str()));
+}
+
+TEST(Sha256Test, Fips180KnownAnswers) {
+  EXPECT_EQ(Sha256Hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256Hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(Sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // 64-byte message: exercises the exact-block tail-padding path (two final blocks).
+  EXPECT_EQ(Sha256Hex(std::string(64, 'a')),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+}  // namespace
+}  // namespace jenga

@@ -1,0 +1,55 @@
+// Shared fixtures for the fleet/cluster tests: a tiny prefix-caching engine config and
+// helpers for building shared-prefix requests whose routing-group chains are easy to reason
+// about.
+
+#ifndef JENGA_TESTS_CLUSTER_FLEET_TEST_UTIL_H_
+#define JENGA_TESTS_CLUSTER_FLEET_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/fleet_router.h"
+#include "src/engine/engine.h"
+#include "tests/engine/test_models.h"
+
+namespace jenga {
+
+// TinyFullModel on the 1 GB test GPU, prefix caching on: routing group 0, 16-token blocks.
+inline EngineConfig FleetEngineConfig() {
+  EngineConfig config;
+  config.model = TinyFullModel();
+  config.gpu = TestGpu();
+  config.tokens_per_page = 16;
+  config.enable_prefix_caching = true;
+  return config;
+}
+
+inline FleetConfig TestFleetConfig(int num_replicas, RoutePolicy policy,
+                                   uint64_t seed = 0) {
+  FleetConfig config;
+  config.num_replicas = num_replicas;
+  config.engine = FleetEngineConfig();
+  config.policy = policy;
+  config.seed = seed;
+  return config;
+}
+
+// A prompt of `len` tokens whose first min(len, article_len) tokens are the shared prefix of
+// `article`; the tail (the "question") is salted by `question` so distinct questions about
+// one article share exactly the article blocks. Distinct articles never share a block.
+inline Prompt ArticlePrompt(int article, int64_t len, int question = 0,
+                            int64_t article_len = 64) {
+  Prompt prompt;
+  for (int64_t i = 0; i < len; ++i) {
+    const int32_t token =
+        i < article_len
+            ? 1000 * (article + 1) + static_cast<int32_t>(i % 997)
+            : 500000 + 1000 * question + static_cast<int32_t>(i % 997);
+    prompt.tokens.push_back(token);
+  }
+  return prompt;
+}
+
+}  // namespace jenga
+
+#endif  // JENGA_TESTS_CLUSTER_FLEET_TEST_UTIL_H_

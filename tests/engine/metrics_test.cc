@@ -72,6 +72,35 @@ TEST(EngineMetrics, EmptyMetricsAreZero) {
   EXPECT_DOUBLE_EQ(metrics.MeanTpot(), 0.0);
 }
 
+TEST(EngineMetrics, PerRequestDistributions) {
+  EngineMetrics metrics;
+  // TTFTs 0.01..0.10 over ten finished requests, one single-token request (no TPOT), one
+  // failed request (excluded from every distribution).
+  for (int i = 1; i <= 10; ++i) {
+    metrics.RecordFinished(MakeRecord(i, 0.0, 0.01 * i, 1.0, 8));
+  }
+  metrics.RecordFinished(MakeRecord(11, 0.0, 0.05, 1.0, 1));
+  RequestRecord failed = MakeRecord(12, 0.0, 9.0, 99.0, 8);
+  failed.failed = true;
+  metrics.RecordFinished(failed);
+
+  EXPECT_EQ(metrics.TtftDistribution().samples().size(), 11u);
+  EXPECT_EQ(metrics.TpotDistribution().samples().size(), 10u);  // output_len > 1 only.
+  EXPECT_EQ(metrics.E2eDistribution().samples().size(), 11u);
+  EXPECT_GT(metrics.TtftPercentile(99.0), metrics.TtftPercentile(50.0));
+  EXPECT_LE(metrics.TtftPercentile(99.0), 0.10);
+  EXPECT_GE(metrics.TtftPercentile(0.0), 0.01);
+  EXPECT_LE(metrics.TpotPercentile(50.0), metrics.TpotPercentile(99.0));
+}
+
+TEST(EngineMetrics, DistributionsEmptyWhenNothingFinished) {
+  EngineMetrics metrics;
+  EXPECT_TRUE(metrics.TtftDistribution().empty());
+  EXPECT_TRUE(metrics.TpotDistribution().empty());
+  EXPECT_DOUBLE_EQ(metrics.TtftPercentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.TpotPercentile(99.0), 0.0);
+}
+
 TEST(EngineMetrics, MemoryTimeline) {
   EngineMetrics metrics;
   MemorySample sample;

@@ -105,5 +105,60 @@ TEST(ModelZoo, CharacterAiSharesKv) {
   EXPECT_LT(static_cast<int>(model.layers.size()), model.compute_layers);
 }
 
+TEST(ModelZoo, TensorParallelShardDividesKvEvenly) {
+  const ModelConfig base = Llama3_70B_Fp8();
+  for (const int tp : {1, 2, 4, 8}) {
+    SCOPED_TRACE(tp);
+    const StatusOr<ModelConfig> shard = TensorParallelShard(base, tp);
+    ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+    const ModelConfig& model = shard.value();
+    ASSERT_EQ(model.layers.size(), base.layers.size());
+    for (size_t i = 0; i < model.layers.size(); ++i) {
+      // Per-rank KV bytes are exactly 1/tp of the full model's — no rounding remainder.
+      EXPECT_EQ(model.layers[i].KvBytesPerToken() * tp, base.layers[i].KvBytesPerToken());
+    }
+    EXPECT_NEAR(model.params_b * tp, base.params_b, 1e-9);
+  }
+  EXPECT_EQ(TensorParallelShard(base, 1).value().name, base.name);
+  EXPECT_EQ(TensorParallelShard(base, 4).value().name, base.name + "-tp4");
+}
+
+TEST(ModelZoo, TensorParallelShardRejectsUnevenSplits) {
+  const ModelConfig base = Llama3_70B_Fp8();  // 8 KV heads.
+  for (const int tp : {3, 16}) {
+    SCOPED_TRACE(tp);
+    const StatusOr<ModelConfig> shard = TensorParallelShard(base, tp);
+    ASSERT_FALSE(shard.ok());
+    EXPECT_EQ(shard.status().code(), StatusCode::kInvalidArgument);
+    // The error names the model and the offending value instead of a bare failure.
+    EXPECT_NE(shard.status().message().find(base.name), std::string::npos);
+  }
+  EXPECT_FALSE(TensorParallelShard(base, 0).ok());
+  EXPECT_FALSE(TensorParallelShard(base, -2).ok());
+}
+
+TEST(ModelZoo, TensorParallelShardSplitsMambaState) {
+  const ModelConfig base = Jamba52B_Fp8();
+  const StatusOr<ModelConfig> shard = TensorParallelShard(base, 2);
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  for (size_t i = 0; i < base.layers.size(); ++i) {
+    if (base.layers[i].kind == LayerKind::kMamba) {
+      EXPECT_EQ(shard.value().layers[i].mamba_state_bytes * 2, base.layers[i].mamba_state_bytes);
+    }
+  }
+}
+
+TEST(ModelZoo, TensorParallelConvenienceProfiles) {
+  const ModelConfig llama = Llama3_70B_Fp8_Tp(4);
+  EXPECT_EQ(llama.name, "llama-3-70b-fp8-tp4");
+  const ModelConfig cai = CharacterAi70B_Fp8_Tp(8);
+  // Per-rank KV must still build a valid Jenga spec (one allocator stack per rank).
+  const KvSpec spec = BuildKvSpec(cai, KvSpecOptions{});
+  EXPECT_FALSE(spec.groups.empty());
+  for (const LayerSpec& layer : cai.layers) {
+    EXPECT_EQ(layer.num_kv_heads, 1);  // 8 heads / tp8.
+  }
+}
+
 }  // namespace
 }  // namespace jenga
