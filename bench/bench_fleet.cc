@@ -117,6 +117,41 @@ bool Run(bool quick) {
       }
     }
   }
+
+  // Recovery scenario (DESIGN.md §10): same 4-replica affinity fleet, but a fleet-scoped
+  // injector kills one replica mid-trace. The ledger must balance — every request still
+  // completes, the harvested ones on a survivor — and the run stays deterministic.
+  FleetBenchConfig recovery;
+  recovery.num_replicas = 4;
+  recovery.policy = RoutePolicy::kPrefixAffinity;
+  recovery.fault_plan = quick ? "replica_death:at=400" : "replica_death:at=2000";
+  const FleetBenchResult rec = RunFleetPolicy(recovery, MakeFleetTrace(trace_options));
+  std::printf("\nrecovery (affinity, 4 replicas, %s): deaths=%lld death_cancels=%lld "
+              "rerouted=%lld completed=%lld/%d ttft_p99=%.3fs\n",
+              recovery.fault_plan.c_str(), static_cast<long long>(rec.stats.replica_deaths),
+              static_cast<long long>(rec.stats.death_cancels),
+              static_cast<long long>(rec.stats.rerouted),
+              static_cast<long long>(rec.stats.completed), trace_options.requests,
+              rec.stats.ttft_p99);
+  if (rec.stats.replica_deaths != 1) {
+    std::printf("FAIL: recovery scenario expected exactly one replica death\n");
+    ok = false;
+  }
+  if (rec.stats.completed != trace_options.requests) {
+    std::printf("FAIL: recovery scenario lost requests (every request must complete on a "
+                "survivor)\n");
+    ok = false;
+  }
+  if (rec.stats.death_cancels != rec.stats.rerouted ||
+      rec.stats.completed + rec.stats.failed != rec.stats.submitted + rec.stats.rerouted) {
+    std::printf("FAIL: recovery ledger does not balance\n");
+    ok = false;
+  }
+  if (rec.stats.rerouted <= 0) {
+    std::printf("FAIL: the death struck an idle replica — no harvest exercised\n");
+    ok = false;
+  }
+
   std::printf("\nfleet criteria: %s\n", ok ? "PASS" : "FAIL");
   return ok;
 }

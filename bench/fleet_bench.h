@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -40,6 +41,9 @@ struct FleetBenchConfig {
   RoutePolicy policy = RoutePolicy::kPrefixAffinity;
   int64_t pool_bytes = 1200LL << 20;
   uint64_t seed = 1;
+  // Optional fleet fault plan (e.g. "replica_death:at=500") for the recovery scenario.
+  std::string fault_plan;
+  uint64_t fault_seed = 9;
 };
 
 inline std::vector<Request> MakeFleetTrace(const FleetTraceOptions& options) {
@@ -66,6 +70,12 @@ inline FleetBenchResult RunFleetPolicy(const FleetBenchConfig& bench,
   config.engine.memory_sample_every = 0;
   config.policy = bench.policy;
   config.seed = bench.seed;
+  if (!bench.fault_plan.empty()) {
+    FaultPlan plan;
+    JENGA_CHECK(FaultPlan::Parse(bench.fault_plan, &plan).ok()) << bench.fault_plan;
+    config.fleet_fault.plan = plan;
+    config.fleet_fault.seed = bench.fault_seed;
+  }
   FleetRouter fleet(std::move(config));
 
   const auto begin = std::chrono::steady_clock::now();

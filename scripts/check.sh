@@ -32,6 +32,12 @@ JENGA_CHAOS_SCHEDULES="${JENGA_CHAOS_SCHEDULES:-3000}" "$build/tests/engine_chao
 # Disabled-injector overhead must be noise-level (the table's "armed tax" column).
 "$build/bench/bench_chaos" --quick
 
+# Fleet-chaos smoke (ctest label `chaos-fleet`): randomized fleet schedules with replica
+# deaths/stalls — scheduled and injector-driven — through both fleet drivers, against the
+# recovery-ledger oracle (DESIGN.md §10). Deterministic seeds; TESTING.md documents replay
+# (JENGA_FUZZ_SEED / JENGA_FAULT_PLAN / JENGA_FAULT_SEED).
+JENGA_FLEET_CHAOS_SCHEDULES="${JENGA_FLEET_CHAOS_SCHEDULES:-3000}" "$build/tests/fleet_chaos_test"
+
 # Fleet stage: the cluster suite by label (prefix index, router policy, cluster metrics,
 # the 1-replica byte-identical differential, and the threaded fleet stress harness), then
 # the fleet routing showcase, which self-checks the acceptance criteria (affinity >= 1.3x
@@ -86,9 +92,9 @@ if [[ "${JENGA_SKIP_SANITIZERS:-0}" != "1" ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build "$tsan_build" -j "$(nproc)" \
     --target mpsc_queue_test shard_claim_test frontend_test frontend_stress_test \
-             fleet_stress_test
+             fleet_stress_test fleet_shutdown_test fleet_chaos_test
   for tsan_test in mpsc_queue_test shard_claim_test frontend_test frontend_stress_test \
-                   fleet_stress_test; do
+                   fleet_stress_test fleet_shutdown_test fleet_chaos_test; do
     TSAN_OPTIONS="halt_on_error=1" "$tsan_build/tests/$tsan_test"
   done
 

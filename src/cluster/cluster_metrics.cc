@@ -41,6 +41,15 @@ void ClusterMetrics::AddReplica(const EngineMetrics& metrics, double occupancy) 
   }
 }
 
+void ClusterMetrics::AddFleetCounters(const FleetCounters& counters) {
+  stats_.submitted += counters.submitted;
+  stats_.replica_deaths += counters.replica_deaths;
+  stats_.replica_stalls += counters.replica_stalls;
+  stats_.death_cancels += counters.death_cancels;
+  stats_.rerouted += counters.rerouted;
+  stats_.cancelled += counters.cancelled;
+}
+
 FleetStats ClusterMetrics::Summarize() const {
   FleetStats stats = stats_;
   const int64_t prompt_tokens = hit_tokens_ + prefill_tokens_;
@@ -63,6 +72,7 @@ FleetStats ClusterMetrics::FromRouter(FleetRouter& router) {
   for (int i = 0; i < router.num_replicas(); ++i) {
     metrics.AddReplica(router.replica(i).metrics(), router.LoadOf(i).occupancy);
   }
+  metrics.AddFleetCounters(router.counters());
   return metrics.Summarize();
 }
 
@@ -71,6 +81,12 @@ std::string FleetStats::DebugString() const {
   os << "fleet: completed=" << completed << " failed=" << failed << " hit_rate=" << hit_rate
      << " ttft_p50=" << ttft_p50 << " ttft_p99=" << ttft_p99 << " tpot_p50=" << tpot_p50
      << " tpot_p99=" << tpot_p99 << "\n";
+  if (replica_deaths > 0 || replica_stalls > 0) {
+    // Printed only when recovery happened, so fault-free output is unchanged.
+    os << "recovery: deaths=" << replica_deaths << " stalls=" << replica_stalls
+       << " death_cancels=" << death_cancels << " rerouted=" << rerouted
+       << " submitted=" << submitted << " records=" << completed + failed << "\n";
+  }
   for (const ReplicaStats& row : replicas) {
     os << "  replica " << row.replica << ": completed=" << row.completed
        << " failed=" << row.failed << " hit_rate=" << row.hit_rate

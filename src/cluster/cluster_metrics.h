@@ -16,6 +16,7 @@
 namespace jenga {
 
 class FleetRouter;
+struct FleetCounters;
 
 struct ReplicaStats {
   int replica = 0;
@@ -34,6 +35,16 @@ struct ReplicaStats {
 struct FleetStats {
   int64_t completed = 0;
   int64_t failed = 0;
+  // Recovery ledger, filled from the driver's FleetCounters (AddFleetCounters). The
+  // conservation identity — submitted requests are never lost across replica deaths —
+  // reads: Σ replica finished records (completed + failed) == submitted + rerouted, with
+  // death_cancels == rerouted when every harvested request found a survivor.
+  int64_t submitted = 0;
+  int64_t replica_deaths = 0;
+  int64_t replica_stalls = 0;
+  int64_t death_cancels = 0;
+  int64_t rerouted = 0;
+  int64_t cancelled = 0;  // Client cancels routed through the driver.
   // Pooled over every replica's finished, non-failed requests.
   double ttft_p50 = 0.0;
   double ttft_p99 = 0.0;
@@ -51,6 +62,9 @@ class ClusterMetrics {
   // Folds one replica's engine metrics (plus its occupancy snapshot) into the aggregate.
   // Replicas are indexed in the order they are added.
   void AddReplica(const EngineMetrics& metrics, double occupancy);
+
+  // Folds the driver's routing/recovery counters into the ledger fields.
+  void AddFleetCounters(const FleetCounters& counters);
 
   [[nodiscard]] FleetStats Summarize() const;
 

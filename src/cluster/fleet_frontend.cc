@@ -9,7 +9,7 @@
 namespace jenga {
 
 FleetFrontend::FleetFrontend(FleetConfig config, ServingFrontend::Options options)
-    : config_(std::move(config)) {
+    : config_(std::move(config)), supervisor_(config_.num_replicas) {
   JENGA_CHECK_GT(config_.num_replicas, 0);
   JENGA_CHECK_GT(config_.spill_queue_depth, 0);
 
@@ -69,9 +69,58 @@ void FleetFrontend::Shutdown() {
   if (shut_down_.exchange(true, std::memory_order_acq_rel)) {
     return;
   }
+  // Let an in-flight KillReplica finish re-routing before the survivor queues close.
+  std::lock_guard<std::mutex> lock(kill_mu_);
   for (const auto& front : fronts_) {
-    front->Shutdown();
+    front->Shutdown();  // No-op for killed replicas.
   }
+}
+
+bool FleetFrontend::KillReplica(int replica) {
+  JENGA_CHECK_GE(replica, 0);
+  JENGA_CHECK_LT(replica, num_replicas());
+  std::lock_guard<std::mutex> lock(kill_mu_);
+  if (shut_down_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  if (!supervisor_.alive(replica) || supervisor_.num_alive() <= 1) {
+    return false;
+  }
+  replicas_killed_.fetch_add(1, std::memory_order_relaxed);
+  // MarkDead before Kill: a producer that observes the closed queue (acquire) also observes
+  // the death, so its re-route loop picks a survivor.
+  supervisor_.MarkDead(replica);
+  ServingFrontend& dead = *fronts_[static_cast<size_t>(replica)];
+  dead.Kill();
+  // The dead engine is quiescent now (thread joined): silence its residency events and drop
+  // its summary so routing stops scoring it immediately.
+  dead.engine().kv().allocator_mutable().SetResidencySink(nullptr);
+  index_->PurgeReplica(replica);
+  for (ServingFrontend::AbandonedWork& w : dead.HarvestAbandoned()) {
+    if (w.engine_side) {
+      death_cancels_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Re-place on a survivor, adopting the client's original stream. Survivor queues cannot
+    // close while we hold kill_mu_ (Shutdown and other kills wait on it), so the only
+    // transient failure is a full queue, which SubmitWithStream waits out.
+    const RouteDecision decision = Decide(w.request);
+    {
+      std::lock_guard<std::mutex> plock(placement_mu_);
+      placement_[w.request.id] = decision.replica;
+    }
+    if (fronts_[static_cast<size_t>(decision.replica)]->SubmitWithStream(w.request,
+                                                                         w.stream)) {
+      rerouted_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Unreachable by construction; keep the stream terminal and the ledger balanced anyway.
+    lost_on_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    w.stream->finish_wall.store(
+        fronts_[static_cast<size_t>(decision.replica)]->WallSeconds(),
+        std::memory_order_release);
+    w.stream->phase.store(StreamPhase::kFailed, std::memory_order_release);
+  }
+  return true;
 }
 
 RouteDecision FleetFrontend::Decide(const Request& request) {
@@ -82,6 +131,8 @@ RouteDecision FleetFrontend::Decide(const Request& request) {
     loads[static_cast<size_t>(i)].waiting = load.waiting.load(std::memory_order_relaxed);
     loads[static_cast<size_t>(i)].running = load.running.load(std::memory_order_relaxed);
     loads[static_cast<size_t>(i)].occupancy = load.occupancy.load(std::memory_order_relaxed);
+    // Dead replicas are unroutable; at least one stays alive (KillReplica refuses the last).
+    loads[static_cast<size_t>(i)].alive = supervisor_.alive(i);
   }
   std::vector<int64_t> affinity(static_cast<size_t>(n), 0);
   if (config_.policy == RoutePolicy::kPrefixAffinity && routing_group_ >= 0) {
@@ -120,37 +171,71 @@ void FleetFrontend::CountDecision(const RouteDecision& decision) {
 }
 
 StreamHandle FleetFrontend::SubmitAsync(Request request) {
-  const RouteDecision decision = Decide(request);
-  CountDecision(decision);
-  {
-    std::lock_guard<std::mutex> lock(placement_mu_);
-    placement_[request.id] = decision.replica;
+  auto stream = std::make_shared<RequestStream>();
+  const RequestId id = request.id;
+  for (;;) {
+    if (shut_down_.load(std::memory_order_acquire)) {
+      // Clean refusal: no routing, no placement, no replica queue touched.
+      rejected_submits_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(placement_mu_);
+        placement_.erase(id);  // Drop the entry a failed earlier attempt may have left.
+      }
+      stream->phase.store(StreamPhase::kRejected, std::memory_order_release);
+      return stream;
+    }
+    const RouteDecision decision = Decide(request);
+    {
+      // Placement is published before the push so a kill that harvests the accepted op
+      // always finds (and overwrites) it.
+      std::lock_guard<std::mutex> lock(placement_mu_);
+      placement_[id] = decision.replica;
+    }
+    if (fronts_[static_cast<size_t>(decision.replica)]->SubmitWithStream(request, stream)) {
+      CountDecision(decision);
+      return stream;
+    }
+    // The chosen replica's queue closed under us — it died (re-route) or the fleet shut
+    // down (next iteration rejects cleanly).
   }
-  return fronts_[static_cast<size_t>(decision.replica)]->SubmitAsync(std::move(request));
 }
 
-bool FleetFrontend::TrySubmitAsync(Request request, StreamHandle* out) {
-  const RouteDecision decision = Decide(request);
-  if (decision.all_saturated) {
-    backpressure_rejections_.fetch_add(1, std::memory_order_relaxed);
-    return false;
-  }
-  // The replica queue can still be full (saturation thresholds and queue capacity are
-  // independent); surface that as backpressure too rather than blocking.
+Status FleetFrontend::TrySubmitAsync(Request request, StreamHandle* out) {
+  JENGA_CHECK(out != nullptr);
+  auto stream = std::make_shared<RequestStream>();
   const RequestId id = request.id;
-  StreamHandle stream;
-  if (!fronts_[static_cast<size_t>(decision.replica)]->TrySubmitAsync(std::move(request),
-                                                                      &stream)) {
-    backpressure_rejections_.fetch_add(1, std::memory_order_relaxed);
-    return false;
+  for (;;) {
+    if (shut_down_.load(std::memory_order_acquire)) {
+      rejected_submits_.fetch_add(1, std::memory_order_relaxed);
+      return Status::FailedPrecondition("fleet frontend is shut down");
+    }
+    const RouteDecision decision = Decide(request);
+    if (decision.all_saturated) {
+      backpressure_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted("every live replica is saturated");
+    }
+    {
+      std::lock_guard<std::mutex> lock(placement_mu_);
+      placement_[id] = decision.replica;
+    }
+    switch (fronts_[static_cast<size_t>(decision.replica)]->TrySubmitWithStream(request,
+                                                                                stream)) {
+      case ServingFrontend::TrySubmitResult::kAccepted:
+        CountDecision(decision);
+        *out = std::move(stream);
+        return Status::Ok();
+      case ServingFrontend::TrySubmitResult::kQueueFull: {
+        // The replica queue can still be full (saturation thresholds and queue capacity are
+        // independent); surface that as backpressure too rather than blocking.
+        std::lock_guard<std::mutex> lock(placement_mu_);
+        placement_.erase(id);
+        backpressure_rejections_.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourceExhausted("replica queue full");
+      }
+      case ServingFrontend::TrySubmitResult::kClosed:
+        break;  // Replica died or fleet shut down; loop re-checks and re-routes.
+    }
   }
-  CountDecision(decision);
-  {
-    std::lock_guard<std::mutex> lock(placement_mu_);
-    placement_[id] = decision.replica;
-  }
-  *out = std::move(stream);
-  return true;
 }
 
 void FleetFrontend::CancelAsync(RequestId id) {
@@ -190,6 +275,11 @@ FleetCounters FleetFrontend::counters() const {
   c.saturated_submits = saturated_submits_.load(std::memory_order_relaxed);
   c.backpressure_rejections = backpressure_rejections_.load(std::memory_order_relaxed);
   c.cancelled = cancelled_.load(std::memory_order_relaxed);
+  c.rejected_submits = rejected_submits_.load(std::memory_order_relaxed);
+  c.replica_deaths = replicas_killed_.load(std::memory_order_relaxed);
+  c.death_cancels = death_cancels_.load(std::memory_order_relaxed);
+  c.rerouted = rerouted_.load(std::memory_order_relaxed);
+  c.lost_on_shutdown = lost_on_shutdown_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -204,6 +294,8 @@ ServingFrontend::Counters FleetFrontend::frontend_counters() const {
     total.finished += c.finished;
     total.cancelled += c.cancelled;
     total.failed += c.failed;
+    total.harvested_queued += c.harvested_queued;
+    total.harvested_live += c.harvested_live;
   }
   return total;
 }

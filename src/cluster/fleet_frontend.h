@@ -10,6 +10,14 @@
 // race for the same affine replica. Routing is advisory (see prefix_index.h), so the races
 // affect locality, never correctness. Per-replica admission backpressure surfaces through
 // TrySubmitAsync, which refuses (no side effects) while every replica is saturated.
+//
+// Failure injection (DESIGN.md §10): KillReplica models an asynchronously detected replica
+// death. The dead replica is marked unroutable, its engine thread is hard-stopped and
+// joined, its index summary purged, and its abandoned work harvested and re-submitted to
+// survivors — adopting the clients' original streams, so every stream still reaches a
+// terminal phase. Submits racing the death retry transparently (their replica's queue
+// closes, they re-route); a cancel racing the kill window may be dropped, in which case the
+// request simply completes on the survivor — acceptable asynchronous cancel semantics.
 
 #ifndef JENGA_SRC_CLUSTER_FLEET_FRONTEND_H_
 #define JENGA_SRC_CLUSTER_FLEET_FRONTEND_H_
@@ -24,6 +32,8 @@
 
 #include "src/cluster/fleet_router.h"
 #include "src/cluster/prefix_index.h"
+#include "src/cluster/replica_supervisor.h"
+#include "src/common/status.h"
 #include "src/engine/frontend.h"
 
 namespace jenga {
@@ -40,12 +50,15 @@ class FleetFrontend {
 
   // --- Client API (any thread) ---
 
-  // Routes and submits; blocks while the chosen replica's queue is full. Request ids must be
-  // fleet-unique (NextRequestId()).
+  // Routes and submits; blocks while the chosen replica's queue is full, and re-routes if
+  // the replica dies mid-submit. After Shutdown() the stream comes back kRejected without
+  // touching any replica queue. Request ids must be fleet-unique (NextRequestId()).
   StreamHandle SubmitAsync(Request request);
-  // Backpressure-aware variant: false — and no side effects — when every replica is
-  // saturated per the spill thresholds.
-  [[nodiscard]] bool TrySubmitAsync(Request request, StreamHandle* out);
+  // Backpressure-aware variant. kFailedPrecondition — cleanly, without racing the drained
+  // queues — after Shutdown(); kResourceExhausted when every replica is saturated per the
+  // spill thresholds or the chosen replica's queue is full. No side effects on failure.
+  // On success *out holds the stream.
+  [[nodiscard]] Status TrySubmitAsync(Request request, StreamHandle* out);
   // Cancels wherever the request was routed; unknown ids are a no-op.
   void CancelAsync(RequestId id);
   [[nodiscard]] RequestId NextRequestId() {
@@ -56,9 +69,21 @@ class FleetFrontend {
 
   void Start();
   // Shuts every replica frontend down (drain + join); idempotent, also run by the destructor.
+  // Waits for an in-flight KillReplica to finish re-routing first.
   void Shutdown();
   // Spawns `n` client threads running `fn(client_index)` and joins them all.
   void RunClients(int n, const std::function<void(int)>& fn);
+
+  // --- Failure injection (any thread; kills serialize) ---
+
+  // Kills a live replica: marks it unroutable, hard-stops and joins its engine thread,
+  // detaches its residency sink, purges its index summary, and re-submits every harvested
+  // request to a surviving replica — the clients' streams move with the work. Returns false
+  // without side effects when the replica is already dead, it is the last one alive, or the
+  // fleet is shut down. Must not race ~FleetFrontend.
+  bool KillReplica(int replica);
+  [[nodiscard]] bool ReplicaAlive(int i) const { return supervisor_.alive(i); }
+  [[nodiscard]] const ReplicaSupervisor& supervisor() const { return supervisor_; }
 
   // --- Introspection ---
 
@@ -84,6 +109,7 @@ class FleetFrontend {
   void CountDecision(const RouteDecision& decision);
 
   FleetConfig config_;
+  ReplicaSupervisor supervisor_;
   std::unique_ptr<ClusterPrefixIndex> index_;
   int routing_group_ = -1;
   int routing_block_size_ = 0;
@@ -94,6 +120,9 @@ class FleetFrontend {
   std::atomic<RequestId> next_id_{1};
   std::atomic<int64_t> rr_cursor_{0};
   std::atomic<bool> shut_down_{false};
+  // Serializes KillReplica calls against each other and against Shutdown, so a kill's
+  // harvest-and-re-route always completes against open survivor queues.
+  std::mutex kill_mu_;
 
   // Forever-growing like the engines' own request maps (same asymptotics); guarded because
   // submit and cancel race across client threads.
@@ -108,6 +137,11 @@ class FleetFrontend {
   std::atomic<int64_t> saturated_submits_{0};
   std::atomic<int64_t> backpressure_rejections_{0};
   std::atomic<int64_t> cancelled_{0};
+  std::atomic<int64_t> rejected_submits_{0};
+  std::atomic<int64_t> replicas_killed_{0};
+  std::atomic<int64_t> death_cancels_{0};
+  std::atomic<int64_t> rerouted_{0};
+  std::atomic<int64_t> lost_on_shutdown_{0};
 };
 
 }  // namespace jenga

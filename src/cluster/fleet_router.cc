@@ -32,14 +32,17 @@ namespace {
   return load.waiting >= spill_queue_depth || load.occupancy >= spill_occupancy;
 }
 
-// Least-loaded replica by waiting+running (ties → lowest index), optionally restricted to
-// unsaturated replicas; -1 when the restriction filters everyone out.
+// Least-loaded live replica by waiting+running (ties → lowest index), optionally restricted
+// to unsaturated replicas; -1 when the restriction filters everyone out.
 int PickLeastLoaded(std::span<const ReplicaLoadView> loads, int spill_queue_depth,
                     double spill_occupancy, bool unsaturated_only) {
   int best = -1;
   int64_t best_load = 0;
   for (int i = 0; i < static_cast<int>(loads.size()); ++i) {
     const ReplicaLoadView& load = loads[static_cast<size_t>(i)];
+    if (!load.alive) {
+      continue;
+    }
     if (unsaturated_only && Saturated(load, spill_queue_depth, spill_occupancy)) {
       continue;
     }
@@ -83,23 +86,46 @@ RouteDecision DecideRoute(RoutePolicy policy, int spill_queue_depth, double spil
                           std::span<const int64_t> affinity_blocks, int64_t round_robin_slot) {
   const int n = static_cast<int>(loads.size());
   JENGA_CHECK_GT(n, 0);
+  // Dead replicas are invisible: every scan below is over the live subset. With all replicas
+  // alive (the default-constructed view), the decision is identical to the pre-liveness
+  // policy — the fault-free path stays byte-for-byte.
+  int num_alive = 0;
+  for (const ReplicaLoadView& load : loads) {
+    num_alive += load.alive ? 1 : 0;
+  }
+  JENGA_CHECK_GT(num_alive, 0) << "DecideRoute needs at least one live replica";
   RouteDecision decision;
   decision.all_saturated = true;
   for (const ReplicaLoadView& load : loads) {
-    if (!Saturated(load, spill_queue_depth, spill_occupancy)) {
+    if (load.alive && !Saturated(load, spill_queue_depth, spill_occupancy)) {
       decision.all_saturated = false;
       break;
     }
   }
 
   if (policy == RoutePolicy::kRoundRobin) {
-    decision.replica = static_cast<int>(round_robin_slot % n);
+    // Rotate over the live subset: slot k picks the (k mod num_alive)-th live replica, so the
+    // rotation stays uniform over survivors after a death.
+    int64_t slot = round_robin_slot % num_alive;
+    for (int i = 0; i < n; ++i) {
+      if (!loads[static_cast<size_t>(i)].alive) {
+        continue;
+      }
+      if (slot == 0) {
+        decision.replica = i;
+        break;
+      }
+      --slot;
+    }
     decision.reason = RouteDecision::Reason::kRoundRobin;
     return decision;
   }
 
   int affine = -1;
   for (int i = 0; i < static_cast<int>(affinity_blocks.size()); ++i) {
+    if (!loads[static_cast<size_t>(i)].alive) {
+      continue;
+    }
     const int64_t blocks = affinity_blocks[static_cast<size_t>(i)];
     if (blocks > decision.affinity_blocks) {
       affine = i;
@@ -125,9 +151,14 @@ RouteDecision DecideRoute(RoutePolicy policy, int spill_queue_depth, double spil
   return decision;
 }
 
-FleetRouter::FleetRouter(FleetConfig config) : config_(std::move(config)) {
+FleetRouter::FleetRouter(FleetConfig config)
+    : config_(std::move(config)), supervisor_(config_.num_replicas) {
   JENGA_CHECK_GT(config_.num_replicas, 0);
   JENGA_CHECK_GT(config_.spill_queue_depth, 0);
+  JENGA_CHECK_GT(config_.stall_steps, 0);
+  if (config_.fleet_fault.enabled()) {
+    fleet_fault_ = std::make_unique<FaultInjector>(config_.fleet_fault);
+  }
   replicas_.reserve(static_cast<size_t>(config_.num_replicas));
   for (int i = 0; i < config_.num_replicas; ++i) {
     replicas_.push_back(std::make_unique<Engine>(config_.engine));
@@ -175,8 +206,19 @@ bool FleetRouter::IsSaturated(int replica) const {
 
 RouteDecision FleetRouter::Route(const Request& request) {
   std::vector<ReplicaLoadView> loads(static_cast<size_t>(num_replicas()));
+  bool any_routable = false;
   for (int i = 0; i < num_replicas(); ++i) {
     loads[static_cast<size_t>(i)] = LoadOf(i);
+    loads[static_cast<size_t>(i)].alive =
+        supervisor_.alive(i) && !supervisor_.stalled(i, fleet_steps_);
+    any_routable = any_routable || loads[static_cast<size_t>(i)].alive;
+  }
+  if (!any_routable) {
+    // Every live replica is mid-stall: fall back to liveness alone (a stalled replica queues
+    // the request and serves it when the stall expires; a dead one never would).
+    for (int i = 0; i < num_replicas(); ++i) {
+      loads[static_cast<size_t>(i)].alive = supervisor_.alive(i);
+    }
   }
   std::vector<int64_t> affinity(static_cast<size_t>(num_replicas()), 0);
   if (config_.policy == RoutePolicy::kPrefixAffinity && routing_group_ >= 0) {
@@ -223,9 +265,72 @@ RouteDecision FleetRouter::Submit(Request request) {
   return decision;
 }
 
+void FleetRouter::ResubmitRevived(Request request) {
+  // Routes like a fresh submit but books a re-route, not a client submit: `submitted` and
+  // the routed_* tallies count client intent only, keeping the conservation ledger
+  // Σ finished records == submitted + rerouted.
+  const RouteDecision decision = Route(request);
+  counters_.rerouted += 1;
+  placement_[request.id] = decision.replica;
+  replicas_[static_cast<size_t>(decision.replica)]->Submit(std::move(request));
+}
+
+void FleetRouter::KillReplica(int replica) {
+  JENGA_CHECK(supervisor_.alive(replica)) << "replica " << replica << " is already dead";
+  JENGA_CHECK_GT(supervisor_.num_alive(), 1) << "cannot kill the last live replica";
+  counters_.replica_deaths += 1;
+  supervisor_.MarkDead(replica);
+  Engine& dead = *replicas_[static_cast<size_t>(replica)];
+  // Stop feeding the cluster index, then drop the dead replica's summary: it must stop
+  // attracting affinity immediately, and the cancels below must not churn the index.
+  dead.kv().allocator_mutable().SetResidencySink(nullptr);
+  index_->PurgeReplica(replica);
+  // Harvest in scheduler order (running queue first, then waiting): cancel off the dead
+  // engine with full reclamation — the dead allocator still audits clean — and re-submit
+  // each request to a survivor, recomputing from the prompt.
+  for (const RequestId id : dead.ActiveRequests()) {
+    Request revived = ReplicaSupervisor::ReviveForReroute(dead.request(id));
+    JENGA_CHECK(dead.CancelRequest(id));
+    counters_.death_cancels += 1;
+    ResubmitRevived(std::move(revived));
+  }
+}
+
+void FleetRouter::StallReplica(int replica, int64_t steps) {
+  JENGA_CHECK(supervisor_.alive(replica)) << "cannot stall dead replica " << replica;
+  JENGA_CHECK_GT(steps, 0);
+  counters_.replica_stalls += 1;
+  supervisor_.MarkStalled(replica, fleet_steps_ + steps);
+}
+
+void FleetRouter::ConsultFleetFaults() {
+  // One consult pass per fleet step, replica-index order: a (plan, seed) pair fully
+  // determines which step kills or stalls which replica. A death fire on the last live
+  // replica is suppressed (counted, not applied); a stalled replica skips its stall consult
+  // so repeated fires don't stack.
+  for (int i = 0; i < num_replicas(); ++i) {
+    if (!supervisor_.alive(i)) {
+      continue;
+    }
+    if (fleet_fault_->Fire(FaultSite::kReplicaDeath)) {
+      if (supervisor_.num_alive() > 1) {
+        KillReplica(i);
+        continue;
+      }
+      counters_.death_fires_ignored += 1;
+    }
+    if (!supervisor_.stalled(i, fleet_steps_) && fleet_fault_->Fire(FaultSite::kReplicaStall)) {
+      StallReplica(i, config_.stall_steps);
+    }
+  }
+}
+
 StatusOr<int> FleetRouter::TrySubmit(Request request) {
   bool all_saturated = true;
   for (int i = 0; i < num_replicas(); ++i) {
+    if (!supervisor_.alive(i)) {
+      continue;
+    }
     if (!IsSaturated(i)) {
       all_saturated = false;
       break;
@@ -240,10 +345,24 @@ StatusOr<int> FleetRouter::TrySubmit(Request request) {
 }
 
 bool FleetRouter::StepOnce() {
-  bool any = false;
-  for (const auto& replica : replicas_) {
-    any = replica->StepOnce() || any;
+  if (fleet_fault_ != nullptr) {
+    ConsultFleetFaults();
   }
+  bool any = false;
+  for (int i = 0; i < num_replicas(); ++i) {
+    if (!supervisor_.alive(i)) {
+      continue;
+    }
+    Engine& engine = *replicas_[static_cast<size_t>(i)];
+    if (supervisor_.stalled(i, fleet_steps_)) {
+      // Frozen, not dead: its pending work counts as fleet work so run loops wait the
+      // stall out instead of declaring the fleet idle.
+      any = any || engine.num_waiting() + engine.num_running() > 0;
+      continue;
+    }
+    any = engine.StepOnce() || any;
+  }
+  fleet_steps_ += 1;
   return any;
 }
 

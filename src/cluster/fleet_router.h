@@ -22,9 +22,11 @@
 #include <vector>
 
 #include "src/cluster/prefix_index.h"
+#include "src/cluster/replica_supervisor.h"
 #include "src/common/status.h"
 #include "src/engine/engine.h"
 #include "src/engine/request.h"
+#include "src/fault/fault_injector.h"
 
 namespace jenga {
 
@@ -46,6 +48,14 @@ struct FleetConfig {
   double spill_occupancy = 0.95;
   // Replay seed: fixes the round-robin start slot.
   uint64_t seed = 0;
+  // Fleet-scoped fault world (replica_death / replica_stall sites). Consulted once per live
+  // replica per fleet step, in replica-index order, so a (plan, seed) pair replays the same
+  // kill/stall sequence byte-identically. Engine-scoped sites in the plan are ignored here.
+  // Empty plan (the default) constructs no injector: the fault-free path is byte-identical
+  // to a build without the subsystem.
+  FaultConfig fleet_fault;
+  // How many fleet steps a replica_stall freezes the replica for.
+  int64_t stall_steps = 16;
 };
 
 struct RouteDecision {
@@ -69,6 +79,9 @@ struct ReplicaLoadView {
   int64_t waiting = 0;
   int64_t running = 0;
   double occupancy = 0.0;  // used bytes / pool bytes.
+  // Dead or stalled replicas are unroutable: DecideRoute skips them in every scan (affinity,
+  // least-loaded, round-robin rotation, saturation). At least one replica must be alive.
+  bool alive = true;
 };
 
 // The KV group whose hash chain routing scores against: prefer a full-attention all-token
@@ -99,6 +112,19 @@ struct FleetCounters {
   // TrySubmit refusals (all replicas saturated).
   int64_t backpressure_rejections = 0;
   int64_t cancelled = 0;
+
+  // Recovery ledger. Re-routed submissions deliberately do NOT bump `submitted` or the
+  // routed_* reason tallies — those count client intent — so the conservation identity is
+  //   Σ replica finished records == submitted + rerouted,   with death_cancels == rerouted
+  // in the deterministic driver (every harvested request is re-submitted exactly once).
+  int64_t replica_deaths = 0;       // Replicas killed (scheduled or injector-fired).
+  int64_t replica_stalls = 0;       // Stalls applied.
+  int64_t death_cancels = 0;        // Requests cancelled off a dead replica at harvest.
+  int64_t rerouted = 0;             // Harvested requests re-submitted to a survivor.
+  int64_t death_fires_ignored = 0;  // replica_death fires suppressed (last live replica).
+  // Threaded driver (FleetFrontend) only; always 0 in the deterministic FleetRouter.
+  int64_t rejected_submits = 0;     // Post-Shutdown submit refusals (both entry points).
+  int64_t lost_on_shutdown = 0;     // Harvested work that could not be re-placed (kFailed).
 };
 
 class FleetRouter {
@@ -134,6 +160,24 @@ class FleetRouter {
   // Cancels a request wherever it was routed; false for unknown ids.
   bool CancelRequest(RequestId id);
 
+  // Kills a live replica: marks it unroutable, detaches its residency sink, purges its
+  // cluster-index summary, cancels its active work with full reclamation (the dead engine
+  // still audits clean), and re-submits every harvested request to a surviving replica
+  // (recompute-from-prompt). CHECK-fails on a dead replica or when it is the last one live.
+  void KillReplica(int replica);
+
+  // Freezes a live replica for `steps` fleet steps: unroutable and not stepped until the
+  // stall expires. Its queued/running work simply waits out the stall.
+  void StallReplica(int replica, int64_t steps);
+
+  [[nodiscard]] bool ReplicaAlive(int replica) const { return supervisor_.alive(replica); }
+  [[nodiscard]] const ReplicaSupervisor& supervisor() const { return supervisor_; }
+  // Total fleet-site fault fires; 0 when no fleet fault plan is armed.
+  [[nodiscard]] int64_t FleetFaultFires() const {
+    return fleet_fault_ == nullptr ? 0 : fleet_fault_->total_fires();
+  }
+  [[nodiscard]] int64_t fleet_steps() const { return fleet_steps_; }
+
   // A replica is saturated when its waiting depth or occupancy crosses the spill thresholds.
   [[nodiscard]] bool IsSaturated(int replica) const;
   [[nodiscard]] ReplicaLoadView LoadOf(int replica) const;
@@ -158,14 +202,21 @@ class FleetRouter {
 
  private:
   void CountDecision(const RouteDecision& decision);
+  // Routes and submits a revived request, booking it as a re-route (not a client submit).
+  void ResubmitRevived(Request request);
+  // Consults the fleet fault sites for this step (replica-index order) and applies fires.
+  void ConsultFleetFaults();
 
   FleetConfig config_;
   std::vector<std::unique_ptr<Engine>> replicas_;
   std::unique_ptr<ClusterPrefixIndex> index_;
+  ReplicaSupervisor supervisor_;
+  std::unique_ptr<FaultInjector> fleet_fault_;
   int routing_group_ = -1;
   int routing_block_size_ = 0;
   uint64_t routing_salt_ = 0;
   int64_t rr_cursor_ = 0;
+  int64_t fleet_steps_ = 0;
   std::unordered_map<RequestId, int> placement_;
   FleetCounters counters_;
 };

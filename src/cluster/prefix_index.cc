@@ -51,6 +51,12 @@ int64_t ClusterPrefixIndex::ResidentPrefixBlocks(int replica,
   return blocks;
 }
 
+void ClusterPrefixIndex::PurgeReplica(int replica) {
+  ReplicaSummary& summary = *replicas_[static_cast<size_t>(replica)];
+  std::lock_guard<std::mutex> lock(summary.mu);
+  summary.hashes.clear();
+}
+
 int64_t ClusterPrefixIndex::ResidentHashes(int replica) const {
   const ReplicaSummary& summary = *replicas_[static_cast<size_t>(replica)];
   std::lock_guard<std::mutex> lock(summary.mu);

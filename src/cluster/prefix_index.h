@@ -51,6 +51,11 @@ class ClusterPrefixIndex {
   // Summary cardinality (resident routing-group hashes) for `replica`.
   [[nodiscard]] int64_t ResidentHashes(int replica) const;
 
+  // Drops every summarized hash for `replica`. Called by the replica supervisor on death:
+  // a dead replica must stop attracting affinity immediately, not when its (never-coming)
+  // eviction events would have drained the summary. Detach the replica's sink first.
+  void PurgeReplica(int replica);
+
   [[nodiscard]] int num_replicas() const { return static_cast<int>(replicas_.size()); }
   [[nodiscard]] int routing_group() const { return routing_group_; }
 

@@ -225,6 +225,18 @@ bool Engine::CancelRequest(RequestId id) {
   return true;
 }
 
+std::vector<RequestId> Engine::ActiveRequests() const {
+  std::vector<RequestId> ids;
+  ids.reserve(running_.size() + waiting_.size());
+  for (RequestId id = running_.front(); id != kNoRequest; id = running_.Next(id)) {
+    ids.push_back(id);
+  }
+  for (RequestId id = waiting_.front(); id != kNoRequest; id = waiting_.Next(id)) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
 void Engine::ExpireDeadlines() {
   // Collect ids first: cancellation mutates the queues. Waiting before running, each in
   // queue order, keeps the cancel order deterministic.

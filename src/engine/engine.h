@@ -91,6 +91,10 @@ class Engine {
   // or the request already finished.
   bool CancelRequest(RequestId id);
 
+  // Ids of every unfinished request in deterministic scheduler order (running queue first,
+  // then waiting) — the harvest order a fleet supervisor re-routes work in on replica death.
+  [[nodiscard]] std::vector<RequestId> ActiveRequests() const;
+
   // Writes a human-readable state dump (queues, pool occupancy, per-request progress, fault
   // counters) — the non-convergence diagnostic, also handy from test failures.
   void DumpStateForDebug(std::ostream& os) const;

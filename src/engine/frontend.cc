@@ -64,6 +64,53 @@ bool ServingFrontend::TrySubmitAsync(Request request, StreamHandle* out) {
   return true;
 }
 
+bool ServingFrontend::SubmitWithStream(Request& request, const StreamHandle& stream) {
+  Op op;
+  op.kind = Op::Kind::kSubmit;
+  op.id = request.id;
+  op.request = std::move(request);
+  op.stream = stream;
+  // TryPush leaves the op intact on failure, so the request can be handed back to the
+  // caller if the queue closes while we spin on a full one.
+  for (;;) {
+    if (queue_.closed()) {
+      request = std::move(op.request);
+      return false;
+    }
+    if (queue_.TryPush(op)) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  double expected = -1.0;
+  (void)stream->submit_wall.compare_exchange_strong(expected, WallSeconds(),
+                                                    std::memory_order_release,
+                                                    std::memory_order_relaxed);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  WakeConsumer();
+  return true;
+}
+
+ServingFrontend::TrySubmitResult ServingFrontend::TrySubmitWithStream(
+    Request& request, const StreamHandle& stream) {
+  Op op;
+  op.kind = Op::Kind::kSubmit;
+  op.id = request.id;
+  op.request = std::move(request);
+  op.stream = stream;
+  if (!queue_.TryPush(op)) {
+    request = std::move(op.request);
+    return queue_.closed() ? TrySubmitResult::kClosed : TrySubmitResult::kQueueFull;
+  }
+  double expected = -1.0;
+  (void)stream->submit_wall.compare_exchange_strong(expected, WallSeconds(),
+                                                    std::memory_order_release,
+                                                    std::memory_order_relaxed);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  WakeConsumer();
+  return TrySubmitResult::kAccepted;
+}
+
 void ServingFrontend::CancelAsync(RequestId id) {
   Op op;
   op.kind = Op::Kind::kCancel;
@@ -98,6 +145,103 @@ void ServingFrontend::Shutdown() {
   }
 }
 
+void ServingFrontend::Kill() {
+  JENGA_CHECK(!killed_.exchange(true)) << "ServingFrontend::Kill called twice";
+  JENGA_CHECK(!shut_down_.load(std::memory_order_acquire))
+      << "cannot Kill a frontend that already shut down";
+  // Order matters: killed_ first so the loop abandons work, shut_down_ so a later Shutdown
+  // (and the destructor) is a no-op, then Close so producers start failing. Producers that
+  // observe the closed queue (acquire) also observe the kill that closed it.
+  shut_down_.store(true, std::memory_order_release);
+  stopping_.store(true, std::memory_order_release);
+  queue_.Close();
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wake_cv_.notify_one();
+  }
+  if (loop_.joinable()) {
+    loop_.join();
+  }
+  // If Start() was never called, there is nothing to join and nothing ran: every accepted
+  // op is still in the queue, exactly what HarvestAbandoned expects.
+}
+
+std::vector<ServingFrontend::AbandonedWork> ServingFrontend::HarvestAbandoned() {
+  JENGA_CHECK(killed_.load(std::memory_order_acquire))
+      << "HarvestAbandoned requires Kill() first";
+  const double wall = WallSeconds();
+  // Pass 1: drain the leftover queue ops in order. Submits are stashed as candidates;
+  // cancels annihilate their submit wherever it is (stashed behind us, or already on the
+  // engine) — a cancel the client got into the queue before the death wins over re-routing.
+  std::vector<Op> queued;
+  std::unordered_map<RequestId, size_t> queued_index;
+  while (auto op = queue_.TryPop()) {
+    if (op->kind == Op::Kind::kSubmit) {
+      if (pending_cancels_.erase(op->id) > 0) {
+        retired_.insert(op->id);
+        cancelled_queued_.fetch_add(1, std::memory_order_relaxed);
+        op->stream->finish_wall.store(wall, std::memory_order_release);
+        op->stream->phase.store(StreamPhase::kCancelled, std::memory_order_release);
+        continue;
+      }
+      queued_index.emplace(op->id, queued.size());
+      queued.push_back(std::move(*op));
+      continue;
+    }
+    const RequestId id = op->id;
+    if (auto it = queued_index.find(id); it != queued_index.end()) {
+      Op& submit = queued[it->second];
+      queued_index.erase(it);
+      retired_.insert(id);
+      cancelled_queued_.fetch_add(1, std::memory_order_relaxed);
+      submit.stream->finish_wall.store(wall, std::memory_order_release);
+      submit.stream->phase.store(StreamPhase::kCancelled, std::memory_order_release);
+      submit.stream.reset();  // Marks the slot annihilated.
+      continue;
+    }
+    if (auto it = live_.find(id); it != live_.end()) {
+      JENGA_CHECK(engine_.CancelRequest(id));
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      it->second->finish_wall.store(wall, std::memory_order_release);
+      it->second->phase.store(StreamPhase::kCancelled, std::memory_order_release);
+      retired_.insert(id);
+      live_.erase(it);
+      continue;
+    }
+    if (retired_.find(id) == retired_.end()) {
+      pending_cancels_.insert(id);  // Submit never arrived and never will; harmless.
+    }
+  }
+  std::vector<AbandonedWork> work;
+  work.reserve(queued.size() + live_.size());
+  for (Op& op : queued) {
+    if (op.stream == nullptr) {
+      continue;  // Annihilated above.
+    }
+    harvested_queued_.fetch_add(1, std::memory_order_relaxed);
+    work.push_back(AbandonedWork{std::move(op.request), std::move(op.stream),
+                                 /*engine_side=*/false});
+  }
+  // Pass 2: engine-side requests, in scheduler order. Rebuild from the prompt (the same
+  // recompute-from-prompt recovery as preemption, lifted to fleet scope) and cancel with
+  // full reclamation so the dead engine's allocator still audits clean. No terminal phase
+  // is published: the stream stays live and travels with the re-routed request.
+  for (const RequestId id : engine_.ActiveRequests()) {
+    auto it = live_.find(id);
+    JENGA_CHECK(it != live_.end()) << "active engine request has no live stream";
+    const Request& dead = engine_.request(id);
+    Request revived = MakeRequest(dead.id, dead.prompt, dead.output_len, dead.arrival_time);
+    revived.deadline = dead.deadline;
+    JENGA_CHECK(engine_.CancelRequest(id));
+    harvested_live_.fetch_add(1, std::memory_order_relaxed);
+    work.push_back(AbandonedWork{std::move(revived), std::move(it->second),
+                                 /*engine_side=*/true});
+    live_.erase(it);
+  }
+  JENGA_CHECK(live_.empty()) << "killed frontend left unresolved live streams";
+  return work;
+}
+
 void ServingFrontend::RunUntilIdle() {
   JENGA_CHECK(!started_.load(std::memory_order_acquire))
       << "RunUntilIdle cannot run next to the engine thread";
@@ -117,6 +261,9 @@ void ServingFrontend::RunClients(int n, const std::function<void(int)>& fn) {
 
 void ServingFrontend::EngineLoop(bool until_idle) {
   for (;;) {
+    if (killed_.load(std::memory_order_acquire)) {
+      return;  // Killed: abandon queue and engine state in place for HarvestAbandoned.
+    }
     const int applied = DrainOps();
     const bool stepped = engine_.StepOnce();
     if (!live_.empty()) {
@@ -252,6 +399,8 @@ ServingFrontend::Counters ServingFrontend::counters() const {
   c.finished = finished_.load(std::memory_order_relaxed);
   c.cancelled = cancelled_.load(std::memory_order_relaxed);
   c.failed = failed_.load(std::memory_order_relaxed);
+  c.harvested_queued = harvested_queued_.load(std::memory_order_relaxed);
+  c.harvested_live = harvested_live_.load(std::memory_order_relaxed);
   return c;
 }
 

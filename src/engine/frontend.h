@@ -98,6 +98,21 @@ class ServingFrontend {
   StreamHandle SubmitAsync(Request request);
   // Non-blocking variant: false (and no side effect) when the queue is full.
   [[nodiscard]] bool TrySubmitAsync(Request request, StreamHandle* out);
+  // Fleet-layer submit that adopts a caller-provided stream instead of creating one — used
+  // both for first placement and for re-routing a harvested request after a replica death
+  // (the client keeps polling the same stream across the move). Blocks while the queue is
+  // merely full; returns false — with `request` left intact and the stream untouched — once
+  // the queue is closed (this frontend shut down or was killed), so the caller can re-route.
+  // Sets submit_wall only if the stream has none yet (re-routes keep the original).
+  [[nodiscard]] bool SubmitWithStream(Request& request, const StreamHandle& stream);
+  enum class TrySubmitResult : uint8_t {
+    kAccepted,   // Enqueued; counters bumped.
+    kQueueFull,  // Backpressure; `request` left intact, no side effect.
+    kClosed,     // Shutdown or killed; `request` left intact, no side effect.
+  };
+  // Non-blocking SubmitWithStream that distinguishes backpressure from closure.
+  [[nodiscard]] TrySubmitResult TrySubmitWithStream(Request& request,
+                                                    const StreamHandle& stream);
   // Requests cancellation of `id` (queued or engine-side). Unknown/finished ids are a no-op.
   void CancelAsync(RequestId id);
   // Fresh unique request id (atomic counter).
@@ -121,6 +136,32 @@ class ServingFrontend {
   // owns the threads; the engine loop must be running (Start()) or be run concurrently.
   void RunClients(int n, const std::function<void(int)>& fn);
 
+  // --- Failure injection (fleet supervisor) ---
+
+  // Hard-kills the frontend: closes the queue, stops the engine loop at the next step
+  // boundary WITHOUT draining queued ops or finishing engine work, and joins the thread.
+  // Models a replica death — accepted work is abandoned in place and recoverable via
+  // HarvestAbandoned(). Call at most once; must not race Shutdown() (the fleet layer
+  // serializes them). After Kill, Shutdown and the destructor are no-ops.
+  void Kill();
+
+  // One recoverable unit of work harvested off a killed frontend: the rebuilt request
+  // (fresh scheduler state, recompute-from-prompt) plus the client's original stream, which
+  // the re-submission adopts so the client keeps polling the same handle.
+  struct AbandonedWork {
+    Request request;
+    StreamHandle stream;
+    bool engine_side = false;  // True: was admitted (cancelled off the engine at harvest).
+  };
+
+  // Post-Kill only (the engine thread is joined, so this runs single-threaded). Drains the
+  // queue's leftover ops — honoring cancel-while-queued annihilation and client cancels
+  // that raced the death, which win over re-routing — then cancels every engine-side
+  // request through CancelRequest (full reclamation: the dead engine still audits clean)
+  // and returns the recoverable work in deterministic order: queued submits in queue
+  // order, then engine-side requests in scheduler order (running, then waiting).
+  [[nodiscard]] std::vector<AbandonedWork> HarvestAbandoned();
+
   // --- Introspection (engine thread, or any thread after Shutdown) ---
 
   [[nodiscard]] Engine& engine() { return engine_; }
@@ -134,6 +175,11 @@ class ServingFrontend {
     int64_t finished = 0;            // Terminal kFinished.
     int64_t cancelled = 0;           // Terminal kCancelled (engine-side).
     int64_t failed = 0;              // Terminal kFailed.
+    // Kill/harvest ledger (0 unless the frontend was killed). The per-frontend balances
+    // become: submitted == admitted + cancelled_queued + harvested_queued, and
+    // admitted == finished + cancelled + failed + harvested_live.
+    int64_t harvested_queued = 0;    // Harvested out of the op queue (never admitted).
+    int64_t harvested_live = 0;      // Cancelled off the engine and harvested.
   };
   [[nodiscard]] Counters counters() const;
 
@@ -173,6 +219,7 @@ class ServingFrontend {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shut_down_{false};
+  std::atomic<bool> killed_{false};
   std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> admitted_{0};
@@ -180,6 +227,8 @@ class ServingFrontend {
   std::atomic<int64_t> finished_{0};
   std::atomic<int64_t> cancelled_{0};
   std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> harvested_queued_{0};
+  std::atomic<int64_t> harvested_live_{0};
 
   // Engine-thread parking. consumer_idle_ lets producers skip the mutex when the consumer
   // is busy; the wait uses a timeout so a lost wakeup costs at most idle_wait_us.

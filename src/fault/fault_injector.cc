@@ -8,7 +8,8 @@ namespace jenga {
 namespace {
 
 constexpr const char* kSiteNames[kNumFaultSites] = {
-    "pcie_d2h", "pcie_h2d", "pcie_timeout", "host_alloc", "host_shrink", "gpu_step",
+    "pcie_d2h", "pcie_h2d",     "pcie_timeout",  "host_alloc",
+    "host_shrink", "gpu_step",  "replica_death", "replica_stall",
 };
 
 }  // namespace
@@ -127,9 +128,12 @@ namespace {
 // Decorrelated per-site streams: Fork() derives the child from the parent's current state
 // without advancing it, so every site stream depends only on (seed, site index).
 std::array<Rng, kNumFaultSites> MakeStreams(uint64_t seed) {
-  static_assert(kNumFaultSites == 6, "update MakeStreams when adding fault sites");
+  static_assert(kNumFaultSites == 8, "update MakeStreams when adding fault sites");
   Rng root(seed);
-  return {root.Fork(0), root.Fork(1), root.Fork(2), root.Fork(3), root.Fork(4), root.Fork(5)};
+  // Fork() never advances the root, so appending sites leaves existing streams untouched —
+  // old (plan, seed) replays stay byte-identical across site additions.
+  return {root.Fork(0), root.Fork(1), root.Fork(2), root.Fork(3),
+          root.Fork(4), root.Fork(5), root.Fork(6), root.Fork(7)};
 }
 
 }  // namespace

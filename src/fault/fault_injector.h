@@ -33,7 +33,9 @@ enum class FaultSite : int {
   kHostPoolAlloc = 3, // Host pool rejects an insert (allocation failure).
   kHostPoolShrink = 4,// Host pool capacity is forcibly halved (memory pressure spike).
   kGpuStep = 5,       // A GPU step fails; its results must be discarded and recomputed.
-  kNumSites = 6,
+  kReplicaDeath = 6,  // A fleet replica dies; its work must be re-routed (cluster scope).
+  kReplicaStall = 7,  // A fleet replica stops stepping for a while (cluster scope).
+  kNumSites = 8,
 };
 
 inline constexpr int kNumFaultSites = static_cast<int>(FaultSite::kNumSites);

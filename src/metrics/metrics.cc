@@ -28,6 +28,16 @@ int64_t EngineMetrics::FailedRequests() const {
   return static_cast<int64_t>(finished_.size()) - CompletedRequests();
 }
 
+int64_t EngineMetrics::CancelledRecords() const {
+  int64_t count = 0;
+  for (const RequestRecord& record : finished_) {
+    if (record.cancelled) {
+      ++count;
+    }
+  }
+  return count;
+}
+
 int64_t EngineMetrics::TotalOutputTokens() const {
   int64_t total = 0;
   for (const RequestRecord& record : finished_) {

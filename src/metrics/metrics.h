@@ -69,6 +69,9 @@ class EngineMetrics {
   // Aggregates over finished, non-failed requests.
   [[nodiscard]] int64_t CompletedRequests() const;
   [[nodiscard]] int64_t FailedRequests() const;
+  // Records aborted via CancelRequest (a subset of FailedRequests). The fleet recovery
+  // ledger cross-checks these against the drivers' death_cancels counters.
+  [[nodiscard]] int64_t CancelledRecords() const;
   [[nodiscard]] int64_t TotalOutputTokens() const;
   [[nodiscard]] double RequestThroughput() const;  // requests / s over the busy interval.
   [[nodiscard]] double TokenThroughput() const;    // output tokens / s.

@@ -92,5 +92,108 @@ TEST(ClusterMetricsTest, FromRouterSnapshotsEveryReplica) {
   EXPECT_GE(stats.ttft_p99, stats.ttft_p50);
 }
 
+// --- Percentile edge cases (the Summary plumbing ClusterMetrics/bench_fleet rely on) ---
+
+TEST(ClusterMetricsTest, PercentileOfSingleSampleIsThatSample) {
+  Summary summary;
+  summary.Add(0.25);
+  EXPECT_DOUBLE_EQ(summary.Percentile(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(summary.Percentile(50.0), 0.25);
+  EXPECT_DOUBLE_EQ(summary.Percentile(99.0), 0.25);
+  EXPECT_DOUBLE_EQ(summary.Percentile(100.0), 0.25);
+}
+
+TEST(ClusterMetricsTest, PercentileEndpointsAreMinAndMax) {
+  Summary summary;
+  for (const double v : {4.0, 1.0, 3.0, 2.0}) {
+    summary.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(summary.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(summary.Percentile(100.0), 4.0);
+}
+
+TEST(ClusterMetricsTest, PercentileInterpolatesBetweenOrderStatistics) {
+  Summary summary;
+  for (const double v : {1.0, 2.0, 4.0}) {
+    summary.Add(v);
+  }
+  // rank = p/100 * (n-1): p50 hits the middle sample exactly, p25/p75 interpolate.
+  EXPECT_DOUBLE_EQ(summary.Percentile(50.0), 2.0);
+  EXPECT_DOUBLE_EQ(summary.Percentile(25.0), 1.5);
+  EXPECT_DOUBLE_EQ(summary.Percentile(75.0), 3.0);
+}
+
+TEST(ClusterMetricsTest, EmptyDistributionsReportZeroPercentiles) {
+  EngineMetrics metrics;  // No records at all.
+  EXPECT_DOUBLE_EQ(metrics.TtftPercentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.TpotPercentile(99.0), 0.0);
+  EXPECT_EQ(metrics.CancelledRecords(), 0);
+}
+
+TEST(ClusterMetricsTest, SingleOutputTokenRequestsHaveNoTpotSample) {
+  EngineMetrics metrics;
+  metrics.RecordFinished(Record(1, 0.0, 0.01, 0.5, /*output_len=*/1));
+  EXPECT_TRUE(metrics.TpotDistribution().empty());
+  EXPECT_DOUBLE_EQ(metrics.TpotPercentile(50.0), 0.0);
+  EXPECT_FALSE(metrics.TtftDistribution().empty());
+}
+
+// --- Recovery ledger (DESIGN.md §10) ---
+
+TEST(ClusterMetricsTest, AddFleetCountersAccumulatesTheLedger) {
+  FleetCounters counters;
+  counters.submitted = 10;
+  counters.replica_deaths = 1;
+  counters.replica_stalls = 2;
+  counters.death_cancels = 3;
+  counters.rerouted = 3;
+  counters.cancelled = 4;
+
+  ClusterMetrics cluster;
+  cluster.AddFleetCounters(counters);
+  cluster.AddFleetCounters(counters);
+  const FleetStats stats = cluster.Summarize();
+  EXPECT_EQ(stats.submitted, 20);
+  EXPECT_EQ(stats.replica_deaths, 2);
+  EXPECT_EQ(stats.replica_stalls, 4);
+  EXPECT_EQ(stats.death_cancels, 6);
+  EXPECT_EQ(stats.rerouted, 6);
+  EXPECT_EQ(stats.cancelled, 8);
+}
+
+TEST(ClusterMetricsTest, FromRouterCarriesRecoveryLedgerAndConservation) {
+  FleetRouter fleet(TestFleetConfig(2, RoutePolicy::kRoundRobin));
+  for (int i = 0; i < 8; ++i) {
+    fleet.Submit(MakeRequest(i + 1, ArticlePrompt(i % 3, 48), 6, 0.0));
+  }
+  for (int i = 0; i < 2; ++i) {
+    fleet.StepOnce();
+  }
+  fleet.KillReplica(0);
+  fleet.RunToCompletion();
+
+  const FleetStats stats = ClusterMetrics::FromRouter(fleet);
+  EXPECT_EQ(stats.submitted, 8);
+  EXPECT_EQ(stats.replica_deaths, 1);
+  EXPECT_GT(stats.death_cancels, 0);  // RR placed work on replica 0 before the kill.
+  EXPECT_EQ(stats.death_cancels, stats.rerouted);
+  // Conservation identity: every finished record is a submit or a re-route.
+  EXPECT_EQ(stats.completed + stats.failed, stats.submitted + stats.rerouted);
+  EXPECT_EQ(stats.completed, 8);  // All 8 still complete — on the survivor.
+  // The recovery line only appears when recovery actually happened.
+  EXPECT_NE(stats.DebugString().find("recovery:"), std::string::npos);
+}
+
+TEST(ClusterMetricsTest, DebugStringOmitsRecoveryLineWhenFaultFree) {
+  FleetRouter fleet(TestFleetConfig(2, RoutePolicy::kRoundRobin));
+  for (int i = 0; i < 4; ++i) {
+    fleet.Submit(MakeRequest(i + 1, ArticlePrompt(i, 48), 4, 0.0));
+  }
+  fleet.RunToCompletion();
+  const FleetStats stats = ClusterMetrics::FromRouter(fleet);
+  EXPECT_EQ(stats.replica_deaths, 0);
+  EXPECT_EQ(stats.DebugString().find("recovery:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace jenga

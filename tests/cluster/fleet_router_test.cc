@@ -241,5 +241,116 @@ TEST(FleetRouterTest, SeededReplayIsDeterministic) {
   EXPECT_EQ(a, b);
 }
 
+// --- Failure injection & recovery (DESIGN.md §10) ---
+
+TEST(DecideRouteTest, RoundRobinRotatesOverLiveReplicasOnly) {
+  auto loads = IdleLoads(3);
+  loads[1].alive = false;
+  for (int64_t slot = 0; slot < 6; ++slot) {
+    const RouteDecision d = DecideRoute(RoutePolicy::kRoundRobin, 8, 0.95, loads, {}, slot);
+    EXPECT_NE(d.replica, 1) << "routed to a dead replica at slot " << slot;
+  }
+}
+
+TEST(DecideRouteTest, AffinityIgnoresDeadReplicaResidency) {
+  auto loads = IdleLoads(3);
+  loads[1].alive = false;  // The replica with the best prefix is dead.
+  const std::vector<int64_t> affinity = {2, 5, 3};
+  const RouteDecision d =
+      DecideRoute(RoutePolicy::kPrefixAffinity, 8, 0.95, loads, affinity, 0);
+  EXPECT_EQ(d.replica, 2);
+  EXPECT_EQ(d.reason, RouteDecision::Reason::kAffinity);
+  EXPECT_EQ(d.affinity_blocks, 3);
+}
+
+TEST(FleetRouterTest, KillReplicaRevivesWorkOnSurvivor) {
+  FleetRouter fleet(TestFleetConfig(2, RoutePolicy::kRoundRobin));
+  for (int i = 0; i < 6; ++i) {
+    fleet.Submit(MakeRequest(i + 1, ArticlePrompt(i % 2, 64), 8, 0.0));
+  }
+  for (int i = 0; i < 2; ++i) {
+    fleet.StepOnce();  // Let replica 0 start work before it dies.
+  }
+  EXPECT_TRUE(fleet.ReplicaAlive(0));
+  fleet.KillReplica(0);
+  EXPECT_FALSE(fleet.ReplicaAlive(0));
+  EXPECT_EQ(fleet.supervisor().num_alive(), 1);
+  fleet.RunToCompletion();
+
+  const FleetCounters& c = fleet.counters();
+  EXPECT_EQ(c.replica_deaths, 1);
+  EXPECT_GT(c.death_cancels, 0);
+  EXPECT_EQ(c.death_cancels, c.rerouted);
+  // Re-routes never double-count as submits.
+  EXPECT_EQ(c.submitted, 6);
+  // Every request completed, and everything now lives on the survivor.
+  const FleetStats stats = ClusterMetrics::FromRouter(fleet);
+  EXPECT_EQ(stats.completed, 6);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(fleet.PlacementOf(i + 1), 1);
+  }
+}
+
+TEST(FleetRouterTest, NewSubmitsNeverRouteToDeadReplica) {
+  FleetRouter fleet(TestFleetConfig(3, RoutePolicy::kPrefixAffinity));
+  // Warm replica routing so article 0's prefix is resident somewhere, then kill wherever
+  // it landed: affinity must not follow the stale placement.
+  const int warm = fleet.Submit(MakeRequest(1, ArticlePrompt(0, 96), 4, 0.0)).replica;
+  fleet.RunToCompletion();
+  fleet.KillReplica(warm);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NE(fleet.Submit(MakeRequest(10 + i, ArticlePrompt(0, 96), 4, 0.0)).replica, warm);
+  }
+  fleet.RunToCompletion();
+}
+
+TEST(FleetRouterTest, StalledReplicaFreezesThenResumes) {
+  FleetRouter fleet(TestFleetConfig(2, RoutePolicy::kRoundRobin));
+  for (int i = 0; i < 4; ++i) {
+    fleet.Submit(MakeRequest(i + 1, ArticlePrompt(i % 2, 48), 6, 0.0));
+  }
+  fleet.StallReplica(0, /*steps=*/16);
+  EXPECT_EQ(fleet.counters().replica_stalls, 1);
+  // A stall is transient: the fleet still quiesces with everything completed, nothing
+  // re-routed, and the stalled replica keeps its placements.
+  fleet.RunToCompletion();
+  EXPECT_EQ(fleet.counters().rerouted, 0);
+  EXPECT_EQ(ClusterMetrics::FromRouter(fleet).completed, 4);
+  EXPECT_TRUE(fleet.ReplicaAlive(0));
+}
+
+TEST(FleetRouterTest, ArmedFleetPlanKillsViaInjector) {
+  FleetConfig config = TestFleetConfig(2, RoutePolicy::kRoundRobin);
+  JENGA_CHECK(FaultPlan::Parse("replica_death:at=0", &config.fleet_fault.plan).ok());
+  config.fleet_fault.seed = 5;
+  FleetRouter fleet(config);
+  for (int i = 0; i < 4; ++i) {
+    fleet.Submit(MakeRequest(i + 1, ArticlePrompt(i, 48), 4, 0.0));
+  }
+  fleet.RunToCompletion();
+  // The first consult (replica 0, first step) fired and killed it.
+  EXPECT_EQ(fleet.counters().replica_deaths, 1);
+  EXPECT_FALSE(fleet.ReplicaAlive(0));
+  EXPECT_GE(fleet.FleetFaultFires(), 1);
+  EXPECT_EQ(ClusterMetrics::FromRouter(fleet).completed, 4);
+}
+
+TEST(FleetRouterTest, DeathFireOnLastReplicaIsSuppressed) {
+  FleetConfig config = TestFleetConfig(2, RoutePolicy::kRoundRobin);
+  // Every consult wants a death; only one replica may actually die.
+  JENGA_CHECK(FaultPlan::Parse("replica_death:p=1", &config.fleet_fault.plan).ok());
+  config.fleet_fault.seed = 5;
+  FleetRouter fleet(config);
+  for (int i = 0; i < 4; ++i) {
+    fleet.Submit(MakeRequest(i + 1, ArticlePrompt(i, 48), 4, 0.0));
+  }
+  fleet.RunToCompletion();
+  const FleetCounters& c = fleet.counters();
+  EXPECT_EQ(c.replica_deaths, 1);
+  EXPECT_GT(c.death_fires_ignored, 0);
+  EXPECT_EQ(fleet.supervisor().num_alive(), 1);
+  EXPECT_EQ(ClusterMetrics::FromRouter(fleet).completed, 4);
+}
+
 }  // namespace
 }  // namespace jenga

@@ -74,7 +74,7 @@ void RunFleetStress(int num_replicas, RoutePolicy policy, int producers, int per
                               rng.UniformInt(4, 24), 0.0);
       StreamHandle stream;
       if (rng.Bernoulli(0.25)) {
-        if (!fleet.TrySubmitAsync(std::move(r), &stream)) {
+        if (!fleet.TrySubmitAsync(std::move(r), &stream).ok()) {
           refused.fetch_add(1, std::memory_order_relaxed);
           continue;  // Backpressure: drop this one, keep producing.
         }

@@ -164,6 +164,27 @@ TEST(FaultInjector, DifferentSeedsDiverge) {
   EXPECT_GT(differences, 0);
 }
 
+TEST(FaultPlan, ParsesReplicaScopedSites) {
+  FaultPlan plan;
+  ASSERT_TRUE(FaultPlan::Parse("replica_death:p=0.01,replica_stall:every=8", &plan).ok());
+  EXPECT_DOUBLE_EQ(plan.spec(FaultSite::kReplicaDeath).probability, 0.01);
+  EXPECT_EQ(plan.spec(FaultSite::kReplicaStall).every, 8);
+  EXPECT_FALSE(plan.spec(FaultSite::kGpuStep).armed());
+}
+
+TEST(FaultInjector, ReplicaSiteStreamsAreIndependentOfEngineSites) {
+  // Arming the fleet sites must not perturb an engine site's stream and vice versa — the
+  // fleet chaos tier replays fleet plans against schedules that also consult engine sites.
+  const FaultConfig config = MakeConfig("replica_death:p=0.3,pcie_d2h:p=0.3", 99);
+  FaultInjector alone(config);
+  FaultInjector interleaved(config);
+  for (int i = 0; i < 200; ++i) {
+    const bool expected = alone.Fire(FaultSite::kReplicaDeath);
+    (void)interleaved.Fire(FaultSite::kPcieD2H);  // Extra consults elsewhere.
+    EXPECT_EQ(interleaved.Fire(FaultSite::kReplicaDeath), expected) << "at consult " << i;
+  }
+}
+
 TEST(FaultConfigFromEnv, ReadsPlanAndSeed) {
   ASSERT_EQ(setenv("JENGA_FAULT_PLAN", "pcie_d2h:p=0.5,gpu_step:at=4", 1), 0);
   ASSERT_EQ(setenv("JENGA_FAULT_SEED", "0xBEEF", 1), 0);

@@ -1,0 +1,146 @@
+// Fleet routing mini-golden: a seeded 4-replica FleetRouter trace whose per-request routing
+// decisions, fleet counters, and full per-replica run serialization (engine debug dump +
+// metrics + request records, plus a SHA-256 digest) are byte-compared against a committed
+// golden. Routing-policy drift — or any perturbation of the fault-free fleet path — shows up
+// as a one-line diff in seconds instead of a bench run.
+//
+// The golden was generated at the commit *before* the replica failure/recovery work landed,
+// so it doubles as the differential anchor pinning fault-free fleet runs byte-identical to
+// pre-change HEAD. Regenerate only after a deliberate behavior change:
+//   JENGA_REGEN_GOLDENS=1 ./build/tests/fleet_route_golden_test
+// then review the diff of tests/golden/data/ like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_metrics.h"
+#include "src/cluster/fleet_router.h"
+#include "src/common/random.h"
+#include "src/common/sha256.h"
+#include "src/engine/engine.h"
+#include "src/metrics/metrics.h"
+#include "src/workload/datasets.h"
+#include "tests/cluster/fleet_test_util.h"
+
+namespace jenga {
+namespace {
+
+std::string Num(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", v);
+  return buffer;
+}
+
+void SerializeRun(Engine& engine, std::ostream& os) {
+  engine.DumpStateForDebug(os);
+  const EngineMetrics& m = engine.metrics();
+  os << std::setprecision(17);
+  os << "cache_hit_tokens=" << m.cache_hit_tokens
+     << " prefill_tokens_computed=" << m.prefill_tokens_computed
+     << " total_steps=" << m.total_steps()
+     << " total_scheduled_tokens=" << m.total_scheduled_tokens()
+     << " last_time=" << m.last_time() << "\n";
+  for (const RequestRecord& r : m.finished()) {
+    os << "req " << r.id << " prompt=" << r.prompt_len << " out=" << r.output_len
+       << " cached=" << r.cached_prefix_tokens << " preempt=" << r.preemptions
+       << " arrive=" << r.arrival_time << " sched=" << r.first_scheduled_time
+       << " ttft=" << r.first_token_time << " finish=" << r.finish_time
+       << " failed=" << r.failed << " cancelled=" << r.cancelled << "\n";
+  }
+}
+
+// 24 requests over 6 shared articles: submitted one at a time with a few fleet steps in
+// between, so later decisions see warm caches and real load — the regime where affinity,
+// spill, and least-loaded all fire.
+std::vector<Request> GoldenTrace() {
+  Rng rng(0x601DF1EE7ull);
+  std::vector<Request> trace;
+  for (int i = 0; i < 24; ++i) {
+    const int article = static_cast<int>(rng.UniformInt(0, 5));
+    const int question = static_cast<int>(rng.UniformInt(0, 3));
+    const int64_t len = rng.UniformInt(80, 144);
+    const int64_t output = rng.UniformInt(4, 12);
+    trace.push_back(MakeRequest(/*id=*/i + 1, ArticlePrompt(article, len, question), output,
+                                /*arrival=*/0.0));
+  }
+  return trace;
+}
+
+void AppendPolicyRun(RoutePolicy policy, std::ostringstream& out) {
+  FleetRouter fleet(TestFleetConfig(/*num_replicas=*/4, policy, /*seed=*/7));
+  out << "policy=" << RoutePolicyName(policy) << " replicas=4 seed=7\n";
+  for (Request& request : GoldenTrace()) {
+    const RequestId id = request.id;
+    const RouteDecision decision = fleet.Submit(std::move(request));
+    out << "req " << id << " -> r" << decision.replica << " "
+        << RouteReasonName(decision.reason) << " aff=" << decision.affinity_blocks
+        << " sat=" << (decision.all_saturated ? 1 : 0) << "\n";
+    for (int step = 0; step < 3; ++step) {
+      fleet.StepOnce();
+    }
+  }
+  fleet.RunToCompletion();
+
+  const FleetCounters& c = fleet.counters();
+  out << "counters submitted=" << c.submitted << " affinity=" << c.routed_affinity
+      << " spill=" << c.routed_spill << " least_loaded=" << c.routed_least_loaded
+      << " round_robin=" << c.routed_round_robin << " saturated=" << c.saturated_submits
+      << " backpressure=" << c.backpressure_rejections << " cancelled=" << c.cancelled
+      << "\n";
+  const FleetStats stats = ClusterMetrics::FromRouter(fleet);
+  out << "fleet completed=" << stats.completed << " failed=" << stats.failed
+      << " hit_rate=" << Num(stats.hit_rate) << "\n";
+
+  std::ostringstream replicas;
+  for (int i = 0; i < fleet.num_replicas(); ++i) {
+    replicas << "--- replica " << i << " ---\n";
+    SerializeRun(fleet.replica(i), replicas);
+  }
+  out << replicas.str();
+  out << "sha256=" << Sha256Hex(replicas.str()) << "\n";
+}
+
+std::string FleetRouteDigest() {
+  std::ostringstream out;
+  out << "fleet-route-golden (tiny full-attention model, 4 replicas, 24 requests)\n";
+  AppendPolicyRun(RoutePolicy::kPrefixAffinity, out);
+  AppendPolicyRun(RoutePolicy::kRoundRobin, out);
+  return out.str();
+}
+
+std::string GoldenPath(const char* name) {
+  return std::string(JENGA_SOURCE_DIR) + "/tests/golden/data/" + name;
+}
+
+void CompareOrRegen(const char* name, const std::string& digest) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("JENGA_REGEN_GOLDENS") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << digest;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (run with JENGA_REGEN_GOLDENS=1 to create it)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(digest, expected.str())
+      << "golden mismatch for " << name
+      << "; if the behavior change is intentional, regenerate with JENGA_REGEN_GOLDENS=1 "
+      << "and review the diff";
+}
+
+TEST(FleetRouteGolden, SeededFourReplicaTrace) {
+  CompareOrRegen("fleet_route.golden", FleetRouteDigest());
+}
+
+}  // namespace
+}  // namespace jenga
