@@ -255,6 +255,22 @@ double MicroMetaReads(int64_t reads) {
   return static_cast<double>(reads) / Seconds(begin, end);
 }
 
+// One elastic resize cycle = GrowKvPool + ShrinkKvPool on a live engine — the audited
+// runtime-repartitioning hot path (DESIGN.md §11): fault-site consult, LCM pool resize,
+// free-tail drain, resize-ledger booking, and recovery-metric sync per call.
+double MicroElasticResizeCycle(int64_t cycles) {
+  EngineConfig config = FleetPerfConfig(1, RoutePolicy::kRoundRobin).engine;
+  Engine engine(std::move(config));
+  constexpr int32_t kPages = 8;
+  const auto begin = Clock::now();
+  for (int64_t i = 0; i < cycles; ++i) {
+    g_sink = g_sink + engine.GrowKvPool(kPages);
+    g_sink = g_sink + engine.ShrinkKvPool(kPages);
+  }
+  const auto end = Clock::now();
+  return static_cast<double>(cycles) / Seconds(begin, end);
+}
+
 // --- Macro: end-to-end engine steps/sec across heterogeneous zoo models ---
 
 struct E2eSpec {
@@ -447,16 +463,16 @@ bool WriteJson(const std::string& path, const std::string& mode,
   return true;
 }
 
-// Perf gate (check.sh): every micro.*, frontend.*, and fleet.* metric present in both runs
-// must stay within `kGateTolerance` of the baseline. E2e metrics are reported but not gated
-// — they move with machine load; the micros are tight loops whose regressions are real, the
-// frontend keys ride on a min-over-runs committed floor, and the fleet hit rates are
-// deterministic (seeded single-threaded router).
+// Perf gate (check.sh): every micro.*, elastic.*, frontend.*, and fleet.* metric present in
+// both runs must stay within `kGateTolerance` of the baseline. E2e metrics are reported but
+// not gated — they move with machine load; the micros and the elastic resize cycle are tight
+// loops whose regressions are real, the frontend keys ride on a min-over-runs committed
+// floor, and the fleet hit rates are deterministic (seeded single-threaded router).
 constexpr double kGateTolerance = 0.90;
 
 bool IsGatedKey(const std::string& key) {
-  return key.rfind("micro.", 0) == 0 || key.rfind("frontend.", 0) == 0 ||
-         key.rfind("fleet.", 0) == 0;
+  return key.rfind("micro.", 0) == 0 || key.rfind("elastic.", 0) == 0 ||
+         key.rfind("frontend.", 0) == 0 || key.rfind("fleet.", 0) == 0;
 }
 
 bool GatePasses(const std::map<std::string, double>& baseline,
@@ -514,6 +530,7 @@ bool Run(bool quick, bool gate, const std::string& out_path, const std::string& 
       {"micro.admission_readmit.ops_per_s", MicroAdmissionReadmit(1500 * scale)},
       {"micro.evictor_churn.ops_per_s", MicroEvictorChurn(250000 * scale)},
       {"micro.meta_reads.ops_per_s", MicroMetaReads(1250000 * scale)},
+      {"elastic.resize_cycle.ops_per_s", MicroElasticResizeCycle(25000 * scale)},
   };
   for (const auto& micro : micros) {
     current[micro.key] = micro.ops_per_s;

@@ -29,6 +29,16 @@ JENGA_FUZZ_SCHEDULES="${JENGA_FUZZ_SCHEDULES:-3000}" "$build/tests/engine_fuzz_t
 JENGA_CHECK_ADMISSION=1 \
 JENGA_CHAOS_SCHEDULES="${JENGA_CHAOS_SCHEDULES:-3000}" "$build/tests/engine_chaos_test"
 
+# Pressure-chaos smoke (DESIGN.md §11): the same chaos model with the elastic arm forced on —
+# every schedule gets transient pool grow/shrink, a driver-driven mid-trace repartition, the
+# governor's park/shed ladder, and/or adaptive split shifts, with the pool_grow /
+# pool_shrink_drain / repartition_commit fault sites armed. Oracles: the AllocatorAuditor is
+# green after every step and after every repartition commit/rollback, the resize ledger
+# balances per epoch, the cancellation ledger covers governor sheds, and no request is lost
+# across a repartition.
+JENGA_CHECK_ADMISSION=1 JENGA_CHAOS_ELASTIC=1 \
+JENGA_CHAOS_SCHEDULES="${JENGA_CHAOS_SCHEDULES:-3000}" "$build/tests/engine_chaos_test"
+
 # Disabled-injector overhead must be noise-level (the table's "armed tax" column).
 "$build/bench/bench_chaos" --quick
 
@@ -46,6 +56,12 @@ JENGA_FLEET_CHAOS_SCHEDULES="${JENGA_FLEET_CHAOS_SCHEDULES:-3000}" "$build/tests
 ctest --test-dir "$build" -L fleet --output-on-failure -j "$(nproc)"
 "$build/bench/bench_fleet" --quick
 
+# Elastic governor acceptance (DESIGN.md §11): self-checks that a mid-trace hot swap commits
+# without aborting in-flight requests (clean and under an injected commit rollback), the
+# pressure ladder engages with a balanced cancellation ledger, and the adaptive draft/target
+# split is never below the best static split. Exits non-zero on violation.
+"$build/bench/bench_elastic" --quick
+
 # Perf gate: quick mode against the committed quick baseline; every micro.* and frontend.*
 # metric must stay within 10% of BENCH_perf_quick.json. Best-of-3 damps scheduler noise —
 # one passing run is enough. (The tracked BENCH_perf.json full-mode trajectory is only
@@ -59,7 +75,8 @@ if [[ ! -r "$repo/BENCH_perf_quick.json" ]]; then
   echo "check.sh: regenerate it with: $build/bench/bench_perf --quick --out $repo/BENCH_perf_quick.json  (then commit it)" >&2
   exit 1
 fi
-for gated_key in micro.alloc_release.ops_per_s frontend.admit_4p.req_per_s fleet.route_4r.ops_per_s; do
+for gated_key in micro.alloc_release.ops_per_s elastic.resize_cycle.ops_per_s \
+                 frontend.admit_4p.req_per_s fleet.route_4r.ops_per_s; do
   if ! grep -q "\"$gated_key\"" "$repo/BENCH_perf_quick.json"; then
     echo "check.sh: BENCH_perf_quick.json is stale — gated metric $gated_key is absent." >&2
     echo "check.sh: regenerate it with: $build/bench/bench_perf --quick --out $repo/BENCH_perf_quick.json  (then commit it)" >&2
@@ -82,9 +99,10 @@ fi
 
 if [[ "${JENGA_SKIP_SANITIZERS:-0}" != "1" ]]; then
   # TSan pass over the concurrency suite (CMakePresets.json `tsan`): the MPSC queue, the
-  # sharded claim index, the serving frontend, the multi-producer stress harness, and the
-  # multi-replica fleet frontend stress harness. Only these binaries run threads; the rest
-  # of the suite would waste the (slow) TSan build.
+  # sharded claim index, the serving frontend, the multi-producer stress harness, the
+  # multi-replica fleet frontend stress harness, and the heterogeneous-fleet elastic suite
+  # (threaded FleetFrontend with per-replica pool sizes). Only these binaries run threads;
+  # the rest of the suite would waste the (slow) TSan build.
   tsan_build="${build}-tsan"
   cmake -B "$tsan_build" -S "$repo" \
     -DCMAKE_BUILD_TYPE=Debug \
@@ -92,9 +110,9 @@ if [[ "${JENGA_SKIP_SANITIZERS:-0}" != "1" ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build "$tsan_build" -j "$(nproc)" \
     --target mpsc_queue_test shard_claim_test frontend_test frontend_stress_test \
-             fleet_stress_test fleet_shutdown_test fleet_chaos_test
+             fleet_stress_test fleet_shutdown_test fleet_chaos_test fleet_elastic_test
   for tsan_test in mpsc_queue_test shard_claim_test frontend_test frontend_stress_test \
-                   fleet_stress_test fleet_shutdown_test fleet_chaos_test; do
+                   fleet_stress_test fleet_shutdown_test fleet_chaos_test fleet_elastic_test; do
     TSAN_OPTIONS="halt_on_error=1" "$tsan_build/tests/$tsan_test"
   done
 

@@ -65,6 +65,9 @@ struct AllocatorAuditor::Tap final : AuditSink {
   void OnLargeReclaimed(int /*group*/, LargePageId /*large*/) override {
     owner->events_observed_ += 1;
   }
+  void OnPoolResized(int32_t new_num_pages) override {
+    owner->HandlePoolResized(index, new_num_pages);
+  }
 };
 
 struct AllocatorAuditor::HostTap final : AuditSink {
@@ -370,6 +373,24 @@ void AllocatorAuditor::HandleEvictorPop(size_t a, int g, SmallPageId page) {
     std::ostringstream os;
     os << "[alloc" << a << "/group" << g << "] evictor pop of absent page " << page;
     EventError(os.str());
+  }
+}
+
+void AllocatorAuditor::HandlePoolResized(size_t a, int32_t new_num_pages) {
+  events_observed_ += 1;
+  // The resize contract: every removed page was free, so nothing resident may sit at or
+  // beyond the new extent. The shadow needs no re-basing — resident sets shrank through the
+  // usual release events during the drain — but a survivor here means the allocator removed
+  // a live page out from under a group.
+  for (size_t g = 0; g < allocs_[a]->groups.size(); ++g) {
+    for (const LargePageId large : allocs_[a]->groups[g].resident) {
+      if (large >= new_num_pages) {
+        std::ostringstream os;
+        os << "[alloc" << a << "/group" << g << "] pool resized to " << new_num_pages
+           << " pages but large page " << large << " is still resident";
+        EventError(os.str());
+      }
+    }
   }
 }
 

@@ -128,6 +128,7 @@ class AllocatorAuditor {
   void HandleEvictorRekey(size_t a, int g, SmallPageId page, Tick last_access,
                           int64_t prefix_length);
   void HandleEvictorPop(size_t a, int g, SmallPageId page);
+  void HandlePoolResized(size_t a, int32_t new_num_pages);
   void HandleHostSetStored(RequestId id, int64_t bytes);
   void HandleHostSetRemoved(RequestId id, int64_t bytes, bool evicted);
   void HandleHostPageStored(int manager, int group, BlockHash hash, int64_t bytes);

@@ -13,6 +13,10 @@ FleetFrontend::FleetFrontend(FleetConfig config, ServingFrontend::Options option
   JENGA_CHECK_GT(config_.num_replicas, 0);
   JENGA_CHECK_GT(config_.spill_queue_depth, 0);
 
+  if (!config_.replica_pool_bytes.empty()) {
+    JENGA_CHECK_EQ(static_cast<int>(config_.replica_pool_bytes.size()), config_.num_replicas)
+        << "replica_pool_bytes must name every replica (or be empty)";
+  }
   loads_.reserve(static_cast<size_t>(config_.num_replicas));
   fronts_.reserve(static_cast<size_t>(config_.num_replicas));
   for (int i = 0; i < config_.num_replicas; ++i) {
@@ -32,12 +36,18 @@ FleetFrontend::FleetFrontend(FleetConfig config, ServingFrontend::Options option
               ? static_cast<double>(stats.used_bytes) / static_cast<double>(stats.pool_bytes)
               : 0.0,
           std::memory_order_relaxed);
+      load->draining.store(engine.elastic_draining(), std::memory_order_relaxed);
       if (user_observer) {
         user_observer(engine);
       }
     };
+    EngineConfig engine = config_.engine;
+    if (!config_.replica_pool_bytes.empty() &&
+        config_.replica_pool_bytes[static_cast<size_t>(i)] > 0) {
+      engine.pool_bytes_override = config_.replica_pool_bytes[static_cast<size_t>(i)];
+    }
     fronts_.push_back(
-        std::make_unique<ServingFrontend>(config_.engine, std::move(replica_options)));
+        std::make_unique<ServingFrontend>(std::move(engine), std::move(replica_options)));
   }
 
   const KvSpec& spec = fronts_[0]->engine().kv().alloc_spec();
@@ -131,6 +141,7 @@ RouteDecision FleetFrontend::Decide(const Request& request) {
     loads[static_cast<size_t>(i)].waiting = load.waiting.load(std::memory_order_relaxed);
     loads[static_cast<size_t>(i)].running = load.running.load(std::memory_order_relaxed);
     loads[static_cast<size_t>(i)].occupancy = load.occupancy.load(std::memory_order_relaxed);
+    loads[static_cast<size_t>(i)].draining = load.draining.load(std::memory_order_relaxed);
     // Dead replicas are unroutable; at least one stays alive (KillReplica refuses the last).
     loads[static_cast<size_t>(i)].alive = supervisor_.alive(i);
   }

@@ -103,6 +103,7 @@ class FleetFrontend {
     std::atomic<int64_t> waiting{0};
     std::atomic<int64_t> running{0};
     std::atomic<double> occupancy{0.0};
+    std::atomic<bool> draining{false};
   };
 
   [[nodiscard]] RouteDecision Decide(const Request& request);

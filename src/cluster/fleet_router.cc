@@ -29,7 +29,8 @@ namespace {
 
 [[nodiscard]] bool Saturated(const ReplicaLoadView& load, int spill_queue_depth,
                              double spill_occupancy) {
-  return load.waiting >= spill_queue_depth || load.occupancy >= spill_occupancy;
+  return load.draining || load.waiting >= spill_queue_depth ||
+         load.occupancy >= spill_occupancy;
 }
 
 // Least-loaded live replica by waiting+running (ties → lowest index), optionally restricted
@@ -159,9 +160,18 @@ FleetRouter::FleetRouter(FleetConfig config)
   if (config_.fleet_fault.enabled()) {
     fleet_fault_ = std::make_unique<FaultInjector>(config_.fleet_fault);
   }
+  if (!config_.replica_pool_bytes.empty()) {
+    JENGA_CHECK_EQ(static_cast<int>(config_.replica_pool_bytes.size()), config_.num_replicas)
+        << "replica_pool_bytes must name every replica (or be empty)";
+  }
   replicas_.reserve(static_cast<size_t>(config_.num_replicas));
   for (int i = 0; i < config_.num_replicas; ++i) {
-    replicas_.push_back(std::make_unique<Engine>(config_.engine));
+    EngineConfig engine = config_.engine;
+    if (!config_.replica_pool_bytes.empty() &&
+        config_.replica_pool_bytes[static_cast<size_t>(i)] > 0) {
+      engine.pool_bytes_override = config_.replica_pool_bytes[static_cast<size_t>(i)];
+    }
+    replicas_.push_back(std::make_unique<Engine>(std::move(engine)));
   }
 
   const KvSpec& spec = replicas_[0]->kv().alloc_spec();
@@ -196,12 +206,12 @@ ReplicaLoadView FleetRouter::LoadOf(int replica) const {
   load.occupancy = stats.pool_bytes > 0
                        ? static_cast<double>(stats.used_bytes) / static_cast<double>(stats.pool_bytes)
                        : 0.0;
+  load.draining = engine.elastic_draining();
   return load;
 }
 
 bool FleetRouter::IsSaturated(int replica) const {
-  const ReplicaLoadView load = LoadOf(replica);
-  return load.waiting >= config_.spill_queue_depth || load.occupancy >= config_.spill_occupancy;
+  return Saturated(LoadOf(replica), config_.spill_queue_depth, config_.spill_occupancy);
 }
 
 RouteDecision FleetRouter::Route(const Request& request) {

@@ -41,6 +41,11 @@ struct FleetConfig {
   int num_replicas = 1;
   // Per-replica engine configuration (every replica gets a copy — homogeneous fleet).
   EngineConfig engine;
+  // Optional per-replica KV pool sizes (bytes), for heterogeneous fleets — e.g. replicas
+  // that ceded memory to a co-tenant or run a shrunken pool after an elastic resize. Empty =
+  // every replica uses `engine`'s pool; otherwise the size must equal num_replicas and entry
+  // i overrides replica i's pool_bytes_override (0 keeps `engine`'s setting for that one).
+  std::vector<int64_t> replica_pool_bytes;
   RoutePolicy policy = RoutePolicy::kPrefixAffinity;
   // A replica is saturated when its waiting queue is at least this deep...
   int spill_queue_depth = 8;
@@ -82,6 +87,9 @@ struct ReplicaLoadView {
   // Dead or stalled replicas are unroutable: DecideRoute skips them in every scan (affinity,
   // least-loaded, round-robin rotation, saturation). At least one replica must be alive.
   bool alive = true;
+  // Mid-repartition/drain (Engine::elastic_draining): still serving its queue but counted as
+  // saturated, so new work spills to healthy replicas until the drain completes.
+  bool draining = false;
 };
 
 // The KV group whose hash chain routing scores against: prefer a full-attention all-token

@@ -61,6 +61,11 @@ class AuditSink {
   // Step 3 of §5.4 chose this large page as the global reclaim victim.
   virtual void OnLargeReclaimed(int /*group*/, LargePageId /*large*/) {}
 
+  // The LCM pool was resized in place (elastic governor grow/shrink): the page id space is
+  // now [0, new_num_pages). Every removed page was free when this fires, so shadow
+  // conservation only needs to re-base the pool extent.
+  virtual void OnPoolResized(int32_t /*new_num_pages*/) {}
+
   // --- HostPool (offload tier; keys mirror HostPool's) ---
 
   virtual void OnHostSetStored(RequestId /*id*/, int64_t /*bytes*/) {}

@@ -61,6 +61,69 @@ void JengaAllocator::OnReclaimCandidate(int group_index, LargePageId large, Tick
   JENGA_AUDIT_HOOK(audit_, OnReclaimPushed(group_index, large, timestamp));
 }
 
+void JengaAllocator::GrowPool(int32_t pages) {
+  JENGA_CHECK_GT(pages, 0);
+  for (const auto& group : groups_) {
+    JENGA_CHECK_EQ(group->shards(), 1) << "pool resize requires the deterministic mode";
+  }
+  lcm_.GrowPages(pages);
+  for (const auto& group : groups_) {
+    group->OnPoolResized(lcm_.num_pages());
+  }
+  JENGA_AUDIT_HOOK(audit_, OnPoolResized(lcm_.num_pages()));
+}
+
+int32_t JengaAllocator::ShrinkPool(int32_t pages) {
+  JENGA_CHECK_GT(pages, 0);
+  for (const auto& group : groups_) {
+    JENGA_CHECK_EQ(group->shards(), 1) << "pool resize requires the deterministic mode";
+  }
+  int32_t removable = 0;
+  while (removable < pages) {
+    const LargePageId page = lcm_.num_pages() - 1 - removable;
+    if (page < 0) {
+      break;
+    }
+    const int owner = lcm_.owner(page);
+    if (owner < 0) {
+      removable += 1;
+      continue;
+    }
+    SmallPageAllocator& group = *groups_[static_cast<size_t>(owner)];
+    if (!group.IsReclaimCandidate(page)) {
+      break;  // Used slots pin the page; the id space must stay dense, so stop here.
+    }
+    JENGA_AUDIT_HOOK(audit_, OnLargeReclaimed(owner, page));
+    group.ReclaimLargePage(page);
+    removable += 1;
+  }
+  if (removable == 0) {
+    return 0;
+  }
+  lcm_.ShrinkPages(removable);
+  for (const auto& group : groups_) {
+    group->OnPoolResized(lcm_.num_pages());
+  }
+  JENGA_AUDIT_HOOK(audit_, OnPoolResized(lcm_.num_pages()));
+  return removable;
+}
+
+int32_t JengaAllocator::ShrinkablePages(int32_t pages) const {
+  int32_t removable = 0;
+  while (removable < pages) {
+    const LargePageId page = lcm_.num_pages() - 1 - removable;
+    if (page < 0) {
+      break;
+    }
+    const int owner = lcm_.owner(page);
+    if (owner >= 0 && !groups_[static_cast<size_t>(owner)]->IsReclaimCandidate(page)) {
+      break;
+    }
+    removable += 1;
+  }
+  return removable;
+}
+
 void JengaAllocator::ForgetRequest(RequestId request) {
   for (const auto& group : groups_) {
     group->ForgetRequest(request);

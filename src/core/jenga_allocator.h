@@ -43,6 +43,23 @@ class JengaAllocator final : public LargePageProvider {
   [[nodiscard]] std::optional<LargePageId> AcquireLargePage(int group_index) override;
   void OnReclaimCandidate(int group_index, LargePageId large, Tick timestamp) override;
 
+  // --- Elastic resize (governor-driven; requires shards == 1, the deterministic mode) ---
+
+  // Appends `pages` free large pages to the pool. Always succeeds; the governor owns the
+  // decision of whether the bytes exist to back them.
+  void GrowPool(int32_t pages);
+
+  // Opportunistically removes up to `pages` trailing large pages: free pages are dropped
+  // directly and whole-evictable trailing pages are drained through ReclaimLargePage first
+  // (their cached content parks in the host tier via the eviction sink, same path as step-3
+  // reclaims). Stops at the first trailing page with used slots — the id space must stay
+  // dense — and returns the number of pages actually removed (possibly 0).
+  [[nodiscard]] int32_t ShrinkPool(int32_t pages);
+
+  // Trailing pages removable right now without touching a used slot (what ShrinkPool would
+  // return, without doing it).
+  [[nodiscard]] int32_t ShrinkablePages(int32_t pages) const;
+
   // Drops every group's affinity free list for a retired request id (see
   // SmallPageAllocator::ForgetRequest).
   void ForgetRequest(RequestId request);

@@ -37,6 +37,50 @@ void LcmAllocator::Free(LargePageId page) {
   free_list_.push_back(page);
 }
 
+LargePageId LcmAllocator::GrowPages(int32_t n) {
+  JENGA_CHECK_GT(n, 0);
+  const LargePageId first_new = num_pages_;
+  num_pages_ += n;
+  owner_.resize(static_cast<size_t>(num_pages_), -1);
+  // Push in reverse so the new pages are handed out in ascending order, matching
+  // construction. They land on top of the LIFO stack, so a grow is immediately usable.
+  for (LargePageId page = num_pages_ - 1; page >= first_new; --page) {
+    free_list_.push_back(page);
+  }
+  return first_new;
+}
+
+void LcmAllocator::ShrinkPages(int32_t n) {
+  JENGA_CHECK_GT(n, 0);
+  JENGA_CHECK_LE(n, num_pages_);
+  JENGA_CHECK(TopPagesFree(n)) << "shrink of " << n << " pages with allocated top pages";
+  const int32_t new_num = num_pages_ - n;
+  // Drop the removed ids from the free list, preserving the relative order of survivors so
+  // the hand-out sequence over the remaining pages is unchanged.
+  size_t kept = 0;
+  for (const LargePageId page : free_list_) {
+    if (page < new_num) {
+      free_list_[kept++] = page;
+    }
+  }
+  free_list_.resize(kept);
+  owner_.resize(static_cast<size_t>(new_num));
+  num_pages_ = new_num;
+}
+
+bool LcmAllocator::TopPagesFree(int32_t n) const {
+  JENGA_CHECK_GE(n, 0);
+  if (n > num_pages_) {
+    return false;
+  }
+  for (LargePageId page = num_pages_ - n; page < num_pages_; ++page) {
+    if (owner_[static_cast<size_t>(page)] >= 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
 int LcmAllocator::owner(LargePageId page) const {
   JENGA_CHECK_GE(page, 0);
   JENGA_CHECK_LT(page, num_pages_);

@@ -27,6 +27,18 @@ class LcmAllocator {
   // Returns a page to the free pool. The page must currently be allocated.
   void Free(LargePageId page);
 
+  // Elastic resize (governor-driven). The page id space stays dense [0, num_pages): grow
+  // appends pages at the top, shrink removes pages from the top. Both keep the free list's
+  // hand-out order deterministic (new pages are handed out ascending, like construction).
+  //
+  // Appends `n` free pages. Returns the id of the first new page.
+  LargePageId GrowPages(int32_t n);
+  // Removes the `n` highest-numbered pages; every one of them must currently be free (the
+  // caller drains them first). CHECK-fails otherwise.
+  void ShrinkPages(int32_t n);
+  // True when the `n` highest-numbered pages are all free (shrink would succeed).
+  [[nodiscard]] bool TopPagesFree(int32_t n) const;
+
   [[nodiscard]] int32_t num_pages() const { return num_pages_; }
   [[nodiscard]] int32_t num_free() const { return static_cast<int32_t>(free_list_.size()); }
   [[nodiscard]] int32_t num_allocated() const { return num_pages_ - num_free(); }

@@ -475,6 +475,16 @@ Tick SmallPageAllocator::ReclaimTimestamp(LargePageId large) const {
   return timestamp;
 }
 
+void SmallPageAllocator::OnPoolResized(int32_t new_num_larges) {
+  JENGA_CHECK(claims_ == nullptr) << "pool resize requires shards == 1";
+  JENGA_CHECK_GE(new_num_larges, 0);
+  for (size_t large = static_cast<size_t>(new_num_larges); large < larges_.size(); ++large) {
+    JENGA_CHECK(!larges_[large].resident)
+        << "pool shrink over group " << group_index_ << "'s resident large page " << large;
+  }
+  larges_.resize(static_cast<size_t>(new_num_larges));
+}
+
 void SmallPageAllocator::ReclaimLargePage(LargePageId large) {
   LargeEntry& entry = Entry(large);
   JENGA_CHECK_EQ(entry.used_count, 0) << "reclaiming large page with used slots";

@@ -114,6 +114,13 @@ class SmallPageAllocator final : public GroupCacheOps {
   // request id retires for good; preempted requests keep their entry for re-admission.
   void ForgetRequest(RequestId request);
 
+  // Resizes the dense metadata slab after the LCM pool grew or shrank (elastic governor).
+  // Shrink requires every removed large page to be non-resident in this group (the caller
+  // drains them first); stale FreeRefs into removed pages are filtered lazily by the same
+  // residency/epoch checks that already guard releases. Sharded mode (shards > 1) has a
+  // fixed claim-index partition, so resize is gated to shards == 1 by JengaAllocator.
+  void OnPoolResized(int32_t new_num_larges);
+
   // --- Whole-large-page eviction support (§5.4 step 3, driven by the provider) ---
 
   [[nodiscard]] bool IsReclaimCandidate(LargePageId large) const;

@@ -141,9 +141,12 @@ int64_t Engine::EffectiveOutputLen(const Request& r) const {
                                            config_.output_fraction)));
 }
 
-void Engine::Preempt(RequestId id) {
+void Engine::Preempt(RequestId id, bool allow_swap) {
   Request& r = Get(id);
-  if (swap_ != nullptr) {
+  // Return any retained-but-uncomputed chunk pages (injected step fault retry window) before
+  // snapshotting: the swap fingerprint and cost footprint must cover the committed state only.
+  kv_->TrimToComputed(r);
+  if (swap_ != nullptr && allow_swap) {
     const KvSwapFootprint kfp = kv_->GetSwapFootprint(r);
     SwapFootprint fp;
     fp.tokens = kfp.tokens;
@@ -171,6 +174,9 @@ void Engine::Preempt(RequestId id) {
   r.vision_encoder_runs_this_admission = 0;
   running_.Erase(id);
   waiting_.PushFront(id);
+  // Preempt can be driven from outside StepOnce (governor park); a swap-out that trips the
+  // injected host-failure degrade must be visible in metrics without waiting for a step.
+  SyncFaultMetrics();
 }
 
 void Engine::FinishRequest(Request& r, bool failed) {
@@ -288,6 +294,161 @@ void Engine::MaybeShedHead() {
   head_blocked_steps_ = 0;
 }
 
+double Engine::PoolOccupancy() const {
+  const KvManager::MemoryStats stats = kv_->GetMemoryStats();
+  if (stats.pool_bytes <= 0) {
+    return 0.0;
+  }
+  return 1.0 -
+         static_cast<double>(stats.unallocated_bytes) / static_cast<double>(stats.pool_bytes);
+}
+
+int32_t Engine::PoolPages() const { return kv_->allocator().lcm().num_pages(); }
+
+int32_t Engine::GrowKvPool(int32_t pages) {
+  JENGA_CHECK_GT(pages, 0);
+  metrics_.pool_grow_attempts += 1;
+  if (config_.alloc_shards > 1) {
+    return 0;  // Sharded claim indexes have fixed geometry; resize is shards==1 only.
+  }
+  if (fault_ != nullptr && fault_->Fire(FaultSite::kPoolGrow)) {
+    // The fault site sits before any mutation (the reservation failed), so rollback is
+    // "nothing happened": the ledger records the attempt with zero net delta.
+    metrics_.pool_grow_rollbacks += 1;
+    SyncFaultMetrics();
+    return 0;
+  }
+  kv_->allocator_mutable().GrowPool(pages);
+  metrics_.pool_grow_pages += pages;
+  SyncFaultMetrics();
+  return pages;
+}
+
+int32_t Engine::ShrinkKvPool(int32_t pages) {
+  JENGA_CHECK_GT(pages, 0);
+  metrics_.pool_shrink_attempts += 1;
+  if (config_.alloc_shards > 1) {
+    return 0;
+  }
+  if (fault_ != nullptr && fault_->Fire(FaultSite::kPoolShrinkDrain)) {
+    metrics_.pool_shrink_rollbacks += 1;
+    SyncFaultMetrics();
+    return 0;
+  }
+  // Draining the free tail can evict cached blocks whose eviction sink parks them to host;
+  // an injected host failure in that path may degrade the tier outside any engine step.
+  const int32_t removed = kv_->allocator_mutable().ShrinkPool(pages);
+  metrics_.pool_shrink_pages += removed;
+  SyncFaultMetrics();
+  return removed;
+}
+
+bool Engine::RepartitionKvPool(const ModelConfig& new_model, int64_t new_pool_bytes) {
+  metrics_.repartition_attempts += 1;
+  if (config_.alloc_shards > 1) {
+    metrics_.repartition_rollbacks += 1;
+    return false;
+  }
+  // Quiesce: preempt every running request back to the waiting queue through the recompute
+  // path. Swap sets bind their fingerprints to the layout being replaced, so parking here
+  // would only produce restore failures later.
+  while (!running_.empty()) {
+    Preempt(running_.back(), /*allow_swap=*/false);
+  }
+
+  // Build the replacement layout exactly the way the constructor did for the old one.
+  GpuSim new_gpu(config_.gpu, new_model);
+  int64_t pool = new_pool_bytes > 0
+                     ? new_pool_bytes
+                     : static_cast<int64_t>(static_cast<double>(new_gpu.KvPoolBytes()) *
+                                            config_.memory_fraction);
+  int64_t reserved = config_.gpu.reserved_bytes;
+  if (!config_.jenga && new_model.HasKind(LayerKind::kMamba)) {
+    const int64_t reservation = StaticMambaReservationBytes(new_model, max_num_seqs_);
+    JENGA_CHECK_LT(reservation, pool) << "mamba reservation exceeds the KV pool";
+    pool -= reservation;
+    reserved += reservation;
+  }
+  const bool vision = config_.jenga && config_.vision_cache && new_model.vision.present;
+  KvSpec alloc_spec = config_.jenga ? MakeJengaSpec(new_model, config_.tokens_per_page, vision)
+                                    : MakeHomogeneousSpec(new_model, config_.tokens_per_page);
+  KvSpec accounting_spec = MakeJengaSpec(new_model, config_.tokens_per_page, vision);
+  KvManager::Options options;
+  options.tokens_per_page = config_.tokens_per_page;
+  options.enable_prefix_caching = config_.enable_prefix_caching;
+  options.memoize_admission = config_.memoize_admission;
+  options.jenga = config_.jenga;
+  options.tokens_per_image = new_model.vision.tokens_per_image;
+  options.alloc_shards = config_.alloc_shards;
+  auto fresh = std::make_unique<KvManager>(std::move(alloc_spec), std::move(accounting_spec),
+                                           pool, options);
+
+  if (fault_ != nullptr && fault_->Fire(FaultSite::kRepartitionCommit)) {
+    // Rollback: discard the freshly built manager; the old layout never stopped being
+    // authoritative and the quiesced requests re-admit against it on the next step.
+    metrics_.repartition_rollbacks += 1;
+    SyncFaultMetrics();
+    return false;
+  }
+
+  // Commit. Host-tier state (swap sets, parked cache pages) is keyed by the old layout's
+  // group structure and hash salts — flush it wholesale and clear the per-request swap flags
+  // so every quiesced request takes the recompute admission path.
+  if (swap_ != nullptr) {
+    swap_->FlushHostState();
+  }
+  for (auto& [id, r] : requests_) {
+    if (r.swapped_out) {
+      r.swapped_out = false;
+      metrics_.swap_fallback_events += 1;
+      metrics_.recomputed_tokens += r.swapped_out_tokens;
+      r.swapped_out_tokens = 0;
+    }
+  }
+  config_.model = new_model;
+  gpu_ = std::move(new_gpu);
+  if (fault_ != nullptr) {
+    gpu_.set_fault_injector(fault_.get());
+  }
+  reserved_bytes_ = reserved;
+  kv_ = std::move(fresh);
+  if (swap_ != nullptr) {
+    kv_->AttachOffload(swap_.get(), /*manager_index=*/0);
+  }
+  metrics_.repartitions += 1;
+  SyncFaultMetrics();
+  return true;
+}
+
+bool Engine::ParkNewestRunning() {
+  if (running_.size() <= 1) {
+    return false;  // Parking the only runner would just stall the engine.
+  }
+  Preempt(running_.back());
+  metrics_.elastic_parked += 1;
+  return true;
+}
+
+bool Engine::ShedOldestWaiting() {
+  if (waiting_.empty()) {
+    return false;
+  }
+  const RequestId head = waiting_.front();
+  Request& r = Get(head);
+  if (r.arrival_time > now_) {
+    return false;  // Not yet arrived: future work is never pressure.
+  }
+  waiting_.Erase(head);
+  r.swapped_out = false;
+  r.swapped_out_tokens = 0;
+  r.cancelled = true;
+  metrics_.shed_requests += 1;
+  metrics_.elastic_shed += 1;
+  metrics_.cancelled_requests += 1;
+  FinishRequest(r, /*failed=*/true);
+  return true;
+}
+
 void Engine::SyncFaultMetrics() {
   if (fault_ != nullptr) [[unlikely]] {
     metrics_.faults_injected = fault_->total_fires();
@@ -390,6 +551,14 @@ Engine::SwapAdmit Engine::TryAdmitFromSwap(Request& r, bool nothing_else_runnabl
 bool Engine::StepOnce() {
   if (running_.empty() && waiting_.empty()) {
     return false;
+  }
+  if (step_hook_ != nullptr) [[unlikely]] {
+    // Quiesce point: no request is mid-step, so the governor may preempt, shed, resize, or
+    // repartition here. It may also drain the last pending work.
+    step_hook_->OnStepBoundary(*this);
+    if (running_.empty() && waiting_.empty()) {
+      return false;
+    }
   }
   if (has_deadlines_) {
     ExpireDeadlines();
@@ -647,6 +816,17 @@ void Engine::DumpStateForDebug(std::ostream& os) const {
   }
   os << "shed: head_blocked_steps=" << head_blocked_steps_
      << " shed_requests=" << metrics_.shed_requests << "\n";
+  if (step_hook_ != nullptr || metrics_.pool_grow_attempts > 0 ||
+      metrics_.pool_shrink_attempts > 0 || metrics_.repartition_attempts > 0) {
+    os << "elastic: pool_pages=" << PoolPages() << " draining=" << (elastic_draining_ ? 1 : 0)
+       << " grow=" << metrics_.pool_grow_pages << "/" << metrics_.pool_grow_attempts
+       << " shrink=" << metrics_.pool_shrink_pages << "/" << metrics_.pool_shrink_attempts
+       << " repart=" << metrics_.repartitions << "/" << metrics_.repartition_attempts
+       << " rollbacks=" << metrics_.pool_grow_rollbacks + metrics_.pool_shrink_rollbacks +
+                               metrics_.repartition_rollbacks
+       << " parked=" << metrics_.elastic_parked << " eshed=" << metrics_.elastic_shed
+       << " ladder=" << metrics_.ladder_activations << "\n";
+  }
   std::vector<RequestId> ids;
   ids.reserve(requests_.size());
   for (const auto& [id, r] : requests_) {

@@ -72,6 +72,19 @@ struct EngineConfig {
 [[nodiscard]] EngineConfig TgiProfile(ModelConfig model, GpuSpec gpu);
 [[nodiscard]] EngineConfig JengaProfile(ModelConfig model, GpuSpec gpu);
 
+class Engine;
+
+// Step-boundary hook: the attach point for the elastic memory governor (src/elastic). Called
+// at the top of every StepOnce with work pending — the engine's quiesce point: no request is
+// mid-step, so the hook may preempt, shed, resize the pool, or repartition. Detached
+// (nullptr, the default) costs one null test per step and keeps the engine byte-identical to
+// a build without the subsystem — the same discipline as the audit/fault/offload hooks.
+class EngineStepHook {
+ public:
+  virtual ~EngineStepHook() = default;
+  virtual void OnStepBoundary(Engine& engine) = 0;
+};
+
 class Engine {
  public:
   explicit Engine(EngineConfig config);
@@ -113,6 +126,45 @@ class Engine {
   [[nodiscard]] int64_t weight_bytes() const { return config_.model.WeightBytes(); }
   [[nodiscard]] int64_t reserved_bytes() const { return reserved_bytes_; }
 
+  // --- Elastic pool operations (MemoryGovernor entry points; see src/elastic) ---
+
+  // Installs/removes the step-boundary hook (nullptr detaches; detached = byte-identical).
+  void set_step_hook(EngineStepHook* hook) { step_hook_ = hook; }
+  [[nodiscard]] const KvManager& kv() const { return *kv_; }
+  // The governor's ladder counters live in the same EngineMetrics the engine owns.
+  [[nodiscard]] EngineMetrics& metrics_mutable() { return metrics_; }
+  // nullptr when no faults are configured.
+  [[nodiscard]] FaultInjector* fault_injector() { return fault_.get(); }
+  // Pool occupancy in [0, 1]: 1 − unallocated/pool (0 on an empty pool).
+  [[nodiscard]] double PoolOccupancy() const;
+  [[nodiscard]] int32_t PoolPages() const;
+  // Audited grow: appends `pages` large pages to the pool. The pool_grow fault site is
+  // consulted BEFORE any mutation, so a fire rolls the attempt back with zero net change.
+  // Returns pages added (0 on rollback, or on sharded allocators which don't resize).
+  int32_t GrowKvPool(int32_t pages);
+  // Audited shrink: drains up to `pages` trailing large pages (cached content parks through
+  // the eviction sink) and removes them. Consults pool_shrink_drain before mutating.
+  // Returns pages removed (0 on rollback, a pinned tail, or sharded allocators).
+  int32_t ShrinkKvPool(int32_t pages);
+  // LCM repartition for a model hot-swap: quiesce (preempt every running request via the
+  // recompute path — swap-set fingerprints are tied to the old layout), build the new
+  // layout's KvManager, consult repartition_commit, then either commit (install the new
+  // manager, flush host-tier state, rebuild the GPU cost model for the new weights) or roll
+  // back (the old layout stays live and the quiesced requests simply re-admit). No request
+  // is aborted on either path. `new_pool_bytes` 0 derives the pool from the GPU spec and
+  // the new model's weights. Returns true on commit.
+  bool RepartitionKvPool(const ModelConfig& new_model, int64_t new_pool_bytes = 0);
+  // Pressure-ladder rung 1: preempts the newest running request (parking its KV to the host
+  // tier when the swap crossover accepts it). Refuses to park the only runner. Returns true
+  // if a request was preempted.
+  bool ParkNewestRunning();
+  // Pressure-ladder rung 2: sheds (fails) the oldest arrived waiting request.
+  bool ShedOldestWaiting();
+  // Advertised to the fleet router while a repartition/drain is in flight: a draining
+  // replica routes like a saturated one (DecideRoute spills around it).
+  void set_elastic_draining(bool draining) { elastic_draining_ = draining; }
+  [[nodiscard]] bool elastic_draining() const { return elastic_draining_; }
+
  private:
   struct Scheduled {
     RequestId id = kNoRequest;
@@ -122,7 +174,9 @@ class Engine {
 
   [[nodiscard]] Request& Get(RequestId id);
   [[nodiscard]] int64_t EffectiveOutputLen(const Request& r) const;
-  void Preempt(RequestId id);
+  // `allow_swap` false forces the recompute path (repartition quiesce: swap-set fingerprints
+  // would bind the request to the layout being replaced).
+  void Preempt(RequestId id, bool allow_swap = true);
   void FinishRequest(Request& r, bool failed);
   // Cancels every unfinished request whose deadline has passed (same path as CancelRequest).
   void ExpireDeadlines();
@@ -145,6 +199,8 @@ class Engine {
   std::unique_ptr<KvManager> kv_;
   std::unique_ptr<SwapManager> swap_;
   std::unique_ptr<FaultInjector> fault_;  // nullptr when no faults are configured.
+  EngineStepHook* step_hook_ = nullptr;   // Not owned; nullptr = no governor attached.
+  bool elastic_draining_ = false;
   int64_t reserved_bytes_ = 0;
   int max_batched_tokens_ = 0;
   int max_num_seqs_ = 0;

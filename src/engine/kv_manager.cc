@@ -704,6 +704,22 @@ KvSwapFootprint KvManager::GetSwapFootprint(const Request& r) const {
   return fp;
 }
 
+void KvManager::TrimToComputed(const Request& r) {
+  RequestKv& state = StateOf(r);
+  for (size_t g = 0; g < spec_.groups.size(); ++g) {
+    GroupState& gs = state.groups[g];
+    const int64_t target = TargetPages(r, spec_.groups[g], r.num_computed_tokens);
+    SmallPageAllocator& alloc = allocator_.group(static_cast<int>(g));
+    while (static_cast<int64_t>(gs.pages.size()) > target) {
+      // Uncomputed pages never had a content hash registered; nothing to keep cached.
+      if (gs.pages.back() != kNoSmallPage) {
+        alloc.Release(gs.pages.back(), /*keep_cached=*/false);
+      }
+      gs.pages.pop_back();
+    }
+  }
+}
+
 bool KvManager::RestoreFromSwap(Request& r, int64_t tokens, uint64_t expected_fingerprint,
                                 Tick now) {
   JENGA_CHECK(!requests_.contains(r.id)) << "request " << r.id << " already admitted";

@@ -116,6 +116,13 @@ class KvManager {
   // disambiguates managers sharing one SwapManager (speculative decoding).
   void AttachOffload(SwapManager* offload, int manager_index);
 
+  // Releases pages allocated beyond `r`'s committed-token target. An injected step fault
+  // retains the aborted chunk's pages for the retry (allocation is idempotent), so a request
+  // preempted inside that retry window still holds uncomputed lookahead pages; they carry no
+  // committed KV and must not be part of the swapped/recomputed snapshot. No-op when the
+  // block tables already match the committed state.
+  void TrimToComputed(const Request& r);
+
   // Footprint of `r`'s resident pages for the swap-vs-recompute crossover. Must be called
   // before Release (it reads the live block tables).
   [[nodiscard]] KvSwapFootprint GetSwapFootprint(const Request& r) const;

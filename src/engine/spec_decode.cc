@@ -90,7 +90,14 @@ SpecDecodeEngine::SpecDecodeEngine(SpecDecodeConfig config)
       const int64_t reservation = StaticMambaReservationBytes(config_.target, max_num_seqs_) +
                                   StaticMambaReservationBytes(config_.draft, max_num_seqs_);
       JENGA_CHECK_LT(reservation, pool);
-      const PoolSplit split = SmartSpecSplit(config_.target, config_.draft, pool - reservation);
+      const int64_t split_pool = pool - reservation;
+      PoolSplit split = SmartSpecSplit(config_.target, config_.draft, split_pool);
+      if (config_.manual_draft_fraction >= 0.0) {
+        JENGA_CHECK_LE(config_.manual_draft_fraction, 1.0);
+        split.draft_bytes = static_cast<int64_t>(static_cast<double>(split_pool) *
+                                                 config_.manual_draft_fraction);
+        split.target_bytes = split_pool - split.draft_bytes;
+      }
       managers_.push_back(std::make_unique<KvManager>(MakeHomogeneousSpec(config_.target, bs),
                                                       target_jenga, split.target_bytes, options));
       managers_.push_back(std::make_unique<KvManager>(MakeHomogeneousSpec(config_.draft, bs),
@@ -309,6 +316,66 @@ void SpecDecodeEngine::MaybeShedHead() {
   head_blocked_steps_ = 0;
 }
 
+double SpecDecodeEngine::PoolOccupancyOf(int manager_index) const {
+  const KvManager::MemoryStats stats =
+      managers_[static_cast<size_t>(manager_index)]->GetMemoryStats();
+  if (stats.pool_bytes <= 0) {
+    return 0.0;
+  }
+  return 1.0 -
+         static_cast<double>(stats.unallocated_bytes) / static_cast<double>(stats.pool_bytes);
+}
+
+int64_t SpecDecodeEngine::ShiftSplit(int from, int to, int64_t bytes) {
+  if (config_.strategy != SpecStrategy::kVllmManual || managers_.size() < 2 || from == to ||
+      bytes <= 0) {
+    return 0;
+  }
+  JengaAllocator& src = managers_[static_cast<size_t>(from)]->allocator_mutable();
+  JengaAllocator& dst = managers_[static_cast<size_t>(to)]->allocator_mutable();
+  const int64_t src_page = src.lcm().large_page_bytes();
+  const int64_t dst_page = dst.lcm().large_page_bytes();
+  const auto want = static_cast<int32_t>(std::max<int64_t>(1, bytes / src_page));
+  // One transfer, two transitions: the donor's drain and the recipient's reservation. Both
+  // sites are consulted before any mutation so a fire on either means nothing changed.
+  metrics_.pool_shrink_attempts += 1;
+  metrics_.pool_grow_attempts += 1;
+  if (fault_ != nullptr && fault_->Fire(FaultSite::kPoolShrinkDrain)) {
+    metrics_.pool_shrink_rollbacks += 1;
+    SyncFaultMetrics();
+    return 0;
+  }
+  if (fault_ != nullptr && fault_->Fire(FaultSite::kPoolGrow)) {
+    metrics_.pool_grow_rollbacks += 1;
+    SyncFaultMetrics();
+    return 0;
+  }
+  const int32_t removed = src.ShrinkPool(want);
+  if (removed == 0) {
+    return 0;  // Donor tail pinned by live pages; committed with zero delta.
+  }
+  const int64_t freed = static_cast<int64_t>(removed) * src_page;
+  const auto gained = static_cast<int32_t>(freed / dst_page);
+  if (gained == 0) {
+    // The freed run is smaller than one recipient page: give it back to the donor (the page
+    // ids re-appear at the same dense tail positions) instead of stranding capacity.
+    src.GrowPool(removed);
+    return 0;
+  }
+  dst.GrowPool(gained);
+  metrics_.pool_shrink_pages += removed;
+  metrics_.pool_grow_pages += gained;
+  // The sub-page remainder also returns to the donor so the two pools always account for
+  // every byte of the original split.
+  const auto remainder_pages =
+      static_cast<int32_t>((freed - static_cast<int64_t>(gained) * dst_page) / src_page);
+  if (remainder_pages > 0) {
+    src.GrowPool(remainder_pages);
+    metrics_.pool_shrink_pages -= remainder_pages;
+  }
+  return static_cast<int64_t>(gained) * dst_page;
+}
+
 void SpecDecodeEngine::SyncFaultMetrics() {
   if (fault_ != nullptr) {
     metrics_.faults_injected = fault_->total_fires();
@@ -324,6 +391,14 @@ void SpecDecodeEngine::SyncFaultMetrics() {
 bool SpecDecodeEngine::StepOnce() {
   if (running_.empty() && waiting_.empty()) {
     return false;
+  }
+  if (step_hook_ != nullptr) [[unlikely]] {
+    // Quiesce point: no request is mid-macro-step, so the governor may rebalance the
+    // draft/target split here.
+    step_hook_->OnStepBoundary(*this);
+    if (running_.empty() && waiting_.empty()) {
+      return false;
+    }
   }
   if (has_deadlines_) {
     ExpireDeadlines();

@@ -52,6 +52,22 @@ struct SpecDecodeConfig {
   FaultConfig fault;
   int shed_after_blocked_steps = 0;
   double shed_occupancy_watermark = 0.95;
+  // kVllmManual only: fraction of the (post-reservation) pool given to the draft model's
+  // manager. Negative (default) uses the SmartSpec byte-proportional split; the adaptive
+  // governor (src/elastic) starts from whichever split is configured and rebalances at run
+  // time via ShiftSplit.
+  double manual_draft_fraction = -1.0;
+};
+
+class SpecDecodeEngine;
+
+// Step-boundary hook: the elastic governor's attach point for the spec-decode engine (the
+// adaptive draft/target split policy). Same contract as EngineStepHook: called at the top of
+// every macro step with work pending; detached (nullptr) keeps behavior byte-identical.
+class SpecStepHook {
+ public:
+  virtual ~SpecStepHook() = default;
+  virtual void OnStepBoundary(SpecDecodeEngine& engine) = 0;
 };
 
 class SpecDecodeEngine {
@@ -81,6 +97,25 @@ class SpecDecodeEngine {
   // nullptr when the offload tier is disabled.
   [[nodiscard]] const SwapManager* swap() const { return swap_.get(); }
   [[nodiscard]] SwapManager* swap_mutable() { return swap_.get(); }
+  [[nodiscard]] const SpecDecodeConfig& config() const { return config_; }
+
+  // --- Elastic split operations (MemoryGovernor entry points; see src/elastic) ---
+
+  void set_step_hook(SpecStepHook* hook) { step_hook_ = hook; }
+  [[nodiscard]] EngineMetrics& metrics_mutable() { return metrics_; }
+  // nullptr when no faults are configured.
+  [[nodiscard]] FaultInjector* fault_injector() { return fault_.get(); }
+  // Occupancy of one manager's pool in [0, 1] (0 on an empty pool).
+  [[nodiscard]] double PoolOccupancyOf(int manager_index) const;
+  // Moves roughly `bytes` of pool capacity from manager `from` to manager `to` by draining
+  // trailing large pages from one homogeneous pool and appending them to the other (the
+  // audited adaptive draft/target rebalance, kVllmManual only). Both fault sites
+  // (pool_shrink_drain for the donor, pool_grow for the recipient) are consulted before any
+  // mutation, so a fire rolls the whole transfer back with zero net change. Page sizes
+  // differ between the pools; the recipient gains ⌊freed / its page size⌋ pages and the
+  // sub-page remainder is re-grown back onto the donor rather than stranded. Returns the
+  // bytes actually transferred (0 on rollback, a pinned donor tail, or a non-manual split).
+  int64_t ShiftSplit(int from, int to, int64_t bytes);
 
  private:
   [[nodiscard]] Request& Get(RequestId id);
@@ -101,6 +136,7 @@ class SpecDecodeEngine {
   std::vector<std::unique_ptr<KvManager>> managers_;
   std::unique_ptr<SwapManager> swap_;
   std::unique_ptr<FaultInjector> fault_;  // nullptr when no faults are configured.
+  SpecStepHook* step_hook_ = nullptr;     // Not owned; nullptr = no governor attached.
   int max_num_seqs_ = 0;
   int max_batched_tokens_ = 0;
   int head_blocked_steps_ = 0;

@@ -10,6 +10,7 @@ namespace {
 constexpr const char* kSiteNames[kNumFaultSites] = {
     "pcie_d2h", "pcie_h2d",     "pcie_timeout",  "host_alloc",
     "host_shrink", "gpu_step",  "replica_death", "replica_stall",
+    "pool_grow", "pool_shrink_drain", "repartition_commit",
 };
 
 }  // namespace
@@ -128,12 +129,13 @@ namespace {
 // Decorrelated per-site streams: Fork() derives the child from the parent's current state
 // without advancing it, so every site stream depends only on (seed, site index).
 std::array<Rng, kNumFaultSites> MakeStreams(uint64_t seed) {
-  static_assert(kNumFaultSites == 8, "update MakeStreams when adding fault sites");
+  static_assert(kNumFaultSites == 11, "update MakeStreams when adding fault sites");
   Rng root(seed);
   // Fork() never advances the root, so appending sites leaves existing streams untouched —
   // old (plan, seed) replays stay byte-identical across site additions.
   return {root.Fork(0), root.Fork(1), root.Fork(2), root.Fork(3),
-          root.Fork(4), root.Fork(5), root.Fork(6), root.Fork(7)};
+          root.Fork(4), root.Fork(5), root.Fork(6), root.Fork(7),
+          root.Fork(8), root.Fork(9), root.Fork(10)};
 }
 
 }  // namespace

@@ -35,7 +35,10 @@ enum class FaultSite : int {
   kGpuStep = 5,       // A GPU step fails; its results must be discarded and recomputed.
   kReplicaDeath = 6,  // A fleet replica dies; its work must be re-routed (cluster scope).
   kReplicaStall = 7,  // A fleet replica stops stepping for a while (cluster scope).
-  kNumSites = 8,
+  kPoolGrow = 8,      // A pool-grow reservation fails mid-flight (elastic governor scope).
+  kPoolShrinkDrain = 9,    // The drain phase of a pool shrink aborts (governor scope).
+  kRepartitionCommit = 10, // A repartition faults at the commit point (governor scope).
+  kNumSites = 11,
 };
 
 inline constexpr int kNumFaultSites = static_cast<int>(FaultSite::kNumSites);

@@ -111,6 +111,23 @@ class EngineMetrics {
   int64_t degraded_mode_transitions = 0;  // Offload tier detached (GPU-only fallback).
   int64_t cancelled_requests = 0;     // CancelRequest() aborts (incl. deadline expiries).
   int64_t deadline_expirations = 0;   // Subset of cancellations caused by deadlines.
+  // Elastic memory governor (all zero when no governor is attached). The resize ledger
+  // identity, checked by the pressure-chaos oracle (DESIGN.md §11):
+  //   pool_grow_pages − pool_shrink_pages == current pool pages − initial pool pages,
+  //   pool_grow_attempts == grows committed + pool_grow_rollbacks, and likewise for
+  //   shrink/repartition — a rolled-back transition contributes zero net delta.
+  int64_t pool_grow_attempts = 0;
+  int64_t pool_shrink_attempts = 0;
+  int64_t repartition_attempts = 0;
+  int64_t pool_grow_pages = 0;        // Large pages added by committed grows.
+  int64_t pool_shrink_pages = 0;      // Large pages removed by committed shrinks.
+  int64_t repartitions = 0;           // Committed pool repartitions (model hot-swaps).
+  int64_t pool_grow_rollbacks = 0;    // pool_grow fault fired; nothing changed.
+  int64_t pool_shrink_rollbacks = 0;  // pool_shrink_drain fault fired; nothing removed.
+  int64_t repartition_rollbacks = 0;  // repartition_commit fired; old layout kept.
+  int64_t elastic_parked = 0;         // Pressure-ladder rung 1: preempt-to-host parks.
+  int64_t elastic_shed = 0;           // Pressure-ladder rung 2: governor-driven sheds.
+  int64_t ladder_activations = 0;     // Times the governor stepped onto any rung.
 
  private:
   std::vector<RequestRecord> finished_;

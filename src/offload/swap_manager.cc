@@ -56,13 +56,18 @@ SwapManager::~SwapManager() = default;
 CacheEvictionSink* SwapManager::RegisterManager(int manager_index,
                                                 std::vector<char> group_swap_eligible,
                                                 std::vector<int64_t> group_page_bytes) {
-  JENGA_CHECK_EQ(manager_index, static_cast<int>(sinks_.size()))
+  JENGA_CHECK_LE(manager_index, static_cast<int>(sinks_.size()))
       << "managers must register in index order";
   auto sink = std::make_unique<ManagerSink>();
   sink->owner = this;
   sink->manager_index = manager_index;
   sink->group_swap_eligible = std::move(group_swap_eligible);
   sink->group_page_bytes = std::move(group_page_bytes);
+  if (manager_index < static_cast<int>(sinks_.size())) {
+    // Repartition re-attach: the rebuilt KvManager takes over the slot.
+    sinks_[manager_index] = std::move(sink);
+    return sinks_[manager_index].get();
+  }
   sinks_.push_back(std::move(sink));
   return sinks_.back().get();
 }
@@ -182,7 +187,12 @@ Status SwapManager::BeginSwapIn(RequestId id) {
 }
 
 void SwapManager::OnEngineStep() {
-  if (fault_ == nullptr || degraded_) {
+  if (fault_ == nullptr) {
+    return;
+  }
+  if (degraded_) {
+    // Each step spent degraded counts toward the reattach probe window.
+    steps_degraded_ += 1;
     return;
   }
   if (!fault_->Fire(FaultSite::kHostPoolShrink)) {
@@ -203,9 +213,37 @@ void SwapManager::DegradeToGpuOnly() {
   }
   degraded_ = true;
   stats_.degraded_transitions += 1;
+  steps_degraded_ = 0;
   // Drain the tier through the audited removal paths so the auditor's shadow model stays
   // consistent; in-flight transfer/backoff time still gets drained by the next ConsumeStall.
   host_.Clear();
+}
+
+bool SwapManager::TryReattachOffloadTier() {
+  if (!degraded_) {
+    return false;
+  }
+  if (steps_degraded_ < reattach_backoff_steps_) {
+    return false;  // Probe window still open; no state change.
+  }
+  degraded_ = false;
+  stats_.reattach_transitions += 1;
+  stats_.host_failures = 0;  // A re-armed tier gets a fresh degrade budget.
+  steps_degraded_ = 0;
+  // Each successive degrade/reattach cycle doubles the probe window, capped — a flapping
+  // host converges to the slowest cadence instead of oscillating.
+  reattach_backoff_steps_ = std::min(reattach_backoff_steps_ * 2, kMaxReattachBackoffSteps);
+  // Degrade drained the pool and may have followed forced shrinks; service resumes at the
+  // configured capacity (the pool is empty, so no eviction cascade).
+  host_.ForceShrink(config_.host_pool_bytes);
+  return true;
+}
+
+int64_t SwapManager::reattach_probe_steps_remaining() const {
+  if (!degraded_) {
+    return 0;
+  }
+  return std::max<int64_t>(0, reattach_backoff_steps_ - steps_degraded_);
 }
 
 const HostSwapSet* SwapManager::PeekSwapSet(RequestId id) const {

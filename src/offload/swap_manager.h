@@ -89,9 +89,17 @@ class SwapManager {
 
   // Registers a KvManager's groups (index order = attach order) and returns the eviction sink
   // to install on its allocator. `group_swap_eligible[g]` gates the second-chance path.
+  // Re-registering an existing index replaces that sink in place — the pool-repartition path
+  // rebuilds a KvManager and re-attaches under the same index (call FlushHostState first:
+  // parked state keyed by the old layout is meaningless to the new manager).
   [[nodiscard]] CacheEvictionSink* RegisterManager(int manager_index,
                                                    std::vector<char> group_swap_eligible,
                                                    std::vector<int64_t> group_page_bytes);
+
+  // Drops every swap set and parked cache page through the audited removal paths WITHOUT
+  // degrading the tier. Used at repartition commit: group structure and hash salts belong to
+  // the old layout, so all parked content is invalidated wholesale.
+  void FlushHostState() { host_.Clear(); }
 
   // --- Preemption crossover ---
 
@@ -167,7 +175,8 @@ class SwapManager {
     double backoff_time = 0.0;        // Sim time spent in retry backoff / timeout waits.
     int64_t host_failures = 0;        // Injected host-pool allocation failures observed.
     int64_t host_shrinks = 0;         // Forced capacity halvings survived.
-    int64_t degraded_transitions = 0; // 0 or 1: the tier detached into GPU-only mode.
+    int64_t degraded_transitions = 0; // Times the tier detached into GPU-only mode.
+    int64_t reattach_transitions = 0; // Times a degraded tier re-armed (probe succeeded).
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const HostPool& host() const { return host_; }
@@ -195,6 +204,22 @@ class SwapManager {
   void DegradeToGpuOnly();
   [[nodiscard]] bool degraded() const { return degraded_; }
 
+  // Reverse of DegradeToGpuOnly, once host faults subside: restores the configured pool
+  // capacity (the pool restarts empty — degrade drained it through the audited paths),
+  // resets the host-failure counter, and resumes swap/park service. Gated by a capped probe
+  // backoff: the call only succeeds after the tier has sat degraded for the current backoff
+  // window (counted in OnEngineStep calls), and each successive degrade doubles the window
+  // up to kMaxReattachBackoffSteps — so a flapping host cannot make the tier oscillate.
+  // Returns true when service resumed; false (no state change) while the probe window is
+  // still open or the tier is not degraded. Idempotent in both directions.
+  bool TryReattachOffloadTier();
+  // Probes remaining before TryReattachOffloadTier can succeed (0 when reattachable now or
+  // not degraded).
+  [[nodiscard]] int64_t reattach_probe_steps_remaining() const;
+
+  static constexpr int64_t kInitialReattachBackoffSteps = 8;
+  static constexpr int64_t kMaxReattachBackoffSteps = 1024;
+
  private:
   friend class AllocatorAuditor;
 
@@ -212,6 +237,9 @@ class SwapManager {
   std::vector<std::unique_ptr<ManagerSink>> sinks_;  // One per registered KvManager.
   FaultInjector* fault_ = nullptr;
   bool degraded_ = false;
+  // Reattach probe backoff (see TryReattachOffloadTier).
+  int64_t reattach_backoff_steps_ = kInitialReattachBackoffSteps;
+  int64_t steps_degraded_ = 0;
   double pending_transfer_ = 0.0;
   // Retry/timeout waits accumulated since the last ConsumeStall. Unlike transfers, backoff
   // cannot hide behind compute: the engine is waiting, not copying.

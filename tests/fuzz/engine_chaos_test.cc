@@ -2,14 +2,21 @@
 //
 // Each chaos case starts from the same seed-derived schedule as engine_fuzz_test, then layers
 // on a randomized fault plan (PCIe transfer errors and timeouts, host-pool allocation
-// failures and forced shrinks, GPU step faults), per-request deadlines, mid-run
-// CancelRequest events at fixed step indices, and (sometimes) the admission shed gate. The
-// oracle checks what must survive arbitrary injected failure:
+// failures and forced shrinks, GPU step faults, elastic pool_grow/pool_shrink_drain/
+// repartition_commit sites), per-request deadlines, mid-run CancelRequest events at fixed
+// step indices, (sometimes) the admission shed gate, and (sometimes, ISSUE 9) an elastic arm:
+// a net-zero transient pool resize, a mid-run repartition, and a pressure governor on Engine
+// combinations, or a reversed draft/target split shift on manual-split spec combinations.
+// The oracle checks what must survive arbitrary injected failure:
 //
 //   - the AllocatorAuditor stays green after every step — no recovery path may leak or
 //     double-book a page, on any allocator or on the host pool;
 //   - the run converges and every submitted request finishes exactly once — faults may slow
-//     requests down or fail them, never wedge or duplicate them;
+//     requests down or fail them, never wedge or duplicate them — including across every
+//     repartition (quiesced requests re-admit, none are lost or aborted);
+//   - the resize ledger balances after every step: pool_grow_pages - pool_shrink_pages
+//     equals the actual pool-page delta within each repartition epoch (a committed
+//     repartition rebuilds the pool and starts a fresh epoch);
 //   - cancelled records are also failed records, and the cancellation ledger balances:
 //     cancelled_requests == successful explicit cancels + shed_requests +
 //     deadline_expirations;
@@ -26,6 +33,8 @@
 //   JENGA_FUZZ_SEED=<seed>     run exactly one schedule from this seed
 //   JENGA_FAULT_PLAN=<plan>    replace the drawn fault plan (see FaultPlan::Parse)
 //   JENGA_FAULT_SEED=<seed>    replace the drawn fault seed
+//   JENGA_CHAOS_ELASTIC=1      arm the elastic events on every schedule (pressure-chaos
+//                              stage; also required when replaying a seed drawn under it)
 
 #include <gtest/gtest.h>
 
@@ -40,6 +49,7 @@
 #include <vector>
 
 #include "src/audit/allocator_auditor.h"
+#include "src/elastic/memory_governor.h"
 #include "src/fault/fault_injector.h"
 #include "tests/fuzz/fuzz_harness.h"
 
@@ -91,6 +101,49 @@ FuzzSchedule DrawChaosSchedule(uint64_t seed, bool spec_engine, bool offload) {
     // a fired step fault voids that step's decode commit, so p near 1 would never converge.
     std::snprintf(buf, sizeof(buf), "gpu_step:p=%.3f", rng.UniformDouble(0.02, 0.2));
     arm(buf);
+  }
+
+  // Elastic arm (ISSUE 9). The Bernoulli is drawn unconditionally so forcing the arm via
+  // JENGA_CHAOS_ELASTIC=1 (the check.sh pressure-chaos stage) keeps the rest of the stream —
+  // and therefore seed replay under the same env — byte-identical.
+  const bool draw_elastic = rng.Bernoulli(0.5);
+  if (draw_elastic || FuzzEnvInt("JENGA_CHAOS_ELASTIC", 0) != 0) {
+    FuzzElasticSpec& e = s.elastic;
+    if (!spec_engine) {
+      e.armed = true;
+      e.delta_pages = static_cast<int32_t>(rng.UniformInt(1, 6));
+      e.grow_step = static_cast<int>(rng.UniformInt(0, 60));
+      e.shrink_step = e.grow_step + static_cast<int>(rng.UniformInt(1, 40));
+      if (rng.Bernoulli(0.5)) {
+        e.repartition_step = static_cast<int>(rng.UniformInt(0, 80));
+      }
+      if (rng.Bernoulli(0.5)) {
+        e.governor = true;
+        e.high_watermark = rng.UniformDouble(0.70, 0.95);
+        e.low_watermark = e.high_watermark - rng.UniformDouble(0.10, 0.30);
+        e.cooldown_steps = static_cast<int>(rng.UniformInt(0, 8));
+      }
+    } else if (s.strategy == SpecStrategy::kVllmManual) {
+      e.armed = true;
+      e.shift_from = static_cast<int>(rng.UniformInt(0, 1));
+      e.shift_step = static_cast<int>(rng.UniformInt(0, 60));
+      e.shift_back_step = e.shift_step + static_cast<int>(rng.UniformInt(1, 40));
+      // Integer page-size rounding can leave the reversed shift a page short on either
+      // pool; double the fit-alone sizing so the residual can never wedge the run.
+      s.pool_bytes *= 2;
+    }
+    if (e.armed) {
+      // Arm the transition sites so a fair share of the driven resizes/repartitions roll
+      // back; the sites sit before any mutation, so a fire means "nothing changed".
+      std::snprintf(buf, sizeof(buf), "pool_grow:p=%.3f", rng.UniformDouble(0.05, 0.3));
+      arm(buf);
+      std::snprintf(buf, sizeof(buf), "pool_shrink_drain:p=%.3f",
+                    rng.UniformDouble(0.05, 0.3));
+      arm(buf);
+      std::snprintf(buf, sizeof(buf), "repartition_commit:p=%.3f",
+                    rng.UniformDouble(0.1, 0.5));
+      arm(buf);
+    }
   }
   JENGA_CHECK(FaultPlan::Parse(plan.str(), &s.fault_plan).ok());
   s.fault_seed = rng.NextU64() | 1;
@@ -163,6 +216,25 @@ std::string RunChaosSchedule(const FuzzSchedule& s, bool with_audit, std::string
     }
   }
 
+  // --- Elastic chaos wiring (no-ops when the arm is off) ---
+  Engine* elastic_engine = s.elastic.armed ? harness->ElasticEngine() : nullptr;
+  SpecDecodeEngine* elastic_spec = s.elastic.armed ? harness->ElasticSpecEngine() : nullptr;
+  std::unique_ptr<MemoryGovernor> governor;
+  if (s.elastic.governor && elastic_engine != nullptr) {
+    GovernorConfig gc;
+    gc.high_watermark = s.elastic.high_watermark;
+    gc.low_watermark = s.elastic.low_watermark;
+    gc.cooldown_steps = s.elastic.cooldown_steps;
+    governor = std::make_unique<MemoryGovernor>(gc);
+    governor->AttachTo(*elastic_engine);
+  }
+  int32_t outstanding_grow = 0;  // Pages grown but not yet shrunk back (net-zero invariant).
+  int64_t shifted_bytes = 0;     // Spec split bytes moved but not yet reversed.
+  // Resize-ledger baseline for the current repartition epoch: within an epoch,
+  // pool_grow_pages - pool_shrink_pages must track the actual pool-page delta exactly.
+  int64_t ledger_base = 0;
+  int32_t pages_base = elastic_engine != nullptr ? elastic_engine->PoolPages() : 0;
+
   const int n = static_cast<int>(s.requests.size());
   int64_t explicit_cancels = 0;
   ChaosCounters prev;
@@ -176,6 +248,53 @@ std::string RunChaosSchedule(const FuzzSchedule& s, bool with_audit, std::string
     for (const FuzzCancelSpec& c : s.cancels) {
       if (c.step == steps && c.request_index < n) {
         explicit_cancels += harness->Cancel(static_cast<RequestId>(c.request_index)) ? 1 : 0;
+      }
+    }
+    // Elastic events fire between steps at fixed indices, like cancels. The repartition is
+    // driven here (not by the governor) so the auditor can let go of the allocator the
+    // rebuild destroys and re-seed from the committed (or surviving) layout.
+    if (elastic_engine != nullptr) {
+      if (steps == s.elastic.repartition_step) {
+        if (with_audit) {
+          auditor.DetachAll();
+        }
+        const bool committed =
+            elastic_engine->RepartitionKvPool(elastic_engine->config().model, s.pool_bytes);
+        if (with_audit) {
+          harness->AttachAudit(&auditor);
+          const auto reseeded = auditor.Audit();
+          if (!reseeded.empty()) {
+            return std::string("auditor not green after repartition ") +
+                   (committed ? "commit" : "rollback") + ": " + reseeded.front();
+          }
+        }
+        if (committed) {
+          outstanding_grow = 0;  // The rebuilt pool is back at the schedule's sizing.
+        }
+        const EngineMetrics& em = harness->Metrics();
+        ledger_base = em.pool_grow_pages - em.pool_shrink_pages;
+        pages_base = elastic_engine->PoolPages();
+      }
+      if (steps == s.elastic.grow_step) {
+        outstanding_grow = elastic_engine->GrowKvPool(s.elastic.delta_pages);
+      }
+      if (steps >= s.elastic.shrink_step && outstanding_grow > 0) {
+        // Retry until the transient pages drain back out (the tail may be pinned, and the
+        // pool_shrink_drain site may roll an attempt back): the pool never ends smaller
+        // than the fit-alone sizing.
+        outstanding_grow -= elastic_engine->ShrinkKvPool(outstanding_grow);
+      }
+    }
+    if (elastic_spec != nullptr && s.elastic.shift_step >= 0) {
+      if (steps == s.elastic.shift_step) {
+        // bytes=1 asks for one donor page (ShiftSplit rounds the ask up to a whole page).
+        shifted_bytes =
+            elastic_spec->ShiftSplit(s.elastic.shift_from, 1 - s.elastic.shift_from, 1);
+      }
+      if (steps == s.elastic.shift_back_step && shifted_bytes > 0) {
+        elastic_spec->ShiftSplit(1 - s.elastic.shift_from, s.elastic.shift_from,
+                                 shifted_bytes);
+        shifted_bytes = 0;  // Single reversal; the doubled pool absorbs any residual.
       }
     }
     if (!harness->Step()) {
@@ -203,6 +322,19 @@ std::string RunChaosSchedule(const FuzzSchedule& s, bool with_audit, std::string
       return "fault counter decreased at step " + std::to_string(steps);
     }
     prev = now;
+    if (elastic_engine != nullptr) {
+      // Resize-ledger conservation, checked after every step: booked page deltas must equal
+      // the actual pool-page delta within the current repartition epoch. (Spec combinations
+      // book grow/shrink pages in per-pool page units, so the summed identity only holds on
+      // the single-pool engine; the exact spec identities live in elastic_resize_test.)
+      const EngineMetrics& em = harness->Metrics();
+      if (em.pool_grow_pages - em.pool_shrink_pages - ledger_base !=
+          elastic_engine->PoolPages() - pages_base) {
+        return "resize ledger imbalance at step " + std::to_string(steps) + ": booked " +
+               std::to_string(em.pool_grow_pages - em.pool_shrink_pages - ledger_base) +
+               " vs actual " + std::to_string(elastic_engine->PoolPages() - pages_base);
+      }
+    }
   }
 
   // ----- End-of-run oracle -----
@@ -252,8 +384,22 @@ std::string RunChaosSchedule(const FuzzSchedule& s, bool with_audit, std::string
        c.backoff != 0.0)) {
     return "fault counters nonzero with an empty fault plan";
   }
-  if (s.shed_after_blocked_steps <= 0 && c.shed != 0) {
+  // The governor's ladder sheds through the same counter as the admission gate, so the
+  // zero-when-disabled check only applies when neither mechanism is armed.
+  const bool governor_armed = s.elastic.armed && s.elastic.governor && !s.spec_engine;
+  if (s.shed_after_blocked_steps <= 0 && !governor_armed && c.shed != 0) {
     return "shed_requests nonzero with the shed gate disabled";
+  }
+  if (!s.elastic.armed &&
+      (m.pool_grow_attempts != 0 || m.pool_shrink_attempts != 0 ||
+       m.repartition_attempts != 0 || m.elastic_parked != 0 || m.elastic_shed != 0 ||
+       m.ladder_activations != 0)) {
+    return "elastic counters nonzero with the elastic arm disabled";
+  }
+  if (m.repartition_attempts != m.repartitions + m.repartition_rollbacks) {
+    return "repartition ledger imbalance: attempts=" + std::to_string(m.repartition_attempts) +
+           " commits=" + std::to_string(m.repartitions) +
+           " rollbacks=" + std::to_string(m.repartition_rollbacks);
   }
   if (c.degraded > 1) {
     return "degraded more than once (transitions=" + std::to_string(c.degraded) + ")";
@@ -293,6 +439,12 @@ std::string RunChaosSchedule(const FuzzSchedule& s, bool with_audit, std::string
         << " degraded=" << c.degraded << " backoff=" << backoff
         << " recomputed=" << m.recomputed_tokens << " swap=" << m.swap_out_events << "/"
         << m.swap_in_events << "/" << m.swap_fallback_events << "\n";
+    sig << "elastic grow=" << m.pool_grow_attempts << "/" << m.pool_grow_pages << "/"
+        << m.pool_grow_rollbacks << " shrink=" << m.pool_shrink_attempts << "/"
+        << m.pool_shrink_pages << "/" << m.pool_shrink_rollbacks
+        << " repartition=" << m.repartition_attempts << "/" << m.repartitions << "/"
+        << m.repartition_rollbacks << " parked=" << m.elastic_parked
+        << " eshed=" << m.elastic_shed << " ladder=" << m.ladder_activations << "\n";
     *signature += sig.str();
   }
   return std::string();
@@ -400,8 +552,9 @@ void RunChaosCombination(bool spec_engine, bool offload, uint64_t seed_base) {
            << DescribeFuzzSchedule(schedule) << "\nminimized schedule ("
            << (min_failure.empty() ? "failure did not survive minimization" : min_failure)
            << "):\n"
-           << DescribeFuzzSchedule(minimized) << "\nreproduce with:\n  JENGA_FUZZ_SEED=0x"
-           << std::hex << seed << std::dec
+           << DescribeFuzzSchedule(minimized) << "\nreproduce with:\n  "
+           << (FuzzEnvInt("JENGA_CHAOS_ELASTIC", 0) != 0 ? "JENGA_CHAOS_ELASTIC=1 " : "")
+           << "JENGA_FUZZ_SEED=0x" << std::hex << seed << std::dec
            << " ./build/tests/engine_chaos_test --gtest_filter=" << info->test_suite_name()
            << "." << info->name();
   }

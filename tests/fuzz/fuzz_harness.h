@@ -100,6 +100,31 @@ struct FuzzCancelSpec {
   int request_index = 0;
 };
 
+// Chaos elastic events (all default-off; the plain fuzz tier never sets them). Engine
+// combinations get a net-zero transient resize (grow `delta_pages` at `grow_step`, shrink
+// them back from `shrink_step` on), an optional mid-run repartition (same model, schedule
+// pool bytes — the quiesce/rebuild/commit path with its fault site armed), and an optional
+// pressure governor (park/shed ladder only; no fallback repartition, so pool capacity always
+// returns to the schedule's fit-alone sizing). kVllmManual spec combinations get a one-shot
+// draft/target ShiftSplit with a reversing shift later; the schedule doubles the pool when
+// this is armed so the transient imbalance cannot break the sizing guarantee.
+struct FuzzElasticSpec {
+  bool armed = false;
+  // Engine combinations.
+  int32_t delta_pages = 0;
+  int grow_step = -1;
+  int shrink_step = -1;
+  int repartition_step = -1;
+  bool governor = false;
+  double high_watermark = 2.0;
+  double low_watermark = 1.5;
+  int cooldown_steps = 4;
+  // kVllmManual spec combinations.
+  int shift_from = 0;  // Donor manager: 0 = target, 1 = draft.
+  int shift_step = -1;
+  int shift_back_step = -1;
+};
+
 struct FuzzSchedule {
   uint64_t seed = 0;
   bool spec_engine = false;
@@ -121,6 +146,7 @@ struct FuzzSchedule {
   int shed_after_blocked_steps = 0;
   double shed_occupancy_watermark = 0.95;
   std::vector<FuzzCancelSpec> cancels;
+  FuzzElasticSpec elastic;
 };
 
 inline Prompt BuildFuzzPrompt(const FuzzRequestSpec& r) {
@@ -303,6 +329,23 @@ inline std::string DescribeFuzzSchedule(const FuzzSchedule& s) {
     out << " shed{after=" << s.shed_after_blocked_steps
         << " watermark=" << s.shed_occupancy_watermark << "}";
   }
+  if (s.elastic.armed) {
+    out << " elastic{";
+    if (s.spec_engine) {
+      out << "shift_from=" << s.elastic.shift_from << " at=" << s.elastic.shift_step
+          << " back=" << s.elastic.shift_back_step;
+    } else {
+      out << "delta=" << s.elastic.delta_pages << " grow_at=" << s.elastic.grow_step
+          << " shrink_at=" << s.elastic.shrink_step
+          << " repartition_at=" << s.elastic.repartition_step;
+      if (s.elastic.governor) {
+        out << " governor{hi=" << s.elastic.high_watermark
+            << " lo=" << s.elastic.low_watermark
+            << " cooldown=" << s.elastic.cooldown_steps << "}";
+      }
+    }
+    out << "}";
+  }
   out << "\n";
   for (size_t i = 0; i < s.requests.size(); ++i) {
     const FuzzRequestSpec& r = s.requests[i];
@@ -340,6 +383,10 @@ class FuzzHarness {
   virtual void Dump(std::ostream& os) const = 0;
   // Engine only: KvManager's own running hit total (cross-layer consistency check); -1 = n/a.
   [[nodiscard]] virtual int64_t KvCacheHitTokens() const { return -1; }
+  // Chaos elastic events need the concrete engine (resize/repartition/shift are not part of
+  // the shared interface); nullptr when the harness wraps the other kind.
+  [[nodiscard]] virtual Engine* ElasticEngine() { return nullptr; }
+  [[nodiscard]] virtual SpecDecodeEngine* ElasticSpecEngine() { return nullptr; }
 };
 
 class EngineFuzzHarness final : public FuzzHarness {
@@ -389,6 +436,7 @@ class EngineFuzzHarness final : public FuzzHarness {
   }
   void Dump(std::ostream& os) const override { engine_->DumpStateForDebug(os); }
   int64_t KvCacheHitTokens() const override { return engine_->kv().total_cache_hit_tokens(); }
+  Engine* ElasticEngine() override { return engine_.get(); }
 
  private:
   std::unique_ptr<Engine> engine_;
@@ -442,6 +490,7 @@ class SpecFuzzHarness final : public FuzzHarness {
     }
   }
   void Dump(std::ostream& os) const override { engine_->DumpStateForDebug(os); }
+  SpecDecodeEngine* ElasticSpecEngine() override { return engine_.get(); }
 
  private:
   std::unique_ptr<SpecDecodeEngine> engine_;

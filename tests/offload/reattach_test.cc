@@ -1,0 +1,215 @@
+// TryReattachOffloadTier (ISSUE 9 satellite): the degraded offload tier re-arms only after
+// sitting out a capped, doubling probe-backoff window, restores the configured host pool
+// capacity, and is idempotent in both directions across detach → reattach → detach cycles.
+//
+// SwapManager::OnEngineStep only advances the probe clock while a FaultInjector is attached
+// (the site consults gate on it), so every test wires one in — with an empty plan when no
+// fires are wanted.
+
+#include "src/offload/swap_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/fault/fault_injector.h"
+
+namespace jenga {
+namespace {
+
+SwapCostParams TestCost() {
+  SwapCostParams cost;
+  cost.flops_per_token = 1e9;
+  cost.gpu_flops = 1e12;
+  cost.gpu_mem_bandwidth = 1e12;
+  cost.chunk_tokens = 1'000'000;
+  return cost;
+}
+
+OffloadConfig TestConfig(int64_t host_bytes = 1ll << 20) {
+  OffloadConfig config;
+  config.enabled = true;
+  config.host_pool_bytes = host_bytes;
+  config.pcie.h2d_bandwidth = 10e9;
+  config.pcie.d2h_bandwidth = 10e9;
+  config.pcie.per_transfer_latency = 1e-3;
+  config.pcie.overlap_fraction = 0.5;
+  return config;
+}
+
+FaultConfig QuietFaults() {
+  FaultConfig config;
+  config.seed = 0x0FF1;
+  return config;  // Empty plan: the injector is attached but never fires.
+}
+
+SwapFootprint Footprint(int64_t tokens, int64_t swappable) {
+  SwapFootprint fp;
+  fp.tokens = tokens;
+  fp.swappable_bytes = swappable;
+  fp.resident_bytes = swappable;
+  fp.fingerprints = {0xFEEDu};
+  return fp;
+}
+
+// Degrades the tier directly (the public entry the host-failure threshold funnels into) and
+// sanity-checks the transition booked.
+void Degrade(SwapManager& swap) {
+  const int64_t before = swap.stats().degraded_transitions;
+  swap.DegradeToGpuOnly();
+  ASSERT_TRUE(swap.degraded());
+  ASSERT_EQ(swap.stats().degraded_transitions, before + 1);
+}
+
+TEST(Reattach, RefusesWhileTheTierIsNotDegraded) {
+  SwapManager swap(TestConfig(), TestCost());
+  FaultInjector fault(QuietFaults());
+  swap.SetFaultInjector(&fault);
+  EXPECT_FALSE(swap.TryReattachOffloadTier());
+  EXPECT_EQ(swap.reattach_probe_steps_remaining(), 0);
+  EXPECT_EQ(swap.stats().reattach_transitions, 0);
+}
+
+TEST(Reattach, ProbeWindowGatesTheFirstReattach) {
+  SwapManager swap(TestConfig(), TestCost());
+  FaultInjector fault(QuietFaults());
+  swap.SetFaultInjector(&fault);
+  Degrade(swap);
+  EXPECT_EQ(swap.reattach_probe_steps_remaining(),
+            SwapManager::kInitialReattachBackoffSteps);
+
+  // Every step inside the window: the probe refuses and changes nothing.
+  for (int64_t i = 0; i < SwapManager::kInitialReattachBackoffSteps - 1; ++i) {
+    swap.OnEngineStep();
+    EXPECT_FALSE(swap.TryReattachOffloadTier()) << "step " << i;
+    EXPECT_TRUE(swap.degraded());
+    EXPECT_EQ(swap.reattach_probe_steps_remaining(),
+              SwapManager::kInitialReattachBackoffSteps - 1 - i);
+  }
+  swap.OnEngineStep();  // Window elapses.
+  EXPECT_EQ(swap.reattach_probe_steps_remaining(), 0);
+  EXPECT_TRUE(swap.TryReattachOffloadTier());
+  EXPECT_FALSE(swap.degraded());
+  EXPECT_EQ(swap.stats().reattach_transitions, 1);
+}
+
+TEST(Reattach, RestoresConfiguredCapacityAndServiceAfterReattach) {
+  SwapManager swap(TestConfig(/*host_bytes=*/1ll << 20), TestCost());
+  FaultInjector fault(QuietFaults());
+  swap.SetFaultInjector(&fault);
+
+  // Park a swap set, then degrade: the pool drains and refuses service.
+  ASSERT_TRUE(swap.TryRecordSwapOut(7, Footprint(64, 4096)).ok());
+  ASSERT_EQ(swap.host().used_bytes(), 4096);
+  Degrade(swap);
+  EXPECT_EQ(swap.host().used_bytes(), 0);
+  EXPECT_EQ(swap.PeekSwapSet(7), nullptr);
+  EXPECT_FALSE(swap.TryRecordSwapOut(8, Footprint(64, 4096)).ok());
+
+  for (int64_t i = 0; i < SwapManager::kInitialReattachBackoffSteps; ++i) {
+    swap.OnEngineStep();
+  }
+  ASSERT_TRUE(swap.TryReattachOffloadTier());
+
+  // The restored pool is empty at the configured capacity and serves swaps again.
+  EXPECT_EQ(swap.host().capacity_bytes(), 1ll << 20);
+  EXPECT_EQ(swap.host().used_bytes(), 0);
+  EXPECT_TRUE(swap.TryRecordSwapOut(9, Footprint(64, 4096)).ok());
+  EXPECT_NE(swap.PeekSwapSet(9), nullptr);
+}
+
+TEST(Reattach, BackoffWindowDoublesPerDegradeUpToTheCap) {
+  SwapManager swap(TestConfig(), TestCost());
+  FaultInjector fault(QuietFaults());
+  swap.SetFaultInjector(&fault);
+
+  int64_t expected = SwapManager::kInitialReattachBackoffSteps;
+  // 8 → 16 → 32 → ... → 1024, then pinned at the cap for further flaps.
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    Degrade(swap);
+    EXPECT_EQ(swap.reattach_probe_steps_remaining(), expected) << "cycle " << cycle;
+    for (int64_t i = 0; i < expected; ++i) {
+      swap.OnEngineStep();
+    }
+    ASSERT_TRUE(swap.TryReattachOffloadTier()) << "cycle " << cycle;
+    expected = std::min(expected * 2, SwapManager::kMaxReattachBackoffSteps);
+  }
+  EXPECT_EQ(expected, SwapManager::kMaxReattachBackoffSteps);
+  EXPECT_EQ(swap.stats().reattach_transitions, 10);
+  EXPECT_EQ(swap.stats().degraded_transitions, 10);
+}
+
+TEST(Reattach, IdempotentInBothDirectionsAcrossACycle) {
+  SwapManager swap(TestConfig(), TestCost());
+  FaultInjector fault(QuietFaults());
+  swap.SetFaultInjector(&fault);
+
+  // detach → detach: one transition.
+  Degrade(swap);
+  swap.DegradeToGpuOnly();
+  EXPECT_EQ(swap.stats().degraded_transitions, 1);
+
+  for (int64_t i = 0; i < SwapManager::kInitialReattachBackoffSteps; ++i) {
+    swap.OnEngineStep();
+  }
+  // reattach → reattach: the second call refuses (not degraded), one transition.
+  ASSERT_TRUE(swap.TryReattachOffloadTier());
+  EXPECT_FALSE(swap.TryReattachOffloadTier());
+  EXPECT_EQ(swap.stats().reattach_transitions, 1);
+
+  // And a second full detach is again a clean, gated cycle (now a 16-step window).
+  Degrade(swap);
+  EXPECT_EQ(swap.stats().degraded_transitions, 2);
+  EXPECT_FALSE(swap.TryReattachOffloadTier());
+  EXPECT_EQ(swap.reattach_probe_steps_remaining(),
+            2 * SwapManager::kInitialReattachBackoffSteps);
+}
+
+TEST(Reattach, ResetsTheHostFailureCounterSoTheNextDegradeNeedsAFullBurst) {
+  // Three injected host-pool failures degrade the tier (degrade_after_host_failures = 3).
+  // After a successful reattach the counter must restart from zero: two more failures do NOT
+  // re-degrade, a third does.
+  OffloadConfig config = TestConfig();
+  config.degrade_after_host_failures = 3;
+  FaultConfig fc;
+  JENGA_CHECK(FaultPlan::Parse("host_alloc:every=1", &fc.plan).ok());
+  fc.seed = 0x0FF2;
+  FaultInjector fault(fc);
+  SwapManager swap(config, TestCost());
+  swap.SetFaultInjector(&fault);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_FALSE(swap.TryRecordSwapOut(100 + i, Footprint(64, 4096)).ok());
+  }
+  ASSERT_TRUE(swap.degraded());
+  ASSERT_EQ(swap.stats().host_failures, 3);
+
+  for (int64_t i = 0; i < SwapManager::kInitialReattachBackoffSteps; ++i) {
+    swap.OnEngineStep();
+  }
+  ASSERT_TRUE(swap.TryReattachOffloadTier());
+
+  ASSERT_FALSE(swap.TryRecordSwapOut(200, Footprint(64, 4096)).ok());
+  ASSERT_FALSE(swap.TryRecordSwapOut(201, Footprint(64, 4096)).ok());
+  EXPECT_FALSE(swap.degraded()) << "failure counter was not reset by the reattach";
+  ASSERT_FALSE(swap.TryRecordSwapOut(202, Footprint(64, 4096)).ok());
+  EXPECT_TRUE(swap.degraded());
+  EXPECT_EQ(swap.stats().degraded_transitions, 2);
+}
+
+TEST(Reattach, ProbeClockDoesNotAdvanceWithoutAnInjector) {
+  // Without a FaultInjector OnEngineStep is a no-op (no sites to consult), so the probe
+  // window never elapses — degraded-without-injector is a terminal state by design.
+  SwapManager swap(TestConfig(), TestCost());
+  swap.DegradeToGpuOnly();
+  ASSERT_TRUE(swap.degraded());
+  for (int i = 0; i < 100; ++i) {
+    swap.OnEngineStep();
+  }
+  EXPECT_EQ(swap.reattach_probe_steps_remaining(),
+            SwapManager::kInitialReattachBackoffSteps);
+  EXPECT_FALSE(swap.TryReattachOffloadTier());
+}
+
+}  // namespace
+}  // namespace jenga
