@@ -27,6 +27,7 @@
 #include "src/core/jenga_allocator.h"
 #include "src/engine/engine.h"
 #include "src/engine/kv_manager.h"
+#include "src/metrics/step_profiler.h"
 #include "src/model/kv_spec.h"
 #include "src/model/model_zoo.h"
 #include "src/offload/swap_manager.h"
@@ -271,6 +272,50 @@ double MicroElasticResizeCycle(int64_t cycles) {
   return static_cast<double>(cycles) / Seconds(begin, end);
 }
 
+// Deadline bookkeeping alone: one long decode keeps the engine busy while 4k not-yet-
+// arrived requests sit parked in the waiting queue with deadlines staggered one step
+// apart (~1 expiry per step, so the heap fast path stays on). The legacy ExpireDeadlines
+// rescanned both scheduler queues on every step that had any deadline in flight —
+// O(requests) per step even when nothing expired; the heap is O(1) on a quiet step and
+// O(log n) per expiry. Counts engine steps per second over the decode run.
+double MicroDeadlineSweep(int64_t steps) {
+  constexpr int kParked = 4096;
+  const auto build = [steps](double horizon) {
+    EngineConfig config = JengaProfile(Gemma2_9B(), H100());
+    config.memory_sample_every = 0;
+    auto engine = std::make_unique<Engine>(std::move(config));
+    engine->Submit(MakeRequest(0, ChurnPrompt(0, 64), /*output_len=*/steps, 0.0));
+    for (int i = 0; i < kParked; ++i) {
+      Request r = MakeRequest(1 + i, ChurnPrompt(1 + i, 16), /*output_len=*/4,
+                              /*arrival_time=*/1e9);
+      // Spacing horizon/steps puts ~1 expiry per step; requests past the horizon expire in
+      // one batch when the engine finally jumps toward the parked arrivals.
+      r.deadline = horizon > 0
+                       ? horizon * static_cast<double>(i + 1) / static_cast<double>(steps)
+                       : 1e8;
+      engine->Submit(std::move(r));
+    }
+    return engine;
+  };
+  // Probe pass: learn the decode run's simulated duration so the timed pass can stagger
+  // deadlines across it. Deadlines sit far in the future here, so none expire mid-run.
+  double horizon;
+  {
+    const auto probe = build(/*horizon=*/-1.0);
+    probe->StepOnce();  // Admits the decode; the parked arrivals stay queued behind it.
+    for (int64_t guard = 0; probe->num_running() > 0 && guard < 4 * steps + 64; ++guard) {
+      probe->StepOnce();
+    }
+    horizon = probe->now();
+  }
+  const auto engine = build(horizon);
+  const auto begin = Clock::now();
+  engine->RunToCompletion();
+  const auto end = Clock::now();
+  g_sink = g_sink + engine->metrics().deadline_expirations;
+  return static_cast<double>(engine->metrics().total_steps()) / Seconds(begin, end);
+}
+
 // --- Macro: end-to-end engine steps/sec across heterogeneous zoo models ---
 
 struct E2eSpec {
@@ -364,6 +409,42 @@ E2eResult RunE2e(const E2eSpec& spec) {
     result.step_p95_us = pct(0.95);
   }
   return result;
+}
+
+// --- Profiled pass: per-phase step attribution (--profile / --profile-only) ---
+
+// Runs a spec once more with the StepProfiler attached and emits per-phase share keys.
+// Shares (percent of stepped wall time) rather than absolute ns: they are stable across
+// machines, which is what the check.sh profile-smoke snapshot comparison needs.
+void RunE2eProfiled(const E2eSpec& spec, std::map<std::string, double>& current) {
+  EngineConfig config = JengaProfile(spec.model, H100());
+  config.memory_sample_every = 0;
+  Engine engine(std::move(config));
+  StepProfiler profiler;
+  engine.set_step_profiler(&profiler);
+  for (const Request& r : spec.requests) {
+    engine.Submit(r);
+  }
+  engine.RunToCompletion();
+
+  const int64_t total_ns = profiler.total_ns();
+  PrintRow({{34, "profiler." + spec.key},
+            {10, FmtI(profiler.steps())},
+            {12, Fmt("%.2fms", static_cast<double>(total_ns) * 1e-6)},
+            {16, Fmt("%.1f ns/step",
+                     profiler.steps() > 0
+                         ? static_cast<double>(total_ns) / static_cast<double>(profiler.steps())
+                         : 0.0)}});
+  for (int p = 0; p < kNumStepPhases; ++p) {
+    const auto phase = static_cast<StepPhase>(p);
+    const double share_pct = profiler.PhaseShare(phase) * 100.0;
+    current["profiler." + spec.key + "." + StepPhaseName(phase) + ".share_pct"] = share_pct;
+    const StepProfiler::PhaseStats& stats = profiler.phase(phase);
+    PrintRow({{34, std::string("  ") + StepPhaseName(phase)},
+              {10, Fmt("%.1f%%", share_pct)},
+              {12, Fmt("%.2fms", static_cast<double>(stats.ns) * 1e-6)},
+              {16, FmtI(stats.calls) + " calls"}});
+  }
 }
 
 // --- Minimal JSON plumbing (flat string→number maps; no external deps) ---
@@ -463,26 +544,60 @@ bool WriteJson(const std::string& path, const std::string& mode,
   return true;
 }
 
-// Perf gate (check.sh): every micro.*, elastic.*, frontend.*, and fleet.* metric present in
-// both runs must stay within `kGateTolerance` of the baseline. E2e metrics are reported but
-// not gated — they move with machine load; the micros and the elastic resize cycle are tight
-// loops whose regressions are real, the frontend keys ride on a min-over-runs committed
-// floor, and the fleet hit rates are deterministic (seeded single-threaded router).
+// Perf gate (check.sh): every micro.*, elastic.*, frontend.*, fleet.*, and e2e steps/s
+// metric present in both runs must stay within `kGateTolerance` of the baseline. The micros
+// and the elastic resize cycle are tight loops whose regressions are real, the frontend and
+// e2e keys ride on min-over-runs committed floors (best-of-3 in check.sh absorbs load
+// spikes), and the fleet hit rates are deterministic (seeded single-threaded router). E2e
+// step latency percentiles (step_p50/p95_us) are reported but never gated: they are
+// lower-is-better, so the floor rule would reject improvements.
 constexpr double kGateTolerance = 0.90;
 
+// profiler.* phase shares use a separate regression rule: a phase share may not blow up past
+// `kProfileShareFactor`× its snapshot (with an absolute grace of kProfileShareGracePct to
+// keep sub-percent phases from tripping on noise). Shares are ratios, so the 0.90 floor rule
+// does not apply — a share that *shrinks* is an improvement in whatever grew instead.
+constexpr double kProfileShareFactor = 3.0;
+constexpr double kProfileShareGracePct = 2.0;
+
 bool IsGatedKey(const std::string& key) {
+  if (key.rfind("e2e.", 0) == 0) {
+    constexpr const char* kSuffix = ".steps_per_s";
+    return key.size() > std::strlen(kSuffix) &&
+           key.compare(key.size() - std::strlen(kSuffix), std::string::npos, kSuffix) == 0;
+  }
   return key.rfind("micro.", 0) == 0 || key.rfind("elastic.", 0) == 0 ||
          key.rfind("frontend.", 0) == 0 || key.rfind("fleet.", 0) == 0;
 }
+
+bool IsProfileKey(const std::string& key) { return key.rfind("profiler.", 0) == 0; }
+
+// Key family = prefix up to the first '.' ("micro", "e2e", "profiler", ...).
+std::string KeyFamily(const std::string& key) { return key.substr(0, key.find('.')); }
 
 bool GatePasses(const std::map<std::string, double>& baseline,
                 const std::map<std::string, double>& current) {
   bool ok = true;
   for (const auto& [key, base] : baseline) {
+    const auto it = current.find(key);
+    if (IsProfileKey(key)) {
+      // Phase-share regression: only checked when this run produced profiler keys at all
+      // (the plain perf-gate stage runs without --profile; profile-smoke covers these).
+      if (it == current.end()) {
+        continue;
+      }
+      const double limit = std::max(base * kProfileShareFactor, base + kProfileShareGracePct);
+      if (it->second > limit) {
+        std::printf("gate: FAIL %s share %.1f%% -> %.1f%% (> %.1f%% = max(%gx, +%gpp))\n",
+                    key.c_str(), base, it->second, limit, kProfileShareFactor,
+                    kProfileShareGracePct);
+        ok = false;
+      }
+      continue;
+    }
     if (!IsGatedKey(key) || base <= 0) {
       continue;
     }
-    const auto it = current.find(key);
     if (it == current.end()) {
       std::printf("gate: MISSING %s (present in baseline)\n", key.c_str());
       ok = false;
@@ -500,10 +615,32 @@ bool GatePasses(const std::map<std::string, double>& baseline,
   // Fail loudly with the regeneration hint instead of passing vacuously.
   for (const auto& [key, value] : current) {
     (void)value;
-    if (IsGatedKey(key) && baseline.find(key) == baseline.end()) {
+    if ((IsGatedKey(key) || IsProfileKey(key)) && baseline.find(key) == baseline.end()) {
       std::printf("gate: STALE baseline schema — %s is not in the baseline; regenerate it "
-                  "(bench_perf --quick --out BENCH_perf_quick.json) and commit\n",
+                  "(bench_perf --profile --quick --out BENCH_perf_quick.json) and commit\n",
                   key.c_str());
+      ok = false;
+    }
+  }
+  // Family guard: a baseline missing a whole key family the bench currently emits (e.g. a
+  // hand-pruned file, or one predating the e2e./profiler. families) used to pass silently
+  // because the per-key stale check above only covers gated keys. Any emitted family must
+  // have at least one baseline entry.
+  for (const auto& [key, value] : current) {
+    (void)value;
+    const std::string family = KeyFamily(key);
+    bool found = false;
+    for (auto it = baseline.lower_bound(family); it != baseline.end(); ++it) {
+      if (KeyFamily(it->first) != family) {
+        break;
+      }
+      found = true;
+      break;
+    }
+    if (!found) {
+      std::printf("gate: FAIL baseline has no %s.* keys but the bench emits them; regenerate "
+                  "the baseline (bench_perf --profile --quick --out BENCH_perf_quick.json)\n",
+                  family.c_str());
       ok = false;
     }
   }
@@ -511,10 +648,64 @@ bool GatePasses(const std::map<std::string, double>& baseline,
   return ok;
 }
 
-bool Run(bool quick, bool gate, const std::string& out_path, const std::string& baseline_path) {
+// profile: 0 = off, 1 = profiled pass after the standard suite (--profile),
+//          2 = profiled pass only (--profile-only; skips micros/frontend/fleet/e2e timing).
+bool Run(bool quick, bool gate, int profile, const std::string& out_path,
+         const std::string& baseline_path) {
   PrintHeader(std::string("bench_perf: allocator + engine hot-path trajectory (") +
               (quick ? "quick" : "full") + " mode)");
   std::map<std::string, double> current;
+
+  if (profile == 2) {
+    PrintRow({{34, "step profiler (exclusive time)"},
+              {10, "steps"},
+              {14, "ns/step"}});
+    PrintRule();
+    for (const E2eSpec& spec : MakeE2eSpecs(quick)) {
+      RunE2eProfiled(spec, current);
+    }
+    std::map<std::string, double> baseline;
+    if (!baseline_path.empty()) {
+      std::ifstream file(baseline_path);
+      if (file) {
+        std::ostringstream text;
+        text << file.rdbuf();
+        baseline = ParseFlatNumbers(ExtractObject(text.str(), "current"));
+      }
+    }
+    if (!WriteJson(out_path, quick ? "quick" : "full", baseline, current)) {
+      return false;
+    }
+    if (gate) {
+      if (baseline.empty()) {
+        std::printf("gate: FAIL (no readable baseline at %s)\n", baseline_path.c_str());
+        return false;
+      }
+      // Profile-only emits a single family; the full-suite family/stale guards would demand
+      // micros we deliberately skipped, so gate just the profiler share rule here.
+      bool ok = true;
+      for (const auto& [key, share] : current) {
+        const auto it = baseline.find(key);
+        if (it == baseline.end()) {
+          std::printf("gate: STALE baseline schema — %s is not in the baseline; regenerate "
+                      "the snapshot (bench_perf --profile --quick) and commit\n",
+                      key.c_str());
+          ok = false;
+          continue;
+        }
+        const double limit =
+            std::max(it->second * kProfileShareFactor, it->second + kProfileShareGracePct);
+        if (share > limit) {
+          std::printf("gate: FAIL %s share %.1f%% -> %.1f%% (> %.1f%%)\n", key.c_str(),
+                      it->second, share, limit);
+          ok = false;
+        }
+      }
+      std::printf("gate: %s\n", ok ? "PASS" : "FAIL");
+      return ok;
+    }
+    return true;
+  }
 
   PrintRow({{34, "micro benchmark"}, {16, "ops/sec"}});
   PrintRule();
@@ -530,6 +721,7 @@ bool Run(bool quick, bool gate, const std::string& out_path, const std::string& 
       {"micro.admission_readmit.ops_per_s", MicroAdmissionReadmit(1500 * scale)},
       {"micro.evictor_churn.ops_per_s", MicroEvictorChurn(250000 * scale)},
       {"micro.meta_reads.ops_per_s", MicroMetaReads(1250000 * scale)},
+      {"micro.deadline_sweep.steps_per_s", MicroDeadlineSweep(512 * scale)},
       {"elastic.resize_cycle.ops_per_s", MicroElasticResizeCycle(25000 * scale)},
   };
   for (const auto& micro : micros) {
@@ -600,6 +792,17 @@ bool Run(bool quick, bool gate, const std::string& out_path, const std::string& 
                        Fmt("%.0fus", result.step_p95_us)}});
   }
 
+  if (profile == 1) {
+    std::printf("\n");
+    PrintRow({{34, "step profiler (exclusive time)"},
+              {10, "steps"},
+              {14, "ns/step"}});
+    PrintRule();
+    for (const E2eSpec& spec : MakeE2eSpecs(quick)) {
+      RunE2eProfiled(spec, current);
+    }
+  }
+
   std::map<std::string, double> baseline;
   if (!baseline_path.empty()) {
     std::ifstream file(baseline_path);
@@ -644,6 +847,7 @@ bool Run(bool quick, bool gate, const std::string& out_path, const std::string& 
 int main(int argc, char** argv) {
   bool quick = false;
   bool gate = false;
+  int profile = 0;
   std::string out_path = "BENCH_perf.json";
   std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
@@ -651,15 +855,21 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (std::strcmp(argv[i], "--gate") == 0) {
       gate = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = 1;
+    } else if (std::strcmp(argv[i], "--profile-only") == 0) {
+      profile = 2;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--gate] [--out path] [--baseline path]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--gate] [--profile|--profile-only] [--out path] "
+                   "[--baseline path]\n",
                    argv[0]);
       return 2;
     }
   }
-  return jenga::Run(quick, gate, out_path, baseline_path) ? 0 : 1;
+  return jenga::Run(quick, gate, profile, out_path, baseline_path) ? 0 : 1;
 }

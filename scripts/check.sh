@@ -75,8 +75,11 @@ if [[ ! -r "$repo/BENCH_perf_quick.json" ]]; then
   echo "check.sh: regenerate it with: $build/bench/bench_perf --quick --out $repo/BENCH_perf_quick.json  (then commit it)" >&2
   exit 1
 fi
-for gated_key in micro.alloc_release.ops_per_s elastic.resize_cycle.ops_per_s \
-                 frontend.admit_4p.req_per_s fleet.route_4r.ops_per_s; do
+for gated_key in micro.alloc_release.ops_per_s micro.deadline_sweep.steps_per_s \
+                 elastic.resize_cycle.ops_per_s \
+                 frontend.admit_4p.req_per_s fleet.route_4r.ops_per_s \
+                 e2e.jamba-52b-fp8.mmlu.steps_per_s \
+                 profiler.gemma-2-9b.mmlu.commit.share_pct; do
   if ! grep -q "\"$gated_key\"" "$repo/BENCH_perf_quick.json"; then
     echo "check.sh: BENCH_perf_quick.json is stale — gated metric $gated_key is absent." >&2
     echo "check.sh: regenerate it with: $build/bench/bench_perf --quick --out $repo/BENCH_perf_quick.json  (then commit it)" >&2
@@ -97,6 +100,25 @@ if [[ "$perf_gate_ok" != "1" ]]; then
   exit 1
 fi
 
+# Profile smoke (DESIGN.md §12): the profiled e2e pass with its share gate — any phase
+# whose exclusive-time share grows past max(3x, +2pp) of the committed snapshot fails.
+# This catches a hot-path regression hiding inside an unchanged steps/s total (e.g. work
+# migrating into a phase the micros don't cover). Shares are ratios of small wall-times,
+# so best-of-3 damps scheduler noise exactly like the perf gate above.
+profile_smoke_ok=0
+for attempt in 1 2 3; do
+  if "$build/bench/bench_perf" --profile-only --quick --gate \
+      --baseline "$repo/BENCH_perf_quick.json" --out "$build/BENCH_profile_quick.json"; then
+    profile_smoke_ok=1
+    break
+  fi
+  echo "check.sh: profile smoke attempt $attempt failed, retrying"
+done
+if [[ "$profile_smoke_ok" != "1" ]]; then
+  echo "check.sh: profile smoke failed (3 attempts)" >&2
+  exit 1
+fi
+
 if [[ "${JENGA_SKIP_SANITIZERS:-0}" != "1" ]]; then
   # TSan pass over the concurrency suite (CMakePresets.json `tsan`): the MPSC queue, the
   # sharded claim index, the serving frontend, the multi-producer stress harness, the
@@ -108,11 +130,16 @@ if [[ "${JENGA_SKIP_SANITIZERS:-0}" != "1" ]]; then
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all -fno-omit-frame-pointer -O1 -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  # step_profiler_test and deadline_heap_test ride along: single-threaded, but they pin the
+  # profiler attach contract and deadline-heap audit under the TSan build's different
+  # optimization/timing profile for almost no extra build cost.
   cmake --build "$tsan_build" -j "$(nproc)" \
     --target mpsc_queue_test shard_claim_test frontend_test frontend_stress_test \
-             fleet_stress_test fleet_shutdown_test fleet_chaos_test fleet_elastic_test
+             fleet_stress_test fleet_shutdown_test fleet_chaos_test fleet_elastic_test \
+             step_profiler_test deadline_heap_test
   for tsan_test in mpsc_queue_test shard_claim_test frontend_test frontend_stress_test \
-                   fleet_stress_test fleet_shutdown_test fleet_chaos_test fleet_elastic_test; do
+                   fleet_stress_test fleet_shutdown_test fleet_chaos_test fleet_elastic_test \
+                   step_profiler_test deadline_heap_test; do
     TSAN_OPTIONS="halt_on_error=1" "$tsan_build/tests/$tsan_test"
   done
 

@@ -91,6 +91,21 @@ class JengaAllocator final : public LargePageProvider {
   };
   [[nodiscard]] MemoryBreakdown GetBreakdown() const;
 
+  // O(1) pool occupancy in [0, 1]: fraction of capacity held by any group, identical to
+  // 1 − unallocated/pool from GetBreakdown but without the per-group stats walk (and without
+  // the per-request needed-bytes walk of KvManager::GetMemoryStats). The shed gate and the
+  // elastic governor probe this every step, so it must stay counter-only. 0 on an empty pool.
+  [[nodiscard]] double Occupancy() const {
+    const int64_t pool =
+        static_cast<int64_t>(lcm_.num_pages()) * lcm_.large_page_bytes() + lcm_.slack_bytes();
+    if (pool <= 0) {
+      return 0.0;
+    }
+    const int64_t unallocated =
+        static_cast<int64_t>(lcm_.num_free()) * lcm_.large_page_bytes() + lcm_.slack_bytes();
+    return 1.0 - static_cast<double>(unallocated) / static_cast<double>(pool);
+  }
+
   void CheckConsistency() const;
 
  private:

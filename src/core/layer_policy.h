@@ -114,6 +114,16 @@ class LayerPolicy {
   // attention must keep everything.
   [[nodiscard]] virtual bool CanDropUnneededPages() const { return false; }
 
+  // True when UpdateLastAccess refreshes every page the request still holds resident —
+  // either because the needed ranges always cover the full prefix (full attention, image
+  // caches) or because pages outside the ranges are dropped as they fall out (sliding window
+  // and pyramid, provided DropUnneededPages actually runs). KvManager uses this to defer the
+  // per-step O(pages) refresh to a single per-group timestamp applied at release/drop time:
+  // while a page is used its last-access is unobservable, so the deferred value — the tick of
+  // the owner's last computed step — is exactly what the eager loop would have left behind.
+  // Mamba returns false (it refreshes only the newest state page, which is O(1) eagerly).
+  [[nodiscard]] virtual bool RefreshCoversResidentPages() const { return false; }
+
   // Host-offload eligibility: whether this group's pages are worth moving over PCIe instead
   // of recomputing. Full-prefix KV, Mamba states, and vision embeddings are (the state is
   // expensive or impossible to recompute cheaply); sliding-window tails and pyramid middles
@@ -132,6 +142,7 @@ class FullPrefixPolicy : public LayerPolicy {
     }
     return {{0, num_tokens}};
   }
+  [[nodiscard]] bool RefreshCoversResidentPages() const override { return true; }
 };
 
 // Sliding-window attention: only the trailing `window` tokens are needed (§5.3, Figure 9b).
@@ -142,6 +153,7 @@ class SlidingWindowPolicy : public LayerPolicy {
   [[nodiscard]] std::vector<TokenRange> NeededTokenRanges(int64_t num_tokens) const override;
   [[nodiscard]] bool CanDropUnneededPages() const override { return true; }
   [[nodiscard]] bool SwapEligible() const override { return false; }
+  [[nodiscard]] bool RefreshCoversResidentPages() const override { return true; }
   [[nodiscard]] int window() const { return window_; }
 
  private:
@@ -157,6 +169,7 @@ class PyramidPolicy : public LayerPolicy {
   [[nodiscard]] std::vector<TokenRange> NeededTokenRanges(int64_t num_tokens) const override;
   [[nodiscard]] bool CanDropUnneededPages() const override { return true; }
   [[nodiscard]] bool SwapEligible() const override { return false; }
+  [[nodiscard]] bool RefreshCoversResidentPages() const override { return true; }
 
  private:
   int token_budget_;
@@ -201,6 +214,7 @@ class ImageCachePolicy : public LayerPolicy {
     return {{0, num_tokens}};
   }
   void SetPrefixLength(const RequestPages& request, GroupCacheOps& ops) const override;
+  [[nodiscard]] bool RefreshCoversResidentPages() const override { return true; }
 
  private:
   int tokens_per_image_;

@@ -64,11 +64,17 @@ bool SmallPageAllocator::IsValidEmpty(const FreeRef& ref) const {
 }
 
 std::optional<SmallPageId> SmallPageAllocator::PopRequestFree(RequestId request) {
-  const auto it = empty_by_request_.find(request);
-  if (it == empty_by_request_.end()) {
-    return std::nullopt;
+  std::vector<FreeRef>* refs_ptr = refs_cache_;
+  if (request != refs_cache_key_ || refs_ptr == nullptr) {
+    const auto it = empty_by_request_.find(request);
+    if (it == empty_by_request_.end()) {
+      return std::nullopt;
+    }
+    refs_cache_key_ = request;
+    refs_cache_ = &it->second;
+    refs_ptr = refs_cache_;
   }
-  std::vector<FreeRef>& refs = it->second;
+  std::vector<FreeRef>& refs = *refs_ptr;
   while (!refs.empty()) {
     const FreeRef ref = refs.back();
     refs.pop_back();
@@ -82,7 +88,8 @@ std::optional<SmallPageId> SmallPageAllocator::PopRequestFree(RequestId request)
       return ref.page;
     }
   }
-  empty_by_request_.erase(it);
+  InvalidateRefsCacheFor(request);
+  empty_by_request_.erase(request);
   return std::nullopt;
 }
 
@@ -120,6 +127,9 @@ void SmallPageAllocator::MaybeCompactFreeLists() {
   if (static_cast<size_t>(by_request_refs_) > kFreeListCompactFloor &&
       by_request_refs_ > 2 * empty_count_) {
     by_request_refs_ = 0;
+    // The sweep erases arbitrary entries; drop the association cache wholesale.
+    refs_cache_key_ = kNoRequest;
+    refs_cache_ = nullptr;
     for (auto it = empty_by_request_.begin(); it != empty_by_request_.end();) {
       std::erase_if(it->second, stale);
       if (it->second.empty()) {
@@ -174,7 +184,7 @@ std::optional<SmallPageId> SmallPageAllocator::Allocate(RequestId request, Tick 
     empty_count_ += pages_per_large_;
     JENGA_AUDIT_HOOK(audit_, OnLargeAcquired(group_index_, *large, request));
     const SmallPageId base = static_cast<SmallPageId>(*large) * pages_per_large_;
-    std::vector<FreeRef>& request_refs = empty_by_request_[request];
+    std::vector<FreeRef>& request_refs = RefsFor(request);
     if (claims_ == nullptr) {
       for (int slot = 1; slot < pages_per_large_; ++slot) {
         const FreeRef ref{base + slot, entry.slots[static_cast<size_t>(slot)].epoch};
@@ -347,7 +357,7 @@ void SmallPageAllocator::TransitionToEmpty(SmallPageId page) {
   }
 
   const FreeRef ref{page, meta.epoch};
-  empty_by_request_[meta.assoc].push_back(ref);
+  RefsFor(meta.assoc).push_back(ref);
   by_request_refs_ += 1;
   if (claims_ == nullptr) {
     empty_any_.push_back(ref);
@@ -445,6 +455,7 @@ void SmallPageAllocator::ForgetRequest(RequestId request) {
     return;
   }
   by_request_refs_ -= static_cast<int64_t>(it->second.size());
+  InvalidateRefsCacheFor(request);
   empty_by_request_.erase(it);
   JENGA_AUDIT_HOOK(audit_, OnRequestForgotten(group_index_, request));
 }

@@ -221,6 +221,26 @@ class SmallPageAllocator final : public GroupCacheOps {
   // valid refs is preserved, so the pop sequence — and allocation placement — is unchanged.
   void MaybeCompactFreeLists();
 
+  // empty_by_request_ entry for `request`, inserting if absent, through the one-entry
+  // association cache: burst releases (a finished request freeing its whole page table) and
+  // burst allocations hit the same key back to back, so the repeated hash lookup collapses
+  // to one pointer compare. unordered_map mapped references are stable under insert and
+  // rehash, so the cached pointer stays valid until the entry itself is erased — every
+  // erase site must call InvalidateRefsCacheFor (or drop the cache wholesale).
+  [[nodiscard]] std::vector<FreeRef>& RefsFor(RequestId request) {
+    if (request != refs_cache_key_ || refs_cache_ == nullptr) {
+      refs_cache_key_ = request;
+      refs_cache_ = &empty_by_request_[request];
+    }
+    return *refs_cache_;
+  }
+  void InvalidateRefsCacheFor(RequestId request) {
+    if (request == refs_cache_key_) {
+      refs_cache_key_ = kNoRequest;
+      refs_cache_ = nullptr;
+    }
+  }
+
   // empty → used for `request`.
   void ClaimEmpty(SmallPageId page, RequestId request, Tick now);
   // evictable/used(ref 0) → empty; may return the large page to the LCM allocator.
@@ -244,6 +264,9 @@ class SmallPageAllocator final : public GroupCacheOps {
   // Dense slab over the whole pool; larges_[id].resident marks the pages this group holds.
   std::vector<LargeEntry> larges_;
   std::unordered_map<RequestId, std::vector<FreeRef>> empty_by_request_;
+  // One-entry cache over empty_by_request_ (see RefsFor); kNoRequest/nullptr when invalid.
+  RequestId refs_cache_key_ = kNoRequest;
+  std::vector<FreeRef>* refs_cache_ = nullptr;
   std::vector<FreeRef> empty_any_;
   // Sharded mode only (shards > 1); nullptr means the legacy empty_any_ list is in charge.
   std::unique_ptr<ShardedClaimIndex> claims_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 
 #include "src/common/check.h"
@@ -18,6 +19,14 @@ int32_t PseudoToken(RequestId id, int64_t position) {
   x *= 0xFF51AFD7ED558CCDull;
   x ^= x >> 29;
   return static_cast<int32_t>(50000 + (x % 1000000));
+}
+
+// Differential audit of the deadline heap against the brute-force queue scan. Off by default
+// (the reference pass is the O(requests) scan the heap exists to avoid); the fuzz stage
+// enables it.
+bool DeadlineHeapAuditEnabled() {
+  static const bool enabled = std::getenv("JENGA_CHECK_DEADLINES") != nullptr;
+  return enabled;
 }
 
 }  // namespace
@@ -115,6 +124,7 @@ void Engine::Submit(Request request) {
   JENGA_CHECK(!requests_.contains(id)) << "duplicate request id " << id;
   if (request.deadline >= 0.0) {
     has_deadlines_ = true;
+    deadlines_.Push(request.deadline, id);
   }
   requests_.emplace(id, std::move(request));
   waiting_.PushBack(id);
@@ -142,6 +152,11 @@ int64_t Engine::EffectiveOutputLen(const Request& r) const {
 }
 
 void Engine::Preempt(RequestId id, bool allow_swap) {
+  // The whole preemption — TrimToComputed, the swap decision, and the release-to-cache walk —
+  // bills to kEvictPreempt, pausing whatever scope drove it (e.g. kAllocate when an
+  // allocation failure preempts from the back). In particular the PR 9 trim is preemption
+  // work, not eviction/commit work (micro.cache_churn_offload attribution).
+  StepProfiler::Scope prof_scope(prof_, StepPhase::kEvictPreempt);
   Request& r = Get(id);
   // Return any retained-but-uncomputed chunk pages (injected step fault retry window) before
   // snapshotting: the swap fingerprint and cost footprint must cover the committed state only.
@@ -244,43 +259,78 @@ std::vector<RequestId> Engine::ActiveRequests() const {
 }
 
 void Engine::ExpireDeadlines() {
-  // Collect ids first: cancellation mutates the queues. Waiting before running, each in
-  // queue order, keeps the cancel order deterministic.
-  std::vector<RequestId> expired;
-  for (RequestId id = waiting_.front(); id != kNoRequest; id = waiting_.Next(id)) {
-    const Request& r = Get(id);
-    if (r.deadline >= 0.0 && r.deadline <= now_) {
-      expired.push_back(id);
+  // Heap-first: O(1) when the earliest deadline is still in the future (the common step),
+  // O(log n) per expiry. Stale entries — requests that finished, failed, or were cancelled
+  // before their deadline — surface at the top and are discarded here (lazy deletion).
+  expired_buf_.clear();
+  while (deadlines_.HasExpired(now_)) {
+    const RequestId id = deadlines_.PopTop().id;
+    const auto it = requests_.find(id);
+    if (it != requests_.end() && it->second.state != RequestState::kFinished) {
+      expired_buf_.push_back(id);
     }
   }
-  for (RequestId id = running_.front(); id != kNoRequest; id = running_.Next(id)) {
-    const Request& r = Get(id);
-    if (r.deadline >= 0.0 && r.deadline <= now_) {
-      expired.push_back(id);
+  if (expired_buf_.empty()) {
+    return;
+  }
+  if (expired_buf_.size() > 1) {
+    // Several requests expired on the same step: the heap yields them in deadline order, but
+    // the cancel order must be queue order (waiting first, then running — cancellation
+    // mutates the queues and every downstream release/eviction tie-break sees it), so
+    // re-collect the same set by scanning the queues like the pre-heap implementation did.
+    expired_buf_.clear();
+    for (RequestId id = waiting_.front(); id != kNoRequest; id = waiting_.Next(id)) {
+      const Request& r = Get(id);
+      if (r.deadline >= 0.0 && r.deadline <= now_) {
+        expired_buf_.push_back(id);
+      }
+    }
+    for (RequestId id = running_.front(); id != kNoRequest; id = running_.Next(id)) {
+      const Request& r = Get(id);
+      if (r.deadline >= 0.0 && r.deadline <= now_) {
+        expired_buf_.push_back(id);
+      }
     }
   }
-  for (const RequestId id : expired) {
+  if (DeadlineHeapAuditEnabled()) [[unlikely]] {
+    CheckDeadlineHeapAgainstScan();
+  }
+  for (const RequestId id : expired_buf_) {
     metrics_.deadline_expirations += 1;
     JENGA_CHECK(CancelRequest(id));
   }
 }
 
-void Engine::MaybeShedHead() {
-  if (config_.shed_after_blocked_steps <= 0 || waiting_.empty()) {
-    return;
+void Engine::CheckDeadlineHeapAgainstScan() {
+  // Fuzz arm (JENGA_CHECK_DEADLINES): the heap-collected expired set must equal the
+  // brute-force queue scan in content; for multi-expiry steps the order must match too
+  // (the single-expiry fast path trivially agrees on order).
+  std::vector<RequestId> reference;
+  for (RequestId id = waiting_.front(); id != kNoRequest; id = waiting_.Next(id)) {
+    const Request& r = Get(id);
+    if (r.deadline >= 0.0 && r.deadline <= now_) {
+      reference.push_back(id);
+    }
   }
-  if (head_blocked_steps_ < config_.shed_after_blocked_steps) {
-    return;
+  for (RequestId id = running_.front(); id != kNoRequest; id = running_.Next(id)) {
+    const Request& r = Get(id);
+    if (r.deadline >= 0.0 && r.deadline <= now_) {
+      reference.push_back(id);
+    }
   }
+  JENGA_CHECK_EQ(reference.size(), expired_buf_.size())
+      << "deadline heap expired-set size diverges from brute-force scan at now=" << now_;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    JENGA_CHECK_EQ(reference[i], expired_buf_[i])
+        << "deadline heap expiry order diverges from brute-force scan at now=" << now_;
+  }
+}
+
+void Engine::MaybeShedHeadSlow() {
   // Only shed under genuine memory pressure: a head blocked below the watermark is waiting
   // on a transient condition (e.g. a scheduled batch), not on an over-committed pool.
-  const KvManager::MemoryStats stats = kv_->GetMemoryStats();
-  if (stats.pool_bytes <= 0) {
-    return;
-  }
-  const double occupancy =
-      1.0 - static_cast<double>(stats.unallocated_bytes) / static_cast<double>(stats.pool_bytes);
-  if (occupancy < config_.shed_occupancy_watermark) {
+  // Counter-only occupancy probe — no request-table walk on the common blocked step.
+  if (kv_->allocator().Occupancy() < config_.shed_occupancy_watermark) {
     return;
   }
   const RequestId head = waiting_.PopFront();
@@ -295,12 +345,9 @@ void Engine::MaybeShedHead() {
 }
 
 double Engine::PoolOccupancy() const {
-  const KvManager::MemoryStats stats = kv_->GetMemoryStats();
-  if (stats.pool_bytes <= 0) {
-    return 0.0;
-  }
-  return 1.0 -
-         static_cast<double>(stats.unallocated_bytes) / static_cast<double>(stats.pool_bytes);
+  // O(1): the governor calls this on every non-cooldown step (see MemoryGovernor), so it
+  // must not recompute the full memory-stats walk.
+  return kv_->allocator().Occupancy();
 }
 
 int32_t Engine::PoolPages() const { return kv_->allocator().lcm().num_pages(); }
@@ -449,8 +496,8 @@ bool Engine::ShedOldestWaiting() {
   return true;
 }
 
-void Engine::SyncFaultMetrics() {
-  if (fault_ != nullptr) [[unlikely]] {
+void Engine::SyncFaultMetricsSlow() {
+  if (fault_ != nullptr) {
     metrics_.faults_injected = fault_->total_fires();
   }
   if (swap_ != nullptr) {
@@ -552,18 +599,22 @@ bool Engine::StepOnce() {
   if (running_.empty() && waiting_.empty()) {
     return false;
   }
+  StepProfiler::StepScope prof_step(prof_);
   if (step_hook_ != nullptr) [[unlikely]] {
     // Quiesce point: no request is mid-step, so the governor may preempt, shed, resize, or
     // repartition here. It may also drain the last pending work.
+    StepProfiler::Scope prof_scope(prof_, StepPhase::kHookDispatch);
     step_hook_->OnStepBoundary(*this);
     if (running_.empty() && waiting_.empty()) {
       return false;
     }
   }
-  if (has_deadlines_) {
+  if (has_deadlines_) [[unlikely]] {
+    StepProfiler::Scope prof_scope(prof_, StepPhase::kDeadlineExpiry);
     ExpireDeadlines();
   }
   if (fault_ != nullptr && swap_ != nullptr) [[unlikely]] {
+    StepProfiler::Scope prof_scope(prof_, StepPhase::kHookDispatch);
     swap_->OnEngineStep();  // Host memory-pressure site (forced shrink / degrade).
   }
   // Fast-forward to the next arrival when idle.
@@ -588,103 +639,133 @@ bool Engine::StepOnce() {
   scheduled.clear();
   double vision_time = 0.0;
 
-  // Phase 1: running requests, FCFS. Decode requests take one token; prefilling requests take
-  // a chunk. Allocation failure preempts from the back of the running list.
-  for (RequestId id = running_.front(); id != kNoRequest;) {
-    Request& r = Get(id);
-    const bool prefill = r.InPrefill();
-    int64_t n = prefill ? std::min<int64_t>(r.prompt_len() - r.num_computed_tokens, budget) : 1;
-    if (budget <= 0 || n <= 0) {
-      id = running_.Next(id);
-      continue;
-    }
-    n = std::min<int64_t>(n, budget);
-    bool self_preempted = false;
-    while (!kv_->AllocateForTokens(r, n, tick_)) {
-      const RequestId victim = running_.back();
-      Preempt(victim);
-      if (victim == id) {
-        self_preempted = true;
+  {
+    StepProfiler::Scope prof_schedule(prof_, StepPhase::kSchedule);
+    // Phase 1: running requests, FCFS. Decode requests take one token; prefilling requests
+    // take a chunk. Allocation failure preempts from the back of the running list.
+    for (RequestId id = running_.front(); id != kNoRequest;) {
+      Request& r = Get(id);
+      const bool prefill = r.InPrefill();
+      int64_t n = prefill ? std::min<int64_t>(r.prompt_len() - r.num_computed_tokens, budget) : 1;
+      if (budget <= 0 || n <= 0) {
+        id = running_.Next(id);
+        continue;
+      }
+      n = std::min<int64_t>(n, budget);
+      bool self_preempted = false;
+      {
+        StepProfiler::Scope prof_alloc(prof_, StepPhase::kAllocate);
+        while (!kv_->AllocateForTokens(r, n, tick_)) {
+          const RequestId victim = running_.back();
+          Preempt(victim);
+          if (victim == id) {
+            self_preempted = true;
+            break;
+          }
+        }
+      }
+      if (self_preempted) {
+        // Every entry after `id` was preempted (back-first) before `id` itself was; nothing
+        // is left to visit. The successor must be read after the preempt loop either way —
+        // the loop unlinks it.
         break;
       }
+      {
+        StepProfiler::Scope prof_vision(prof_, StepPhase::kGpuSim);
+        vision_time += MaybeEncodeVision(r, r.num_computed_tokens, r.num_computed_tokens + n);
+      }
+      budget -= n;
+      scheduled.push_back({id, n, prefill});
+      id = running_.Next(id);
     }
-    if (self_preempted) {
-      // Every entry after `id` was preempted (back-first) before `id` itself was; nothing is
-      // left to visit. The successor must be read after the preempt loop either way — the
-      // loop unlinks it.
-      break;
-    }
-    vision_time += MaybeEncodeVision(r, r.num_computed_tokens, r.num_computed_tokens + n);
-    budget -= n;
-    scheduled.push_back({id, n, prefill});
-    id = running_.Next(id);
-  }
 
-  // Phase 2: admissions.
-  bool head_blocked = false;
-  while (budget > 0 && static_cast<int>(running_.size()) < max_num_seqs_ && !waiting_.empty()) {
-    const RequestId id = waiting_.front();
-    Request& r = Get(id);
-    if (r.arrival_time > now_) {
-      break;  // Future arrival, not memory pressure: never counts toward the shed gate.
-    }
-    if (swap_ != nullptr && r.swapped_out) {
-      const SwapAdmit outcome =
-          TryAdmitFromSwap(r, /*nothing_else_runnable=*/running_.empty() && scheduled.empty());
-      if (outcome == SwapAdmit::kBlocked) {
+    // Phase 2: admissions.
+    bool head_blocked = false;
+    while (budget > 0 && static_cast<int>(running_.size()) < max_num_seqs_ && !waiting_.empty()) {
+      const RequestId id = waiting_.front();
+      Request& r = Get(id);
+      if (r.arrival_time > now_) {
+        break;  // Future arrival, not memory pressure: never counts toward the shed gate.
+      }
+      if (swap_ != nullptr && r.swapped_out) {
+        SwapAdmit outcome;
+        {
+          StepProfiler::Scope prof_alloc(prof_, StepPhase::kAllocate);
+          outcome = TryAdmitFromSwap(
+              r, /*nothing_else_runnable=*/running_.empty() && scheduled.empty());
+        }
+        if (outcome == SwapAdmit::kBlocked) {
+          head_blocked = true;
+          break;
+        }
+        if (outcome == SwapAdmit::kAdmitted) {
+          waiting_.Erase(id);
+          continue;  // No prefill chunk needed; the request decodes (or resumes) next step.
+        }
+        // kFallthrough: recompute from scratch via the normal path below.
+      }
+      const int64_t chunk_peek = std::min<int64_t>(r.prompt_len(), budget);
+      bool fits;
+      {
+        StepProfiler::Scope prof_alloc(prof_, StepPhase::kAllocate);
+        fits = kv_->CanAllocate(r, chunk_peek);
+      }
+      if (!fits) {
+        // Head-of-line blocking is intentional (FCFS); but if nothing is running the request
+        // can never fit — fail it rather than deadlock (vLLM aborts in this case, §7.2).
+        if (running_.empty() && scheduled.empty()) {
+          waiting_.Erase(id);
+          FinishRequest(r, /*failed=*/true);
+          continue;
+        }
         head_blocked = true;
         break;
       }
-      if (outcome == SwapAdmit::kAdmitted) {
-        waiting_.Erase(id);
-        continue;  // No prefill chunk needed; the request decodes (or resumes) next step.
+      waiting_.Erase(id);
+      {
+        StepProfiler::Scope prof_admit(prof_, StepPhase::kHitScan);
+        kv_->OnAdmit(r, tick_);
       }
-      // kFallthrough: recompute from scratch via the normal path below.
-    }
-    const int64_t chunk_peek = std::min<int64_t>(r.prompt_len(), budget);
-    if (!kv_->CanAllocate(r, chunk_peek)) {
-      // Head-of-line blocking is intentional (FCFS); but if nothing is running the request
-      // can never fit — fail it rather than deadlock (vLLM aborts in this case, §7.2).
-      if (running_.empty() && scheduled.empty()) {
-        waiting_.Erase(id);
-        FinishRequest(r, /*failed=*/true);
-        continue;
+      metrics_.cache_hit_tokens += r.cached_prefix_tokens;
+      const int64_t n = std::min<int64_t>(r.prompt_len() - r.num_computed_tokens, budget);
+      JENGA_CHECK_GT(n, 0);
+      bool allocated;
+      {
+        StepProfiler::Scope prof_alloc(prof_, StepPhase::kAllocate);
+        allocated = kv_->AllocateForTokens(r, n, tick_);
       }
-      head_blocked = true;
-      break;
-    }
-    waiting_.Erase(id);
-    kv_->OnAdmit(r, tick_);
-    metrics_.cache_hit_tokens += r.cached_prefix_tokens;
-    const int64_t n = std::min<int64_t>(r.prompt_len() - r.num_computed_tokens, budget);
-    JENGA_CHECK_GT(n, 0);
-    if (!kv_->AllocateForTokens(r, n, tick_)) {
-      const bool abandoned = running_.empty() && scheduled.empty();
-      kv_->Release(r, tick_, /*finished=*/abandoned);
-      r.num_computed_tokens = 0;
-      if (abandoned) {
-        FinishRequest(r, /*failed=*/true);
-        continue;
+      if (!allocated) {
+        const bool abandoned = running_.empty() && scheduled.empty();
+        kv_->Release(r, tick_, /*finished=*/abandoned);
+        r.num_computed_tokens = 0;
+        if (abandoned) {
+          FinishRequest(r, /*failed=*/true);
+          continue;
+        }
+        waiting_.PushFront(id);
+        head_blocked = true;
+        break;
       }
-      waiting_.PushFront(id);
-      head_blocked = true;
-      break;
+      r.state = RequestState::kRunning;
+      if (r.first_scheduled_time < 0.0) {
+        r.first_scheduled_time = now_;
+      }
+      running_.PushBack(id);
+      {
+        StepProfiler::Scope prof_vision(prof_, StepPhase::kGpuSim);
+        vision_time += MaybeEncodeVision(r, r.num_computed_tokens, r.num_computed_tokens + n);
+      }
+      budget -= n;
+      scheduled.push_back({id, n, true});
     }
-    r.state = RequestState::kRunning;
-    if (r.first_scheduled_time < 0.0) {
-      r.first_scheduled_time = now_;
-    }
-    running_.PushBack(id);
-    vision_time += MaybeEncodeVision(r, r.num_computed_tokens, r.num_computed_tokens + n);
-    budget -= n;
-    scheduled.push_back({id, n, true});
-  }
 
-  if (head_blocked) {
-    head_blocked_steps_ += 1;
-    MaybeShedHead();
-  } else {
-    head_blocked_steps_ = 0;
+    if (head_blocked) {
+      head_blocked_steps_ += 1;
+      StepProfiler::Scope prof_shed(prof_, StepPhase::kShedGate);
+      MaybeShedHead();
+    } else {
+      head_blocked_steps_ = 0;
+    }
   }
 
   if (scheduled.empty()) {
@@ -715,36 +796,43 @@ bool Engine::StepOnce() {
   }
 
   // Phase 3: execute the step on the simulated GPU.
-  int64_t new_tokens = 0;
-  int64_t kv_read_bytes = 0;
+  int64_t scheduled_tokens = 0;
   int decode_batch = 0;
-  for (const Scheduled& s : scheduled) {
-    new_tokens += s.tokens;
-    const Request& r = Get(s.id);
-    kv_read_bytes += kv_->DecodeKvReadBytes(r);
-    if (!s.was_prefill) {
-      ++decode_batch;
+  bool step_failed;
+  {
+    StepProfiler::Scope prof_gpu(prof_, StepPhase::kGpuSim);
+    int64_t new_tokens = 0;
+    int64_t kv_read_bytes = 0;
+    for (const Scheduled& s : scheduled) {
+      new_tokens += s.tokens;
+      const Request& r = Get(s.id);
+      kv_read_bytes += kv_->DecodeKvReadBytes(r);
+      if (!s.was_prefill) {
+        ++decode_batch;
+      }
     }
-  }
-  double step_time = gpu_.StepTime(new_tokens, kv_read_bytes) + vision_time;
-  if (swap_ != nullptr) {
-    const double stall = swap_->ConsumeStall(step_time);
-    metrics_.swap_stall_time += stall;
-    step_time += stall;
-  }
-  now_ += step_time;
+    scheduled_tokens = new_tokens;
+    double step_time = gpu_.StepTime(new_tokens, kv_read_bytes) + vision_time;
+    if (swap_ != nullptr) {
+      const double stall = swap_->ConsumeStall(step_time);
+      metrics_.swap_stall_time += stall;
+      step_time += stall;
+    }
+    now_ += step_time;
 
-  // The step's GPU time is spent either way; on an injected step fault its results are lost,
-  // so the commit below is skipped. Allocations are target-based (AllocateForTokens is
-  // idempotent at an unchanged num_computed_tokens), so retrying the same chunk next step is
-  // safe and re-uses the pages taken this step.
-  const bool step_failed = gpu_.InjectStepFault();
-  if (step_failed) {
-    metrics_.gpu_step_faults += 1;
+    // The step's GPU time is spent either way; on an injected step fault its results are
+    // lost, so the commit below is skipped. Allocations are target-based (AllocateForTokens
+    // is idempotent at an unchanged num_computed_tokens), so retrying the same chunk next
+    // step is safe and re-uses the pages taken this step.
+    step_failed = gpu_.InjectStepFault();
+    if (step_failed) {
+      metrics_.gpu_step_faults += 1;
+    }
   }
 
   // Phase 4: commit progress, emit tokens, finish requests.
   if (!step_failed) {
+    StepProfiler::Scope prof_commit(prof_, StepPhase::kCommit);
     for (const Scheduled& s : scheduled) {
       Request& r = Get(s.id);
       r.num_computed_tokens += s.tokens;
@@ -768,7 +856,7 @@ bool Engine::StepOnce() {
     }
   }
 
-  metrics_.RecordStep(now_, step_failed ? 0 : new_tokens, step_failed ? 0 : decode_batch,
+  metrics_.RecordStep(now_, step_failed ? 0 : scheduled_tokens, step_failed ? 0 : decode_batch,
                       static_cast<int>(running_.size()), static_cast<int>(waiting_.size()));
   if (config_.memory_sample_every > 0 &&
       metrics_.total_steps() % config_.memory_sample_every == 0) {

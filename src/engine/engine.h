@@ -12,12 +12,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/engine/deadline_heap.h"
 #include "src/engine/gpu.h"
 #include "src/fault/fault_injector.h"
 #include "src/engine/kv_manager.h"
 #include "src/engine/request.h"
 #include "src/engine/request_queue.h"
 #include "src/metrics/metrics.h"
+#include "src/metrics/step_profiler.h"
 #include "src/model/model_config.h"
 #include "src/offload/swap_manager.h"
 
@@ -130,6 +132,10 @@ class Engine {
 
   // Installs/removes the step-boundary hook (nullptr detaches; detached = byte-identical).
   void set_step_hook(EngineStepHook* hook) { step_hook_ = hook; }
+  // Installs/removes the per-phase step profiler (nullptr detaches; detached = one null test
+  // per phase scope). The profiler reads only the host wall clock — attaching it never
+  // touches logical ticks or simulated time, so scheduling stays byte-identical (§12).
+  void set_step_profiler(StepProfiler* profiler) { prof_ = profiler; }
   [[nodiscard]] const KvManager& kv() const { return *kv_; }
   // The governor's ladder counters live in the same EngineMetrics the engine owns.
   [[nodiscard]] EngineMetrics& metrics_mutable() { return metrics_; }
@@ -179,11 +185,33 @@ class Engine {
   void Preempt(RequestId id, bool allow_swap = true);
   void FinishRequest(Request& r, bool failed);
   // Cancels every unfinished request whose deadline has passed (same path as CancelRequest).
+  // O(1) when nothing expired (deadline-heap top check), O(log n) per single expiry; a step
+  // that expires several requests at once re-collects them in queue order so the cancel
+  // order — and every downstream release/eviction tie-break — matches the legacy full scan.
   void ExpireDeadlines();
-  // Shed gate: called when the head of the waiting queue stayed blocked this step.
-  void MaybeShedHead();
-  // Copies injector/swap recovery counters into metrics_ (idempotent assignments).
-  void SyncFaultMetrics();
+  // JENGA_CHECK_DEADLINES fuzz arm: verifies the heap-collected expired set (already in
+  // expired_buf_) against the brute-force queue scan.
+  void CheckDeadlineHeapAgainstScan();
+  // Shed gate: called when the head of the waiting queue stayed blocked this step. Inlined
+  // disabled path — the occupancy probe in the slow path walks the request table, so configs
+  // without a shed gate must branch out before the call.
+  void MaybeShedHead() {
+    if (config_.shed_after_blocked_steps <= 0 ||
+        head_blocked_steps_ < config_.shed_after_blocked_steps || waiting_.empty()) {
+      return;
+    }
+    MaybeShedHeadSlow();
+  }
+  void MaybeShedHeadSlow();
+  // Copies injector/swap recovery counters into metrics_ (idempotent assignments). Inlined
+  // null path: with neither tier configured this is two pointer tests and no call — it runs
+  // on every step-exit path, so the common no-fault/no-offload config must not pay for it.
+  void SyncFaultMetrics() {
+    if (fault_ != nullptr || swap_ != nullptr) [[unlikely]] {
+      SyncFaultMetricsSlow();
+    }
+  }
+  void SyncFaultMetricsSlow();
   [[nodiscard]] double MaybeEncodeVision(Request& r, int64_t chunk_begin, int64_t chunk_end);
 
   // Outcome of a swap-set re-admission attempt for the head of the waiting queue.
@@ -200,6 +228,7 @@ class Engine {
   std::unique_ptr<SwapManager> swap_;
   std::unique_ptr<FaultInjector> fault_;  // nullptr when no faults are configured.
   EngineStepHook* step_hook_ = nullptr;   // Not owned; nullptr = no governor attached.
+  StepProfiler* prof_ = nullptr;          // Not owned; nullptr = no profiler attached.
   bool elastic_draining_ = false;
   int64_t reserved_bytes_ = 0;
   int max_batched_tokens_ = 0;
@@ -212,6 +241,11 @@ class Engine {
   // cancel, and finish remove mid-queue entries in O(1) instead of a std::find scan.
   RequestQueue waiting_;
   RequestQueue running_;
+  // One entry per submitted request with a deadline (deadlines are immutable, so preempt and
+  // re-admit need no updates); entries of requests that finish early are discarded lazily.
+  DeadlineHeap deadlines_;
+  // Scratch for ExpireDeadlines (cleared each use; capacity reused).
+  std::vector<RequestId> expired_buf_;
 
   double now_ = 0.0;
   Tick tick_ = 0;

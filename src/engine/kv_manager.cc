@@ -107,6 +107,10 @@ KvManager::KvManager(KvSpec alloc_spec, KvSpec accounting_spec, int64_t pool_byt
     if (group.scope == GroupScope::kTextTokens) {
       has_text_scope_ = true;
     }
+    const LayerPolicy& policy = *policies_.back();
+    // Droppable policies cover all residents only when drops actually run (Jenga mode).
+    defer_refresh_.push_back(policy.RefreshCoversResidentPages() &&
+                             (!policy.CanDropUnneededPages() || options_.jenga));
   }
   for (const KvGroupSpec& group : accounting_spec_.groups) {
     accounting_policies_.push_back(MakeLayerPolicy(group, std::max(options_.tokens_per_image, 1)));
@@ -520,6 +524,10 @@ void KvManager::DropUnneededPages(RequestKv& state, int g, Tick now) {
     }
     if (!keep && gs.pages[static_cast<size_t>(j)] != kNoSmallPage) {
       const SmallPageId page = gs.pages[static_cast<size_t>(j)];
+      if (defer_refresh_[static_cast<size_t>(g)] && gs.last_touch != 0) {
+        // Deferred refresh: the page was inside the window through the previous step.
+        alloc.UpdateLastAccess(page, gs.last_touch);
+      }
       alloc.SetPrefixLength(page, (j + 1) * bs);
       alloc.Release(page, options_.enable_prefix_caching);
       gs.pages[static_cast<size_t>(j)] = kNoSmallPage;
@@ -590,18 +598,45 @@ void KvManager::OnStepComputed(Request& r, Tick now) {
     FreeConsumedVisionPages(r, state, now);
   }
   // Balanced eviction (§5.1): refresh last-access of the pages this step actually touched.
+  // Deferred-refresh groups record one tick instead of writing O(pages) metadata — a used
+  // page's last-access is unobservable until it can become evictable, so the tick is applied
+  // at release/drop/consume time (ApplyDeferredTouch), yielding the same final values.
   for (size_t g = 0; g < spec_.groups.size(); ++g) {
-    policies_[g]->UpdateLastAccess(ViewOf(r, state, static_cast<int>(g)), now,
-                                   allocator_.group(static_cast<int>(g)));
+    if (defer_refresh_[g]) {
+      state.groups[g].last_touch = now;
+    } else {
+      policies_[g]->UpdateLastAccess(ViewOf(r, state, static_cast<int>(g)), now,
+                                     allocator_.group(static_cast<int>(g)));
+    }
   }
   state.computed_tokens = r.num_computed_tokens;
   state.needed_bytes = NeededBytesFor(r);
+}
+
+void KvManager::ApplyDeferredTouch(const Request& r, RequestKv& state, int g) {
+  GroupState& gs = state.groups[static_cast<size_t>(g)];
+  if (!defer_refresh_[static_cast<size_t>(g)] || gs.last_touch == 0 || gs.pages.empty()) {
+    return;
+  }
+  const KvGroupSpec& group = spec_.groups[static_cast<size_t>(g)];
+  // Only blocks the eager refresh would have marked: blocks of computed tokens. The vision
+  // group allocates ahead for unconsumed images — those pages keep their claim-time tick.
+  const int64_t tokens = GroupTokensFor(r, group, state.computed_tokens);
+  const int64_t marked = std::min<int64_t>(CeilDiv(tokens, group.tokens_per_page),
+                                           static_cast<int64_t>(gs.pages.size()));
+  SmallPageAllocator& alloc = allocator_.group(g);
+  for (int64_t j = 0; j < marked; ++j) {
+    if (gs.pages[static_cast<size_t>(j)] != kNoSmallPage) {
+      alloc.UpdateLastAccess(gs.pages[static_cast<size_t>(j)], gs.last_touch);
+    }
+  }
 }
 
 void KvManager::Release(Request& r, Tick now, bool finished) {
   RequestKv& state = StateOf(r);
   for (size_t g = 0; g < spec_.groups.size(); ++g) {
     SmallPageAllocator& alloc = allocator_.group(static_cast<int>(g));
+    ApplyDeferredTouch(r, state, static_cast<int>(g));
     if (options_.enable_prefix_caching) {
       // Aligned eviction (§5.1): assign consistent per-token priorities across groups before
       // the pages become evictable.

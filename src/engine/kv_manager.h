@@ -184,6 +184,11 @@ class KvManager {
     int64_t drop_tokens_hint = 0;
     // Mamba: checkpoints snapshotted so far.
     int64_t checkpoints_done = 0;
+    // Deferred last-access refresh (deferred-refresh groups only): tick of the owner's most
+    // recent computed step. While a page is used its last-access is unobservable, so
+    // OnStepComputed records one tick per group instead of writing O(pages) metadata and the
+    // value is applied where a page can next become evictable — release, drop, or consume.
+    Tick last_touch = 0;
   };
   struct RequestKv {
     std::vector<GroupState> groups;
@@ -244,6 +249,10 @@ class KvManager {
   void RegisterHashes(Request& r, RequestKv& state, Tick now);
   void SnapshotMambaCheckpoints(Request& r, RequestKv& state, int g, Tick now);
   void DropUnneededPages(RequestKv& state, int g, Tick now);
+  // Applies a deferred-refresh group's pending last_touch to the blocks the eager per-step
+  // refresh would have marked (capped at computed tokens — the vision group allocates ahead).
+  // Must run before any of the group's pages can become evictable.
+  void ApplyDeferredTouch(const Request& r, RequestKv& state, int g);
   void FreeConsumedVisionPages(const Request& r, RequestKv& state, Tick now);
   [[nodiscard]] RequestPages ViewOf(const Request& r, const RequestKv& state, int g) const;
 
@@ -253,6 +262,11 @@ class KvManager {
   JengaAllocator allocator_;
   std::vector<std::unique_ptr<LayerPolicy>> policies_;             // Per alloc-spec group.
   std::vector<std::unique_ptr<LayerPolicy>> accounting_policies_;  // Per accounting group.
+  // Per alloc-spec group: true when the per-step eviction-metadata refresh is deferred to
+  // GroupState::last_touch. Requires the policy's refresh to cover every resident page —
+  // unconditionally (full prefix, image cache) or because out-of-range pages are dropped as
+  // they fall out, which only happens in Jenga mode (sliding window, pyramid).
+  std::vector<bool> defer_refresh_;
   int vision_group_ = -1;
   bool has_text_scope_ = false;
   std::unordered_map<RequestId, RequestKv> requests_;

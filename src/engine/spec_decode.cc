@@ -1,7 +1,9 @@
 #include "src/engine/spec_decode.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <unordered_set>
 
 #include "src/baseline/smartspec.h"
@@ -34,6 +36,11 @@ int32_t PseudoToken(RequestId id, int64_t position) {
 // Prefill target: on (re-)admission every token before the generation frontier must have its
 // KV recomputed, including previously generated tokens (preempt-by-recompute semantics).
 int64_t PrefillTarget(const Request& r) { return r.prompt_len() + r.num_generated; }
+
+bool DeadlineHeapAuditEnabled() {
+  static const bool enabled = std::getenv("JENGA_CHECK_DEADLINES") != nullptr;
+  return enabled;
+}
 
 }  // namespace
 
@@ -135,6 +142,7 @@ void SpecDecodeEngine::Submit(Request request) {
   JENGA_CHECK(!requests_.contains(id));
   if (request.deadline >= 0.0) {
     has_deadlines_ = true;
+    deadlines_.Push(request.deadline, id);
   }
   requests_.emplace(id, std::move(request));
   waiting_.PushBack(id);
@@ -182,6 +190,9 @@ void SpecDecodeEngine::AdmitAll(Request& r) {
 }
 
 void SpecDecodeEngine::Preempt(RequestId id) {
+  // Attributed to kEvictPreempt as a whole (trim/swap decision/release), same contract as
+  // Engine::Preempt.
+  StepProfiler::Scope prof_scope(prof_, StepPhase::kEvictPreempt);
   Request& r = Get(id);
   if (swap_ != nullptr) {
     SwapFootprint fp;
@@ -265,42 +276,74 @@ bool SpecDecodeEngine::CancelRequest(RequestId id) {
 }
 
 void SpecDecodeEngine::ExpireDeadlines() {
-  std::vector<RequestId> expired;
-  for (RequestId id = waiting_.front(); id != kNoRequest; id = waiting_.Next(id)) {
-    const Request& r = Get(id);
-    if (r.deadline >= 0.0 && r.deadline <= now_) {
-      expired.push_back(id);
+  // Heap-first: O(1) when the earliest deadline is still in the future, O(log n) per expiry;
+  // stale entries for requests that finished before their deadline are discarded lazily.
+  // Mirrors Engine::ExpireDeadlines — see deadline_heap.h for the expiry-order contract.
+  expired_buf_.clear();
+  while (deadlines_.HasExpired(now_)) {
+    const RequestId id = deadlines_.PopTop().id;
+    const auto it = requests_.find(id);
+    if (it != requests_.end() && it->second.state != RequestState::kFinished) {
+      expired_buf_.push_back(id);
     }
   }
-  for (RequestId id = running_.front(); id != kNoRequest; id = running_.Next(id)) {
-    const Request& r = Get(id);
-    if (r.deadline >= 0.0 && r.deadline <= now_) {
-      expired.push_back(id);
+  if (expired_buf_.empty()) {
+    return;
+  }
+  if (expired_buf_.size() > 1) {
+    // Multi-expiry step: cancel order must be queue order (waiting first, then running), so
+    // re-collect the same set the way the pre-heap implementation did.
+    expired_buf_.clear();
+    for (RequestId id = waiting_.front(); id != kNoRequest; id = waiting_.Next(id)) {
+      const Request& r = Get(id);
+      if (r.deadline >= 0.0 && r.deadline <= now_) {
+        expired_buf_.push_back(id);
+      }
+    }
+    for (RequestId id = running_.front(); id != kNoRequest; id = running_.Next(id)) {
+      const Request& r = Get(id);
+      if (r.deadline >= 0.0 && r.deadline <= now_) {
+        expired_buf_.push_back(id);
+      }
     }
   }
-  for (const RequestId id : expired) {
+  if (DeadlineHeapAuditEnabled()) [[unlikely]] {
+    CheckDeadlineHeapAgainstScan();
+  }
+  for (const RequestId id : expired_buf_) {
     metrics_.deadline_expirations += 1;
     JENGA_CHECK(CancelRequest(id));
   }
 }
 
-void SpecDecodeEngine::MaybeShedHead() {
-  if (config_.shed_after_blocked_steps <= 0 || waiting_.empty()) {
-    return;
+void SpecDecodeEngine::CheckDeadlineHeapAgainstScan() {
+  std::vector<RequestId> reference;
+  for (RequestId id = waiting_.front(); id != kNoRequest; id = waiting_.Next(id)) {
+    const Request& r = Get(id);
+    if (r.deadline >= 0.0 && r.deadline <= now_) {
+      reference.push_back(id);
+    }
   }
-  if (head_blocked_steps_ < config_.shed_after_blocked_steps) {
-    return;
+  for (RequestId id = running_.front(); id != kNoRequest; id = running_.Next(id)) {
+    const Request& r = Get(id);
+    if (r.deadline >= 0.0 && r.deadline <= now_) {
+      reference.push_back(id);
+    }
   }
+  JENGA_CHECK_EQ(reference.size(), expired_buf_.size())
+      << "deadline heap expired-set size diverges from brute-force scan at now=" << now_;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    JENGA_CHECK_EQ(reference[i], expired_buf_[i])
+        << "deadline heap expiry order diverges from brute-force scan at now=" << now_;
+  }
+}
+
+void SpecDecodeEngine::MaybeShedHeadSlow() {
   // Shed only under genuine memory pressure; with several managers the most constrained one
-  // governs admission, so take the max occupancy.
+  // governs admission, so take the max occupancy (counter-only probe, no request-table walk).
   double occupancy = 0.0;
   for (const auto& manager : managers_) {
-    const KvManager::MemoryStats stats = manager->GetMemoryStats();
-    if (stats.pool_bytes <= 0) {
-      continue;
-    }
-    occupancy = std::max(occupancy, 1.0 - static_cast<double>(stats.unallocated_bytes) /
-                                              static_cast<double>(stats.pool_bytes));
+    occupancy = std::max(occupancy, manager->allocator().Occupancy());
   }
   if (occupancy < config_.shed_occupancy_watermark) {
     return;
@@ -317,13 +360,8 @@ void SpecDecodeEngine::MaybeShedHead() {
 }
 
 double SpecDecodeEngine::PoolOccupancyOf(int manager_index) const {
-  const KvManager::MemoryStats stats =
-      managers_[static_cast<size_t>(manager_index)]->GetMemoryStats();
-  if (stats.pool_bytes <= 0) {
-    return 0.0;
-  }
-  return 1.0 -
-         static_cast<double>(stats.unallocated_bytes) / static_cast<double>(stats.pool_bytes);
+  // O(1): probed for both pools on every non-cooldown step by the adaptive split governor.
+  return managers_[static_cast<size_t>(manager_index)]->allocator().Occupancy();
 }
 
 int64_t SpecDecodeEngine::ShiftSplit(int from, int to, int64_t bytes) {
@@ -376,7 +414,7 @@ int64_t SpecDecodeEngine::ShiftSplit(int from, int to, int64_t bytes) {
   return static_cast<int64_t>(gained) * dst_page;
 }
 
-void SpecDecodeEngine::SyncFaultMetrics() {
+void SpecDecodeEngine::SyncFaultMetricsSlow() {
   if (fault_ != nullptr) {
     metrics_.faults_injected = fault_->total_fires();
   }
@@ -392,18 +430,22 @@ bool SpecDecodeEngine::StepOnce() {
   if (running_.empty() && waiting_.empty()) {
     return false;
   }
+  StepProfiler::StepScope prof_step(prof_);
   if (step_hook_ != nullptr) [[unlikely]] {
     // Quiesce point: no request is mid-macro-step, so the governor may rebalance the
     // draft/target split here.
+    StepProfiler::Scope prof_scope(prof_, StepPhase::kHookDispatch);
     step_hook_->OnStepBoundary(*this);
     if (running_.empty() && waiting_.empty()) {
       return false;
     }
   }
-  if (has_deadlines_) {
+  if (has_deadlines_) [[unlikely]] {
+    StepProfiler::Scope prof_scope(prof_, StepPhase::kDeadlineExpiry);
     ExpireDeadlines();
   }
-  if (fault_ != nullptr && swap_ != nullptr) {
+  if (fault_ != nullptr && swap_ != nullptr) [[unlikely]] {
+    StepProfiler::Scope prof_scope(prof_, StepPhase::kHookDispatch);
     swap_->OnEngineStep();  // Host memory-pressure site (forced shrink / degrade).
   }
   ++tick_;
@@ -413,24 +455,38 @@ bool SpecDecodeEngine::StepOnce() {
   std::unordered_set<RequestId> prefilled_this_step;
 
   // Phase 1: continue prefill (and post-preemption recompute) of running requests.
-  for (RequestId id = running_.front(); id != kNoRequest; id = running_.Next(id)) {
-    Request& r = Get(id);
-    if (r.num_computed_tokens >= PrefillTarget(r) || budget <= 0) {
-      continue;
+  {
+    StepProfiler::Scope prof_schedule(prof_, StepPhase::kSchedule);
+    for (RequestId id = running_.front(); id != kNoRequest; id = running_.Next(id)) {
+      Request& r = Get(id);
+      if (r.num_computed_tokens >= PrefillTarget(r) || budget <= 0) {
+        continue;
+      }
+      const int64_t n = std::min<int64_t>(PrefillTarget(r) - r.num_computed_tokens, budget);
+      bool allocated;
+      {
+        StepProfiler::Scope prof_alloc(prof_, StepPhase::kAllocate);
+        allocated = AllocateAll(r, n);
+      }
+      if (!allocated) {
+        continue;  // Retry next step once decodes free memory.
+      }
+      r.num_computed_tokens += n;
+      {
+        StepProfiler::Scope prof_commit(prof_, StepPhase::kCommit);
+        StepComputedAll(r);
+      }
+      budget -= n;
+      prefill_tokens += n;
+      prefilled_this_step.insert(id);
     }
-    const int64_t n = std::min<int64_t>(PrefillTarget(r) - r.num_computed_tokens, budget);
-    if (!AllocateAll(r, n)) {
-      continue;  // Retry next step once decodes free memory.
-    }
-    r.num_computed_tokens += n;
-    StepComputedAll(r);
-    budget -= n;
-    prefill_tokens += n;
-    prefilled_this_step.insert(id);
   }
 
-  // Phase 2: admissions.
+  // Phase 2: admissions. The kSchedule scope is held in an optional so it can end after the
+  // shed-gate check without re-indenting the loop (nested scopes pause it as usual).
   bool head_blocked = false;
+  std::optional<StepProfiler::Scope> prof_admissions;
+  prof_admissions.emplace(prof_, StepPhase::kSchedule);
   while (budget > 0 && static_cast<int>(running_.size()) < max_num_seqs_ && !waiting_.empty()) {
     const RequestId id = waiting_.front();
     Request& r = Get(id);
@@ -449,6 +505,7 @@ bool SpecDecodeEngine::StepOnce() {
         }
       }
       if (set != nullptr) {
+        StepProfiler::Scope prof_alloc(prof_, StepPhase::kAllocate);
         const int64_t tokens = snapshot.tokens;
         JENGA_CHECK_EQ(snapshot.fingerprints.size(), managers_.size());
         bool can = true;
@@ -500,10 +557,13 @@ bool SpecDecodeEngine::StepOnce() {
     }
     const int64_t n = std::min<int64_t>(PrefillTarget(r), budget);
     bool fits = true;
-    for (auto& manager : managers_) {
-      if (!manager->CanAllocate(r, n)) {
-        fits = false;
-        break;
+    {
+      StepProfiler::Scope prof_alloc(prof_, StepPhase::kAllocate);
+      for (auto& manager : managers_) {
+        if (!manager->CanAllocate(r, n)) {
+          fits = false;
+          break;
+        }
       }
     }
     if (!fits) {
@@ -516,8 +576,16 @@ bool SpecDecodeEngine::StepOnce() {
       break;
     }
     waiting_.Erase(id);
-    AdmitAll(r);
-    if (!AllocateAll(r, n)) {
+    {
+      StepProfiler::Scope prof_admit(prof_, StepPhase::kHitScan);
+      AdmitAll(r);
+    }
+    bool allocated;
+    {
+      StepProfiler::Scope prof_alloc(prof_, StepPhase::kAllocate);
+      allocated = AllocateAll(r, n);
+    }
+    if (!allocated) {
       const bool abandoned = running_.empty();
       ReleaseAll(r, /*finished=*/abandoned);
       r.num_computed_tokens = 0;
@@ -534,15 +602,20 @@ bool SpecDecodeEngine::StepOnce() {
       r.first_scheduled_time = now_;
     }
     r.num_computed_tokens += n;
-    StepComputedAll(r);
+    {
+      StepProfiler::Scope prof_commit(prof_, StepPhase::kCommit);
+      StepComputedAll(r);
+    }
     running_.PushBack(id);
     budget -= n;
     prefill_tokens += n;
     prefilled_this_step.insert(id);
   }
+  prof_admissions.reset();
 
   if (head_blocked) {
     head_blocked_steps_ += 1;
+    StepProfiler::Scope prof_shed(prof_, StepPhase::kShedGate);
     MaybeShedHead();
   } else {
     head_blocked_steps_ = 0;
@@ -556,6 +629,8 @@ bool SpecDecodeEngine::StepOnce() {
   };
   std::vector<Emit> decode_emits;
   int64_t decode_kv_read = 0;
+  std::optional<StepProfiler::Scope> prof_decode;
+  prof_decode.emplace(prof_, StepPhase::kSchedule);
   for (RequestId id = running_.front(); id != kNoRequest;) {
     Request& r = Get(id);
     if (prefilled_this_step.contains(id) || r.num_computed_tokens < PrefillTarget(r)) {
@@ -579,12 +654,15 @@ bool SpecDecodeEngine::StepOnce() {
       r.AppendGenerated(PseudoToken(r.id, r.total_len()));
     }
     bool self_preempted = false;
-    while (!AllocateAll(r, emit)) {
-      const RequestId victim = running_.back();
-      Preempt(victim);
-      if (victim == id) {
-        self_preempted = true;
-        break;
+    {
+      StepProfiler::Scope prof_alloc(prof_, StepPhase::kAllocate);
+      while (!AllocateAll(r, emit)) {
+        const RequestId victim = running_.back();
+        Preempt(victim);
+        if (victim == id) {
+          self_preempted = true;
+          break;
+        }
       }
     }
     if (self_preempted) {
@@ -593,12 +671,16 @@ bool SpecDecodeEngine::StepOnce() {
       // must be read after the preempt loop anyway, since the loop unlinks it.
       break;
     }
-    for (auto& manager : managers_) {
-      decode_kv_read += manager->DecodeKvReadBytes(r);
+    {
+      StepProfiler::Scope prof_gpu(prof_, StepPhase::kGpuSim);
+      for (auto& manager : managers_) {
+        decode_kv_read += manager->DecodeKvReadBytes(r);
+      }
     }
     decode_emits.push_back({id, emit});
     id = running_.Next(id);
   }
+  prof_decode.reset();
 
   if (prefilled_this_step.empty() && decode_emits.empty()) {
     // Everything blocked (e.g. a prefill cannot fit next to the others): preempt the youngest
@@ -616,6 +698,8 @@ bool SpecDecodeEngine::StepOnce() {
 
   // Phase 4: time accounting — chunked prefill on both models + propose_len draft steps +
   // one target verification pass over batch × (k+1) tokens.
+  std::optional<StepProfiler::Scope> prof_gpu;
+  prof_gpu.emplace(prof_, StepPhase::kGpuSim);
   double step_time = 0.0;
   if (prefill_tokens > 0) {
     step_time += target_gpu_.StepTime(prefill_tokens, 0) + draft_gpu_.StepTime(prefill_tokens, 0);
@@ -640,7 +724,9 @@ bool SpecDecodeEngine::StepOnce() {
   // next step (the same mechanism a mid-decode self-preemption relies on — their pages are
   // already allocated, so the retry is cheap). Prefill commits in Phases 1–2 are inline and
   // survive the fault.
-  if (target_gpu_.InjectStepFault()) {
+  const bool step_failed = target_gpu_.InjectStepFault();
+  prof_gpu.reset();
+  if (step_failed) {
     metrics_.gpu_step_faults += 1;
     metrics_.RecordStep(now_, prefill_tokens, 0, static_cast<int>(running_.size()),
                         static_cast<int>(waiting_.size()));
@@ -650,6 +736,7 @@ bool SpecDecodeEngine::StepOnce() {
 
   // Phase 5: commit.
   int64_t emitted_total = 0;
+  StepProfiler::Scope prof_commit(prof_, StepPhase::kCommit);
   for (const Emit& e : decode_emits) {
     Request& r = Get(e.id);
     r.num_computed_tokens += e.tokens;

@@ -19,12 +19,14 @@
 #include <vector>
 
 #include "src/common/random.h"
+#include "src/engine/deadline_heap.h"
 #include "src/engine/gpu.h"
 #include "src/fault/fault_injector.h"
 #include "src/engine/kv_manager.h"
 #include "src/engine/request.h"
 #include "src/engine/request_queue.h"
 #include "src/metrics/metrics.h"
+#include "src/metrics/step_profiler.h"
 #include "src/offload/swap_manager.h"
 
 namespace jenga {
@@ -102,6 +104,9 @@ class SpecDecodeEngine {
   // --- Elastic split operations (MemoryGovernor entry points; see src/elastic) ---
 
   void set_step_hook(SpecStepHook* hook) { step_hook_ = hook; }
+  // Per-phase step profiler; same contract as Engine::set_step_profiler (wall clock only,
+  // detached = one null test per scope, attached = byte-identical scheduling).
+  void set_step_profiler(StepProfiler* profiler) { prof_ = profiler; }
   [[nodiscard]] EngineMetrics& metrics_mutable() { return metrics_; }
   // nullptr when no faults are configured.
   [[nodiscard]] FaultInjector* fault_injector() { return fault_.get(); }
@@ -126,8 +131,25 @@ class SpecDecodeEngine {
   void Preempt(RequestId id);
   void FinishRequest(Request& r, bool failed);
   void ExpireDeadlines();
-  void MaybeShedHead();
-  void SyncFaultMetrics();
+  // JENGA_CHECK_DEADLINES fuzz arm: asserts the heap-derived expired set matches a
+  // brute-force queue scan (same contract as Engine::CheckDeadlineHeapAgainstScan).
+  void CheckDeadlineHeapAgainstScan();
+  // Inlined disabled path — see Engine::MaybeShedHead.
+  void MaybeShedHead() {
+    if (config_.shed_after_blocked_steps <= 0 ||
+        head_blocked_steps_ < config_.shed_after_blocked_steps || waiting_.empty()) {
+      return;
+    }
+    MaybeShedHeadSlow();
+  }
+  void MaybeShedHeadSlow();
+  // Inlined null path — see Engine::SyncFaultMetrics.
+  void SyncFaultMetrics() {
+    if (fault_ != nullptr || swap_ != nullptr) [[unlikely]] {
+      SyncFaultMetricsSlow();
+    }
+  }
+  void SyncFaultMetricsSlow();
 
   SpecDecodeConfig config_;
   GpuSim target_gpu_;
@@ -137,6 +159,7 @@ class SpecDecodeEngine {
   std::unique_ptr<SwapManager> swap_;
   std::unique_ptr<FaultInjector> fault_;  // nullptr when no faults are configured.
   SpecStepHook* step_hook_ = nullptr;     // Not owned; nullptr = no governor attached.
+  StepProfiler* prof_ = nullptr;          // Not owned; nullptr = no profiler attached.
   int max_num_seqs_ = 0;
   int max_batched_tokens_ = 0;
   int head_blocked_steps_ = 0;
@@ -148,6 +171,10 @@ class SpecDecodeEngine {
   // replaced, with O(1) mid-queue removal on preempt/cancel/finish.
   RequestQueue waiting_;
   RequestQueue running_;
+  // Lazy min-heap over submitted deadlines (see deadline_heap.h); entries for requests that
+  // finished early are discarded when they surface. Keeps ExpireDeadlines O(1) per step.
+  DeadlineHeap deadlines_;
+  std::vector<RequestId> expired_buf_;  // Scratch for ExpireDeadlines (reused across steps).
   double now_ = 0.0;
   Tick tick_ = 0;
   EngineMetrics metrics_;

@@ -1,0 +1,110 @@
+#include "src/metrics/step_profiler.h"
+
+#include <chrono>
+
+#include "src/common/check.h"
+
+namespace jenga {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* StepPhaseName(StepPhase phase) {
+  switch (phase) {
+    case StepPhase::kHookDispatch:
+      return "hook_dispatch";
+    case StepPhase::kDeadlineExpiry:
+      return "deadline_expiry";
+    case StepPhase::kSchedule:
+      return "schedule";
+    case StepPhase::kHitScan:
+      return "hit_scan";
+    case StepPhase::kAllocate:
+      return "allocate";
+    case StepPhase::kShedGate:
+      return "shed_gate";
+    case StepPhase::kGpuSim:
+      return "gpu_sim";
+    case StepPhase::kEvictPreempt:
+      return "evict_preempt";
+    case StepPhase::kCommit:
+      return "commit";
+    case StepPhase::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+void StepProfiler::BeginStep() {
+  JENGA_CHECK(!in_step_) << "StepScope brackets must not nest";
+  JENGA_CHECK_EQ(depth_, 0);
+  in_step_ = true;
+  mark_ns_ = NowNs();
+}
+
+void StepProfiler::EndStep() {
+  JENGA_CHECK(in_step_);
+  JENGA_CHECK_EQ(depth_, 0) << "a phase Scope outlived its step";
+  Charge(NowNs());  // Trailing remainder → kOther.
+  in_step_ = false;
+  steps_ += 1;
+}
+
+void StepProfiler::Reset() {
+  JENGA_CHECK(!in_step_);
+  JENGA_CHECK_EQ(depth_, 0);
+  phases_ = {};
+  steps_ = 0;
+  mark_ns_ = 0;
+}
+
+// Charges [mark_ns_, now_ns) to the innermost open scope, or to kOther when between scopes
+// inside a step. Outside a step with no open scope there is nothing to attribute (the gap
+// between steps belongs to the caller, not the engine).
+void StepProfiler::Charge(int64_t now_ns) {
+  if (depth_ > 0) {
+    phases_[static_cast<size_t>(stack_[static_cast<size_t>(depth_ - 1)])].ns += now_ns - mark_ns_;
+  } else if (in_step_) {
+    phases_[static_cast<size_t>(StepPhase::kOther)].ns += now_ns - mark_ns_;
+  }
+  mark_ns_ = now_ns;
+}
+
+void StepProfiler::Push(StepPhase phase) {
+  JENGA_CHECK_LT(depth_, kMaxDepth);
+  Charge(NowNs());
+  stack_[static_cast<size_t>(depth_)] = phase;
+  depth_ += 1;
+  phases_[static_cast<size_t>(phase)].calls += 1;
+}
+
+void StepProfiler::Pop() {
+  JENGA_CHECK_GT(depth_, 0);
+  Charge(NowNs());
+  depth_ -= 1;
+}
+
+int64_t StepProfiler::total_ns() const {
+  int64_t total = 0;
+  for (const PhaseStats& stats : phases_) {
+    total += stats.ns;
+  }
+  return total;
+}
+
+double StepProfiler::PhaseShare(StepPhase p) const {
+  const int64_t total = total_ns();
+  if (total <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(phase(p).ns) / static_cast<double>(total);
+}
+
+}  // namespace jenga

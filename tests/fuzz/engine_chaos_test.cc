@@ -56,6 +56,14 @@
 namespace jenga {
 namespace {
 
+// Arm the deadline-heap cross-check for every schedule (chaos schedules put deadlines on
+// ~half their requests, including same-step multi-expiry — the heap's rescan fallback).
+// Must run before main: the enable flag latches on the first engine step.
+const bool g_arm_deadline_audit = [] {
+  setenv("JENGA_CHECK_DEADLINES", "1", /*overwrite=*/0);
+  return true;
+}();
+
 // ---------------------------------------------------------------------------------------
 // Chaos schedule: base schedule + fault plan + deadlines + cancels + shed gate.
 

@@ -49,6 +49,15 @@
 namespace jenga {
 namespace {
 
+// Arm the deadline-heap cross-check (ExpireDeadlines: heap-collected expired set vs the
+// brute-force queue scan, see engine.cc) for every schedule in this binary. The enable
+// flag latches on the first engine step, so it must be set before main runs; overwrite=0
+// keeps an explicit user setting in charge.
+const bool g_arm_deadline_audit = [] {
+  setenv("JENGA_CHECK_DEADLINES", "1", /*overwrite=*/0);
+  return true;
+}();
+
 // ---------------------------------------------------------------------------------------
 // Oracle
 
